@@ -1,0 +1,74 @@
+// Microbenchmark: the fully-offloaded DHT (paper Section 5.7) -- real
+// wall-clock cost of insert / lookup / erase on this machine (google
+// benchmark), independent of the network cost model.
+#include <benchmark/benchmark.h>
+
+#include "dht/dht.hpp"
+
+namespace {
+
+using gdi::dht::DhtConfig;
+using gdi::dht::DistributedHashTable;
+
+struct Env {
+  gdi::rma::Runtime rt{1};
+  gdi::rma::Rank self{rt, 0};
+  DistributedHashTable table{1, DhtConfig{4096, 1u << 16, 3}};
+};
+
+void BM_DhtInsertErase(benchmark::State& state) {
+  Env env;
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.table.insert(env.self, k, k));
+    benchmark::DoNotOptimize(env.table.erase(env.self, k));
+    ++k;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_DhtInsertErase);
+
+void BM_DhtLookupHit(benchmark::State& state) {
+  Env env;
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t k = 0; k < n; ++k)
+    benchmark::DoNotOptimize(env.table.insert(env.self, k, k));
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.table.lookup(env.self, k % n));
+    ++k;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DhtLookupHit)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_DhtLookupMiss(benchmark::State& state) {
+  Env env;
+  for (std::uint64_t k = 0; k < 1024; ++k)
+    benchmark::DoNotOptimize(env.table.insert(env.self, k, k));
+  std::uint64_t k = 1u << 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.table.lookup(env.self, k++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DhtLookupMiss);
+
+void BM_DhtChainWalk(benchmark::State& state) {
+  // One bucket: lookups walk a chain of range(0) entries.
+  gdi::rma::Runtime rt{1};
+  gdi::rma::Rank self{rt, 0};
+  DistributedHashTable table{1, DhtConfig{1, 1u << 16, 3}};
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t k = 0; k < n; ++k)
+    benchmark::DoNotOptimize(table.insert(self, k, k));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(self, 0));  // tail of the chain
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DhtChainWalk)->Arg(4)->Arg(32)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Figure 4a: OLTP throughput, weak scaling, Read Mostly (RM) and Read
+// Intensive (RI) mixes on XC40 and XC50 parameter presets. Dataset grows
+// with the rank count (fixed vertices/edges per rank), mirroring the paper's
+// 8..7142-server sweep at laptop scale.
+#include "harness.hpp"
+
+int main() {
+  using namespace gdi;
+  using namespace gdi::bench;
+
+  print_header("Figure 4a -- OLTP weak scaling (Read Mostly / Read Intensive)",
+               "paper Fig. 4a");
+  constexpr int kBaseScale = 11;  // 2^11 vertices per rank
+  const std::vector<int> ranks{1, 2, 4, 8};
+
+  stats::Table table({"ranks", "#vertices", "#edges", "mix", "net", "Mqueries/s",
+                      "failed"});
+  for (const char* net_name : {"XC40", "XC50"}) {
+    const auto net = std::string(net_name) == "XC40" ? rma::NetParams::xc40()
+                                                     : rma::NetParams::xc50();
+    for (int P : ranks) {
+      rma::Runtime rt(P, net);
+      rt.run([&](rma::Rank& self) {
+        SetupOpts o;
+        o.scale = kBaseScale + static_cast<int>(std::log2(P));
+        auto env = setup_db(self, o);
+        for (const auto& mix :
+             {work::OpMix::read_mostly(), work::OpMix::read_intensive()}) {
+          work::OltpConfig cfg;
+          cfg.queries_per_rank = 1500;
+          cfg.existing_ids = env.n;
+          cfg.label_for_new = env.label_ids[0];
+          cfg.ptype_for_update = env.ptype_ids[0];
+          auto res = work::run_oltp(env.db, self, mix, cfg);
+          if (self.id() == 0) {
+            table.add_row({std::to_string(P), stats::Table::fmt_si(double(env.n), 1),
+                           stats::Table::fmt_si(double(env.m), 1), mix.name, net_name,
+                           fmt_mqps(res.throughput_qps), fmt_pct(res.failed_fraction())});
+          }
+          self.barrier();
+        }
+      });
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\nExpected shape (paper): throughput grows with ranks under weak\n"
+               "scaling; XC50 > XC40 (more network bandwidth per core); RM > RI.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 4b: OLTP throughput, strong scaling -- fixed dataset, growing rank
+// count, Read Mostly / Read Intensive mixes, XC40 vs XC50.
+#include "harness.hpp"
+
+int main() {
+  using namespace gdi;
+  using namespace gdi::bench;
+
+  print_header("Figure 4b -- OLTP strong scaling (Read Mostly / Read Intensive)",
+               "paper Fig. 4b");
+  constexpr int kScale = 13;  // fixed graph (paper: Kronecker scale 26)
+  const std::vector<int> ranks{2, 4, 8};
+
+  stats::Table table({"ranks", "mix", "net", "Mqueries/s", "failed"});
+  for (const char* net_name : {"XC40", "XC50"}) {
+    const auto net = std::string(net_name) == "XC40" ? rma::NetParams::xc40()
+                                                     : rma::NetParams::xc50();
+    for (int P : ranks) {
+      rma::Runtime rt(P, net);
+      rt.run([&](rma::Rank& self) {
+        SetupOpts o;
+        o.scale = kScale;
+        auto env = setup_db(self, o);
+        for (const auto& mix :
+             {work::OpMix::read_mostly(), work::OpMix::read_intensive()}) {
+          work::OltpConfig cfg;
+          cfg.queries_per_rank = 1500;
+          cfg.existing_ids = env.n;
+          cfg.label_for_new = env.label_ids[0];
+          cfg.ptype_for_update = env.ptype_ids[0];
+          auto res = work::run_oltp(env.db, self, mix, cfg);
+          if (self.id() == 0)
+            table.add_row({std::to_string(P), mix.name, net_name,
+                           fmt_mqps(res.throughput_qps), fmt_pct(res.failed_fraction())});
+          self.barrier();
+        }
+      });
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\nExpected shape (paper): near-linear throughput growth with rank\n"
+               "count on the fixed dataset; XC50 above XC40.\n";
+  return 0;
+}

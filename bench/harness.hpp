@@ -1,0 +1,125 @@
+// Shared helpers for the per-figure benchmark binaries (DESIGN.md section 4).
+//
+// Every bench constructs its own Runtime per configuration point, loads a
+// Kronecker LPG graph through the collective bulk loader, runs the workload,
+// and prints a paper-style table: the columns mirror the series of the
+// corresponding figure; absolute values come from the LogGP cost model
+// (see DESIGN.md section 2) so only *shapes* are comparable to the paper.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baseline/rpc_store.hpp"
+#include "gdi/gdi.hpp"
+#include "generator/kronecker.hpp"
+#include "stats/stats.hpp"
+#include "workloads/bi.hpp"
+#include "workloads/gnn.hpp"
+#include "workloads/graph500.hpp"
+#include "workloads/olap.hpp"
+#include "workloads/oltp.hpp"
+
+namespace gdi::bench {
+
+struct LoadedDb {
+  std::shared_ptr<Database> db;
+  std::shared_ptr<Index> label_index;  ///< index on label_ids[0] (if any)
+  std::vector<std::uint32_t> label_ids;
+  std::vector<std::uint32_t> ptype_ids;
+  BulkLoadStats load_stats;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+};
+
+struct SetupOpts {
+  int scale = 10;
+  int edge_factor = 16;
+  std::uint32_t num_labels = 20;   ///< paper default: 20 labels
+  std::uint32_t num_ptypes = 13;   ///< paper default: 13 property types
+  std::uint32_t labels_per_vertex = 2;
+  std::uint32_t props_per_vertex = 4;
+  double heavy_edge_fraction = 0.0;
+  std::uint32_t value_bytes = 8;
+  std::size_t block_size = 512;
+  std::uint64_t seed = 42;
+  bool with_index = true;
+};
+
+/// Collective: create a database, register metadata, generate and bulk load.
+inline LoadedDb setup_db(rma::Rank& self, const SetupOpts& o) {
+  LoadedDb out;
+  gen::LpgConfig g;
+  g.scale = o.scale;
+  g.edge_factor = o.edge_factor;
+  g.seed = o.seed;
+  g.labels_per_vertex = o.labels_per_vertex;
+  g.props_per_vertex = o.props_per_vertex;
+  g.heavy_edge_fraction = o.heavy_edge_fraction;
+  g.value_bytes = o.value_bytes;
+  out.n = g.num_vertices();
+  out.m = g.num_edges();
+
+  DatabaseConfig c;
+  c.block.block_size = o.block_size;
+  const auto per_rank = out.n / static_cast<std::uint64_t>(self.nranks()) + 64;
+  // Generous pool: holders + growth + OLTP inserts.
+  c.block.blocks_per_rank =
+      per_rank * (2 + (o.edge_factor * 2 * 24 + o.props_per_vertex * (o.value_bytes + 16)) /
+                          o.block_size) +
+      8192;
+  c.dht.entries_per_rank = per_rank * 2 + 4096;
+  c.dht.buckets_per_rank = 2048;
+  c.index_capacity_per_rank = per_rank * 2 + 4096;
+  out.db = Database::create(self, c);
+
+  for (std::uint32_t i = 0; i < o.num_labels; ++i)
+    out.label_ids.push_back(*out.db->create_label(self, "Label" + std::to_string(i)));
+  for (std::uint32_t i = 0; i < o.num_ptypes; ++i) {
+    PropertyType p{.name = "ptype" + std::to_string(i),
+                   .dtype = Datatype::kInt64,
+                   .mult = Multiplicity::kMultiple,
+                   .stype = SizeType::kLimited,
+                   .max_size = std::max<std::uint32_t>(o.value_bytes, 8)};
+    out.ptype_ids.push_back(*out.db->create_ptype(self, p));
+  }
+  if (o.with_index && !out.label_ids.empty())
+    out.label_index = out.db->create_index(self, IndexDef{{out.label_ids[0]}, {}});
+
+  gen::KroneckerGenerator kg(g, out.label_ids, out.ptype_ids);
+  const auto slice = kg.generate_local(self);
+  BulkLoader loader(out.db, self);
+  auto stats = loader.load(slice.vertices, slice.edges);
+  if (stats.ok()) out.load_stats = *stats;
+  self.barrier();
+  return out;
+}
+
+/// Sweep helper: run `body(rank)` on runtimes of each size in `ranks`.
+inline void for_each_scale(const std::vector<int>& ranks, const rma::NetParams& net,
+                           const std::function<void(rma::Rank&)>& body) {
+  for (int P : ranks) {
+    rma::Runtime rt(P, net);
+    rt.run(body);
+  }
+}
+
+inline std::string fmt_mqps(double qps) {
+  return stats::Table::fmt(qps / 1e6, 3);
+}
+inline std::string fmt_s(double ns) { return stats::Table::fmt(ns / 1e9, 3); }
+inline std::string fmt_ms(double ns) { return stats::Table::fmt(ns / 1e6, 3); }
+inline std::string fmt_pct(double f) { return stats::Table::fmt(f * 100.0, 2) + "%"; }
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref << "; values from the LogGP cost\n"
+            << " model -- compare shapes, not absolutes; see EXPERIMENTS.md)\n"
+            << "==============================================================\n";
+}
+
+}  // namespace gdi::bench

@@ -1,0 +1,65 @@
+// Section 6.6: sensitivity to label/property richness and edge factor.
+// Graphs with few labels/properties are dominated by single-block reads;
+// richer decoration makes holders span more blocks (more communication per
+// access). GDA's advantage must persist across the sweep.
+#include "harness.hpp"
+
+int main() {
+  using namespace gdi;
+  using namespace gdi::bench;
+
+  print_header("Section 6.6 -- varying labels, properties, and edge factor",
+               "paper Sec. 6.6");
+  constexpr int P = 4;
+
+  stats::Table table({"labels/v", "props/v", "edge factor", "heavy", "Mqueries/s (RM)",
+                      "bytes/query", "blocks used"});
+  struct Point {
+    std::uint32_t labels, props;
+    int ef;
+    double heavy;
+  };
+  const std::vector<Point> sweep{
+      {0, 0, 16, 0.0}, {1, 1, 16, 0.0}, {2, 4, 16, 0.0}, {4, 8, 16, 0.0},
+      {8, 13, 16, 0.0}, {2, 4, 8, 0.0}, {2, 4, 32, 0.0},
+      {2, 4, 16, 0.25},  // quarter of the edges heavy (own holders)
+  };
+  for (const auto& pt : sweep) {
+    rma::Runtime rt(P, rma::NetParams::xc50());
+    rt.run([&](rma::Rank& self) {
+      SetupOpts o;
+      o.scale = 10;
+      o.edge_factor = pt.ef;
+      o.labels_per_vertex = pt.labels;
+      o.props_per_vertex = pt.props;
+      o.num_labels = std::max<std::uint32_t>(pt.labels, 1);
+      o.num_ptypes = std::max<std::uint32_t>(pt.props, 1);
+      o.heavy_edge_fraction = pt.heavy;
+      auto env = setup_db(self, o);
+      work::OltpConfig cfg;
+      cfg.queries_per_rank = 1500;
+      cfg.existing_ids = env.n;
+      cfg.label_for_new = env.label_ids.empty() ? 0 : env.label_ids[0];
+      cfg.ptype_for_update = env.ptype_ids.empty() ? 0 : env.ptype_ids[0];
+      self.reset_counters();
+      auto res = work::run_oltp(env.db, self, work::OpMix::read_mostly(), cfg);
+      const double bytes = static_cast<double>(self.counters().bytes_get +
+                                               self.counters().bytes_put);
+      const std::uint64_t blocks =
+          self.allreduce_sum(env.db->blocks().allocated_count(
+              self, static_cast<std::uint32_t>(self.id())));
+      if (self.id() == 0)
+        table.add_row({std::to_string(pt.labels), std::to_string(pt.props),
+                       std::to_string(pt.ef), stats::Table::fmt(pt.heavy, 2),
+                       fmt_mqps(res.throughput_qps),
+                       stats::Table::fmt(bytes / double(cfg.queries_per_rank), 0),
+                       stats::Table::fmt_si(double(blocks), 2)});
+      self.barrier();
+    });
+  }
+  std::cout << table.to_string();
+  std::cout << "\nExpected shape (paper): richer labels/properties -> larger holders\n"
+               "-> more bytes per access and somewhat lower throughput, but the\n"
+               "same qualitative behaviour across all configurations.\n";
+  return 0;
+}

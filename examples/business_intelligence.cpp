@@ -1,0 +1,107 @@
+// OLSP / business intelligence (paper Section 3.1's Cypher example and
+// Listing 3):
+//
+//   MATCH (per:Person) WHERE per.age > 30
+//     AND per-[:OWN]->vehicle(:Car) AND vehicle.color = red
+//   RETURN count(per)
+//
+// Builds an explicit Person/Car dataset, creates an index over the Person
+// label, and executes the query as a collective transaction: every rank
+// scans its local index shard, filters on the age property, expands OWN
+// edges through a constraint object, checks the Car label and color
+// property, and the counts are combined with a global reduction.
+//
+// Build & run:  ./build/examples/example_business_intelligence
+#include <iostream>
+
+#include "gdi/gdi.hpp"
+
+int main() {
+  using namespace gdi;
+  constexpr int kRanks = 4;
+  constexpr std::uint64_t kPeople = 200;
+  constexpr std::uint64_t kCarBase = 1000;
+  rma::Runtime runtime(kRanks, rma::NetParams::xc50());
+
+  runtime.run([](rma::Rank& self) {
+    DatabaseConfig cfg;
+    cfg.block.block_size = 512;
+    cfg.block.blocks_per_rank = 1u << 13;
+    cfg.dht.entries_per_rank = 1u << 11;
+    auto db = Database::create(self, cfg);
+
+    const std::uint32_t person = *db->create_label(self, "Person");
+    const std::uint32_t car = *db->create_label(self, "Car");
+    const std::uint32_t own = *db->create_label(self, "OWN");
+    PropertyType age_def{.name = "age", .dtype = Datatype::kInt64};
+    PropertyType color_def{.name = "color", .dtype = Datatype::kString};
+    const std::uint32_t age = *db->create_ptype(self, age_def);
+    const std::uint32_t color = *db->create_ptype(self, color_def);
+    auto person_index = db->create_index(self, IndexDef{{person}, {}});
+
+    // Each rank ingests the people it owns: deterministic ages, cars with
+    // deterministic colors, OWN edges.
+    {
+      Transaction txn(db, self, TxnMode::kWrite, TxnScope::kCollective);
+      const char* colors[] = {"red", "blue", "green"};
+      for (std::uint64_t i = static_cast<std::uint64_t>(self.id()); i < kPeople;
+           i += kRanks) {
+        auto p = *txn.create_vertex(i);
+        (void)txn.add_label(p, person);
+        (void)txn.add_property(p, age, PropValue{static_cast<std::int64_t>(18 + i % 50)});
+        if (i % 2 == 0) {  // half the people own a car
+          auto c = *txn.create_vertex(kCarBase + i);
+          (void)txn.add_label(c, car);
+          (void)txn.add_property(c, color, PropValue{std::string(colors[i % 3])});
+          (void)txn.create_edge(p, c, layout::Dir::kOut, own);
+        }
+      }
+      if (txn.commit() != Status::kOk && self.id() == 0)
+        std::cout << "[ingest] failed!\n";
+    }
+
+    // Listing 3: the collective BI query.
+    std::uint64_t local_count = 0;
+    {
+      Transaction txn(db, self, TxnMode::kReadShared, TxnScope::kCollective);
+      // Constraint "cnstr" with the label condition == OWN (Listing 3 l.9).
+      const Constraint cnstr = Constraint::with_label(own);
+      auto vIDs = txn.local_index_vertices(*person_index);
+      for (DPtr pid : *vIDs) {
+        auto vH = txn.associate_vertex(pid);
+        if (!vH.ok()) continue;
+        auto a = txn.get_properties(*vH, age);
+        if (!a.ok() || a->empty() || std::get<std::int64_t>((*a)[0]) <= 30)
+          continue;  // the condition is not met
+        auto things = txn.neighbors_of(*vH, DirFilter::kOutgoing, &cnstr);
+        for (DPtr oid : *things) {
+          auto oH = txn.associate_vertex(oid);
+          if (!oH.ok()) continue;
+          auto labels = txn.labels_of(*oH);
+          bool is_car = false;
+          for (auto l : *labels) is_car |= (l == car);
+          if (!is_car) continue;
+          auto col = txn.get_properties(*oH, color);
+          if (col.ok() && !col->empty() &&
+              std::get<std::string>((*col)[0]) == "red") {
+            ++local_count;
+            break;
+          }
+        }
+      }
+      (void)txn.commit();
+    }
+    const std::uint64_t total = self.allreduce_sum(local_count);  // reduce()
+
+    // Independent check: count directly from the construction rule.
+    if (self.id() == 0) {
+      std::uint64_t expect = 0;
+      for (std::uint64_t i = 0; i < kPeople; ++i)
+        if (18 + i % 50 > 30 && i % 2 == 0 && i % 3 == 0) ++expect;
+      std::cout << "Persons over 30 driving a red car: " << total
+                << " (expected " << expect << ")\n";
+    }
+    self.barrier();
+  });
+  return 0;
+}

@@ -1,0 +1,232 @@
+#include "baseline/rpc_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace gdi::baseline {
+
+void RpcGraphStore::charge(rma::Rank& self, std::uint64_t items, std::uint64_t salt) {
+  double t = params_.request_floor_ns +
+             params_.per_item_ns * static_cast<double>(items);
+  if (params_.jitter > 0) {
+    // Deterministic multiplicative jitter reproducing the measured latency
+    // spread (log-uniform factor in [e^-j, e^j]).
+    const double u = to_unit_double(
+        hash_combine(salt * 0xBA5Eu + 5, static_cast<std::uint64_t>(self.id())));
+    t *= std::exp(params_.jitter * (2.0 * u - 1.0));
+  }
+  self.charge(t);
+}
+
+bool RpcGraphStore::create_vertex(rma::Rank& self, std::uint64_t id,
+                                  std::uint32_t label, std::int64_t prop) {
+  charge(self, 2, id);
+  Shard& s = shard_of(id);
+  std::scoped_lock lock(s.mu);
+  auto [it, inserted] = s.vertices.try_emplace(id);
+  if (!inserted) return false;
+  if (label) it->second.labels.push_back(label);
+  it->second.props.emplace(1u, prop);
+  return true;
+}
+
+bool RpcGraphStore::delete_vertex(rma::Rank& self, std::uint64_t id) {
+  // Deleting also removes mirror edges: one extra RPC per neighbor shard.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> adj;
+  {
+    Shard& s = shard_of(id);
+    std::scoped_lock lock(s.mu);
+    auto it = s.vertices.find(id);
+    if (it == s.vertices.end()) return false;
+    adj = it->second.adj;
+    s.vertices.erase(it);
+  }
+  charge(self, 2 + adj.size(), id);
+  for (const auto& [nb, label] : adj) {
+    if (nb == id) continue;
+    Shard& s = shard_of(nb);
+    std::scoped_lock lock(s.mu);
+    auto it = s.vertices.find(nb);
+    if (it == s.vertices.end()) continue;
+    auto& a = it->second.adj;
+    a.erase(std::remove_if(a.begin(), a.end(),
+                           [&](const auto& p) { return p.first == id; }),
+            a.end());
+    charge(self, 1, nb ^ id);
+  }
+  return true;
+}
+
+bool RpcGraphStore::update_prop(rma::Rank& self, std::uint64_t id, std::uint32_t ptype,
+                                std::int64_t value) {
+  charge(self, 2, id * 3 + 1);
+  Shard& s = shard_of(id);
+  std::scoped_lock lock(s.mu);
+  auto it = s.vertices.find(id);
+  if (it == s.vertices.end()) return false;
+  it->second.props[ptype] = value;
+  return true;
+}
+
+std::optional<std::vector<std::int64_t>> RpcGraphStore::get_props(rma::Rank& self,
+                                                                  std::uint64_t id) {
+  Shard& s = shard_of(id);
+  std::scoped_lock lock(s.mu);
+  auto it = s.vertices.find(id);
+  charge(self, it == s.vertices.end() ? 1 : it->second.props.size(), id * 5 + 2);
+  if (it == s.vertices.end()) return std::nullopt;
+  std::vector<std::int64_t> out;
+  out.reserve(it->second.props.size());
+  for (const auto& [k, v] : it->second.props) out.push_back(v);
+  return out;
+}
+
+std::optional<std::uint64_t> RpcGraphStore::count_edges(rma::Rank& self,
+                                                        std::uint64_t id) {
+  Shard& s = shard_of(id);
+  std::scoped_lock lock(s.mu);
+  auto it = s.vertices.find(id);
+  charge(self, 1, id * 7 + 3);
+  if (it == s.vertices.end()) return std::nullopt;
+  return it->second.adj.size();
+}
+
+std::optional<std::vector<std::uint64_t>> RpcGraphStore::get_edges(rma::Rank& self,
+                                                                   std::uint64_t id) {
+  Shard& s = shard_of(id);
+  std::scoped_lock lock(s.mu);
+  auto it = s.vertices.find(id);
+  charge(self, it == s.vertices.end() ? 1 : 1 + it->second.adj.size(), id * 11 + 4);
+  if (it == s.vertices.end()) return std::nullopt;
+  std::vector<std::uint64_t> out;
+  out.reserve(it->second.adj.size());
+  for (const auto& [nb, label] : it->second.adj) out.push_back(nb);
+  return out;
+}
+
+bool RpcGraphStore::add_edge(rma::Rank& self, std::uint64_t src, std::uint64_t dst,
+                             std::uint32_t label) {
+  charge(self, 4, src * 13 + dst);
+  {
+    Shard& s = shard_of(src);
+    std::scoped_lock lock(s.mu);
+    auto it = s.vertices.find(src);
+    if (it == s.vertices.end()) return false;
+    it->second.adj.emplace_back(dst, label);
+  }
+  if (src != dst) {
+    Shard& s = shard_of(dst);
+    std::scoped_lock lock(s.mu);
+    auto it = s.vertices.find(dst);
+    if (it == s.vertices.end()) return false;
+    it->second.adj.emplace_back(src, label);
+  }
+  return true;
+}
+
+void RpcGraphStore::bulk_load(rma::Rank& self, const std::vector<BulkVertex>& vertices,
+                              const std::vector<BulkEdge>& edges) {
+  for (const auto& bv : vertices) {
+    Shard& s = shard_of(bv.app_id);
+    std::scoped_lock lock(s.mu);
+    auto& rec = s.vertices[bv.app_id];
+    rec.labels = bv.labels;
+    for (const auto& [pt, bytes] : bv.props) {
+      std::int64_t v = 0;
+      std::memcpy(&v, bytes.data(), std::min<std::size_t>(bytes.size(), 8));
+      rec.props[pt] = v;
+    }
+  }
+  self.barrier();
+  for (const auto& e : edges) {
+    {
+      Shard& s = shard_of(e.src);
+      std::scoped_lock lock(s.mu);
+      auto it = s.vertices.find(e.src);
+      if (it != s.vertices.end()) it->second.adj.emplace_back(e.dst, e.label_id);
+    }
+    if (e.src != e.dst) {
+      Shard& s = shard_of(e.dst);
+      std::scoped_lock lock(s.mu);
+      auto it = s.vertices.find(e.dst);
+      if (it != s.vertices.end()) it->second.adj.emplace_back(e.src, e.label_id);
+    }
+  }
+  self.barrier();
+}
+
+double RpcGraphStore::bi2_time_ns(std::uint64_t n, std::uint64_t m, int nranks) const {
+  const double items = static_cast<double>(n) + static_cast<double>(m);
+  const double servers = params_.parallel_server ? static_cast<double>(nranks) : 1.0;
+  return params_.request_floor_ns + params_.per_item_ns * items / servers;
+}
+
+double RpcGraphStore::bfs_time_ns(std::uint64_t n, std::uint64_t m, int nranks) const {
+  const double servers = params_.parallel_server ? static_cast<double>(nranks) : 1.0;
+  // One request per frontier level is negligible; traversal is per-item work.
+  return params_.request_floor_ns +
+         params_.per_item_ns * (static_cast<double>(n) + 2.0 * static_cast<double>(m)) /
+             servers;
+}
+
+work::OltpResult run_oltp_rpc(RpcGraphStore& store, rma::Rank& self,
+                              const work::OpMix& mix, const work::OltpConfig& cfg) {
+  using work::OltpOp;
+  work::OltpResult res;
+  CounterRng rng(hash_combine(cfg.seed, static_cast<std::uint64_t>(self.id()) + 0x0BB));
+  const auto P = static_cast<std::uint64_t>(self.nranks());
+  std::uint64_t next_new_id = cfg.existing_ids + static_cast<std::uint64_t>(self.id());
+  std::uint64_t local_not_found = 0;
+
+  self.barrier();
+  self.reset_clock();
+
+  auto random_id = [&] { return rng.next_below(cfg.existing_ids); };
+  auto sample = [&](double u) {
+    double acc = 0;
+    for (int i = 0; i < work::kNumOltpOps; ++i) {
+      acc += mix.weights[static_cast<std::size_t>(i)];
+      if (u < acc) return static_cast<OltpOp>(i);
+    }
+    return OltpOp::kGetVertexProps;
+  };
+
+  for (std::uint64_t q = 0; q < cfg.queries_per_rank; ++q) {
+    const OltpOp op = sample(rng.next_unit());
+    const double t0 = self.sim_time_ns();
+    self.charge_compute(cfg.cpu_ns_per_query);
+    bool found = true;
+    switch (op) {
+      case OltpOp::kGetVertexProps: found = store.get_props(self, random_id()).has_value(); break;
+      case OltpOp::kCountEdges: found = store.count_edges(self, random_id()).has_value(); break;
+      case OltpOp::kGetEdges: found = store.get_edges(self, random_id()).has_value(); break;
+      case OltpOp::kAddVertex:
+        if (store.create_vertex(self, next_new_id, cfg.label_for_new, 0)) next_new_id += P;
+        break;
+      case OltpOp::kDeleteVertex: found = store.delete_vertex(self, random_id()); break;
+      case OltpOp::kUpdateVertexProp:
+        found = store.update_prop(self, random_id(), cfg.ptype_for_update,
+                                  static_cast<std::int64_t>(q));
+        break;
+      case OltpOp::kAddEdge:
+        found = store.add_edge(self, random_id(), random_id(), cfg.label_for_new);
+        break;
+      case OltpOp::kNumOps: break;
+    }
+    if (!found) ++local_not_found;
+    res.latency[static_cast<std::size_t>(op)].add(self.sim_time_ns() - t0);
+  }
+
+  res.rank_time_ns = self.allreduce_max(self.sim_time_ns());
+  res.attempted = self.allreduce_sum(cfg.queries_per_rank);
+  res.not_found = self.allreduce_sum(local_not_found);
+  res.failed = 0;  // eventual consistency: the store never aborts
+  res.throughput_qps =
+      res.rank_time_ns > 0
+          ? static_cast<double>(res.attempted) / (res.rank_time_ns * 1e-9)
+          : 0;
+  return res;
+}
+
+}  // namespace gdi::baseline

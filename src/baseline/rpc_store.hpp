@@ -1,0 +1,111 @@
+// Comparison-target graph store with a request/response (two-sided)
+// architecture -- the reproduction's stand-in for Neo4j 5.10 and JanusGraph
+// 0.6.2 (paper Section 6.2; DESIGN.md section 2 documents the substitution).
+//
+// Architecturally it is everything GDA is not: every operation is an RPC to
+// the owning shard's *server*, which executes it under a coarse shard lock.
+// The latency model charges each request a fixed floor plus per-item server
+// work plus deterministic jitter; the two presets are calibrated to the
+// latency floors the paper measured in Figure 5 (JanusGraph: no op under
+// ~200 us, most 500 us - 2 ms; Neo4j: millisecond granularity, heavy tail).
+// Functional semantics (CRUD on an LPG graph) match GDI so the same workload
+// driver can run against both.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "gdi/bulk.hpp"
+#include "rma/runtime.hpp"
+#include "stats/stats.hpp"
+#include "workloads/oltp.hpp"
+
+namespace gdi::baseline {
+
+struct RpcParams {
+  std::string name;
+  double request_floor_ns = 0;  ///< minimum end-to-end latency of any request
+  double per_item_ns = 0;       ///< server-side cost per edge/property touched
+  double jitter = 0;            ///< multiplicative spread (0 = none)
+  bool parallel_server = true;  ///< false: single-node engine (no scale-out)
+
+  /// JanusGraph-like: distributed, eventual consistency, >=200us floor.
+  [[nodiscard]] static RpcParams janusgraph() {
+    return RpcParams{"JanusGraph", 350'000.0, 120.0, 0.8, true};
+  }
+  /// Neo4j-like: single-server engine, millisecond-scale operations.
+  [[nodiscard]] static RpcParams neo4j() {
+    return RpcParams{"Neo4j", 2'600'000.0, 900.0, 1.1, false};
+  }
+};
+
+/// In-memory LPG store sharded by vertex id; one coarse mutex per shard
+/// models the per-server execution engine.
+class RpcGraphStore {
+ public:
+  RpcGraphStore(int nranks, RpcParams params)
+      : params_(std::move(params)), shards_(static_cast<std::size_t>(nranks)) {}
+
+  [[nodiscard]] const RpcParams& params() const { return params_; }
+
+  // --- client operations (each charges one simulated RPC) -------------------
+  bool create_vertex(rma::Rank& self, std::uint64_t id, std::uint32_t label,
+                     std::int64_t prop);
+  bool delete_vertex(rma::Rank& self, std::uint64_t id);
+  bool update_prop(rma::Rank& self, std::uint64_t id, std::uint32_t ptype,
+                   std::int64_t value);
+  [[nodiscard]] std::optional<std::vector<std::int64_t>> get_props(rma::Rank& self,
+                                                                   std::uint64_t id);
+  [[nodiscard]] std::optional<std::uint64_t> count_edges(rma::Rank& self,
+                                                         std::uint64_t id);
+  [[nodiscard]] std::optional<std::vector<std::uint64_t>> get_edges(rma::Rank& self,
+                                                                    std::uint64_t id);
+  bool add_edge(rma::Rank& self, std::uint64_t src, std::uint64_t dst,
+                std::uint32_t label);
+
+  /// Bulk ingestion (no RPC charging; load time is not part of any figure).
+  void bulk_load(rma::Rank& self, const std::vector<BulkVertex>& vertices,
+                 const std::vector<BulkEdge>& edges);
+
+  // --- analytic cost models (Figure 6b/6e baseline curves) -------------------
+  /// Single-server BI2-style scan: every anchor vertex and candidate edge is
+  /// a server-side item; no scale-out when parallel_server is false.
+  [[nodiscard]] double bi2_time_ns(std::uint64_t n, std::uint64_t m, int nranks) const;
+  /// BFS over the whole graph on the engine's execution model.
+  [[nodiscard]] double bfs_time_ns(std::uint64_t n, std::uint64_t m, int nranks) const;
+
+ private:
+  friend struct RpcOltpRunner;
+
+  struct VertexRec {
+    std::vector<std::uint32_t> labels;
+    std::unordered_map<std::uint32_t, std::int64_t> props;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> adj;  ///< (neighbor, label)
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, VertexRec> vertices;
+  };
+
+  [[nodiscard]] Shard& shard_of(std::uint64_t id) {
+    return shards_[id % shards_.size()];
+  }
+  /// Charge one RPC: floor + items * per_item, spread by deterministic jitter.
+  void charge(rma::Rank& self, std::uint64_t items, std::uint64_t salt);
+
+  RpcParams params_;
+  std::vector<Shard> shards_;
+};
+
+/// Run the Table 3 OLTP driver against the RPC store (same result shape as
+/// work::run_oltp so benches print both side by side).
+work::OltpResult run_oltp_rpc(RpcGraphStore& store, rma::Rank& self,
+                              const work::OpMix& mix, const work::OltpConfig& cfg);
+
+}  // namespace gdi::baseline

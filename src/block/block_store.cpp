@@ -1,0 +1,107 @@
+#include "block/block_store.hpp"
+
+#include <cstring>
+
+namespace gdi::block {
+
+std::shared_ptr<BlockStore> BlockStore::create(rma::Rank& self,
+                                               const BlockStoreConfig& cfg) {
+  return self.collective_make<BlockStore>(
+      [&] { return std::make_shared<BlockStore>(self.nranks(), cfg); });
+}
+
+BlockStore::BlockStore(int nranks, const BlockStoreConfig& cfg)
+    : cfg_(cfg),
+      data_(nranks, cfg.block_size * cfg.blocks_per_rank),
+      usage_(nranks, cfg.blocks_per_rank * 8),
+      system_(nranks, kLocksOffset + cfg.blocks_per_rank * 8) {
+  assert(cfg.block_size >= 64 && cfg.block_size % 8 == 0);
+  assert(cfg.blocks_per_rank >= 2);
+  // Build each rank's free list: block 0 is reserved on every rank so that a
+  // zero DPtr is never a valid block; blocks 1..N-1 start free.
+  for (int r = 0; r < nranks; ++r) {
+    auto* usage = reinterpret_cast<std::uint64_t*>(usage_.local_base(r));
+    for (std::size_t i = 1; i + 1 < cfg.blocks_per_rank; ++i) usage[i] = i + 1;
+    usage[cfg.blocks_per_rank - 1] = kNilIdx;
+    auto* sys = reinterpret_cast<std::uint64_t*>(system_.local_base(r));
+    sys[0] = cfg.blocks_per_rank > 1 ? 1 : kNilIdx;  // head: tag 0, first free idx
+  }
+}
+
+DPtr BlockStore::acquire(rma::Rank& self, std::uint32_t target) {
+  // Lock-free pop from the target's free list (paper Section 5.5).
+  std::uint64_t head = system_.atomic_get_u64(self, target, kHeadOffset);
+  for (;;) {
+    const std::uint64_t idx = head & kIdxMask;
+    const std::uint64_t tag = head >> 48;
+    if (idx == kNilIdx) return DPtr{};  // pool exhausted on this rank
+    const std::uint64_t next = usage_.atomic_get_u64(self, target, idx * 8);
+    const std::uint64_t new_head = ((tag + 1) << 48) | (next & kIdxMask);
+    const std::uint64_t old = system_.cas_u64(self, target, kHeadOffset, head, new_head);
+    if (old == head) {
+      (void)system_.faa_u64(self, target, kCountOffset, 1);
+      return DPtr{target, idx * cfg_.block_size};
+    }
+    head = old;  // lost the race; retry with the freshly observed head
+  }
+}
+
+void BlockStore::release(rma::Rank& self, DPtr blk) {
+  assert(!blk.is_null());
+  const std::uint32_t target = blk.rank();
+  const std::uint64_t idx = block_index(blk);
+  std::uint64_t head = system_.atomic_get_u64(self, target, kHeadOffset);
+  for (;;) {
+    const std::uint64_t tag = head >> 48;
+    usage_.atomic_put_u64(self, target, idx * 8, head & kIdxMask);
+    const std::uint64_t new_head = ((tag + 1) << 48) | idx;
+    const std::uint64_t old = system_.cas_u64(self, target, kHeadOffset, head, new_head);
+    if (old == head) {
+      (void)system_.faa_u64(self, target, kCountOffset, -1);
+      return;
+    }
+    head = old;
+  }
+}
+
+std::uint64_t BlockStore::allocated_count(rma::Rank& self, std::uint32_t target) {
+  return system_.atomic_get_u64(self, target, kCountOffset);
+}
+
+bool BlockStore::try_read_lock(rma::Rank& self, DPtr blk, int attempts) {
+  const std::uint64_t off = lock_offset(block_index(blk));
+  std::uint64_t old = system_.atomic_get_u64(self, blk.rank(), off);
+  for (int i = 0; i < attempts; ++i) {
+    if (old & kWriteBit) return false;  // writer present
+    const std::uint64_t seen = system_.cas_u64(self, blk.rank(), off, old, old + 1);
+    if (seen == old) return true;
+    old = seen;  // raced with another reader/writer; re-examine
+  }
+  return false;
+}
+
+void BlockStore::read_unlock(rma::Rank& self, DPtr blk) {
+  const std::uint64_t off = lock_offset(block_index(blk));
+  (void)system_.faa_u64(self, blk.rank(), off, -1);
+}
+
+bool BlockStore::try_write_lock(rma::Rank& self, DPtr blk) {
+  const std::uint64_t off = lock_offset(block_index(blk));
+  return system_.cas_u64(self, blk.rank(), off, 0, kWriteBit) == 0;
+}
+
+bool BlockStore::try_upgrade_lock(rma::Rank& self, DPtr blk) {
+  const std::uint64_t off = lock_offset(block_index(blk));
+  return system_.cas_u64(self, blk.rank(), off, 1, kWriteBit) == 1;
+}
+
+void BlockStore::write_unlock(rma::Rank& self, DPtr blk) {
+  const std::uint64_t off = lock_offset(block_index(blk));
+  system_.atomic_put_u64(self, blk.rank(), off, 0);
+}
+
+std::uint64_t BlockStore::lock_word(rma::Rank& self, DPtr blk) {
+  return system_.atomic_get_u64(self, blk.rank(), lock_offset(block_index(blk)));
+}
+
+}  // namespace gdi::block

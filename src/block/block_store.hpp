@@ -1,0 +1,115 @@
+// Blocked Graph Data Layout (BGDL) -- paper Section 5.5.
+//
+// A large distributed memory pool divided into fixed-size blocks. Three RMA
+// windows implement it exactly as the paper describes:
+//   * data window   -- the blocks themselves (vertex/edge holder payloads),
+//   * usage window  -- a linked free-list: one word per block holding the
+//                      index of the next free block,
+//   * system window -- the free-list head (entry point for acquiring blocks)
+//                      plus one reader-writer lock word per block.
+//
+// acquireBlock/releaseBlock are lock-free Treiber-stack operations on the
+// free-list head; the head word carries a 16-bit tag to defeat the ABA
+// problem ("tagged pointer technique", paper Section 5.5). The RW lock word
+// (paper Section 5.6, Figure 3) packs a write bit and a read counter into one
+// 64-bit word so both acquisition paths are single remote atomics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/dptr.hpp"
+#include "rma/window.hpp"
+
+namespace gdi::block {
+
+struct BlockStoreConfig {
+  std::size_t block_size = 512;       ///< bytes per block (user tunable, paper 5.5)
+  std::size_t blocks_per_rank = 4096; ///< pool capacity per rank
+};
+
+class BlockStore {
+ public:
+  /// Collective constructor: every rank calls, all receive the same store.
+  [[nodiscard]] static std::shared_ptr<BlockStore> create(rma::Rank& self,
+                                                          const BlockStoreConfig& cfg);
+
+  BlockStore(int nranks, const BlockStoreConfig& cfg);
+
+  [[nodiscard]] std::size_t block_size() const { return cfg_.block_size; }
+  [[nodiscard]] std::size_t blocks_per_rank() const { return cfg_.blocks_per_rank; }
+
+  // --- block allocation (lock-free, fully one-sided) ------------------------
+
+  /// Try to allocate one block on `target`; returns a null DPtr if that rank's
+  /// pool is exhausted. The returned DPtr addresses the block's first byte in
+  /// the data window.
+  [[nodiscard]] DPtr acquire(rma::Rank& self, std::uint32_t target);
+
+  /// Return `blk` to its owner's free list.
+  void release(rma::Rank& self, DPtr blk);
+
+  /// Number of currently allocated blocks on `target` (diagnostic).
+  [[nodiscard]] std::uint64_t allocated_count(rma::Rank& self, std::uint32_t target);
+
+  // --- block data access -----------------------------------------------------
+
+  void read_block(rma::Rank& self, DPtr blk, void* dst) {
+    data_.get(self, dst, cfg_.block_size, blk);
+  }
+  void write_block(rma::Rank& self, DPtr blk, const void* src) {
+    data_.put(self, src, cfg_.block_size, blk);
+  }
+  /// Sub-block access (offset within the block).
+  void read(rma::Rank& self, DPtr blk, std::size_t off, void* dst, std::size_t n) {
+    data_.get(self, dst, n, blk.rank(), blk.offset() + off);
+  }
+  void write(rma::Rank& self, DPtr blk, std::size_t off, const void* src, std::size_t n) {
+    data_.put(self, src, n, blk.rank(), blk.offset() + off);
+  }
+  void flush(rma::Rank& self, std::uint32_t target) { data_.flush(self, target); }
+
+  // --- per-vertex reader/writer locks (paper Section 5.6) -------------------
+  //
+  // One lock word per block; only primary blocks of holders are locked. The
+  // word is `(write_bit << 63) | read_counter`.
+
+  [[nodiscard]] bool try_read_lock(rma::Rank& self, DPtr blk, int attempts = 16);
+  void read_unlock(rma::Rank& self, DPtr blk);
+  [[nodiscard]] bool try_write_lock(rma::Rank& self, DPtr blk);
+  /// Upgrade a held read lock to a write lock (succeeds only if this is the
+  /// sole reader and no writer raced in).
+  [[nodiscard]] bool try_upgrade_lock(rma::Rank& self, DPtr blk);
+  void write_unlock(rma::Rank& self, DPtr blk);
+  /// Raw lock word (tests/diagnostics).
+  [[nodiscard]] std::uint64_t lock_word(rma::Rank& self, DPtr blk);
+
+  static constexpr std::uint64_t kWriteBit = std::uint64_t{1} << 63;
+
+  /// Data-window object for direct holder IO by higher layers.
+  [[nodiscard]] rma::Window& data_window() { return data_; }
+
+ private:
+  // System-window layout per rank.
+  static constexpr std::uint64_t kHeadOffset = 0;    // tagged free-list head
+  static constexpr std::uint64_t kCountOffset = 8;   // allocated-block counter
+  static constexpr std::uint64_t kLocksOffset = 16;  // lock words, one per block
+
+  // Tagged head encoding: (tag << 48) | block_index. Index kNilIdx = empty.
+  static constexpr std::uint64_t kIdxMask = (std::uint64_t{1} << 48) - 1;
+  static constexpr std::uint64_t kNilIdx = kIdxMask;
+
+  [[nodiscard]] std::uint64_t block_index(DPtr blk) const {
+    return blk.offset() / cfg_.block_size;
+  }
+  [[nodiscard]] std::uint64_t lock_offset(std::uint64_t idx) const {
+    return kLocksOffset + idx * 8;
+  }
+
+  BlockStoreConfig cfg_;
+  rma::Window data_;
+  rma::Window usage_;
+  rma::Window system_;
+};
+
+}  // namespace gdi::block

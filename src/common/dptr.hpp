@@ -1,0 +1,72 @@
+// Distributed pointers (DPtr) and edge UIDs.
+//
+// A DPtr is the GDI-RMA implementation of an internal vertex/edge ID (paper
+// Section 5.3): a single 64-bit word whose upper 16 bits name the owning rank
+// ("compute server") and whose lower 48 bits are a byte offset into that
+// rank's data window. Packing everything into 64 bits lets every piece of
+// synchronization ride on single-word remote atomics.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gdi {
+
+/// 64-bit distributed hierarchical pointer: 16-bit rank | 48-bit offset.
+///
+/// The all-zero value is reserved as the null pointer; real allocations never
+/// hand out offset 0 on rank 0 (the block layer skips block 0 of rank 0).
+class DPtr {
+ public:
+  static constexpr int kRankBits = 16;
+  static constexpr int kOffsetBits = 48;
+  static constexpr std::uint64_t kOffsetMask = (std::uint64_t{1} << kOffsetBits) - 1;
+  static constexpr std::uint64_t kMaxOffset = kOffsetMask;
+  static constexpr std::uint32_t kMaxRank = (1u << kRankBits) - 1;
+
+  constexpr DPtr() = default;
+  constexpr explicit DPtr(std::uint64_t raw) : raw_(raw) {}
+  constexpr DPtr(std::uint32_t rank, std::uint64_t offset)
+      : raw_((static_cast<std::uint64_t>(rank) << kOffsetBits) | (offset & kOffsetMask)) {}
+
+  [[nodiscard]] constexpr std::uint32_t rank() const {
+    return static_cast<std::uint32_t>(raw_ >> kOffsetBits);
+  }
+  [[nodiscard]] constexpr std::uint64_t offset() const { return raw_ & kOffsetMask; }
+  [[nodiscard]] constexpr std::uint64_t raw() const { return raw_; }
+  [[nodiscard]] constexpr bool is_null() const { return raw_ == 0; }
+  constexpr explicit operator bool() const { return raw_ != 0; }
+
+  friend constexpr auto operator<=>(const DPtr&, const DPtr&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "DPtr{r=" + std::to_string(rank()) + ",off=" + std::to_string(offset()) + "}";
+  }
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+static_assert(sizeof(DPtr) == 8, "DPtr must fit one remote-atomic word");
+
+/// Edge UID (paper Section 5.4.2): identifies a lightweight edge by the DPtr
+/// of a base vertex plus the byte offset of the edge record inside that
+/// vertex's holder. The same physical edge has two UIDs, one per endpoint.
+struct EdgeUid {
+  DPtr vertex;             ///< primary block of the base vertex holder
+  std::uint32_t offset = 0;  ///< offset of the edge record within the holder
+
+  [[nodiscard]] constexpr bool is_null() const { return vertex.is_null(); }
+  friend constexpr auto operator<=>(const EdgeUid&, const EdgeUid&) = default;
+};
+
+}  // namespace gdi
+
+template <>
+struct std::hash<gdi::DPtr> {
+  std::size_t operator()(const gdi::DPtr& p) const noexcept {
+    return std::hash<std::uint64_t>{}(p.raw());
+  }
+};

@@ -1,0 +1,47 @@
+// Deterministic hashing / counter-based PRNG utilities.
+//
+// The generator (paper contribution #5) and the workload drivers need
+// reproducible pseudo-randomness that is independent of the rank count, so we
+// use counter-based splitmix64 throughout instead of stateful engines.
+#pragma once
+
+#include <cstdint>
+
+namespace gdi {
+
+/// splitmix64 finalizer: a high-quality 64-bit mix, also used as the DHT hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Combines a seed and a counter into an independent 64-bit random word.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return splitmix64(seed ^ (v + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2)));
+}
+
+/// Uniform double in [0, 1) from a 64-bit random word.
+[[nodiscard]] constexpr double to_unit_double(std::uint64_t r) {
+  return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
+}
+
+/// Cheap counter-based RNG: rng(seed, i) gives the i-th draw of stream `seed`.
+class CounterRng {
+ public:
+  constexpr explicit CounterRng(std::uint64_t seed) : seed_(splitmix64(seed)) {}
+
+  [[nodiscard]] constexpr std::uint64_t next() { return splitmix64(seed_ ^ counter_++); }
+  [[nodiscard]] constexpr double next_unit() { return to_unit_double(next()); }
+  /// Uniform integer in [0, n).
+  [[nodiscard]] constexpr std::uint64_t next_below(std::uint64_t n) {
+    return n == 0 ? 0 : next() % n;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace gdi

@@ -1,0 +1,74 @@
+// GDI error handling (paper Section 3.3, Figure 2 "Errors" group).
+//
+// GDI distinguishes *transaction critical* errors -- after which the enclosing
+// transaction is guaranteed to fail and must be restarted by the user -- from
+// non-critical errors that the caller may handle and continue.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gdi {
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  // Non-critical errors.
+  kNotFound,            ///< object (vertex/edge/label/property) does not exist
+  kAlreadyExists,       ///< e.g. duplicate application-level vertex ID
+  kInvalidArgument,     ///< malformed input (bad handle, bad datatype, ...)
+  kNoSpace,             ///< index/property region full, non-fatal to the txn
+  kConstraintViolated,  ///< property-type restriction (single entry, size cap)
+  kStale,               ///< metadata/index observed in a not-yet-converged state
+  // Transaction critical errors: the transaction is guaranteed to fail.
+  kTxnConflict,         ///< lock acquisition failed (would deadlock / contend)
+  kTxnAborted,          ///< transaction already aborted; no further ops allowed
+  kTxnReadOnly,         ///< write attempted inside a read-only transaction
+  kOutOfMemory,         ///< block pool exhausted while materializing data
+};
+
+/// True for errors after which the enclosing transaction must abort.
+[[nodiscard]] constexpr bool is_transaction_critical(Status s) {
+  return s == Status::kTxnConflict || s == Status::kTxnAborted ||
+         s == Status::kTxnReadOnly || s == Status::kOutOfMemory;
+}
+
+[[nodiscard]] constexpr bool ok(Status s) { return s == Status::kOk; }
+
+[[nodiscard]] constexpr std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kNotFound: return "NOT_FOUND";
+    case Status::kAlreadyExists: return "ALREADY_EXISTS";
+    case Status::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::kNoSpace: return "NO_SPACE";
+    case Status::kConstraintViolated: return "CONSTRAINT_VIOLATED";
+    case Status::kStale: return "STALE";
+    case Status::kTxnConflict: return "TXN_CONFLICT";
+    case Status::kTxnAborted: return "TXN_ABORTED";
+    case Status::kTxnReadOnly: return "TXN_READ_ONLY";
+    case Status::kOutOfMemory: return "OUT_OF_MEMORY";
+  }
+  return "UNKNOWN";
+}
+
+/// Lightweight result wrapper for calls returning a value or a Status.
+template <class T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)), status_(Status::kOk) {}  // NOLINT
+  Result(Status s) : status_(s) {}                                     // NOLINT
+
+  [[nodiscard]] bool ok() const { return status_ == Status::kOk; }
+  [[nodiscard]] Status status() const { return status_; }
+  [[nodiscard]] const T& value() const& { return value_; }
+  [[nodiscard]] T& value() & { return value_; }
+  [[nodiscard]] T&& value() && { return std::move(value_); }
+  [[nodiscard]] const T& operator*() const& { return value_; }
+  [[nodiscard]] const T* operator->() const { return &value_; }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace gdi

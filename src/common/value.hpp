@@ -1,0 +1,81 @@
+// Property values (paper Section 2: properties are (key, value) pairs; GDI
+// types property values through property-type metadata, Section 3.7).
+//
+// Values are stored in holders as raw bytes; this header provides the typed
+// encode/decode used at the GDI API boundary.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gdi {
+
+enum class Datatype : std::uint8_t {
+  kInt64 = 0,
+  kUint64,
+  kDouble,
+  kString,
+  kBytes,
+};
+
+/// Whether a vertex/edge may carry one or many entries of a property type.
+enum class Multiplicity : std::uint8_t { kSingle = 0, kMultiple };
+
+/// Entity a property type may be attached to.
+enum class EntityType : std::uint8_t { kVertex = 0, kEdge, kVertexAndEdge };
+
+/// Size class of a property type (paper Section 3.7: optional user hints).
+enum class SizeType : std::uint8_t { kFixed = 0, kLimited, kUnlimited };
+
+using PropValue = std::variant<std::int64_t, std::uint64_t, double, std::string,
+                               std::vector<std::byte>>;
+
+[[nodiscard]] inline std::vector<std::byte> encode_value(const PropValue& v) {
+  std::vector<std::byte> out;
+  std::visit(
+      [&out](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          out.resize(x.size());
+          std::memcpy(out.data(), x.data(), x.size());
+        } else if constexpr (std::is_same_v<T, std::vector<std::byte>>) {
+          out = x;
+        } else {
+          out.resize(sizeof(T));
+          std::memcpy(out.data(), &x, sizeof(T));
+        }
+      },
+      v);
+  return out;
+}
+
+[[nodiscard]] inline PropValue decode_value(Datatype t, std::span<const std::byte> b) {
+  switch (t) {
+    case Datatype::kInt64: {
+      std::int64_t x = 0;
+      std::memcpy(&x, b.data(), std::min(b.size(), sizeof(x)));
+      return x;
+    }
+    case Datatype::kUint64: {
+      std::uint64_t x = 0;
+      std::memcpy(&x, b.data(), std::min(b.size(), sizeof(x)));
+      return x;
+    }
+    case Datatype::kDouble: {
+      double x = 0;
+      std::memcpy(&x, b.data(), std::min(b.size(), sizeof(x)));
+      return x;
+    }
+    case Datatype::kString:
+      return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+    case Datatype::kBytes:
+      return std::vector<std::byte>(b.begin(), b.end());
+  }
+  return std::int64_t{0};
+}
+
+}  // namespace gdi

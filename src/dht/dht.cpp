@@ -1,0 +1,178 @@
+#include "dht/dht.hpp"
+
+namespace gdi::dht {
+
+std::shared_ptr<DistributedHashTable> DistributedHashTable::create(
+    rma::Rank& self, const DhtConfig& cfg) {
+  return self.collective_make<DistributedHashTable>(
+      [&] { return std::make_shared<DistributedHashTable>(self.nranks(), cfg); });
+}
+
+DistributedHashTable::DistributedHashTable(int nranks, const DhtConfig& cfg)
+    : cfg_(cfg),
+      nranks_(nranks),
+      table_(nranks, cfg.buckets_per_rank * 8),
+      heap_(nranks, (cfg.entries_per_rank + 1) * kEntrySize),
+      ctrl_(nranks, 16) {
+  // Thread every rank's entry slots onto its free stack. Slot 0 is reserved
+  // (offset 0 on rank 0 would alias the null DPtr); usable slots are
+  // 1..entries_per_rank. The "next free" index is stashed in the entry's
+  // next field (idx value, not a reference).
+  for (int r = 0; r < nranks; ++r) {
+    auto* heap = reinterpret_cast<std::uint64_t*>(heap_.local_base(r));
+    for (std::size_t i = 1; i <= cfg.entries_per_rank; ++i) {
+      const std::size_t base = i * (kEntrySize / 8);
+      heap[base + kNextOff / 8] = (i < cfg.entries_per_rank) ? i + 1 : kNilIdx;
+      heap[base + kGenOff / 8] = 0;
+    }
+    auto* ctrl = reinterpret_cast<std::uint64_t*>(ctrl_.local_base(r));
+    ctrl[0] = cfg.entries_per_rank > 0 ? 1 : kNilIdx;
+  }
+}
+
+DistributedHashTable::BucketLoc DistributedHashTable::locate(std::uint64_t key) const {
+  const std::uint64_t h = splitmix64(key ^ cfg_.salt);
+  const std::uint64_t total = static_cast<std::uint64_t>(nranks_) * cfg_.buckets_per_rank;
+  const std::uint64_t g = h % total;
+  return BucketLoc{static_cast<std::uint32_t>(g / cfg_.buckets_per_rank),
+                   (g % cfg_.buckets_per_rank) * 8};
+}
+
+DPtr DistributedHashTable::alloc_entry(rma::Rank& self) {
+  const auto target = static_cast<std::uint32_t>(self.id());
+  std::uint64_t head = ctrl_.atomic_get_u64(self, target, kFreeHeadOff);
+  for (;;) {
+    const std::uint64_t idx = head & kIdxMask;
+    const std::uint64_t tag = head >> 48;
+    if (idx == kNilIdx) return DPtr{};
+    const std::uint64_t next =
+        heap_.atomic_get_u64(self, target, idx * kEntrySize + kNextOff);
+    const std::uint64_t new_head = ((tag + 1) << 48) | (next & kIdxMask);
+    const std::uint64_t old = ctrl_.cas_u64(self, target, kFreeHeadOff, head, new_head);
+    if (old == head) return DPtr{target, idx * kEntrySize};
+    head = old;
+  }
+}
+
+void DistributedHashTable::dealloc_entry(rma::Rank& self, DPtr e) {
+  // Bump the generation first so stale references fail their tag check.
+  const std::uint64_t gen = field(self, e, kGenOff);
+  set_field(self, e, kGenOff, gen + 1);
+  const std::uint32_t target = e.rank();
+  const std::uint64_t idx = e.offset() / kEntrySize;
+  std::uint64_t head = ctrl_.atomic_get_u64(self, target, kFreeHeadOff);
+  for (;;) {
+    const std::uint64_t tag = head >> 48;
+    set_field(self, e, kNextOff, head & kIdxMask);
+    const std::uint64_t new_head = ((tag + 1) << 48) | idx;
+    const std::uint64_t old = ctrl_.cas_u64(self, target, kFreeHeadOff, head, new_head);
+    if (old == head) return;
+    head = old;
+  }
+}
+
+bool DistributedHashTable::insert(rma::Rank& self, std::uint64_t key,
+                                  std::uint64_t value) {
+  const DPtr e = alloc_entry(self);
+  if (e.is_null()) return false;
+  const std::uint64_t gen = field(self, e, kGenOff);
+  set_field(self, e, kKeyOff, key);
+  set_field(self, e, kValOff, value);
+  heap_.flush(self, e.rank());
+  const BucketLoc b = locate(key);
+  std::uint64_t head = table_.atomic_get_u64(self, b.rank, b.offset);
+  for (;;) {  // Listing 4, insert: prepend with CAS on the bucket head.
+    set_field(self, e, kNextOff, head);
+    const std::uint64_t old =
+        table_.cas_u64(self, b.rank, b.offset, head, make_ref(e, gen).word);
+    if (old == head) return true;
+    head = old;
+  }
+}
+
+bool DistributedHashTable::insert_if_absent(rma::Rank& self, std::uint64_t key,
+                                            std::uint64_t value) {
+  if (lookup(self, key).has_value()) return false;
+  return insert(self, key, value);
+}
+
+std::optional<std::uint64_t> DistributedHashTable::lookup(rma::Rank& self,
+                                                          std::uint64_t key) {
+  const BucketLoc b = locate(key);
+restart:
+  Ref ref{table_.atomic_get_u64(self, b.rank, b.offset)};
+  while (!ref.is_null()) {
+    const DPtr e = ref.ptr();
+    const std::uint64_t next = field(self, e, kNextOff);
+    if (Ref{next}.marked()) goto restart;  // entry being deleted (Listing 4 l.13)
+    const std::uint64_t k = field(self, e, kKeyOff);
+    const std::uint64_t v = field(self, e, kValOff);
+    // Validate the generation tag *after* reading the fields: a reused entry
+    // fails this check and forces a clean retraversal.
+    if ((field(self, e, kGenOff) & kTagMask) != ref.tag()) goto restart;
+    if (k == key) return v;
+    ref = Ref{next};
+  }
+  return std::nullopt;
+}
+
+bool DistributedHashTable::erase(rma::Rank& self, std::uint64_t key) {
+  const BucketLoc b = locate(key);
+restart:
+  // prev_* identify the word holding the reference to the current entry:
+  // either the bucket head word or the predecessor entry's next field.
+  bool prev_is_bucket = true;
+  DPtr prev_entry;
+  Ref ref{table_.atomic_get_u64(self, b.rank, b.offset)};
+  while (!ref.is_null()) {
+    const DPtr e = ref.ptr();
+    const std::uint64_t next = field(self, e, kNextOff);
+    if (Ref{next}.marked()) goto restart;
+    const std::uint64_t k = field(self, e, kKeyOff);
+    if ((field(self, e, kGenOff) & kTagMask) != ref.tag()) goto restart;
+    if (k == key) {
+      // CAS 1 (Listing 4 l.32): mark the entry by setting the mark bit in its
+      // next field; after this, no other operation modifies the entry.
+      const std::uint64_t seen = heap_.cas_u64(self, e.rank(), e.offset() + kNextOff,
+                                               next, Ref{next}.marked_ref().word);
+      if (seen != next) goto restart;  // raced with another delete/insert
+      // CAS 2 (Listing 4 l.37): unlink by swinging the predecessor reference.
+      std::uint64_t old;
+      if (prev_is_bucket) {
+        old = table_.cas_u64(self, b.rank, b.offset, ref.word, next);
+      } else {
+        old = heap_.cas_u64(self, prev_entry.rank(), prev_entry.offset() + kNextOff,
+                            ref.word, next);
+      }
+      if (old == ref.word) {
+        dealloc_entry(self, e);
+        (void)ctrl_.faa_u64(self, e.rank(), kLiveCountOff, 0);  // no-op hook
+        return true;
+      }
+      // Unlink failed (predecessor changed / being deleted). Revert the mark
+      // so the chain stays operable, then restart. This strengthens Listing 4
+      // (which retries while holding the mark) against livelock.
+      (void)heap_.cas_u64(self, e.rank(), e.offset() + kNextOff,
+                          Ref{next}.marked_ref().word, next);
+      goto restart;
+    }
+    prev_is_bucket = false;
+    prev_entry = e;
+    ref = Ref{next};
+  }
+  return false;
+}
+
+std::uint64_t DistributedHashTable::live_entries(rma::Rank& self, std::uint32_t rank) {
+  // Diagnostic only (not linearizable): derive live = capacity - free by
+  // walking the free list.
+  std::uint64_t free_count = 0;
+  std::uint64_t idx = ctrl_.atomic_get_u64(self, rank, kFreeHeadOff) & kIdxMask;
+  while (idx != kNilIdx && free_count <= cfg_.entries_per_rank) {
+    ++free_count;
+    idx = heap_.atomic_get_u64(self, rank, idx * kEntrySize + kNextOff) & kIdxMask;
+  }
+  return cfg_.entries_per_rank - std::min(free_count, cfg_.entries_per_rank);
+}
+
+}  // namespace gdi::dht

@@ -1,0 +1,124 @@
+// Fully-offloaded lock-free distributed hash table (paper Section 5.7,
+// Listing 4).
+//
+// GDA resolves application-vertex-ID -> internal-DPtr translation (and other
+// internal indexing) with a DHT whose *every* operation -- including delete --
+// is one-sided: RDMA gets, puts, atomics, flushes only; the owner rank of a
+// bucket never participates.
+//
+// Structure: a sharded bucket table (one 64-bit head word per bucket) plus a
+// per-rank heap of 64-byte entries chained into per-bucket linked lists.
+// Collision resolution is distributed chaining. ABA protection uses the
+// paper's "established tagged pointer technique": entries are 64-byte aligned
+// so the low 6 bits of every reference are free -- bits 0..4 carry a 5-bit
+// generation tag (validated against the entry's generation word on every
+// dereference) and bit 5 is the deletion mark (the listing's
+// "next pointer points to itself" state). Deletion follows Listing 4's
+// two-CAS protocol, with one robustness addition: if the unlink CAS fails,
+// the deleter *reverts* its mark before restarting, which removes the
+// livelock window of the pseudocode.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/dptr.hpp"
+#include "common/hash.hpp"
+#include "rma/window.hpp"
+
+namespace gdi::dht {
+
+struct DhtConfig {
+  std::size_t buckets_per_rank = 1024;
+  std::size_t entries_per_rank = 4096;
+  std::uint64_t salt = 0x9E3779B97F4A7C15ull;  ///< hash salt (per-DHT instance)
+};
+
+class DistributedHashTable {
+ public:
+  [[nodiscard]] static std::shared_ptr<DistributedHashTable> create(
+      rma::Rank& self, const DhtConfig& cfg);
+
+  DistributedHashTable(int nranks, const DhtConfig& cfg);
+
+  /// Prepend (key, value); duplicates are allowed (Listing 4 semantics) --
+  /// a later lookup returns the most recent insert. Returns false iff the
+  /// calling rank's entry heap is exhausted.
+  [[nodiscard]] bool insert(rma::Rank& self, std::uint64_t key, std::uint64_t value);
+
+  /// Insert only if no entry with `key` is currently visible. Best-effort
+  /// uniqueness under concurrent same-key inserts (see header comment).
+  [[nodiscard]] bool insert_if_absent(rma::Rank& self, std::uint64_t key,
+                                      std::uint64_t value);
+
+  /// Find the value for `key`, or nullopt.
+  [[nodiscard]] std::optional<std::uint64_t> lookup(rma::Rank& self, std::uint64_t key);
+
+  /// Remove one entry with `key`; returns false if no such entry.
+  [[nodiscard]] bool erase(rma::Rank& self, std::uint64_t key);
+
+  /// Number of live entries on `rank` (diagnostic; eventually consistent).
+  [[nodiscard]] std::uint64_t live_entries(rma::Rank& self, std::uint32_t rank);
+
+  [[nodiscard]] const DhtConfig& config() const { return cfg_; }
+
+ private:
+  // Entry layout in the heap window (64-byte slots).
+  static constexpr std::uint64_t kEntrySize = 64;
+  static constexpr std::uint64_t kKeyOff = 0;
+  static constexpr std::uint64_t kValOff = 8;
+  static constexpr std::uint64_t kNextOff = 16;
+  static constexpr std::uint64_t kGenOff = 24;
+
+  // Reference word encoding: entry DPtr (64-aligned) | gen-tag(bits 0..4)
+  // | mark(bit 5). A zero word is the null reference.
+  static constexpr std::uint64_t kTagMask = 0x1F;
+  static constexpr std::uint64_t kMarkBit = 0x20;
+  static constexpr std::uint64_t kPtrMask = ~std::uint64_t{0x3F};
+
+  // Control window layout per rank: free-stack head (tagged idx) + live count.
+  static constexpr std::uint64_t kFreeHeadOff = 0;
+  static constexpr std::uint64_t kLiveCountOff = 8;
+  static constexpr std::uint64_t kIdxMask = (std::uint64_t{1} << 48) - 1;
+  static constexpr std::uint64_t kNilIdx = kIdxMask;
+
+  struct Ref {
+    std::uint64_t word = 0;
+    [[nodiscard]] bool is_null() const { return (word & kPtrMask) == 0; }
+    [[nodiscard]] DPtr ptr() const { return DPtr{word & kPtrMask}; }
+    [[nodiscard]] std::uint64_t tag() const { return word & kTagMask; }
+    [[nodiscard]] bool marked() const { return (word & kMarkBit) != 0; }
+    [[nodiscard]] Ref unmarked() const { return Ref{word & ~kMarkBit}; }
+    [[nodiscard]] Ref marked_ref() const { return Ref{word | kMarkBit}; }
+  };
+  [[nodiscard]] static Ref make_ref(DPtr e, std::uint64_t gen) {
+    return Ref{e.raw() | (gen & kTagMask)};
+  }
+
+  struct BucketLoc {
+    std::uint32_t rank;
+    std::uint64_t offset;
+  };
+  [[nodiscard]] BucketLoc locate(std::uint64_t key) const;
+
+  // Entry heap allocation (per-rank lock-free tagged stack).
+  [[nodiscard]] DPtr alloc_entry(rma::Rank& self);
+  void dealloc_entry(rma::Rank& self, DPtr e);
+
+  // Field accessors.
+  [[nodiscard]] std::uint64_t field(rma::Rank& self, DPtr e, std::uint64_t off) {
+    return heap_.atomic_get_u64(self, e.rank(), e.offset() + off);
+  }
+  void set_field(rma::Rank& self, DPtr e, std::uint64_t off, std::uint64_t v) {
+    heap_.atomic_put_u64(self, e.rank(), e.offset() + off, v);
+  }
+
+  DhtConfig cfg_;
+  int nranks_;
+  rma::Window table_;  ///< bucket head words
+  rma::Window heap_;   ///< entry slots
+  rma::Window ctrl_;   ///< per-rank free-stack head + live counter
+};
+
+}  // namespace gdi::dht

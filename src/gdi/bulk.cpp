@@ -1,0 +1,253 @@
+#include "gdi/bulk.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace gdi {
+
+using layout::Dir;
+using layout::EdgeRecord;
+using layout::EdgeView;
+using layout::VertexView;
+
+namespace {
+
+/// Fixed-size wire format for the edge alltoallv exchange.
+struct WireEdge {
+  std::uint64_t base;       ///< app id of the vertex that stores the record
+  std::uint64_t neighbor;   ///< app id of the other endpoint
+  std::uint64_t heavy_raw;  ///< heavy-edge holder DPtr (0 = lightweight)
+  std::uint32_t label;
+  std::uint8_t dir;            ///< Dir as seen from `base`
+  std::uint8_t set_endpoints;  ///< this side patches the holder's endpoints
+  std::uint8_t pad[2] = {0, 0};
+};
+static_assert(std::is_trivially_copyable_v<WireEdge>);
+
+std::size_t entry_bytes(std::size_t payload) { return 8 + ((payload + 7) & ~7u); }
+
+}  // namespace
+
+Result<BulkLoadStats> BulkLoader::load(const std::vector<BulkVertex>& vertices,
+                                       const std::vector<BulkEdge>& edges) {
+  auto& blocks = db_->blocks();
+  auto& dht = db_->id_index();
+  const int P = self_.nranks();
+  const std::size_t B = blocks.block_size();
+  const auto max_tcap =
+      static_cast<std::uint32_t>((B - VertexView::kHeaderSize) / 8);
+  BulkLoadStats stats;
+
+  // --- Step 0: materialize heavy-edge holders (endpoints patched later) -----
+  // Heavy holders live on the owner rank of the edge's source vertex; writing
+  // them is pure one-sided RMA, so the *generating* rank does it directly.
+  auto create_heavy_holder = [&](const BulkEdge& e) -> DPtr {
+    std::size_t prop_bytes = e.label_id ? entry_bytes(4) : 0;
+    for (const auto& [pt, bytes] : e.props) prop_bytes += entry_bytes(bytes.size());
+    const std::size_t total =
+        EdgeView::required_size(static_cast<std::uint32_t>(prop_bytes));
+    const auto nblocks = static_cast<std::uint32_t>((total + B - 1) / B);
+    if (nblocks > EdgeView::kMaxBlocks) return DPtr{};  // fall back: lightweight
+    const std::uint32_t home = db_->owner_rank(e.src);
+    std::vector<DPtr> blks;
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      DPtr blk;
+      for (int attempt = 0; attempt < P && blk.is_null(); ++attempt)
+        blk = blocks.acquire(self_, (home + static_cast<std::uint32_t>(attempt)) %
+                                        static_cast<std::uint32_t>(P));
+      if (blk.is_null()) {
+        for (DPtr b : blks) blocks.release(self_, b);
+        return DPtr{};
+      }
+      blks.push_back(blk);
+    }
+    std::vector<std::byte> buf;
+    EdgeView::init(buf, DPtr{}, DPtr{}, total);
+    EdgeView view(buf);
+    view.set_num_blocks(nblocks);
+    for (std::uint32_t i = 0; i < nblocks; ++i) view.set_block_addr(i, blks[i]);
+    if (e.label_id) (void)view.add_label(e.label_id);
+    for (const auto& [pt, bytes] : e.props) (void)view.add_entry(pt, bytes);
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      const std::size_t off = i * B;
+      blocks.write(self_, blks[i], 0, buf.data() + off, std::min(B, total - off));
+    }
+    blocks.flush(self_, blks[0].rank());
+    ++stats.heavy_edges;
+    stats.blocks_used += nblocks;
+    return blks[0];
+  };
+
+  // --- Step 1: route each edge to both endpoint owners -----------------------
+  std::vector<std::vector<WireEdge>> sends(static_cast<std::size_t>(P));
+  for (const auto& e : edges) {
+    DPtr heavy;
+    if (e.heavy) heavy = create_heavy_holder(e);
+    // Lightweight records carry the label inline; heavy records keep it in
+    // the holder (transaction semantics, paper 5.4).
+    const std::uint32_t rec_label = heavy.is_null() ? e.label_id : 0;
+    const WireEdge fwd{e.src,     e.dst, heavy.raw(),
+                       rec_label, static_cast<std::uint8_t>(e.dir),
+                       1,         {}};
+    sends[db_->owner_rank(e.src)].push_back(fwd);
+    const bool self_loop_undirected = e.src == e.dst && e.dir == Dir::kUndirected;
+    if (!self_loop_undirected) {
+      const Dir m = e.dir == Dir::kOut  ? Dir::kIn
+                    : e.dir == Dir::kIn ? Dir::kOut
+                                        : Dir::kUndirected;
+      const WireEdge rev{e.dst,     e.src, heavy.raw(),
+                         rec_label, static_cast<std::uint8_t>(m),
+                         0,         {}};
+      sends[db_->owner_rank(e.dst)].push_back(rev);
+    }
+  }
+  auto received = self_.alltoallv(sends);
+  sends.clear();
+
+  // Group incoming records by local base vertex.
+  std::unordered_map<std::uint64_t, std::vector<WireEdge>> by_vertex;
+  for (auto& chunk : received)
+    for (const auto& w : chunk) by_vertex[w.base].push_back(w);
+  received.clear();
+
+  // --- Step 2: materialize owned vertices with exact-size holders ------------
+  struct Pending {
+    DPtr primary;
+    std::vector<std::byte> buf;
+    std::vector<WireEdge> recs;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(vertices.size());
+
+  for (const auto& bv : vertices) {
+    assert(db_->owner_rank(bv.app_id) == static_cast<std::uint32_t>(self_.id()));
+    auto it = by_vertex.find(bv.app_id);
+    std::vector<WireEdge> recs = it != by_vertex.end() ? std::move(it->second)
+                                                       : std::vector<WireEdge>{};
+    std::size_t prop_bytes = 0;
+    for (const auto& l : bv.labels) {
+      (void)l;
+      prop_bytes += entry_bytes(4);
+    }
+    for (const auto& [pt, bytes] : bv.props) {
+      (void)pt;
+      prop_bytes += entry_bytes(bytes.size());
+    }
+
+    // Degree-capped sizing: fix the table capacity first, then see how many
+    // edge slots still fit under the per-holder block limit.
+    auto edge_cap = static_cast<std::uint32_t>(recs.size());
+    std::uint32_t tcap = 4;
+    for (int i = 0; i < 6; ++i) {
+      const std::size_t total = VertexView::required_size(
+          tcap, edge_cap, static_cast<std::uint32_t>(prop_bytes));
+      const auto nb = static_cast<std::uint32_t>((total + B - 1) / B);
+      if (nb <= tcap) break;
+      tcap = nb;
+    }
+    if (tcap > max_tcap) {
+      tcap = max_tcap;
+      const std::size_t budget = tcap * B;
+      const std::size_t fixed = VertexView::kHeaderSize + tcap * 8 +
+                                ((prop_bytes + 7) & ~7u);
+      const auto max_slots = static_cast<std::uint32_t>(
+          budget > fixed ? (budget - fixed) / VertexView::kEdgeRecSize : 0);
+      if (recs.size() > max_slots) {
+        stats.edges_skipped += recs.size() - max_slots;
+        recs.resize(max_slots);
+        edge_cap = max_slots;
+      }
+    }
+
+    Pending p;
+    p.primary = blocks.acquire(self_, static_cast<std::uint32_t>(self_.id()));
+    if (p.primary.is_null()) return Status::kOutOfMemory;
+    const std::size_t total = VertexView::required_size(
+        tcap, edge_cap, static_cast<std::uint32_t>(prop_bytes));
+    VertexView::init(p.buf, bv.app_id, total, tcap);
+    VertexView view(p.buf);
+    // Exact split: all slots to edges, the remainder to properties.
+    if (Status s = view.reshape(tcap, edge_cap,
+                                static_cast<std::uint32_t>((prop_bytes + 7) & ~7u));
+        !ok(s))
+      return s;
+    const auto nb = static_cast<std::uint32_t>((p.buf.size() + B - 1) / B);
+    view.set_num_blocks(nb);
+    view.set_block_addr(0, p.primary);
+    for (std::uint32_t i = 1; i < nb; ++i) {
+      DPtr blk;
+      for (int attempt = 0; attempt < P && blk.is_null(); ++attempt)
+        blk = blocks.acquire(self_, static_cast<std::uint32_t>(
+                                        (self_.id() + attempt) % P));
+      if (blk.is_null()) return Status::kOutOfMemory;
+      view.set_block_addr(i, blk);
+    }
+    for (const auto& l : bv.labels)
+      if (Status s = view.add_label(l); !ok(s)) return s;
+    for (const auto& [pt, bytes] : bv.props)
+      if (Status s = view.add_entry(pt, bytes); !ok(s)) return s;
+
+    if (!dht.insert(self_, bv.app_id, p.primary.raw())) return Status::kOutOfMemory;
+    p.recs = std::move(recs);
+    pending.push_back(std::move(p));
+    ++stats.vertices_loaded;
+  }
+
+  // All DHT insertions must be visible before cross-rank ID resolution.
+  self_.barrier();
+
+  // --- Step 3: resolve neighbor IDs and write the holders out ---------------
+  std::unordered_map<std::uint64_t, DPtr> id_cache;
+  id_cache.reserve(1024);
+  auto resolve = [&](std::uint64_t app_id) -> DPtr {
+    auto it = id_cache.find(app_id);
+    if (it != id_cache.end()) return it->second;
+    auto v = dht.lookup(self_, app_id);
+    const DPtr p = v ? DPtr{*v} : DPtr{};
+    id_cache.emplace(app_id, p);
+    return p;
+  };
+
+  const auto& indexes = db_->indexes();
+  for (auto& p : pending) {
+    VertexView view(p.buf);
+    for (const auto& w : p.recs) {
+      const DPtr nb = resolve(w.neighbor);
+      if (nb.is_null()) {
+        ++stats.edges_skipped;
+        continue;
+      }
+      auto slot = view.add_edge(EdgeRecord{nb, DPtr{w.heavy_raw}, w.label,
+                                           static_cast<Dir>(w.dir), true});
+      if (!slot.ok()) {
+        ++stats.edges_skipped;
+        continue;
+      }
+      ++stats.edges_loaded;
+      if (w.heavy_raw != 0 && w.set_endpoints != 0) {
+        // Patch the pre-created holder's endpoints (single writer: the
+        // forward record's owner; the base vertex is local = p.primary).
+        const std::uint64_t endpoints[2] = {p.primary.raw(), nb.raw()};
+        blocks.write(self_, DPtr{w.heavy_raw}, 0, endpoints, 16);
+      }
+    }
+    // Write every block of the holder (bulk load always writes fresh data).
+    const std::size_t total = p.buf.size();
+    const std::uint32_t nblocks = view.num_blocks();
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      const std::size_t off = i * B;
+      blocks.write(self_, view.block_addr(i), 0, p.buf.data() + off,
+                   std::min(B, total - off));
+    }
+    stats.blocks_used += nblocks;
+    for (const auto& idx : indexes)
+      if (idx->matches(view))
+        (void)idx->append(self_, p.primary.rank(), p.primary);
+  }
+  blocks.flush(self_, static_cast<std::uint32_t>(self_.id()));
+  self_.barrier();
+  return stats;
+}
+
+}  // namespace gdi

@@ -1,0 +1,49 @@
+#include "gdi/constraint.hpp"
+
+namespace gdi {
+namespace {
+
+template <class T>
+bool cmp(CmpOp op, const T& a, const T& b) {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool compare_values(CmpOp op, Datatype t, std::span<const std::byte> stored,
+                    const PropValue& rhs) {
+  const PropValue lhs = decode_value(t, stored);
+  switch (t) {
+    case Datatype::kInt64: {
+      const auto* r = std::get_if<std::int64_t>(&rhs);
+      return r && cmp(op, std::get<std::int64_t>(lhs), *r);
+    }
+    case Datatype::kUint64: {
+      const auto* r = std::get_if<std::uint64_t>(&rhs);
+      return r && cmp(op, std::get<std::uint64_t>(lhs), *r);
+    }
+    case Datatype::kDouble: {
+      const auto* r = std::get_if<double>(&rhs);
+      return r && cmp(op, std::get<double>(lhs), *r);
+    }
+    case Datatype::kString: {
+      const auto* r = std::get_if<std::string>(&rhs);
+      return r && cmp(op, std::get<std::string>(lhs), *r);
+    }
+    case Datatype::kBytes: {
+      const auto* r = std::get_if<std::vector<std::byte>>(&rhs);
+      return r && cmp(op, std::get<std::vector<std::byte>>(lhs), *r);
+    }
+  }
+  return false;
+}
+
+}  // namespace gdi

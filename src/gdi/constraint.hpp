@@ -1,0 +1,114 @@
+// Constraints: boolean formulas in disjunctive normal form (paper Section
+// 3.6) used to query explicit indexes and to filter edge/neighbor retrieval.
+//
+// A Constraint is a disjunction of Subconstraints; a Subconstraint is a
+// conjunction of label conditions and property conditions. An *empty*
+// constraint matches everything (useful as the default filter).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/value.hpp"
+#include "layout/holder.hpp"
+
+namespace gdi {
+
+enum class CmpOp : std::uint8_t { kEq = 0, kNe, kLt, kLe, kGt, kGe };
+
+/// "vertex has (or lacks) label X".
+struct LabelCond {
+  std::uint32_t label_id = 0;
+  bool present = true;
+};
+
+/// "some property entry of type `ptype` compares `op` against `value`".
+struct PropCond {
+  std::uint32_t ptype = 0;
+  CmpOp op = CmpOp::kEq;
+  Datatype dtype = Datatype::kInt64;
+  PropValue value;
+};
+
+[[nodiscard]] bool compare_values(CmpOp op, Datatype t, std::span<const std::byte> stored,
+                                  const PropValue& rhs);
+
+struct Subconstraint {
+  std::vector<LabelCond> labels;
+  std::vector<PropCond> props;
+
+  Subconstraint& require_label(std::uint32_t id) {
+    labels.push_back({id, true});
+    return *this;
+  }
+  Subconstraint& forbid_label(std::uint32_t id) {
+    labels.push_back({id, false});
+    return *this;
+  }
+  Subconstraint& where(std::uint32_t ptype, CmpOp op, Datatype t, PropValue v) {
+    props.push_back({ptype, op, t, std::move(v)});
+    return *this;
+  }
+
+  /// Conjunction over all conditions, evaluated against a decoded holder.
+  template <class View>
+  [[nodiscard]] bool matches(const View& v) const {
+    for (const auto& lc : labels)
+      if (v.has_label(lc.label_id) != lc.present) return false;
+    for (const auto& pc : props) {
+      bool any = false;
+      v.for_each_entry([&](std::uint32_t id, std::span<const std::byte> payload) {
+        if (id == pc.ptype && compare_values(pc.op, pc.dtype, payload, pc.value)) any = true;
+      });
+      if (!any) return false;
+    }
+    return true;
+  }
+
+  /// Match a lightweight edge record (at most one label, no properties).
+  [[nodiscard]] bool matches_lw_edge(std::uint32_t edge_label) const {
+    if (!props.empty()) return false;  // lightweight edges carry no properties
+    for (const auto& lc : labels)
+      if ((edge_label == lc.label_id) != lc.present) return false;
+    return true;
+  }
+};
+
+class Constraint {
+ public:
+  Constraint() = default;
+
+  Subconstraint& add_subconstraint() { return subs_.emplace_back(); }
+  void add_subconstraint(Subconstraint s) { subs_.push_back(std::move(s)); }
+  [[nodiscard]] const std::vector<Subconstraint>& subconstraints() const { return subs_; }
+  [[nodiscard]] bool empty() const { return subs_.empty(); }
+
+  /// DNF evaluation: true if any subconstraint matches (or none exist).
+  template <class View>
+  [[nodiscard]] bool matches(const View& v) const {
+    if (subs_.empty()) return true;
+    for (const auto& s : subs_)
+      if (s.matches(v)) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool matches_lw_edge(std::uint32_t edge_label) const {
+    if (subs_.empty()) return true;
+    for (const auto& s : subs_)
+      if (s.matches_lw_edge(edge_label)) return true;
+    return false;
+  }
+
+  /// Convenience: a constraint requiring exactly one label.
+  [[nodiscard]] static Constraint with_label(std::uint32_t label_id) {
+    Constraint c;
+    c.add_subconstraint().require_label(label_id);
+    return c;
+  }
+
+ private:
+  std::vector<Subconstraint> subs_;
+};
+
+}  // namespace gdi

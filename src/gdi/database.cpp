@@ -1,0 +1,86 @@
+#include "gdi/database.hpp"
+
+namespace gdi {
+
+std::shared_ptr<Database> Database::create(rma::Rank& self, const DatabaseConfig& cfg) {
+  return self.collective_make<Database>(
+      [&] { return std::make_shared<Database>(self.nranks(), cfg); });
+}
+
+Database::Database(int nranks, const DatabaseConfig& cfg)
+    : cfg_(cfg),
+      nranks_(nranks),
+      blocks_(nranks, cfg.block),
+      dht_(nranks, cfg.dht),
+      metadata_(static_cast<std::size_t>(nranks)) {}
+
+// Collective metadata mutation: every rank applies the same update to its own
+// replica between two barriers, so replicas advance in lockstep. The second
+// barrier is implied by the next collective; a single barrier suffices for
+// the lockstep invariant.
+Result<std::uint32_t> Database::create_label(rma::Rank& self, const std::string& name) {
+  self.barrier();
+  return metadata_[static_cast<std::size_t>(self.id())].create_label(name);
+}
+
+Status Database::delete_label(rma::Rank& self, std::uint32_t id) {
+  self.barrier();
+  return metadata_[static_cast<std::size_t>(self.id())].delete_label(id);
+}
+
+Result<std::uint32_t> Database::label_from_name(rma::Rank& self,
+                                                const std::string& name) const {
+  auto v = metadata_[static_cast<std::size_t>(self.id())].label_from_name(name);
+  if (!v) return Status::kNotFound;
+  return *v;
+}
+
+Result<std::string> Database::label_name(rma::Rank& self, std::uint32_t id) const {
+  auto v = metadata_[static_cast<std::size_t>(self.id())].label_name(id);
+  if (!v) return Status::kNotFound;
+  return *v;
+}
+
+std::vector<Label> Database::all_labels(rma::Rank& self) const {
+  return metadata_[static_cast<std::size_t>(self.id())].all_labels();
+}
+
+Result<std::uint32_t> Database::create_ptype(rma::Rank& self, const PropertyType& def) {
+  self.barrier();
+  return metadata_[static_cast<std::size_t>(self.id())].create_ptype(def);
+}
+
+Status Database::delete_ptype(rma::Rank& self, std::uint32_t id) {
+  self.barrier();
+  return metadata_[static_cast<std::size_t>(self.id())].delete_ptype(id);
+}
+
+Result<std::uint32_t> Database::ptype_from_name(rma::Rank& self,
+                                                const std::string& name) const {
+  auto v = metadata_[static_cast<std::size_t>(self.id())].ptype_from_name(name);
+  if (!v) return Status::kNotFound;
+  return *v;
+}
+
+const PropertyType* Database::ptype(rma::Rank& self, std::uint32_t id) const {
+  return metadata_[static_cast<std::size_t>(self.id())].ptype(id);
+}
+
+std::vector<PropertyType> Database::all_ptypes(rma::Rank& self) const {
+  return metadata_[static_cast<std::size_t>(self.id())].all_ptypes();
+}
+
+std::shared_ptr<Index> Database::create_index(rma::Rank& self, IndexDef def) {
+  auto idx = self.collective_make<Index>([&] {
+    return std::make_shared<Index>(nranks_, def, cfg_.index_capacity_per_rank,
+                                   next_index_id_);
+  });
+  if (self.id() == 0) {
+    indexes_.push_back(idx);
+    ++next_index_id_;
+  }
+  self.barrier();
+  return idx;
+}
+
+}  // namespace gdi

@@ -1,0 +1,99 @@
+// The GDI database object (paper Figure 2: "General management" +
+// Figure 3 "Databases management").
+//
+// A Database bundles the storage substrates of one graph database instance:
+// the BGDL block store, the internal DHT (application ID -> DPtr), the
+// replicated metadata registries, and the explicit indexes. GDI supports
+// multiple parallel databases (paper Section 3.9): any number of Database
+// objects may coexist in one Runtime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "block/block_store.hpp"
+#include "common/hash.hpp"
+#include "dht/dht.hpp"
+#include "gdi/index.hpp"
+#include "gdi/metadata.hpp"
+#include "rma/runtime.hpp"
+
+namespace gdi {
+
+/// Vertex distribution scheme (paper Section 5.4: GDI is orthogonal to the
+/// partitioning; GDA defaults to round-robin since "other distribution
+/// schemes only negligibly impact our performance").
+enum class Partitioning : std::uint8_t {
+  kRoundRobin = 0,  ///< owner = app_id mod P
+  kHashed,          ///< owner = splitmix64(app_id) mod P
+};
+
+struct DatabaseConfig {
+  block::BlockStoreConfig block;
+  dht::DhtConfig dht;
+  std::size_t index_capacity_per_rank = 1u << 16;
+  int lock_attempts = 8;  ///< bounded lock retries before a txn conflict abort
+  Partitioning partitioning = Partitioning::kRoundRobin;
+};
+
+class Transaction;
+enum class TxnMode : std::uint8_t;
+
+class Database {
+ public:
+  /// Collective: every rank calls; all receive the same database.
+  [[nodiscard]] static std::shared_ptr<Database> create(rma::Rank& self,
+                                                        const DatabaseConfig& cfg);
+
+  Database(int nranks, const DatabaseConfig& cfg);
+
+  [[nodiscard]] const DatabaseConfig& config() const { return cfg_; }
+  [[nodiscard]] block::BlockStore& blocks() { return blocks_; }
+  [[nodiscard]] dht::DistributedHashTable& id_index() { return dht_; }
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  /// 1D vertex distribution (paper Section 5.4).
+  [[nodiscard]] std::uint32_t owner_rank(std::uint64_t app_id) const {
+    const std::uint64_t key = cfg_.partitioning == Partitioning::kHashed
+                                  ? splitmix64(app_id)
+                                  : app_id;
+    return static_cast<std::uint32_t>(key % static_cast<std::uint64_t>(nranks_));
+  }
+
+  // --- metadata (creates/deletes are collective, lookups local) -------------
+  Result<std::uint32_t> create_label(rma::Rank& self, const std::string& name);
+  Status delete_label(rma::Rank& self, std::uint32_t id);
+  [[nodiscard]] Result<std::uint32_t> label_from_name(rma::Rank& self,
+                                                      const std::string& name) const;
+  [[nodiscard]] Result<std::string> label_name(rma::Rank& self, std::uint32_t id) const;
+  [[nodiscard]] std::vector<Label> all_labels(rma::Rank& self) const;
+
+  Result<std::uint32_t> create_ptype(rma::Rank& self, const PropertyType& def);
+  Status delete_ptype(rma::Rank& self, std::uint32_t id);
+  [[nodiscard]] Result<std::uint32_t> ptype_from_name(rma::Rank& self,
+                                                      const std::string& name) const;
+  [[nodiscard]] const PropertyType* ptype(rma::Rank& self, std::uint32_t id) const;
+  [[nodiscard]] std::vector<PropertyType> all_ptypes(rma::Rank& self) const;
+
+  // --- explicit indexes (creation collective) --------------------------------
+  [[nodiscard]] std::shared_ptr<Index> create_index(rma::Rank& self, IndexDef def);
+  [[nodiscard]] const std::vector<std::shared_ptr<Index>>& indexes() const {
+    return indexes_;
+  }
+
+ private:
+  friend class Transaction;
+  friend class BulkLoader;
+
+  DatabaseConfig cfg_;
+  int nranks_;
+  block::BlockStore blocks_;
+  dht::DistributedHashTable dht_;
+  std::vector<MetadataReplica> metadata_;  ///< one replica per rank (paper 5.8)
+  std::vector<std::shared_ptr<Index>> indexes_;
+  std::uint32_t next_index_id_ = 0;
+};
+
+}  // namespace gdi

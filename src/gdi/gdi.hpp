@@ -1,0 +1,28 @@
+// Umbrella header for the GDI public API.
+//
+// GDI (Graph Database Interface) is the storage/transaction-layer interface
+// of a graph database (paper Section 3); this implementation, GDI-RMA, runs
+// on the in-process RMA runtime (see DESIGN.md). Typical usage:
+//
+//   gdi::rma::Runtime rt(8, gdi::rma::NetParams::xc50());
+//   rt.run([](gdi::rma::Rank& self) {
+//     auto db = gdi::Database::create(self, {});
+//     auto person = db->create_label(self, "Person");          // collective
+//     gdi::Transaction txn(db, self, gdi::TxnMode::kWrite);    // local
+//     auto v = txn.create_vertex(/*app_id=*/42);
+//     ...
+//     txn.commit();
+//   });
+#pragma once
+
+#include "common/dptr.hpp"
+#include "common/status.hpp"
+#include "common/value.hpp"
+#include "gdi/bulk.hpp"
+#include "gdi/constraint.hpp"
+#include "gdi/database.hpp"
+#include "gdi/index.hpp"
+#include "gdi/metadata.hpp"
+#include "gdi/transaction.hpp"
+#include "rma/runtime.hpp"
+#include "rma/window.hpp"

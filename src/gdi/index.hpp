@@ -1,0 +1,93 @@
+// Explicit indexes (paper Sections 3.6, 5.7).
+//
+// An Index accelerates "all vertices with label(s) X" lookups. Each index
+// owns a sharded RMA window: per rank, an atomic entry counter followed by an
+// append-only array of vertex DPtrs. A committing transaction appends a
+// vertex to the shard of the vertex's *owner* rank with one FAA (slot
+// reservation) + one PUT + flush -- fully one-sided, matching the paper's
+// offloaded design.
+//
+// Indexes are *eventually consistent* (paper Section 3.8): deleted or
+// re-labeled vertices leave stale entries, which queries filter out by
+// validating each candidate holder before returning it (and deduplicate).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/dptr.hpp"
+#include "rma/window.hpp"
+
+namespace gdi {
+
+/// Membership condition: a vertex belongs iff it carries *all* the labels and
+/// at least one entry of each listed property type.
+struct IndexDef {
+  std::vector<std::uint32_t> labels;
+  std::vector<std::uint32_t> ptypes;
+};
+
+class Index {
+ public:
+  Index(int nranks, IndexDef def, std::size_t capacity_per_rank, std::uint32_t id)
+      : def_(std::move(def)),
+        id_(id),
+        capacity_(capacity_per_rank),
+        win_(nranks, 8 + capacity_per_rank * 8) {}
+
+  [[nodiscard]] const IndexDef& def() const { return def_; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+  /// Does a decoded holder currently satisfy the index condition?
+  template <class View>
+  [[nodiscard]] bool matches(const View& v) const {
+    for (auto l : def_.labels)
+      if (!v.has_label(l)) return false;
+    for (auto p : def_.ptypes) {
+      bool any = false;
+      v.for_each_entry([&](std::uint32_t id, auto) {
+        if (id == p) any = true;
+      });
+      if (!any) return false;
+    }
+    return true;
+  }
+
+  /// Append a vertex to `shard_rank`'s entry list. Returns false if full.
+  [[nodiscard]] bool append(rma::Rank& self, std::uint32_t shard_rank, DPtr vertex) {
+    const std::uint64_t slot = win_.faa_u64(self, shard_rank, 0, 1);
+    if (slot >= capacity_) {
+      (void)win_.faa_u64(self, shard_rank, 0, -1);
+      return false;
+    }
+    win_.atomic_put_u64(self, shard_rank, 8 + slot * 8, vertex.raw());
+    win_.flush(self, shard_rank);
+    return true;
+  }
+
+  /// Raw candidate DPtrs in `shard_rank`'s shard (callers validate + dedup).
+  [[nodiscard]] std::vector<DPtr> candidates(rma::Rank& self, std::uint32_t shard_rank) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(win_.atomic_get_u64(self, shard_rank, 0), capacity_);
+    std::vector<DPtr> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t raw = win_.atomic_get_u64(self, shard_rank, 8 + i * 8);
+      if (raw != 0) out.emplace_back(raw);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t shard_size(rma::Rank& self, std::uint32_t shard_rank) {
+    return win_.atomic_get_u64(self, shard_rank, 0);
+  }
+
+ private:
+  IndexDef def_;
+  std::uint32_t id_;
+  std::uint64_t capacity_;
+  rma::Window win_;
+};
+
+}  // namespace gdi

@@ -1,0 +1,83 @@
+#include "gdi/metadata.hpp"
+
+#include "layout/holder.hpp"
+
+namespace gdi {
+
+MetadataReplica::MetadataReplica() : next_ptype_id_(layout::kFirstUserPtype) {}
+
+Result<std::uint32_t> MetadataReplica::create_label(const std::string& name) {
+  if (label_by_name_.contains(name)) return Status::kAlreadyExists;
+  const std::uint32_t id = next_label_id_++;
+  label_by_name_.emplace(name, id);
+  labels_.push_back(Label{name, id, false});
+  return id;
+}
+
+Status MetadataReplica::delete_label(std::uint32_t id) {
+  for (auto& l : labels_) {
+    if (l.id == id && !l.deleted) {
+      l.deleted = true;
+      label_by_name_.erase(l.name);
+      return Status::kOk;
+    }
+  }
+  return Status::kNotFound;
+}
+
+std::optional<std::uint32_t> MetadataReplica::label_from_name(const std::string& name) const {
+  auto it = label_by_name_.find(name);
+  if (it == label_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> MetadataReplica::label_name(std::uint32_t id) const {
+  for (const auto& l : labels_)
+    if (l.id == id && !l.deleted) return l.name;
+  return std::nullopt;
+}
+
+std::vector<Label> MetadataReplica::all_labels() const {
+  std::vector<Label> out;
+  for (const auto& l : labels_)
+    if (!l.deleted) out.push_back(l);
+  return out;
+}
+
+Result<std::uint32_t> MetadataReplica::create_ptype(const PropertyType& def) {
+  if (ptype_by_name_.contains(def.name)) return Status::kAlreadyExists;
+  PropertyType p = def;
+  p.id = next_ptype_id_++;
+  ptype_by_name_.emplace(p.name, p.id);
+  ptypes_.emplace(p.id, p);
+  return p.id;
+}
+
+Status MetadataReplica::delete_ptype(std::uint32_t id) {
+  auto it = ptypes_.find(id);
+  if (it == ptypes_.end() || it->second.deleted) return Status::kNotFound;
+  it->second.deleted = true;
+  ptype_by_name_.erase(it->second.name);
+  return Status::kOk;
+}
+
+std::optional<std::uint32_t> MetadataReplica::ptype_from_name(const std::string& name) const {
+  auto it = ptype_by_name_.find(name);
+  if (it == ptype_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const PropertyType* MetadataReplica::ptype(std::uint32_t id) const {
+  auto it = ptypes_.find(id);
+  if (it == ptypes_.end() || it->second.deleted) return nullptr;
+  return &it->second;
+}
+
+std::vector<PropertyType> MetadataReplica::all_ptypes() const {
+  std::vector<PropertyType> out;
+  for (const auto& [id, p] : ptypes_)
+    if (!p.deleted) out.push_back(p);
+  return out;
+}
+
+}  // namespace gdi

@@ -1,0 +1,71 @@
+// Graph metadata: labels and property types (paper Sections 2, 3.2, 5.8).
+//
+// Metadata (the sets L, K of the LPG model) is replicated on every rank "for
+// performance reasons ... both L and P are in practice much smaller than n"
+// (paper 5.8, a Major Design Choice). Creation/update/deletion are collective
+// routines (Figure 2 marks them [C]); lookups are local. Because creates are
+// collective, the replicas evolve in lockstep; GDI only *requires* eventual
+// consistency for metadata, and this implementation provides the stronger
+// collective-synchronized variant, which the specification explicitly allows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/value.hpp"
+
+namespace gdi {
+
+struct Label {
+  std::string name;
+  std::uint32_t id = 0;
+  bool deleted = false;
+};
+
+struct PropertyType {
+  std::string name;
+  std::uint32_t id = 0;
+  Datatype dtype = Datatype::kInt64;
+  EntityType etype = EntityType::kVertexAndEdge;
+  Multiplicity mult = Multiplicity::kSingle;
+  SizeType stype = SizeType::kUnlimited;
+  std::uint32_t max_size = 0;  ///< for kFixed / kLimited size types
+  bool deleted = false;
+};
+
+/// One rank's replica of the metadata registries. All mutation goes through
+/// Database's collective routines so replicas stay identical.
+class MetadataReplica {
+ public:
+  MetadataReplica();
+
+  Result<std::uint32_t> create_label(const std::string& name);
+  Status delete_label(std::uint32_t id);
+  [[nodiscard]] std::optional<std::uint32_t> label_from_name(const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> label_name(std::uint32_t id) const;
+  [[nodiscard]] std::vector<Label> all_labels() const;
+
+  Result<std::uint32_t> create_ptype(const PropertyType& def);
+  Status delete_ptype(std::uint32_t id);
+  [[nodiscard]] std::optional<std::uint32_t> ptype_from_name(const std::string& name) const;
+  [[nodiscard]] const PropertyType* ptype(std::uint32_t id) const;
+  [[nodiscard]] std::vector<PropertyType> all_ptypes() const;
+
+ private:
+  // Labels get small dense ids starting at 1 (0 = "no label" in edge records).
+  std::unordered_map<std::string, std::uint32_t> label_by_name_;
+  std::vector<Label> labels_;
+  std::uint32_t next_label_id_ = 1;
+
+  // Property types start at layout::kFirstUserPtype; smaller ids are reserved
+  // entry markers (paper Section 5.4.3).
+  std::unordered_map<std::string, std::uint32_t> ptype_by_name_;
+  std::unordered_map<std::uint32_t, PropertyType> ptypes_;
+  std::uint32_t next_ptype_id_;
+};
+
+}  // namespace gdi

@@ -1,0 +1,1018 @@
+#include "gdi/transaction.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gdi {
+
+using layout::Dir;
+using layout::EdgeRecord;
+
+namespace {
+
+[[nodiscard]] bool dir_matches(DirFilter f, Dir d) {
+  switch (f) {
+    case DirFilter::kOut: return d == Dir::kOut;
+    case DirFilter::kIn: return d == Dir::kIn;
+    case DirFilter::kUndirected: return d == Dir::kUndirected;
+    case DirFilter::kOutgoing: return d == Dir::kOut || d == Dir::kUndirected;
+    case DirFilter::kIncoming: return d == Dir::kIn || d == Dir::kUndirected;
+    case DirFilter::kAll: return true;
+  }
+  return false;
+}
+
+[[nodiscard]] Dir mirror_dir(Dir d) {
+  switch (d) {
+    case Dir::kOut: return Dir::kIn;
+    case Dir::kIn: return Dir::kOut;
+    case Dir::kUndirected: return Dir::kUndirected;
+  }
+  return Dir::kUndirected;
+}
+
+[[nodiscard]] std::size_t div_up(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+Transaction::Transaction(std::shared_ptr<Database> db, rma::Rank& self, TxnMode mode,
+                         TxnScope scope)
+    : db_(std::move(db)), self_(self), mode_(mode), scope_(scope) {
+  // Collective transactions are entered by all ranks together (paper 3.3);
+  // the entry barrier gives them their well-defined start semantics.
+  if (scope_ == TxnScope::kCollective) self_.barrier();
+}
+
+Transaction::~Transaction() {
+  // Local transactions abort on scope exit if never closed. A collective
+  // transaction must be closed explicitly (we cannot barrier in a dtor).
+  if (active_ && scope_ == TxnScope::kLocal) abort();
+}
+
+Status Transaction::check_writable() const {
+  return mode_ == TxnMode::kWrite ? Status::kOk : Status::kTxnReadOnly;
+}
+
+std::uint32_t Transaction::max_table_cap() const {
+  return static_cast<std::uint32_t>(
+      (db_->config().block.block_size - layout::VertexView::kHeaderSize) / 8);
+}
+
+// ---------------------------------------------------------------------------
+// Locking & fetching
+// ---------------------------------------------------------------------------
+
+Status Transaction::acquire_vertex_lock(VertexState& st, DPtr vid, bool write) {
+  if (mode_ == TxnMode::kReadShared) {
+    // Paper's optimized read-only transaction: no locks, assumes no
+    // concurrent writers.
+    return write ? fail(Status::kTxnReadOnly) : Status::kOk;
+  }
+  auto& blocks = db_->blocks();
+  const int attempts = db_->config().lock_attempts;
+  if (write) {
+    if (st.lock == LockState::kWrite) return Status::kOk;
+    if (st.lock == LockState::kRead) {
+      for (int i = 0; i < attempts; ++i) {
+        if (blocks.try_upgrade_lock(self_, vid)) {
+          st.lock = LockState::kWrite;
+          return Status::kOk;
+        }
+      }
+      return fail(Status::kTxnConflict);
+    }
+    for (int i = 0; i < attempts; ++i) {
+      if (blocks.try_write_lock(self_, vid)) {
+        st.lock = LockState::kWrite;
+        return Status::kOk;
+      }
+    }
+    return fail(Status::kTxnConflict);
+  }
+  if (st.lock != LockState::kNone) return Status::kOk;
+  if (blocks.try_read_lock(self_, vid, attempts)) {
+    st.lock = LockState::kRead;
+    return Status::kOk;
+  }
+  return fail(Status::kTxnConflict);
+}
+
+Status Transaction::fetch_vertex(DPtr vid, VertexState& st) {
+  auto& blocks = db_->blocks();
+  const std::size_t B = blocks.block_size();
+  // One GET suffices for a one-block vertex -- the BGDL design goal.
+  st.buf.resize(B);
+  blocks.read_block(self_, vid, st.buf.data());
+  if (!st.view.valid()) return Status::kNotFound;
+  const std::size_t total =
+      layout::VertexView::required_size(st.view.table_capacity(), st.view.edge_capacity(),
+                                        st.view.prop_capacity());
+  if (total > B) {
+    st.buf.resize(total);
+    const std::uint32_t nb = st.view.num_blocks();
+    for (std::uint32_t i = 1; i < nb; ++i) {
+      const std::size_t lo = i * B;
+      const std::size_t n = std::min(B, total - lo);
+      blocks.read(self_, st.view.block_addr(i), 0, st.buf.data() + lo, n);
+    }
+  } else {
+    st.buf.resize(total);
+  }
+  st.view.reset_dirty();
+  // Snapshot index membership for commit-time delta maintenance.
+  st.orig_index_match.clear();
+  for (const auto& idx : db_->indexes())
+    st.orig_index_match.push_back(idx->matches(st.view) ? 1 : 0);
+  return Status::kOk;
+}
+
+Result<Transaction::VertexState*> Transaction::vertex_state(VertexHandle v,
+                                                            bool for_write) {
+  if (!active_ || failed_) return Status::kTxnAborted;
+  if (!v.valid()) return Status::kInvalidArgument;
+  if (for_write) {
+    if (Status s = check_writable(); !ok(s)) return fail(s);
+  }
+  auto it = vcache_.find(v.vid.raw());
+  if (it != vcache_.end()) {
+    VertexState* st = it->second.get();
+    if (st->deleted) return Status::kNotFound;
+    if (for_write && st->lock != LockState::kWrite && !st->created) {
+      if (Status s = acquire_vertex_lock(*st, v.vid, true); !ok(s)) return s;
+    }
+    return st;
+  }
+  auto st = std::make_unique<VertexState>();
+  if (Status s = acquire_vertex_lock(*st, v.vid, for_write); !ok(s)) return s;
+  if (Status s = fetch_vertex(v.vid, *st); !ok(s)) {
+    // Not a valid vertex: release the just-taken lock and report.
+    if (st->lock == LockState::kWrite) db_->blocks().write_unlock(self_, v.vid);
+    if (st->lock == LockState::kRead) db_->blocks().read_unlock(self_, v.vid);
+    return s;
+  }
+  VertexState* out = st.get();
+  vcache_.emplace(v.vid.raw(), std::move(st));
+  return out;
+}
+
+Status Transaction::fetch_edge(DPtr eid, EdgeState& st) {
+  auto& blocks = db_->blocks();
+  const std::size_t B = blocks.block_size();
+  st.buf.resize(B);
+  blocks.read_block(self_, eid, st.buf.data());
+  if (!st.view.valid()) return Status::kNotFound;
+  const std::size_t total = layout::EdgeView::required_size(st.view.prop_capacity());
+  if (total > B) {
+    st.buf.resize(total);
+    const std::uint32_t nb = st.view.num_blocks();
+    for (std::uint32_t i = 1; i < nb; ++i) {
+      const std::size_t lo = i * B;
+      const std::size_t n = std::min(B, total - lo);
+      blocks.read(self_, st.view.block_addr(i), 0, st.buf.data() + lo, n);
+    }
+  } else {
+    st.buf.resize(total);
+  }
+  st.view.reset_dirty();
+  return Status::kOk;
+}
+
+Result<Transaction::EdgeState*> Transaction::edge_state(EdgeHandle e, bool for_write) {
+  if (!active_ || failed_) return Status::kTxnAborted;
+  if (!e.valid()) return Status::kInvalidArgument;
+  if (for_write) {
+    if (Status s = check_writable(); !ok(s)) return fail(s);
+  }
+  auto it = ecache_.find(e.eid.raw());
+  if (it != ecache_.end()) {
+    EdgeState* st = it->second.get();
+    if (st->deleted) return Status::kNotFound;
+    if (for_write && st->lock != LockState::kWrite && !st->created) {
+      auto& blocks = db_->blocks();
+      bool got = false;
+      for (int i = 0; i < db_->config().lock_attempts && !got; ++i) {
+        got = st->lock == LockState::kRead ? blocks.try_upgrade_lock(self_, e.eid)
+                                           : blocks.try_write_lock(self_, e.eid);
+      }
+      if (!got) return fail(Status::kTxnConflict);
+      st->lock = LockState::kWrite;
+    }
+    return st;
+  }
+  auto st = std::make_unique<EdgeState>();
+  if (mode_ != TxnMode::kReadShared) {
+    auto& blocks = db_->blocks();
+    bool got = false;
+    for (int i = 0; i < db_->config().lock_attempts && !got; ++i)
+      got = for_write ? blocks.try_write_lock(self_, e.eid)
+                      : blocks.try_read_lock(self_, e.eid, 1);
+    if (!got) return fail(Status::kTxnConflict);
+    st->lock = for_write ? LockState::kWrite : LockState::kRead;
+  } else if (for_write) {
+    return fail(Status::kTxnReadOnly);
+  }
+  if (Status s = fetch_edge(e.eid, *st); !ok(s)) {
+    if (st->lock == LockState::kWrite) db_->blocks().write_unlock(self_, e.eid);
+    if (st->lock == LockState::kRead) db_->blocks().read_unlock(self_, e.eid);
+    return s;
+  }
+  EdgeState* out = st.get();
+  ecache_.emplace(e.eid.raw(), std::move(st));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Vertex CRUD
+// ---------------------------------------------------------------------------
+
+Result<VertexHandle> Transaction::create_vertex(std::uint64_t app_id) {
+  if (!active_ || failed_) return Status::kTxnAborted;
+  if (Status s = check_writable(); !ok(s)) return fail(s);
+  if (created_ids_.contains(app_id)) return Status::kAlreadyExists;
+  if (db_->id_index().lookup(self_, app_id).has_value()) return Status::kAlreadyExists;
+
+  auto& blocks = db_->blocks();
+  const std::uint32_t owner = db_->owner_rank(app_id);
+  const DPtr primary = blocks.acquire(self_, owner);
+  if (primary.is_null()) return fail(Status::kOutOfMemory);
+  if (!blocks.try_write_lock(self_, primary)) {
+    // A fresh block's lock word is always zero; failure means protocol abuse.
+    blocks.release(self_, primary);
+    return fail(Status::kTxnConflict);
+  }
+
+  auto st = std::make_unique<VertexState>();
+  st->created = true;
+  st->lock = LockState::kWrite;
+  const std::uint32_t tcap = std::min<std::uint32_t>(4, max_table_cap());
+  layout::VertexView::init(st->buf, app_id, blocks.block_size(), tcap);
+  st->view.set_num_blocks(1);
+  st->view.set_block_addr(0, primary);
+  st->orig_index_match.assign(db_->indexes().size(), 0);
+
+  created_ids_.emplace(app_id, primary);
+  vcache_.emplace(primary.raw(), std::move(st));
+  return VertexHandle{primary};
+}
+
+Result<DPtr> Transaction::translate_vertex_id(std::uint64_t app_id) {
+  if (!active_ || failed_) return Status::kTxnAborted;
+  auto it = created_ids_.find(app_id);
+  if (it != created_ids_.end()) return it->second;
+  auto v = db_->id_index().lookup(self_, app_id);
+  if (!v) return Status::kNotFound;
+  return DPtr{*v};
+}
+
+Result<VertexHandle> Transaction::associate_vertex(DPtr vid) {
+  auto st = vertex_state(VertexHandle{vid}, /*for_write=*/false);
+  if (!st.ok()) return st.status();
+  return VertexHandle{vid};
+}
+
+Result<VertexHandle> Transaction::find_vertex(std::uint64_t app_id) {
+  auto vid = translate_vertex_id(app_id);
+  if (!vid.ok()) return vid.status();
+  auto st = vertex_state(VertexHandle{*vid}, /*for_write=*/false);
+  if (!st.ok()) return st.status();
+  // Guard against stale DHT entries racing with block reuse: the holder we
+  // fetched must actually be the vertex we looked up.
+  if ((*st)->view.app_id() != app_id) return Status::kNotFound;
+  return VertexHandle{*vid};
+}
+
+Status Transaction::delete_vertex(VertexHandle v) {
+  auto r = vertex_state(v, /*for_write=*/true);
+  if (!r.ok()) return r.status();
+  VertexState* st = *r;
+
+  // Remove mirror records from all neighbors (and heavy-edge holders).
+  std::vector<EdgeRecord> recs;
+  st->view.for_each_edge([&](std::uint32_t, const EdgeRecord& rec) { recs.push_back(rec); });
+  for (const auto& rec : recs) {
+    if (!rec.heavy.is_null()) {
+      auto er = edge_state(EdgeHandle{rec.heavy}, /*for_write=*/true);
+      if (er.ok()) (*er)->deleted = true;
+      else if (is_transaction_critical(er.status())) return er.status();
+    }
+    if (rec.neighbor == v.vid) continue;  // self-loop: same holder
+    auto nr = vertex_state(VertexHandle{rec.neighbor}, /*for_write=*/true);
+    if (!nr.ok()) {
+      if (is_transaction_critical(nr.status())) return nr.status();
+      continue;  // neighbor already gone
+    }
+    VertexState* nst = *nr;
+    const Dir want = mirror_dir(rec.dir);
+    nst->view.for_each_edge([&](std::uint32_t slot, const EdgeRecord& mrec) {
+      if (mrec.neighbor == v.vid && mrec.dir == want && mrec.heavy == rec.heavy)
+        (void)nst->view.remove_edge(slot);
+    });
+  }
+
+  st->view.set_valid(false);
+  st->deleted = true;
+  return Status::kOk;
+}
+
+Result<std::uint64_t> Transaction::peek_app_id(DPtr vid) {
+  if (!active_ || failed_) return Status::kTxnAborted;
+  auto it = vcache_.find(vid.raw());
+  if (it != vcache_.end()) return it->second->view.app_id();
+  std::uint64_t id = 0;
+  db_->blocks().read(self_, vid, 0, &id, 8);
+  return id;
+}
+
+Result<std::uint64_t> Transaction::app_id_of(VertexHandle v) {
+  auto r = vertex_state(v, false);
+  if (!r.ok()) return r.status();
+  return (*r)->view.app_id();
+}
+
+Status Transaction::add_label(VertexHandle v, std::uint32_t label_id) {
+  auto r = vertex_state(v, true);
+  if (!r.ok()) return r.status();
+  VertexState* st = *r;
+  if (st->view.has_label(label_id)) return Status::kAlreadyExists;
+  if (Status s = ensure_prop_capacity(*st, 16); !ok(s)) return s;
+  return st->view.add_label(label_id);
+}
+
+Status Transaction::remove_label(VertexHandle v, std::uint32_t label_id) {
+  auto r = vertex_state(v, true);
+  if (!r.ok()) return r.status();
+  return (*r)->view.remove_label(label_id) ? Status::kOk : Status::kNotFound;
+}
+
+Result<std::vector<std::uint32_t>> Transaction::labels_of(VertexHandle v) {
+  auto r = vertex_state(v, false);
+  if (!r.ok()) return r.status();
+  return (*r)->view.labels();
+}
+
+Status Transaction::add_property(VertexHandle v, std::uint32_t ptype,
+                                 const PropValue& value) {
+  const PropertyType* def = db_->ptype(self_, ptype);
+  if (def == nullptr) return Status::kInvalidArgument;
+  if (def->etype == EntityType::kEdge) return Status::kInvalidArgument;
+  auto r = vertex_state(v, true);
+  if (!r.ok()) return r.status();
+  VertexState* st = *r;
+  const auto bytes = encode_value(value);
+  if (def->stype == SizeType::kFixed && bytes.size() != def->max_size)
+    return Status::kConstraintViolated;
+  if (def->stype == SizeType::kLimited && bytes.size() > def->max_size)
+    return Status::kConstraintViolated;
+  if (def->mult == Multiplicity::kSingle && st->view.count_props(ptype) > 0)
+    return Status::kConstraintViolated;
+  if (Status s = ensure_prop_capacity(*st, static_cast<std::uint32_t>(bytes.size()) + 16);
+      !ok(s))
+    return s;
+  return st->view.add_entry(ptype, bytes);
+}
+
+Status Transaction::update_property(VertexHandle v, std::uint32_t ptype,
+                                    const PropValue& value) {
+  const PropertyType* def = db_->ptype(self_, ptype);
+  if (def == nullptr) return Status::kInvalidArgument;
+  auto r = vertex_state(v, true);
+  if (!r.ok()) return r.status();
+  VertexState* st = *r;
+  (void)st->view.remove_entries(ptype);
+  const auto bytes = encode_value(value);
+  if (Status s = ensure_prop_capacity(*st, static_cast<std::uint32_t>(bytes.size()) + 16);
+      !ok(s))
+    return s;
+  return st->view.add_entry(ptype, bytes);
+}
+
+Status Transaction::remove_properties(VertexHandle v, std::uint32_t ptype) {
+  auto r = vertex_state(v, true);
+  if (!r.ok()) return r.status();
+  return (*r)->view.remove_entries(ptype) > 0 ? Status::kOk : Status::kNotFound;
+}
+
+Status Transaction::remove_all_properties(VertexHandle v) {
+  auto r = vertex_state(v, true);
+  if (!r.ok()) return r.status();
+  VertexState* st = *r;
+  for (std::uint32_t pt : st->view.ptypes()) (void)st->view.remove_entries(pt);
+  (void)st->view.compact_entries();
+  return Status::kOk;
+}
+
+Result<std::vector<PropValue>> Transaction::get_properties(VertexHandle v,
+                                                           std::uint32_t ptype) {
+  const PropertyType* def = db_->ptype(self_, ptype);
+  if (def == nullptr) return Status::kInvalidArgument;
+  auto r = vertex_state(v, false);
+  if (!r.ok()) return r.status();
+  std::vector<PropValue> out;
+  for (const auto& raw : (*r)->view.get_props(ptype))
+    out.push_back(decode_value(def->dtype, raw));
+  return out;
+}
+
+Result<std::vector<std::uint32_t>> Transaction::ptypes_of(VertexHandle v) {
+  auto r = vertex_state(v, false);
+  if (!r.ok()) return r.status();
+  return (*r)->view.ptypes();
+}
+
+// ---------------------------------------------------------------------------
+// Edges
+// ---------------------------------------------------------------------------
+
+Result<EdgeUid> Transaction::create_edge(VertexHandle origin, VertexHandle target,
+                                         Dir dir, std::uint32_t label_id) {
+  auto ro = vertex_state(origin, true);
+  if (!ro.ok()) return ro.status();
+  VertexState* ost = *ro;
+  VertexState* tst = ost;
+  if (target.vid != origin.vid) {
+    auto rt = vertex_state(target, true);
+    if (!rt.ok()) return rt.status();
+    tst = *rt;
+  }
+
+  if (Status s = ensure_edge_capacity(*ost, 1); !ok(s)) return s;
+  EdgeRecord rec{target.vid, DPtr{}, label_id, dir, true};
+  auto slot = ost->view.add_edge(rec);
+  if (!slot.ok()) return slot.status();
+  const EdgeUid uid{origin.vid, ost->view.edge_offset(*slot)};
+
+  const bool self_loop_undirected =
+      origin.vid == target.vid && dir == Dir::kUndirected;
+  if (!self_loop_undirected) {
+    if (Status s = ensure_edge_capacity(*tst, 1); !ok(s)) return s;
+    EdgeRecord mrec{origin.vid, DPtr{}, label_id, mirror_dir(dir), true};
+    auto mslot = tst->view.add_edge(mrec);
+    if (!mslot.ok()) return mslot.status();
+  }
+  return uid;
+}
+
+Status Transaction::delete_edge(VertexHandle base, const EdgeUid& uid) {
+  if (uid.vertex != base.vid) return Status::kInvalidArgument;
+  auto r = vertex_state(base, true);
+  if (!r.ok()) return r.status();
+  VertexState* st = *r;
+  const std::uint32_t slot = st->view.slot_of_offset(uid.offset);
+  if (slot >= st->view.edge_slots()) return Status::kNotFound;
+  const EdgeRecord rec = st->view.edge_at(slot);
+  if (!rec.in_use) return Status::kNotFound;
+  (void)st->view.remove_edge(slot);
+
+  if (!rec.heavy.is_null()) {
+    auto er = edge_state(EdgeHandle{rec.heavy}, true);
+    if (er.ok()) (*er)->deleted = true;
+    else if (is_transaction_critical(er.status())) return er.status();
+  }
+
+  const bool self_loop_undirected =
+      rec.neighbor == base.vid && rec.dir == Dir::kUndirected;
+  if (!self_loop_undirected) {
+    auto nr = vertex_state(VertexHandle{rec.neighbor}, true);
+    if (!nr.ok()) {
+      if (is_transaction_critical(nr.status())) return nr.status();
+      return Status::kOk;  // neighbor vanished; nothing to mirror-remove
+    }
+    VertexState* nst = *nr;
+    const Dir want = mirror_dir(rec.dir);
+    bool removed = false;
+    nst->view.for_each_edge([&](std::uint32_t s, const EdgeRecord& mrec) {
+      if (!removed && mrec.neighbor == base.vid && mrec.dir == want &&
+          mrec.heavy == rec.heavy && mrec.label_id == rec.label_id) {
+        (void)nst->view.remove_edge(s);
+        removed = true;
+      }
+    });
+  }
+  return Status::kOk;
+}
+
+Result<std::vector<EdgeDesc>> Transaction::edges_of(VertexHandle v, DirFilter f,
+                                                    const Constraint* c) {
+  auto r = vertex_state(v, false);
+  if (!r.ok()) return r.status();
+  VertexState* st = *r;
+  std::vector<EdgeDesc> out;
+  Status deferred = Status::kOk;
+  st->view.for_each_edge([&](std::uint32_t slot, const EdgeRecord& rec) {
+    if (!dir_matches(f, rec.dir)) return;
+    if (c != nullptr && !c->empty()) {
+      if (rec.heavy.is_null()) {
+        if (!c->matches_lw_edge(rec.label_id)) return;
+      } else {
+        auto er = edge_state(EdgeHandle{rec.heavy}, false);
+        if (!er.ok()) {
+          if (is_transaction_critical(er.status())) deferred = er.status();
+          return;
+        }
+        if (!c->matches((*er)->view)) return;
+      }
+    }
+    out.push_back(EdgeDesc{EdgeUid{v.vid, st->view.edge_offset(slot)}, rec.neighbor,
+                           rec.dir, rec.label_id, rec.heavy});
+  });
+  if (!ok(deferred)) return deferred;
+  return out;
+}
+
+Result<std::vector<DPtr>> Transaction::neighbors_of(VertexHandle v, DirFilter f,
+                                                    const Constraint* c) {
+  auto edges = edges_of(v, f, c);
+  if (!edges.ok()) return edges.status();
+  std::vector<DPtr> out;
+  out.reserve(edges->size());
+  for (const auto& e : *edges) out.push_back(e.neighbor);
+  return out;
+}
+
+Result<std::size_t> Transaction::count_edges(VertexHandle v, DirFilter f) {
+  auto r = vertex_state(v, false);
+  if (!r.ok()) return r.status();
+  std::size_t n = 0;
+  (*r)->view.for_each_edge([&](std::uint32_t, const EdgeRecord& rec) {
+    if (dir_matches(f, rec.dir)) ++n;
+  });
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Heavy edges
+// ---------------------------------------------------------------------------
+
+Result<EdgeHandle> Transaction::create_heavy_edge(VertexHandle origin,
+                                                  VertexHandle target, Dir dir) {
+  if (!active_ || failed_) return Status::kTxnAborted;
+  if (Status s = check_writable(); !ok(s)) return fail(s);
+  auto& blocks = db_->blocks();
+  const DPtr eid = blocks.acquire(self_, origin.vid.rank());
+  if (eid.is_null()) return fail(Status::kOutOfMemory);
+  if (!blocks.try_write_lock(self_, eid)) {
+    blocks.release(self_, eid);
+    return fail(Status::kTxnConflict);
+  }
+  auto st = std::make_unique<EdgeState>();
+  st->created = true;
+  st->lock = LockState::kWrite;
+  layout::EdgeView::init(st->buf, origin.vid, target.vid, blocks.block_size());
+  st->view.set_num_blocks(1);
+  st->view.set_block_addr(0, eid);
+  ecache_.emplace(eid.raw(), std::move(st));
+
+  // Anchor records in both endpoint holders point at the heavy holder.
+  auto ro = vertex_state(origin, true);
+  if (!ro.ok()) return ro.status();
+  VertexState* ost = *ro;
+  VertexState* tst = ost;
+  if (target.vid != origin.vid) {
+    auto rt = vertex_state(target, true);
+    if (!rt.ok()) return rt.status();
+    tst = *rt;
+  }
+  if (Status s = ensure_edge_capacity(*ost, 1); !ok(s)) return s;
+  auto slot = ost->view.add_edge(EdgeRecord{target.vid, eid, 0, dir, true});
+  if (!slot.ok()) return slot.status();
+  const bool self_loop_undirected =
+      origin.vid == target.vid && dir == Dir::kUndirected;
+  if (!self_loop_undirected) {
+    if (Status s = ensure_edge_capacity(*tst, 1); !ok(s)) return s;
+    auto mslot = tst->view.add_edge(EdgeRecord{origin.vid, eid, 0, mirror_dir(dir), true});
+    if (!mslot.ok()) return mslot.status();
+  }
+  return EdgeHandle{eid};
+}
+
+Result<EdgeHandle> Transaction::associate_edge(DPtr eid) {
+  auto r = edge_state(EdgeHandle{eid}, false);
+  if (!r.ok()) return r.status();
+  return EdgeHandle{eid};
+}
+
+Result<std::pair<DPtr, DPtr>> Transaction::edge_endpoints(EdgeHandle e) {
+  auto r = edge_state(e, false);
+  if (!r.ok()) return r.status();
+  return std::make_pair((*r)->view.origin(), (*r)->view.target());
+}
+
+Status Transaction::add_edge_label(EdgeHandle e, std::uint32_t label_id) {
+  auto r = edge_state(e, true);
+  if (!r.ok()) return r.status();
+  EdgeState* st = *r;
+  if (st->view.has_label(label_id)) return Status::kAlreadyExists;
+  if (Status s = ensure_edge_prop_capacity(*st, 16); !ok(s)) return s;
+  return st->view.add_label(label_id);
+}
+
+Status Transaction::remove_edge_label(EdgeHandle e, std::uint32_t label_id) {
+  auto r = edge_state(e, true);
+  if (!r.ok()) return r.status();
+  return (*r)->view.remove_label(label_id) ? Status::kOk : Status::kNotFound;
+}
+
+Result<std::vector<std::uint32_t>> Transaction::edge_labels_of(EdgeHandle e) {
+  auto r = edge_state(e, false);
+  if (!r.ok()) return r.status();
+  return (*r)->view.labels();
+}
+
+Status Transaction::add_edge_property(EdgeHandle e, std::uint32_t ptype,
+                                      const PropValue& value) {
+  const PropertyType* def = db_->ptype(self_, ptype);
+  if (def == nullptr) return Status::kInvalidArgument;
+  if (def->etype == EntityType::kVertex) return Status::kInvalidArgument;
+  auto r = edge_state(e, true);
+  if (!r.ok()) return r.status();
+  EdgeState* st = *r;
+  const auto bytes = encode_value(value);
+  if (def->stype == SizeType::kFixed && bytes.size() != def->max_size)
+    return Status::kConstraintViolated;
+  if (def->stype == SizeType::kLimited && bytes.size() > def->max_size)
+    return Status::kConstraintViolated;
+  if (def->mult == Multiplicity::kSingle) {
+    int n = 0;
+    st->view.for_each_entry([&](std::uint32_t id, auto) {
+      if (id == ptype) ++n;
+    });
+    if (n > 0) return Status::kConstraintViolated;
+  }
+  if (Status s = ensure_edge_prop_capacity(*st, static_cast<std::uint32_t>(bytes.size()) + 16);
+      !ok(s))
+    return s;
+  return st->view.add_entry(ptype, bytes);
+}
+
+Status Transaction::update_edge_property(EdgeHandle e, std::uint32_t ptype,
+                                         const PropValue& value) {
+  const PropertyType* def = db_->ptype(self_, ptype);
+  if (def == nullptr) return Status::kInvalidArgument;
+  auto r = edge_state(e, true);
+  if (!r.ok()) return r.status();
+  EdgeState* st = *r;
+  (void)st->view.remove_entries(ptype);
+  const auto bytes = encode_value(value);
+  if (Status s = ensure_edge_prop_capacity(*st, static_cast<std::uint32_t>(bytes.size()) + 16);
+      !ok(s))
+    return s;
+  return st->view.add_entry(ptype, bytes);
+}
+
+Result<std::vector<PropValue>> Transaction::get_edge_properties(EdgeHandle e,
+                                                                std::uint32_t ptype) {
+  const PropertyType* def = db_->ptype(self_, ptype);
+  if (def == nullptr) return Status::kInvalidArgument;
+  auto r = edge_state(e, false);
+  if (!r.ok()) return r.status();
+  std::vector<PropValue> out;
+  for (const auto& raw : (*r)->view.get_props(ptype))
+    out.push_back(decode_value(def->dtype, raw));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Indexes
+// ---------------------------------------------------------------------------
+
+Result<std::vector<DPtr>> Transaction::local_index_vertices(Index& idx,
+                                                            const Constraint* c) {
+  if (!active_ || failed_) return Status::kTxnAborted;
+  std::vector<DPtr> out;
+  std::unordered_map<std::uint64_t, bool> seen;  // dedup stale duplicates
+  for (DPtr cand : idx.candidates(self_, static_cast<std::uint32_t>(self_.id()))) {
+    if (seen.contains(cand.raw())) continue;
+    seen.emplace(cand.raw(), true);
+    auto r = vertex_state(VertexHandle{cand}, false);
+    if (!r.ok()) {
+      if (is_transaction_critical(r.status())) return r.status();
+      continue;  // stale entry (deleted vertex)
+    }
+    VertexState* st = *r;
+    if (!idx.matches(st->view)) continue;  // stale entry (re-labeled vertex)
+    if (c != nullptr && !c->matches(st->view)) continue;
+    out.push_back(cand);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Capacity management
+// ---------------------------------------------------------------------------
+
+Status Transaction::ensure_edge_capacity(VertexState& st, std::uint32_t extra) {
+  auto& v = st.view;
+  const std::uint32_t free_slots = v.edge_capacity() - v.live_edge_count();
+  if (free_slots >= extra) return Status::kOk;
+  const std::size_t B = db_->config().block.block_size;
+  const std::uint32_t new_edge_cap =
+      std::max({v.edge_capacity() * 2, v.edge_capacity() + extra, 8u});
+  // Fixed-point for the table capacity: more blocks need a bigger table,
+  // which itself needs more space.
+  std::uint32_t tcap = std::max(v.table_capacity(), v.num_blocks());
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t total =
+        layout::VertexView::required_size(tcap, new_edge_cap, v.prop_capacity());
+    const auto blocks_needed = static_cast<std::uint32_t>(div_up(total, B));
+    if (blocks_needed <= tcap) break;
+    tcap = blocks_needed;
+  }
+  if (tcap > max_table_cap()) return Status::kNoSpace;  // degree limit reached
+  return v.reshape(tcap, new_edge_cap, v.prop_capacity());
+}
+
+Status Transaction::ensure_prop_capacity(VertexState& st, std::uint32_t extra) {
+  auto& v = st.view;
+  if (v.prop_capacity() - v.prop_used() >= extra + 8) return Status::kOk;
+  const std::size_t B = db_->config().block.block_size;
+  const std::uint32_t new_prop_cap =
+      std::max({v.prop_capacity() * 2, v.prop_used() + extra + 16, 64u});
+  std::uint32_t tcap = std::max(v.table_capacity(), v.num_blocks());
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t total =
+        layout::VertexView::required_size(tcap, v.edge_capacity(), new_prop_cap);
+    const auto blocks_needed = static_cast<std::uint32_t>(div_up(total, B));
+    if (blocks_needed <= tcap) break;
+    tcap = blocks_needed;
+  }
+  if (tcap > max_table_cap()) return Status::kNoSpace;
+  return v.reshape(tcap, v.edge_capacity(), new_prop_cap);
+}
+
+Status Transaction::ensure_edge_prop_capacity(EdgeState& st, std::uint32_t extra) {
+  auto& v = st.view;
+  if (v.prop_capacity() - v.prop_used() >= extra + 8) return Status::kOk;
+  const std::size_t B = db_->config().block.block_size;
+  const std::uint32_t new_prop_cap =
+      std::max({v.prop_capacity() * 2, v.prop_used() + extra + 16, 64u});
+  const std::size_t total = layout::EdgeView::required_size(new_prop_cap);
+  if (div_up(total, B) > layout::EdgeView::kMaxBlocks) return Status::kNoSpace;
+  return v.reshape(new_prop_cap);
+}
+
+// ---------------------------------------------------------------------------
+// Commit / abort
+// ---------------------------------------------------------------------------
+
+Status Transaction::sync_blocks_vertex(DPtr vid, VertexState& st) {
+  auto& blocks = db_->blocks();
+  const std::size_t B = blocks.block_size();
+  const auto needed = static_cast<std::uint32_t>(div_up(st.buf.size(), B));
+  const std::uint32_t cur = st.view.num_blocks();
+  if (needed > st.view.table_capacity()) return Status::kOutOfMemory;
+  for (std::uint32_t i = cur; i < needed; ++i) {
+    // Prefer the vertex's own rank; spill round-robin when its pool is full
+    // (blocks of one holder may live on different processes, paper 5.3).
+    DPtr blk;
+    for (int attempt = 0; attempt < db_->nranks() && blk.is_null(); ++attempt) {
+      blk = blocks.acquire(
+          self_, (vid.rank() + static_cast<std::uint32_t>(attempt)) %
+                     static_cast<std::uint32_t>(db_->nranks()));
+    }
+    if (blk.is_null()) return Status::kOutOfMemory;
+    st.view.set_block_addr(i, blk);
+  }
+  for (std::uint32_t i = needed; i < cur; ++i)
+    blocks.release(self_, st.view.block_addr(i));
+  if (needed != cur) st.view.set_num_blocks(needed);
+  return Status::kOk;
+}
+
+Status Transaction::sync_blocks_edge(DPtr eid, EdgeState& st) {
+  auto& blocks = db_->blocks();
+  const std::size_t B = blocks.block_size();
+  const auto needed = static_cast<std::uint32_t>(div_up(st.buf.size(), B));
+  const std::uint32_t cur = st.view.num_blocks();
+  if (needed > layout::EdgeView::kMaxBlocks) return Status::kOutOfMemory;
+  for (std::uint32_t i = cur; i < needed; ++i) {
+    DPtr blk;
+    for (int attempt = 0; attempt < db_->nranks() && blk.is_null(); ++attempt) {
+      blk = blocks.acquire(
+          self_, (eid.rank() + static_cast<std::uint32_t>(attempt)) %
+                     static_cast<std::uint32_t>(db_->nranks()));
+    }
+    if (blk.is_null()) return Status::kOutOfMemory;
+    st.view.set_block_addr(i, blk);
+  }
+  for (std::uint32_t i = needed; i < cur; ++i)
+    blocks.release(self_, st.view.block_addr(i));
+  if (needed != cur) st.view.set_num_blocks(needed);
+  return Status::kOk;
+}
+
+Status Transaction::writeback_vertex(DPtr vid, VertexState& st) {
+  auto& blocks = db_->blocks();
+  const std::size_t B = blocks.block_size();
+  const std::size_t total = st.buf.size();
+  // Convert the (up to two) dirty byte ranges into a dirty block set and
+  // write back only those blocks (paper 5.6: tracking of dirty blocks).
+  std::array<std::pair<std::size_t, std::size_t>, 2> spans{};  // [b0, b1)
+  if (st.created) {
+    spans[0] = {0, div_up(total, B)};
+  } else {
+    const auto ranges = st.view.dirty_ranges();
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (ranges[i].empty()) continue;
+      const std::size_t hi = std::min(ranges[i].hi, total);
+      if (ranges[i].lo >= hi) continue;
+      spans[i] = {ranges[i].lo / B, div_up(hi, B)};
+    }
+    if (spans[1].second > spans[1].first && spans[0].second > spans[0].first &&
+        spans[1].first < spans[0].second && spans[0].first < spans[1].second) {
+      // Overlapping block spans: merge to avoid writing a block twice.
+      spans[0] = {std::min(spans[0].first, spans[1].first),
+                  std::max(spans[0].second, spans[1].second)};
+      spans[1] = {0, 0};
+    }
+  }
+  bool wrote = false;
+  for (const auto& [b0, b1] : spans) {
+    for (std::size_t b = b0; b < b1 && b < st.view.num_blocks(); ++b) {
+      const DPtr blk = b == 0 ? vid : st.view.block_addr(b);
+      const std::size_t off = b * B;
+      const std::size_t n = std::min(B, total - off);
+      blocks.write(self_, blk, 0, st.buf.data() + off, n);
+      wrote = true;
+    }
+  }
+  if (wrote) blocks.flush(self_, vid.rank());
+  st.view.reset_dirty();
+  return Status::kOk;
+}
+
+Status Transaction::writeback_edge(DPtr eid, EdgeState& st) {
+  auto& blocks = db_->blocks();
+  const std::size_t B = blocks.block_size();
+  const std::size_t total = st.buf.size();
+  std::size_t lo = st.created ? 0 : st.view.dirty_lo();
+  std::size_t hi = st.created ? total : std::min(st.view.dirty_hi(), total);
+  if (lo >= hi) return Status::kOk;
+  const std::size_t b0 = lo / B;
+  const std::size_t b1 = div_up(hi, B);
+  for (std::size_t b = b0; b < b1 && b < st.view.num_blocks(); ++b) {
+    const DPtr blk = b == 0 ? eid : st.view.block_addr(b);
+    const std::size_t off = b * B;
+    const std::size_t n = std::min(B, total - off);
+    blocks.write(self_, blk, 0, st.buf.data() + off, n);
+  }
+  blocks.flush(self_, eid.rank());
+  st.view.reset_dirty();
+  return Status::kOk;
+}
+
+void Transaction::release_locks() {
+  auto& blocks = db_->blocks();
+  for (auto& [raw, st] : vcache_) {
+    const DPtr vid{raw};
+    if (st->lock == LockState::kWrite) blocks.write_unlock(self_, vid);
+    if (st->lock == LockState::kRead) blocks.read_unlock(self_, vid);
+    st->lock = LockState::kNone;
+  }
+  for (auto& [raw, st] : ecache_) {
+    const DPtr eid{raw};
+    if (st->lock == LockState::kWrite) blocks.write_unlock(self_, eid);
+    if (st->lock == LockState::kRead) blocks.read_unlock(self_, eid);
+    st->lock = LockState::kNone;
+  }
+}
+
+Status Transaction::commit_local() {
+  // Phase 1: make physical block allocation match every buffered holder.
+  for (auto& [raw, st] : vcache_) {
+    if (st->deleted) continue;
+    if (st->lock != LockState::kWrite && !st->created) continue;
+    if (!st->created && !st->view.is_dirty()) continue;
+    if (Status s = sync_blocks_vertex(DPtr{raw}, *st); !ok(s)) {
+      failed_ = true;
+      abort();
+      return s;
+    }
+  }
+  for (auto& [raw, st] : ecache_) {
+    if (st->deleted) continue;
+    if (st->lock != LockState::kWrite && !st->created) continue;
+    if (!st->created && !st->view.is_dirty()) continue;
+    if (Status s = sync_blocks_edge(DPtr{raw}, *st); !ok(s)) {
+      failed_ = true;
+      abort();
+      return s;
+    }
+  }
+
+  // Phase 2: write back dirty blocks ("all dirty blocks or none", paper 5.6).
+  for (auto& [raw, st] : vcache_) {
+    if (st->deleted) continue;
+    if (st->created || st->view.is_dirty()) (void)writeback_vertex(DPtr{raw}, *st);
+  }
+  for (auto& [raw, st] : ecache_) {
+    if (st->deleted) continue;
+    if (st->created || st->view.is_dirty()) (void)writeback_edge(DPtr{raw}, *st);
+  }
+
+  // Phase 3: deleted holders -- publish the invalid header so racing readers
+  // observe deletion, then remember the blocks for post-unlock release.
+  std::vector<DPtr> to_release;
+  auto& blocks = db_->blocks();
+  const std::size_t B = blocks.block_size();
+  for (auto& [raw, st] : vcache_) {
+    if (!st->deleted) continue;
+    const DPtr vid{raw};
+    if (!st->created) {
+      blocks.write(self_, vid, 0, st->buf.data(),
+                   std::min(B, st->buf.size()));  // header now invalid
+      blocks.flush(self_, vid.rank());
+    }
+    for (std::uint32_t i = 0; i < st->view.num_blocks(); ++i)
+      to_release.push_back(i == 0 ? vid : st->view.block_addr(i));
+  }
+  for (auto& [raw, st] : ecache_) {
+    if (!st->deleted) continue;
+    const DPtr eid{raw};
+    if (!st->created) {
+      std::uint32_t zero = 0;
+      blocks.write(self_, eid, 16, &zero, 4);  // clear the valid flag
+      blocks.flush(self_, eid.rank());
+    }
+    for (std::uint32_t i = 0; i < st->view.num_blocks(); ++i)
+      to_release.push_back(i == 0 ? eid : st->view.block_addr(i));
+  }
+
+  // Phase 4: internal DHT index (app id -> DPtr) and explicit indexes.
+  auto& dht = db_->id_index();
+  for (auto& [raw, st] : vcache_) {
+    const DPtr vid{raw};
+    if (st->created && !st->deleted) {
+      if (!dht.insert(self_, st->view.app_id(), vid.raw())) {
+        failed_ = true;
+        abort();
+        return Status::kOutOfMemory;
+      }
+    } else if (st->deleted && !st->created) {
+      (void)dht.erase(self_, st->view.app_id());
+    }
+  }
+  const auto& indexes = db_->indexes();
+  for (auto& [raw, st] : vcache_) {
+    if (st->deleted) continue;
+    if (st->lock != LockState::kWrite && !st->created) continue;
+    const DPtr vid{raw};
+    for (std::size_t i = 0; i < indexes.size(); ++i) {
+      const bool was = i < st->orig_index_match.size() && st->orig_index_match[i] != 0;
+      if (!was && indexes[i]->matches(st->view))
+        (void)indexes[i]->append(self_, vid.rank(), vid);
+    }
+  }
+
+  // Phase 5: unlock, then recycle deleted holders' blocks.
+  release_locks();
+  for (DPtr blk : to_release) blocks.release(self_, blk);
+
+  active_ = false;
+  return Status::kOk;
+}
+
+Status Transaction::commit() {
+  if (!active_) return Status::kTxnAborted;
+  if (scope_ == TxnScope::kCollective) {
+    // Commit-time agreement: if any rank's local part failed, all abort.
+    const bool any_fail = self_.allreduce_or(failed_);
+    if (any_fail) {
+      abort();
+      self_.barrier();
+      return failed_ ? Status::kTxnConflict : Status::kTxnAborted;
+    }
+    const Status s = commit_local();
+    self_.barrier();
+    return s;
+  }
+  if (failed_) {
+    abort();
+    return Status::kTxnConflict;
+  }
+  return commit_local();
+}
+
+void Transaction::abort() {
+  if (!active_) return;
+  release_locks();
+  auto& blocks = db_->blocks();
+  // Created holders never became visible; return their blocks.
+  for (auto& [raw, st] : vcache_) {
+    if (!st->created) continue;
+    const DPtr vid{raw};
+    for (std::uint32_t i = 0; i < st->view.num_blocks(); ++i)
+      blocks.release(self_, i == 0 ? vid : st->view.block_addr(i));
+  }
+  for (auto& [raw, st] : ecache_) {
+    if (!st->created) continue;
+    const DPtr eid{raw};
+    for (std::uint32_t i = 0; i < st->view.num_blocks(); ++i)
+      blocks.release(self_, i == 0 ? eid : st->view.block_addr(i));
+  }
+  vcache_.clear();
+  ecache_.clear();
+  created_ids_.clear();
+  active_ = false;
+}
+
+}  // namespace gdi

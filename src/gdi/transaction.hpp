@@ -1,0 +1,219 @@
+// GDI transactions (paper Sections 3.3-3.5, 5.6).
+//
+// A Transaction provides serializable CRUD over graph data. Design follows
+// the paper's GDA implementation:
+//  * all changes are buffered locally (cached holder buffers) and become
+//    visible only at commit, when dirty blocks are written back with PUTs;
+//  * ACI is enforced with two-phase reader/writer locking on each vertex's
+//    primary block (one lock word per vertex, paper Section 5.6). Lock
+//    acquisition is bounded-retry: failure raises a *transaction critical*
+//    error (kTxnConflict) and the whole transaction is doomed -- GDI offers
+//    no retry-inside-a-transaction, the user starts a new one (Section 3.3);
+//  * per-transaction bookkeeping uses hashmaps keyed by internal IDs plus
+//    vectors of dirty state, giving O(1) amortized tracking (the paper's
+//    "fast intra-transaction block management" design choice);
+//  * local transactions involve one calling process; collective transactions
+//    are entered and committed by all ranks, with a commit-time agreement
+//    allreduce (any failed rank aborts everyone).
+//
+// Transaction modes:
+//  * kRead        -- read-only, takes read locks (serializable);
+//  * kReadShared  -- read-only, lock-free; the paper's optimized read-only
+//                    transaction that assumes no concurrent writer (used for
+//                    large OLAP scans);
+//  * kWrite       -- read/write; reads take read locks, first write to a
+//                    vertex upgrades to (or directly takes) the write lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dptr.hpp"
+#include "common/status.hpp"
+#include "common/value.hpp"
+#include "gdi/constraint.hpp"
+#include "gdi/database.hpp"
+#include "layout/holder.hpp"
+
+namespace gdi {
+
+enum class TxnMode : std::uint8_t { kRead = 0, kReadShared, kWrite };
+enum class TxnScope : std::uint8_t { kLocal = 0, kCollective };
+
+/// Opaque per-process access object for a vertex (paper Section 3.5).
+struct VertexHandle {
+  DPtr vid;
+  [[nodiscard]] bool valid() const { return !vid.is_null(); }
+  friend constexpr auto operator<=>(const VertexHandle&, const VertexHandle&) = default;
+};
+
+/// Opaque per-process access object for a heavy edge's holder.
+struct EdgeHandle {
+  DPtr eid;
+  [[nodiscard]] bool valid() const { return !eid.is_null(); }
+  friend constexpr auto operator<=>(const EdgeHandle&, const EdgeHandle&) = default;
+};
+
+/// Direction filter for edge/neighbor retrieval (GDI_EDGE_* constants).
+enum class DirFilter : std::uint8_t {
+  kOut = 0,       ///< directed, this vertex is the origin
+  kIn,            ///< directed, this vertex is the target
+  kUndirected,    ///< undirected edges only
+  kOutgoing,      ///< kOut + kUndirected (traversal "forward")
+  kIncoming,      ///< kIn + kUndirected
+  kAll,
+};
+
+/// One retrieved edge, as seen from the base vertex it was read from.
+struct EdgeDesc {
+  EdgeUid uid;
+  DPtr neighbor;
+  layout::Dir dir = layout::Dir::kOut;
+  std::uint32_t label_id = 0;  ///< lightweight label (0 = none / heavy)
+  DPtr heavy;                  ///< heavy-edge holder, null if lightweight
+};
+
+class Transaction {
+ public:
+  /// GDI_StartTransaction (local) / GDI_StartCollectiveTransaction.
+  Transaction(std::shared_ptr<Database> db, rma::Rank& self, TxnMode mode,
+              TxnScope scope = TxnScope::kLocal);
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  [[nodiscard]] TxnMode mode() const { return mode_; }
+  [[nodiscard]] TxnScope scope() const { return scope_; }
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  // --- vertex CRUD ----------------------------------------------------------
+  Result<VertexHandle> create_vertex(std::uint64_t app_id);
+  /// GDI_TranslateVertexID: application-level ID -> internal ID.
+  Result<DPtr> translate_vertex_id(std::uint64_t app_id);
+  /// GDI_AssociateVertex: internal ID -> handle (fetches + locks the holder).
+  Result<VertexHandle> associate_vertex(DPtr vid);
+  /// translate + associate in one step.
+  Result<VertexHandle> find_vertex(std::uint64_t app_id);
+  /// Deletes the vertex and all its incident edges (mirrors included).
+  Status delete_vertex(VertexHandle v);
+
+  Result<std::uint64_t> app_id_of(VertexHandle v);
+  /// Optimized read of just the application ID of a (possibly remote) vertex:
+  /// one 8-byte GET, no caching, no lock. Intended for kReadShared scans
+  /// (GDI allows implementations such sub-holder reads through handles).
+  Result<std::uint64_t> peek_app_id(DPtr vid);
+  Status add_label(VertexHandle v, std::uint32_t label_id);
+  Status remove_label(VertexHandle v, std::uint32_t label_id);
+  Result<std::vector<std::uint32_t>> labels_of(VertexHandle v);
+
+  Status add_property(VertexHandle v, std::uint32_t ptype, const PropValue& value);
+  /// Single-entry update: removes existing entries of `ptype`, then adds.
+  Status update_property(VertexHandle v, std::uint32_t ptype, const PropValue& value);
+  Status remove_properties(VertexHandle v, std::uint32_t ptype);
+  /// GDI "remove all properties from a vertex": drops every user property
+  /// entry; labels are retained.
+  Status remove_all_properties(VertexHandle v);
+  Result<std::vector<PropValue>> get_properties(VertexHandle v, std::uint32_t ptype);
+  Result<std::vector<std::uint32_t>> ptypes_of(VertexHandle v);
+
+  // --- edges ------------------------------------------------------------------
+  /// Create a lightweight edge (paper 5.4.2): stored inline in both endpoint
+  /// holders; at most one label. Returns the EdgeUid relative to `origin`.
+  Result<EdgeUid> create_edge(VertexHandle origin, VertexHandle target,
+                              layout::Dir dir, std::uint32_t label_id = 0);
+  /// Remove an edge given its UID relative to `base` (mirror removed too).
+  Status delete_edge(VertexHandle base, const EdgeUid& uid);
+  Result<std::vector<EdgeDesc>> edges_of(VertexHandle v, DirFilter f,
+                                         const Constraint* c = nullptr);
+  Result<std::vector<DPtr>> neighbors_of(VertexHandle v, DirFilter f,
+                                         const Constraint* c = nullptr);
+  Result<std::size_t> count_edges(VertexHandle v, DirFilter f);
+
+  // --- heavy edges (own holder, arbitrary labels/properties) -----------------
+  Result<EdgeHandle> create_heavy_edge(VertexHandle origin, VertexHandle target,
+                                       layout::Dir dir);
+  Result<EdgeHandle> associate_edge(DPtr eid);
+  Result<std::pair<DPtr, DPtr>> edge_endpoints(EdgeHandle e);
+  Status add_edge_label(EdgeHandle e, std::uint32_t label_id);
+  Status remove_edge_label(EdgeHandle e, std::uint32_t label_id);
+  Result<std::vector<std::uint32_t>> edge_labels_of(EdgeHandle e);
+  Status add_edge_property(EdgeHandle e, std::uint32_t ptype, const PropValue& value);
+  Status update_edge_property(EdgeHandle e, std::uint32_t ptype, const PropValue& value);
+  Result<std::vector<PropValue>> get_edge_properties(EdgeHandle e, std::uint32_t ptype);
+
+  // --- explicit indexes --------------------------------------------------------
+  /// GDI_GetLocalVerticesOfIndex: this rank's shard, validated against the
+  /// index definition and an optional extra constraint.
+  Result<std::vector<DPtr>> local_index_vertices(Index& idx, const Constraint* c = nullptr);
+
+  // --- lifecycle -----------------------------------------------------------------
+  /// GDI_CloseTransaction: commit. Collective scope: all ranks call; commit
+  /// succeeds only if every rank's local part succeeded.
+  Status commit();
+  /// Abort: drop all buffered changes, release locks and created blocks.
+  void abort();
+
+ private:
+  enum class LockState : std::uint8_t { kNone = 0, kRead, kWrite };
+
+  struct VertexState {
+    std::vector<std::byte> buf;
+    layout::VertexView view{buf};
+    LockState lock = LockState::kNone;
+    bool created = false;
+    bool deleted = false;
+    std::vector<std::uint8_t> orig_index_match;  ///< per-db-index, at fetch time
+  };
+
+  struct EdgeState {
+    std::vector<std::byte> buf;
+    layout::EdgeView view{buf};
+    LockState lock = LockState::kNone;  ///< lock on the *edge holder* block
+    bool created = false;
+    bool deleted = false;
+  };
+
+  // Access paths.
+  Result<VertexState*> vertex_state(VertexHandle v, bool for_write);
+  Result<EdgeState*> edge_state(EdgeHandle e, bool for_write);
+  Status acquire_vertex_lock(VertexState& st, DPtr vid, bool write);
+  Status fetch_vertex(DPtr vid, VertexState& st);
+  Status fetch_edge(DPtr eid, EdgeState& st);
+
+  // Capacity management.
+  Status ensure_edge_capacity(VertexState& st, std::uint32_t extra_slots);
+  Status ensure_prop_capacity(VertexState& st, std::uint32_t extra_bytes);
+  Status ensure_edge_prop_capacity(EdgeState& st, std::uint32_t extra_bytes);
+
+  // Commit helpers.
+  Status commit_local();
+  Status writeback_vertex(DPtr vid, VertexState& st);
+  Status writeback_edge(DPtr eid, EdgeState& st);
+  void release_locks();
+  void release_holder_blocks(const std::vector<DPtr>& blocks);
+  [[nodiscard]] std::uint32_t max_table_cap() const;
+  Status sync_blocks_vertex(DPtr vid, VertexState& st);   // alloc/free to match size
+  Status sync_blocks_edge(DPtr eid, EdgeState& st);
+
+  Status fail(Status s) {
+    if (is_transaction_critical(s)) failed_ = true;
+    return s;
+  }
+  [[nodiscard]] Status check_writable() const;
+
+  std::shared_ptr<Database> db_;
+  rma::Rank& self_;
+  TxnMode mode_;
+  TxnScope scope_;
+  bool active_ = true;
+  bool failed_ = false;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<VertexState>> vcache_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<EdgeState>> ecache_;
+  std::unordered_map<std::uint64_t, DPtr> created_ids_;  ///< app_id -> DPtr
+};
+
+}  // namespace gdi

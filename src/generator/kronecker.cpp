@@ -1,0 +1,140 @@
+#include "generator/kronecker.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gdi::gen {
+
+std::pair<std::uint64_t, std::uint64_t> KroneckerGenerator::edge_endpoints(
+    std::uint64_t k) const {
+  // R-MAT recursive quadrant descent with counter-based randomness: one
+  // 64-bit draw per level, derived from (seed, edge index, level).
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  const double ab = cfg_.a + cfg_.b;
+  const double abc = ab + cfg_.c;
+  for (int level = 0; level < cfg_.scale; ++level) {
+    const std::uint64_t r = hash_combine(cfg_.seed * 0x51ED2701u + 11,
+                                         k * 64 + static_cast<std::uint64_t>(level));
+    const double u = to_unit_double(r);
+    src <<= 1;
+    dst <<= 1;
+    if (u < cfg_.a) {
+      // top-left quadrant: no bits set
+    } else if (u < ab) {
+      dst |= 1;
+    } else if (u < abc) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  return {src, dst};
+}
+
+std::vector<std::uint32_t> KroneckerGenerator::vertex_labels(std::uint64_t v) const {
+  std::vector<std::uint32_t> out;
+  if (label_ids_.empty() || cfg_.labels_per_vertex == 0) return out;
+  const std::uint32_t want = std::min<std::uint32_t>(
+      cfg_.labels_per_vertex, static_cast<std::uint32_t>(label_ids_.size()));
+  // Deterministic distinct subset: start at a hashed offset, take a stride.
+  const std::uint64_t h = hash_combine(cfg_.seed * 0x9E11u + 3, v);
+  const std::size_t start = h % label_ids_.size();
+  for (std::uint32_t i = 0; i < want; ++i)
+    out.push_back(label_ids_[(start + i) % label_ids_.size()]);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::vector<std::byte>>>
+KroneckerGenerator::vertex_props(std::uint64_t v) const {
+  std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> out;
+  if (ptype_ids_.empty() || cfg_.props_per_vertex == 0) return out;
+  const std::uint32_t want = std::min<std::uint32_t>(
+      cfg_.props_per_vertex, static_cast<std::uint32_t>(ptype_ids_.size()));
+  const std::uint64_t h = hash_combine(cfg_.seed * 0xA11CEu + 7, v);
+  const std::size_t start = h % ptype_ids_.size();
+  for (std::uint32_t i = 0; i < want; ++i) {
+    const std::uint32_t pt = ptype_ids_[(start + i) % ptype_ids_.size()];
+    // Deterministic value bytes; first 8 bytes form an int64 for filtering.
+    std::vector<std::byte> bytes(std::max<std::uint32_t>(cfg_.value_bytes, 8));
+    const auto val = static_cast<std::int64_t>(hash_combine(h, pt) % 1000);
+    std::memcpy(bytes.data(), &val, 8);
+    for (std::size_t b = 8; b < bytes.size(); ++b)
+      bytes[b] = static_cast<std::byte>((v + b) & 0xFF);
+    out.emplace_back(pt, std::move(bytes));
+  }
+  return out;
+}
+
+std::uint32_t KroneckerGenerator::edge_label(std::uint64_t k) const {
+  if (label_ids_.empty()) return 0;
+  const std::uint64_t h = hash_combine(cfg_.seed * 0xED6Eu + 13, k);
+  if (to_unit_double(h) >= cfg_.edge_label_fraction) return 0;
+  return label_ids_[splitmix64(h) % label_ids_.size()];
+}
+
+bool KroneckerGenerator::edge_heavy(std::uint64_t k) const {
+  if (cfg_.heavy_edge_fraction <= 0.0) return false;
+  const std::uint64_t h = hash_combine(cfg_.seed * 0x4EA7u + 19, k);
+  return to_unit_double(h) < cfg_.heavy_edge_fraction;
+}
+
+std::vector<std::pair<std::uint32_t, std::vector<std::byte>>>
+KroneckerGenerator::edge_props(std::uint64_t k) const {
+  std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> out;
+  if (ptype_ids_.empty() || !edge_heavy(k)) return out;
+  const std::uint32_t want = std::min<std::uint32_t>(
+      cfg_.props_per_heavy_edge, static_cast<std::uint32_t>(ptype_ids_.size()));
+  const std::uint64_t h = hash_combine(cfg_.seed * 0x9EA7u + 23, k);
+  const std::size_t start = h % ptype_ids_.size();
+  for (std::uint32_t i = 0; i < want; ++i) {
+    const std::uint32_t pt = ptype_ids_[(start + i) % ptype_ids_.size()];
+    std::vector<std::byte> bytes(std::max<std::uint32_t>(cfg_.value_bytes, 8));
+    const auto val = static_cast<std::int64_t>(hash_combine(h, pt) % 1000);
+    std::memcpy(bytes.data(), &val, 8);
+    for (std::size_t b = 8; b < bytes.size(); ++b)
+      bytes[b] = static_cast<std::byte>((k + b) & 0xFF);
+    out.emplace_back(pt, std::move(bytes));
+  }
+  return out;
+}
+
+GeneratedSlice KroneckerGenerator::generate_local(const rma::Rank& self) const {
+  GeneratedSlice out;
+  const auto P = static_cast<std::uint64_t>(self.nranks());
+  const auto r = static_cast<std::uint64_t>(self.id());
+  const std::uint64_t n = cfg_.num_vertices();
+  const std::uint64_t m = cfg_.num_edges();
+
+  out.vertices.reserve(static_cast<std::size_t>(n / P + 1));
+  for (std::uint64_t v = r; v < n; v += P)
+    out.vertices.push_back(BulkVertex{v, vertex_labels(v), vertex_props(v)});
+
+  const std::uint64_t k0 = r * m / P;
+  const std::uint64_t k1 = (r + 1) * m / P;
+  out.edges.reserve(static_cast<std::size_t>(k1 - k0));
+  for (std::uint64_t k = k0; k < k1; ++k) {
+    const auto [src, dst] = edge_endpoints(k);
+    out.edges.push_back(
+        BulkEdge{src, dst, edge_label(k), layout::Dir::kOut, edge_heavy(k),
+                 edge_props(k)});
+  }
+  return out;
+}
+
+std::vector<BulkEdge> KroneckerGenerator::all_edges() const {
+  std::vector<BulkEdge> out;
+  const std::uint64_t m = cfg_.num_edges();
+  out.reserve(static_cast<std::size_t>(m));
+  for (std::uint64_t k = 0; k < m; ++k) {
+    const auto [src, dst] = edge_endpoints(k);
+    out.push_back(BulkEdge{src, dst, edge_label(k), layout::Dir::kOut,
+                           edge_heavy(k), edge_props(k)});
+  }
+  return out;
+}
+
+}  // namespace gdi::gen

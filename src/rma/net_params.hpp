@@ -1,0 +1,84 @@
+// Network cost model for the simulated RMA fabric.
+//
+// The paper evaluates on Piz Daint's Aries interconnect. We reproduce the
+// *shape* of its results with a LogGP-style model: every one-sided operation
+// charges its origin rank a latency term plus a bandwidth term, and
+// collectives charge a logarithmic tree term. Two presets, xc40() and xc50(),
+// mirror the two Piz Daint node types (the paper conjectures XC50's advantage
+// comes from more network bandwidth per core; the presets encode exactly
+// that). See DESIGN.md section 2 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+
+namespace gdi::rma {
+
+struct NetParams {
+  double alpha_local_ns = 0.0;          ///< latency of a local window access
+  double alpha_remote_ns = 0.0;         ///< latency of a remote put/get
+  double alpha_atomic_local_ns = 0.0;   ///< latency of a local atomic
+  double alpha_atomic_remote_ns = 0.0;  ///< latency of a remote atomic (HW offload)
+  double beta_ns_per_byte = 0.0;        ///< inverse bandwidth for remote transfers
+  double alpha_flush_ns = 0.0;          ///< cost of a flush (completion fence)
+  double alpha_collective_ns = 0.0;     ///< per-tree-stage cost of a collective
+
+  /// Free model: every operation costs nothing (used by unit tests).
+  [[nodiscard]] static constexpr NetParams zero() { return NetParams{}; }
+
+  /// Cray XC40 preset (2x18-core Broadwell per Aries NIC -> less BW per core).
+  [[nodiscard]] static constexpr NetParams xc40() {
+    return NetParams{
+        .alpha_local_ns = 90.0,
+        .alpha_remote_ns = 1500.0,
+        .alpha_atomic_local_ns = 250.0,
+        .alpha_atomic_remote_ns = 1900.0,
+        .beta_ns_per_byte = 0.085,
+        .alpha_flush_ns = 320.0,
+        .alpha_collective_ns = 1200.0,
+    };
+  }
+
+  /// Cray XC50 preset (12-core Haswell per Aries NIC -> more BW per core).
+  [[nodiscard]] static constexpr NetParams xc50() {
+    return NetParams{
+        .alpha_local_ns = 90.0,
+        .alpha_remote_ns = 1350.0,
+        .alpha_atomic_local_ns = 250.0,
+        .alpha_atomic_remote_ns = 1700.0,
+        .beta_ns_per_byte = 0.055,
+        .alpha_flush_ns = 300.0,
+        .alpha_collective_ns = 1100.0,
+    };
+  }
+};
+
+/// Per-rank operation counters; the raw material of the cost model and of the
+/// block-size / communication-volume ablations.
+struct OpCounters {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t collectives = 0;
+  std::uint64_t bytes_put = 0;
+  std::uint64_t bytes_get = 0;
+  std::uint64_t remote_ops = 0;  ///< subset of the above that crossed ranks
+
+  OpCounters& operator+=(const OpCounters& o) {
+    puts += o.puts;
+    gets += o.gets;
+    atomics += o.atomics;
+    flushes += o.flushes;
+    collectives += o.collectives;
+    bytes_put += o.bytes_put;
+    bytes_get += o.bytes_get;
+    remote_ops += o.remote_ops;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t total_ops() const {
+    return puts + gets + atomics + flushes + collectives;
+  }
+};
+
+}  // namespace gdi::rma

@@ -1,0 +1,60 @@
+#include "rma/runtime.hpp"
+
+namespace gdi::rma {
+
+Runtime::Runtime(int nranks, NetParams params)
+    : nranks_(nranks),
+      params_(params),
+      barrier_(nranks),
+      slots_(static_cast<std::size_t>(nranks), nullptr) {
+  assert(nranks >= 1);
+}
+
+void Runtime::run(const std::function<void(Rank&)>& fn) {
+  first_error_ = nullptr;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, r, &fn] {
+      Rank rank(*this, r);
+      try {
+        fn(rank);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+int Rank::nranks() const { return rt_.nranks_; }
+
+const NetParams& Rank::net() const { return rt_.params_; }
+
+void Rank::barrier_only() { rt_.barrier_.arrive_and_wait(); }
+
+void Rank::barrier() {
+  charge_collective(0);
+  barrier_only();
+  barrier_only();  // keep barrier() interchangeable with other collectives
+}
+
+void Rank::charge_collective(std::size_t bytes) {
+  const auto& p = rt_.params_;
+  charge(p.alpha_collective_ns * rt_.collective_stages() +
+         p.beta_ns_per_byte * static_cast<double>(bytes));
+  counters_.collectives += 1;
+}
+
+void Rank::publish(const void* p) {
+  rt_.slots_[static_cast<std::size_t>(id_)] = p;
+  barrier_only();
+}
+
+const void* Rank::peek(int rank) const {
+  return rt_.slots_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace gdi::rma

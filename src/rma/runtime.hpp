@@ -1,0 +1,239 @@
+// In-process RMA runtime: ranks, simulated clocks, and MPI-style collectives.
+//
+// This is the reproduction's substitute for MPI + foMPI on a Cray machine
+// (DESIGN.md section 2). A Runtime owns P "ranks"; Runtime::run() executes a
+// user function on one std::thread per rank. Ranks communicate only through
+// Window one-sided operations (window.hpp) and the collectives defined here,
+// which mirror the MPI collectives the paper relies on (barrier, bcast,
+// reduce/allreduce, allgather(v), alltoallv).
+//
+// Every operation charges the origin rank's simulated clock according to
+// NetParams, so benchmarks can report LogGP-modeled times while the actual
+// memory operations execute for real (preserving all concurrency behaviour of
+// the lock-free algorithms built on top).
+#pragma once
+
+#include <barrier>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "rma/net_params.hpp"
+
+namespace gdi::rma {
+
+class Runtime;
+
+/// Per-rank execution context handed to the user function by Runtime::run().
+/// A Rank is only ever touched by its own thread.
+class Rank {
+ public:
+  Rank(Runtime& rt, int id) : rt_(rt), id_(id) {}
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int nranks() const;
+  [[nodiscard]] Runtime& runtime() { return rt_; }
+  [[nodiscard]] const NetParams& net() const;
+
+  // --- simulated clock -----------------------------------------------------
+  void charge(double ns) { sim_ns_ += ns; }
+  void charge_compute(double ns) { sim_ns_ += ns; }
+  [[nodiscard]] double sim_time_ns() const { return sim_ns_; }
+  void reset_clock() { sim_ns_ = 0.0; }
+
+  [[nodiscard]] OpCounters& counters() { return counters_; }
+  [[nodiscard]] const OpCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = OpCounters{}; }
+
+  // --- collectives (all ranks must call, in the same order) ----------------
+  void barrier();
+
+  /// Broadcast a trivially copyable value from `root` to all ranks.
+  template <class T>
+  [[nodiscard]] T broadcast(const T& value, int root = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    charge_collective(sizeof(T));
+    publish(&value);
+    T out;
+    std::memcpy(&out, static_cast<const T*>(peek(root)), sizeof(T));
+    barrier_only();
+    return out;
+  }
+
+  /// Element-wise allreduce over vectors (all ranks pass equal lengths).
+  template <class T, class BinaryOp>
+  [[nodiscard]] std::vector<T> allreduce(std::span<const T> v, BinaryOp op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    charge_collective(v.size_bytes());
+    ExchangeSpan s{v.data(), v.size()};
+    publish(&s);
+    std::vector<T> out(v.begin(), v.end());
+    for (int r = 0; r < nranks(); ++r) {
+      if (r == id_) continue;
+      const auto* rs = static_cast<const ExchangeSpan*>(peek(r));
+      assert(rs->count == v.size());
+      const T* data = static_cast<const T*>(rs->data);
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] = op(out[i], data[i]);
+    }
+    barrier_only();
+    return out;
+  }
+
+  template <class T>
+  [[nodiscard]] T allreduce_sum(T v) {
+    return scalar_allreduce(v, [](T a, T b) { return a + b; });
+  }
+  template <class T>
+  [[nodiscard]] T allreduce_min(T v) {
+    return scalar_allreduce(v, [](T a, T b) { return a < b ? a : b; });
+  }
+  template <class T>
+  [[nodiscard]] T allreduce_max(T v) {
+    return scalar_allreduce(v, [](T a, T b) { return a > b ? a : b; });
+  }
+  [[nodiscard]] bool allreduce_or(bool v) {
+    return allreduce_max<std::uint8_t>(v ? 1 : 0) != 0;
+  }
+
+  /// Gather one value per rank; result[r] is rank r's contribution.
+  template <class T>
+  [[nodiscard]] std::vector<T> allgather(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    charge_collective(sizeof(T) * static_cast<std::size_t>(nranks()));
+    publish(&v);
+    std::vector<T> out(static_cast<std::size_t>(nranks()));
+    for (int r = 0; r < nranks(); ++r)
+      std::memcpy(&out[static_cast<std::size_t>(r)], peek(r), sizeof(T));
+    barrier_only();
+    return out;
+  }
+
+  /// Variable-length gather: concatenates every rank's vector, rank order.
+  template <class T>
+  [[nodiscard]] std::vector<T> allgatherv(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ExchangeSpan s{v.data(), v.size()};
+    publish(&s);
+    std::vector<T> out;
+    std::size_t total_bytes = 0;
+    for (int r = 0; r < nranks(); ++r) {
+      const auto* rs = static_cast<const ExchangeSpan*>(peek(r));
+      const T* data = static_cast<const T*>(rs->data);
+      out.insert(out.end(), data, data + rs->count);
+      total_bytes += rs->count * sizeof(T);
+    }
+    charge_collective(total_bytes);
+    barrier_only();
+    return out;
+  }
+
+  /// Personalized all-to-all: sends[d] goes to rank d; returns recv[s] = the
+  /// vector rank s addressed to this rank. Used by the bulk loader.
+  template <class T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& sends) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(static_cast<int>(sends.size()) == nranks());
+    publish(&sends);
+    std::vector<std::vector<T>> recv(static_cast<std::size_t>(nranks()));
+    std::size_t recv_bytes = 0;
+    for (int r = 0; r < nranks(); ++r) {
+      const auto* peer = static_cast<const std::vector<std::vector<T>>*>(peek(r));
+      recv[static_cast<std::size_t>(r)] = (*peer)[static_cast<std::size_t>(id_)];
+      recv_bytes += recv[static_cast<std::size_t>(r)].size() * sizeof(T);
+    }
+    charge_collective(recv_bytes);
+    barrier_only();
+    return recv;
+  }
+
+  /// Exclusive prefix sum across ranks (rank 0 receives 0).
+  template <class T>
+  [[nodiscard]] T exscan_sum(const T& v) {
+    auto all = allgather(v);
+    T acc{};
+    for (int r = 0; r < id_; ++r) acc += all[static_cast<std::size_t>(r)];
+    return acc;
+  }
+
+  /// Collectively construct a shared object: `factory` runs on rank 0 only;
+  /// every rank receives a shared_ptr to the same instance.
+  template <class T, class F>
+  [[nodiscard]] std::shared_ptr<T> collective_make(F&& factory) {
+    std::shared_ptr<T> mine;
+    if (id_ == 0) mine = factory();
+    const std::shared_ptr<T>* root = &mine;
+    publish(root);
+    std::shared_ptr<T> out = *static_cast<const std::shared_ptr<T>*>(peek(0));
+    barrier_only();
+    return out;
+  }
+
+  // Low-level: barrier without cost charging (used internally by collectives
+  // that already charged their tree cost).
+  void barrier_only();
+
+ private:
+  struct ExchangeSpan {
+    const void* data;
+    std::size_t count;
+  };
+
+  template <class T, class BinaryOp>
+  [[nodiscard]] T scalar_allreduce(const T& v, BinaryOp op) {
+    auto all = allgather(v);
+    T acc = all[0];
+    for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
+    return acc;
+  }
+
+  void charge_collective(std::size_t bytes);
+  void publish(const void* p);                 // slot write + barrier
+  [[nodiscard]] const void* peek(int rank) const;  // read peer slot
+
+  Runtime& rt_;
+  int id_;
+  double sim_ns_ = 0.0;
+  OpCounters counters_;
+};
+
+/// Owns the rank team. Reusable: run() may be called repeatedly.
+class Runtime {
+ public:
+  explicit Runtime(int nranks, NetParams params = NetParams::zero());
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] const NetParams& net() const { return params_; }
+  void set_net(const NetParams& p) { params_ = p; }
+
+  /// Execute `fn(rank)` on one thread per rank; joins all threads before
+  /// returning and rethrows the first exception raised by any rank.
+  void run(const std::function<void(Rank&)>& fn);
+
+  /// Tree depth used for collective cost accounting.
+  [[nodiscard]] int collective_stages() const {
+    return nranks_ <= 1 ? 0
+                        : static_cast<int>(std::ceil(std::log2(static_cast<double>(nranks_))));
+  }
+
+ private:
+  friend class Rank;
+
+  int nranks_;
+  NetParams params_;
+  std::barrier<> barrier_;
+  std::vector<const void*> slots_;
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace gdi::rma

@@ -1,0 +1,159 @@
+#include "workloads/bi.hpp"
+
+#include <algorithm>
+#include <map>
+#include <cstring>
+
+namespace gdi::work {
+
+ShardResult<std::uint64_t> bi2_count(const std::shared_ptr<Database>& db,
+                                     rma::Rank& self, Index& person_index,
+                                     const Bi2Params& p) {
+  self.reset_clock();
+  self.reset_counters();
+  ShardResult<std::uint64_t> res;
+
+  Transaction txn(db, self, TxnMode::kReadShared, TxnScope::kCollective);
+  const Constraint own_edge = Constraint::with_label(p.own_edge_label);
+  std::uint64_t local = 0;
+
+  auto people = txn.local_index_vertices(person_index);
+  if (people.ok()) {
+    for (DPtr person : *people) {
+      auto vh = txn.associate_vertex(person);
+      if (!vh.ok()) continue;
+      auto age = txn.get_properties(*vh, p.age_ptype);
+      if (!age.ok() || age->empty()) continue;
+      if (std::get<std::int64_t>((*age)[0]) <= p.age_threshold) continue;
+
+      auto things = txn.neighbors_of(*vh, DirFilter::kOutgoing, &own_edge);
+      if (!things.ok()) continue;
+      for (DPtr obj : *things) {
+        auto nh = txn.associate_vertex(obj);
+        if (!nh.ok()) continue;
+        auto labels = txn.labels_of(*nh);
+        if (!labels.ok() ||
+            std::find(labels->begin(), labels->end(), p.car_label) == labels->end())
+          continue;
+        auto color = txn.get_properties(*nh, p.color_ptype);
+        if (!color.ok() || color->empty()) continue;
+        if (std::get<std::int64_t>((*color)[0]) == p.color_value) {
+          ++local;
+          break;  // count each anchor vertex once
+        }
+      }
+      self.charge_compute(20.0);
+    }
+  }
+  (void)txn.commit();
+
+  res.values.assign(1, self.allreduce_sum(local));
+  res.sim_time_ns = self.allreduce_max(self.sim_time_ns());
+  res.remote_ops = self.allreduce_sum(self.counters().remote_ops);
+  return res;
+}
+
+ShardResult<std::pair<std::int64_t, std::uint64_t>> bi_group_count(
+    const std::shared_ptr<Database>& db, rma::Rank& self, Index& index,
+    std::uint32_t group_ptype) {
+  self.reset_clock();
+  self.reset_counters();
+  ShardResult<std::pair<std::int64_t, std::uint64_t>> res;
+
+  // Local aggregation over this rank's index shard.
+  std::map<std::int64_t, std::uint64_t> groups;
+  {
+    Transaction txn(db, self, TxnMode::kReadShared, TxnScope::kCollective);
+    auto locals = txn.local_index_vertices(index);
+    if (locals.ok()) {
+      for (DPtr v : *locals) {
+        auto vh = txn.associate_vertex(v);
+        if (!vh.ok()) continue;
+        auto vals = txn.get_properties(*vh, group_ptype);
+        if (!vals.ok() || vals->empty()) continue;
+        ++groups[std::get<std::int64_t>((*vals)[0])];
+        self.charge_compute(10.0);
+      }
+    }
+    (void)txn.commit();
+  }
+  // Global merge: exchange (value, count) pairs, fold locally.
+  struct Pair {
+    std::int64_t value;
+    std::uint64_t count;
+  };
+  std::vector<Pair> flat;
+  flat.reserve(groups.size());
+  for (const auto& [v, c] : groups) flat.push_back({v, c});
+  auto all = self.allgatherv(flat);
+  std::map<std::int64_t, std::uint64_t> merged;
+  for (const auto& p : all) merged[p.value] += p.count;
+  res.values.assign(merged.begin(), merged.end());
+  res.sim_time_ns = self.allreduce_max(self.sim_time_ns());
+  res.remote_ops = self.allreduce_sum(self.counters().remote_ops);
+  return res;
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>> bi_group_count_reference(
+    const gen::KroneckerGenerator& g, std::uint32_t anchor_label,
+    std::uint32_t group_ptype) {
+  std::map<std::int64_t, std::uint64_t> groups;
+  for (std::uint64_t v = 0; v < g.config().num_vertices(); ++v) {
+    const auto labels = g.vertex_labels(v);
+    if (std::find(labels.begin(), labels.end(), anchor_label) == labels.end())
+      continue;
+    for (const auto& [pt, bytes] : g.vertex_props(v)) {
+      if (pt == group_ptype) {
+        std::int64_t x = 0;
+        std::memcpy(&x, bytes.data(), std::min<std::size_t>(bytes.size(), 8));
+        ++groups[x];
+        break;
+      }
+    }
+  }
+  return {groups.begin(), groups.end()};
+}
+
+std::uint64_t bi2_reference(const gen::KroneckerGenerator& g, const Bi2Params& p) {
+  const std::uint64_t n = g.config().num_vertices();
+  const auto edges = g.all_edges();
+
+  auto has_label = [&](std::uint64_t v, std::uint32_t l) {
+    const auto ls = g.vertex_labels(v);
+    return std::find(ls.begin(), ls.end(), l) != ls.end();
+  };
+  auto int_prop = [&](std::uint64_t v, std::uint32_t pt) -> std::pair<bool, std::int64_t> {
+    for (const auto& [id, bytes] : g.vertex_props(v)) {
+      if (id == pt) {
+        std::int64_t x = 0;
+        std::memcpy(&x, bytes.data(), std::min<std::size_t>(bytes.size(), 8));
+        return {true, x};
+      }
+    }
+    return {false, 0};
+  };
+
+  // Pre-index outgoing labeled edges by source.
+  std::vector<std::vector<std::uint64_t>> out(n);
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    if (g.edge_label(k) == p.own_edge_label) out[edges[k].src].push_back(edges[k].dst);
+  }
+
+  std::uint64_t count = 0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (!has_label(v, p.person_label)) continue;
+    const auto [has_age, age] = int_prop(v, p.age_ptype);
+    if (!has_age || age <= p.age_threshold) continue;
+    for (std::uint64_t nb : out[v]) {
+      if (!has_label(nb, p.car_label)) continue;
+      const auto [has_color, color] = int_prop(nb, p.color_ptype);
+      if (has_color && color == p.color_value) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace gdi::work

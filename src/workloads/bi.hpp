@@ -1,0 +1,54 @@
+// Business-intelligence / OLSP workload (paper Section 3.1's example query,
+// Listing 3, and the BI2 bars of Figure 6b).
+//
+// The query shape is the paper's running example: "how many vertices with
+// label A have property P > t and an edge with label E to a neighbor with
+// label B whose property Q equals c?" -- executed as a collective
+// transaction over an explicit label index, with constraint-filtered
+// neighbor expansion and a final global reduction (Listing 3 line 18).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "gdi/gdi.hpp"
+#include "generator/kronecker.hpp"
+#include "workloads/olap.hpp"
+
+namespace gdi::work {
+
+struct Bi2Params {
+  std::uint32_t person_label = 0;   ///< label of the anchor vertex set ("Person")
+  std::uint32_t age_ptype = 0;      ///< int64 property filtered with >
+  std::int64_t age_threshold = 0;
+  std::uint32_t own_edge_label = 0; ///< label the connecting edge must carry
+  std::uint32_t car_label = 0;      ///< label the neighbor must carry ("Car")
+  std::uint32_t color_ptype = 0;    ///< int64 property on the neighbor
+  std::int64_t color_value = 0;     ///< equality filter ("red")
+};
+
+/// Collective BI2 query; values[0] holds the global count on every rank.
+ShardResult<std::uint64_t> bi2_count(const std::shared_ptr<Database>& db,
+                                     rma::Rank& self, Index& person_index,
+                                     const Bi2Params& p);
+
+/// Brute-force reference evaluated from the generator's deterministic
+/// decoration functions plus the explicit edge list.
+[[nodiscard]] std::uint64_t bi2_reference(const gen::KroneckerGenerator& g,
+                                          const Bi2Params& p);
+
+/// BI aggregation query (the "data summarization and aggregation" the paper
+/// attributes to business-intelligence workloads, Section 2): group the
+/// vertices of an index by the value of an int64 property and count each
+/// group. Returns (value, count) pairs sorted by value, identical on every
+/// rank (merged with an allgatherv).
+ShardResult<std::pair<std::int64_t, std::uint64_t>> bi_group_count(
+    const std::shared_ptr<Database>& db, rma::Rank& self, Index& index,
+    std::uint32_t group_ptype);
+
+/// Brute-force reference for bi_group_count over the generator's decoration.
+[[nodiscard]] std::vector<std::pair<std::int64_t, std::uint64_t>>
+bi_group_count_reference(const gen::KroneckerGenerator& g, std::uint32_t anchor_label,
+                         std::uint32_t group_ptype);
+
+}  // namespace gdi::work

@@ -1,0 +1,154 @@
+#include "workloads/gnn.hpp"
+
+#include <cstring>
+
+namespace gdi::work {
+namespace {
+
+std::vector<std::byte> encode_features(const std::vector<float>& f) {
+  std::vector<std::byte> out(f.size() * sizeof(float));
+  std::memcpy(out.data(), f.data(), out.size());
+  return out;
+}
+
+std::vector<float> decode_features(const std::vector<std::byte>& b) {
+  std::vector<float> out(b.size() / sizeof(float));
+  std::memcpy(out.data(), b.data(), b.size());
+  return out;
+}
+
+/// aggregate (sum of neighbor features + own) -> MLP -> ReLU.
+std::vector<float> layer_update(const GnnConfig& cfg, const std::vector<float>& agg) {
+  std::vector<float> h(static_cast<std::size_t>(cfg.k), 0.0f);
+  for (int i = 0; i < cfg.k; ++i) {
+    float acc = 0.0f;
+    for (int j = 0; j < cfg.k; ++j)
+      acc += gnn_weight(cfg, i, j) * agg[static_cast<std::size_t>(j)];
+    h[static_cast<std::size_t>(i)] = acc > 0.0f ? acc : 0.0f;  // sigma = ReLU
+  }
+  return h;
+}
+
+}  // namespace
+
+float gnn_weight(const GnnConfig& cfg, int i, int j) {
+  const std::uint64_t h = hash_combine(cfg.seed * 0x6E55u + 17,
+                                       static_cast<std::uint64_t>(i) * 4096u +
+                                           static_cast<std::uint64_t>(j));
+  // Small centered weights, scaled down with k to keep activations bounded.
+  return static_cast<float>((to_unit_double(h) - 0.5) * 2.0 / cfg.k);
+}
+
+float gnn_initial_feature(const GnnConfig& cfg, std::uint64_t v, int i) {
+  const std::uint64_t h =
+      hash_combine(cfg.seed * 0xFEA7u + 29, v * 4096u + static_cast<std::uint64_t>(i));
+  return static_cast<float>(to_unit_double(h));
+}
+
+Status gnn_init_features(const std::shared_ptr<Database>& db, rma::Rank& self,
+                         std::uint64_t n, std::uint32_t feature_ptype,
+                         const GnnConfig& cfg) {
+  const auto P = static_cast<std::uint64_t>(self.nranks());
+  Transaction txn(db, self, TxnMode::kWrite, TxnScope::kCollective);
+  for (std::uint64_t v = static_cast<std::uint64_t>(self.id()); v < n; v += P) {
+    auto vh = txn.find_vertex(v);
+    if (!vh.ok()) continue;
+    std::vector<float> f(static_cast<std::size_t>(cfg.k));
+    for (int i = 0; i < cfg.k; ++i)
+      f[static_cast<std::size_t>(i)] = gnn_initial_feature(cfg, v, i);
+    if (Status s = txn.update_property(*vh, feature_ptype,
+                                       PropValue{encode_features(f)});
+        !ok(s))
+      return s;
+  }
+  return txn.commit();
+}
+
+ShardResult<std::vector<float>> gnn_forward(const std::shared_ptr<Database>& db,
+                                            rma::Rank& self, std::uint64_t n,
+                                            std::uint32_t feature_ptype,
+                                            const GnnConfig& cfg) {
+  const auto P = static_cast<std::uint64_t>(self.nranks());
+  self.reset_clock();
+  self.reset_counters();
+  ShardResult<std::vector<float>> res;
+
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    // Read pass (Listing 2 lines 3-14): lock-free collective read of own
+    // features plus every neighbor's feature property (remote GETs).
+    std::vector<std::vector<float>> next;
+    {
+      Transaction txn(db, self, TxnMode::kReadShared, TxnScope::kCollective);
+      for (std::uint64_t v = static_cast<std::uint64_t>(self.id()); v < n; v += P) {
+        auto vh = txn.find_vertex(v);
+        if (!vh.ok()) {
+          next.emplace_back(static_cast<std::size_t>(cfg.k), 0.0f);
+          continue;
+        }
+        auto own = txn.get_properties(*vh, feature_ptype);
+        std::vector<float> agg(static_cast<std::size_t>(cfg.k), 0.0f);
+        if (own.ok() && !own->empty())
+          agg = decode_features(std::get<std::vector<std::byte>>((*own)[0]));
+        auto edges = txn.edges_of(*vh, DirFilter::kOutgoing);
+        if (edges.ok()) {
+          for (const auto& e : *edges) {
+            auto nh = txn.associate_vertex(e.neighbor);
+            if (!nh.ok()) continue;
+            auto nf = txn.get_properties(*nh, feature_ptype);
+            if (nf.ok() && !nf->empty()) {
+              const auto fv = decode_features(std::get<std::vector<std::byte>>((*nf)[0]));
+              for (int i = 0; i < cfg.k; ++i)
+                agg[static_cast<std::size_t>(i)] += fv[static_cast<std::size_t>(i)];
+            }
+          }
+        }
+        next.push_back(layer_update(cfg, agg));
+        // Modeled MLP cost: k x k multiply-accumulate.
+        self.charge_compute(static_cast<double>(cfg.k) * cfg.k);
+      }
+      (void)txn.commit();
+    }
+    self.barrier();  // Listing 2 line 2: collective synchronization
+    // Write pass (Listing 2 line 15): each rank updates its own vertices.
+    {
+      Transaction txn(db, self, TxnMode::kWrite, TxnScope::kCollective);
+      std::size_t i = 0;
+      for (std::uint64_t v = static_cast<std::uint64_t>(self.id()); v < n; v += P, ++i) {
+        auto vh = txn.find_vertex(v);
+        if (!vh.ok()) continue;
+        (void)txn.update_property(*vh, feature_ptype, PropValue{encode_features(next[i])});
+      }
+      (void)txn.commit();
+    }
+    if (layer + 1 == cfg.layers) res.values = std::move(next);
+  }
+
+  res.sim_time_ns = self.allreduce_max(self.sim_time_ns());
+  res.remote_ops = self.allreduce_sum(self.counters().remote_ops);
+  return res;
+}
+
+std::vector<std::vector<float>> gnn_reference(const ref::Csr& g, const GnnConfig& cfg) {
+  std::vector<std::vector<float>> feat(g.n);
+  for (std::uint64_t v = 0; v < g.n; ++v) {
+    feat[v].resize(static_cast<std::size_t>(cfg.k));
+    for (int i = 0; i < cfg.k; ++i)
+      feat[v][static_cast<std::size_t>(i)] = gnn_initial_feature(cfg, v, i);
+  }
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    std::vector<std::vector<float>> next(g.n);
+    for (std::uint64_t v = 0; v < g.n; ++v) {
+      std::vector<float> agg = feat[v];
+      for (std::uint64_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+        const auto& fv = feat[g.targets[e]];
+        for (int i = 0; i < cfg.k; ++i)
+          agg[static_cast<std::size_t>(i)] += fv[static_cast<std::size_t>(i)];
+      }
+      next[v] = layer_update(cfg, agg);
+    }
+    feat.swap(next);
+  }
+  return feat;
+}
+
+}  // namespace gdi::work

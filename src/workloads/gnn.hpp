@@ -1,0 +1,51 @@
+// Graph Neural Network workload (paper Listing 2, evaluation Figures 6c/6d):
+// graph-convolution forward passes where the per-vertex feature vector is a
+// GDI *property*, aggregated from neighbors, transformed by a fixed MLP and a
+// ReLU nonlinearity, and written back with property updates.
+//
+// Each layer runs as two collective transactions with a barrier between them
+// (Listing 2's "some form of collective synchronization"): a lock-free read
+// pass computes the new features, then a write pass updates every rank's own
+// vertices -- so reads never contend with the writes of the next phase.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gdi/gdi.hpp"
+#include "workloads/olap.hpp"
+#include "workloads/reference.hpp"
+
+namespace gdi::work {
+
+struct GnnConfig {
+  int layers = 2;
+  int k = 16;             ///< feature dimension (paper sweeps 4..500)
+  std::uint64_t seed = 7; ///< determines initial features and MLP weights
+};
+
+/// Deterministic MLP weight / bias / initial feature values shared by the
+/// GDI implementation and the single-threaded reference.
+[[nodiscard]] float gnn_weight(const GnnConfig& cfg, int i, int j);
+[[nodiscard]] float gnn_initial_feature(const GnnConfig& cfg, std::uint64_t v, int i);
+
+/// Install the initial feature property on every vertex (collective).
+/// `feature_ptype` must be a kBytes property type.
+Status gnn_init_features(const std::shared_ptr<Database>& db, rma::Rank& self,
+                         std::uint64_t n, std::uint32_t feature_ptype,
+                         const GnnConfig& cfg);
+
+/// Run `cfg.layers` graph-convolution layers; returns this rank's final
+/// feature shard (values[i] = features of vertex rank + i*P).
+ShardResult<std::vector<float>> gnn_forward(const std::shared_ptr<Database>& db,
+                                            rma::Rank& self, std::uint64_t n,
+                                            std::uint32_t feature_ptype,
+                                            const GnnConfig& cfg);
+
+/// Single-threaded reference with identical math (order-insensitive up to
+/// floating-point associativity; compare with tolerance).
+[[nodiscard]] std::vector<std::vector<float>> gnn_reference(const ref::Csr& undirected,
+                                                            const GnnConfig& cfg);
+
+}  // namespace gdi::work

@@ -1,0 +1,44 @@
+// Graph500-style reference BFS (paper Section 6.5, Figures 6e/6f).
+//
+// The paper compares GDA's BFS against the Graph500 kernel: a highly tuned
+// traversal over a static, label-free simple graph with no transactions.
+// This module reproduces that comparison target: a distributed 1D CSR built
+// once from the generated edge list, then a frontier-exchange BFS whose only
+// communication is the alltoallv of 8-byte vertex ids -- no holder fetches,
+// no property data, no transactional machinery. GDA's BFS should land within
+// the paper's 2-4x of this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gdi/bulk.hpp"
+#include "rma/runtime.hpp"
+#include "workloads/olap.hpp"
+
+namespace gdi::work {
+
+class Graph500 {
+ public:
+  /// Collective: build each rank's CSR shard (undirected view) from this
+  /// rank's slice of the edge list.
+  Graph500(rma::Rank& self, std::uint64_t n, const std::vector<BulkEdge>& slice_edges);
+
+  /// Collective BFS; returns levels for this rank's vertices.
+  ShardResult<std::uint64_t> bfs(rma::Rank& self, std::uint64_t root) const;
+
+  [[nodiscard]] std::uint64_t local_vertex_count() const { return local_n_; }
+  [[nodiscard]] std::uint64_t local_edge_count() const { return targets_.size(); }
+
+ private:
+  [[nodiscard]] std::uint64_t local_index(std::uint64_t id, int P) const {
+    return id / static_cast<std::uint64_t>(P);
+  }
+
+  std::uint64_t n_ = 0;
+  std::uint64_t local_n_ = 0;
+  std::vector<std::uint64_t> offsets_;  ///< per local vertex
+  std::vector<std::uint64_t> targets_;  ///< global neighbor ids
+};
+
+}  // namespace gdi::work

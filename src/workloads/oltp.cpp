@@ -1,0 +1,188 @@
+#include "workloads/oltp.hpp"
+
+namespace gdi::work {
+
+const char* oltp_op_name(OltpOp op) {
+  switch (op) {
+    case OltpOp::kGetVertexProps: return "retrieve vertex";
+    case OltpOp::kCountEdges: return "count edges";
+    case OltpOp::kGetEdges: return "retrieve edges";
+    case OltpOp::kAddVertex: return "insert vertex";
+    case OltpOp::kDeleteVertex: return "delete vertex";
+    case OltpOp::kUpdateVertexProp: return "update vertex";
+    case OltpOp::kAddEdge: return "add edges";
+    case OltpOp::kNumOps: break;
+  }
+  return "?";
+}
+
+// Table 3, columns RM / RI / WI / LB. Order matches OltpOp.
+OpMix OpMix::read_mostly() {
+  return OpMix{"read mostly", {0.288, 0.117, 0.593, 0.0, 0.0, 0.0, 0.002}};
+}
+OpMix OpMix::read_intensive() {
+  return OpMix{"read intensive", {0.217, 0.088, 0.445, 0.0, 0.0, 0.0, 0.25}};
+}
+OpMix OpMix::write_intensive() {
+  return OpMix{"write intensive", {0.091, 0.0, 0.109, 0.20, 0.067, 0.133, 0.40}};
+}
+OpMix OpMix::linkbench() {
+  return OpMix{"LinkBench", {0.129, 0.049, 0.512, 0.026, 0.01, 0.074, 0.20}};
+}
+
+namespace {
+
+OltpOp sample_op(const OpMix& mix, double u) {
+  double acc = 0;
+  for (int i = 0; i < kNumOltpOps; ++i) {
+    acc += mix.weights[static_cast<std::size_t>(i)];
+    if (u < acc) return static_cast<OltpOp>(i);
+  }
+  return OltpOp::kGetVertexProps;
+}
+
+}  // namespace
+
+OltpResult run_oltp(const std::shared_ptr<Database>& db, rma::Rank& self,
+                    const OpMix& mix, const OltpConfig& cfg) {
+  OltpResult res;
+  CounterRng rng(hash_combine(cfg.seed, static_cast<std::uint64_t>(self.id()) + 0x0177));
+  const auto P = static_cast<std::uint64_t>(self.nranks());
+  const auto r = static_cast<std::uint64_t>(self.id());
+  std::uint64_t next_new_id = cfg.existing_ids + r;  // unique per rank, stride P
+  std::uint64_t local_failed = 0;
+  std::uint64_t local_not_found = 0;
+
+  self.barrier();
+  self.reset_clock();
+
+  auto random_id = [&] { return rng.next_below(cfg.existing_ids); };
+
+  for (std::uint64_t q = 0; q < cfg.queries_per_rank; ++q) {
+    const OltpOp op = sample_op(mix, rng.next_unit());
+    const double t0 = self.sim_time_ns();
+    self.charge_compute(cfg.cpu_ns_per_query);
+    Status outcome = Status::kOk;
+
+    switch (op) {
+      case OltpOp::kGetVertexProps: {
+        Transaction txn(db, self, TxnMode::kRead);
+        auto vh = txn.find_vertex(random_id());
+        if (vh.ok()) {
+          auto props = txn.ptypes_of(*vh);
+          if (props.ok() && !props->empty())
+            (void)txn.get_properties(*vh, (*props)[0]);
+          outcome = txn.commit();
+        } else {
+          outcome = vh.status();
+          txn.abort();
+        }
+        break;
+      }
+      case OltpOp::kCountEdges: {
+        Transaction txn(db, self, TxnMode::kRead);
+        auto vh = txn.find_vertex(random_id());
+        if (vh.ok()) {
+          (void)txn.count_edges(*vh, DirFilter::kAll);
+          outcome = txn.commit();
+        } else {
+          outcome = vh.status();
+          txn.abort();
+        }
+        break;
+      }
+      case OltpOp::kGetEdges: {
+        Transaction txn(db, self, TxnMode::kRead);
+        auto vh = txn.find_vertex(random_id());
+        if (vh.ok()) {
+          (void)txn.edges_of(*vh, DirFilter::kAll);
+          outcome = txn.commit();
+        } else {
+          outcome = vh.status();
+          txn.abort();
+        }
+        break;
+      }
+      case OltpOp::kAddVertex: {
+        Transaction txn(db, self, TxnMode::kWrite);
+        auto vh = txn.create_vertex(next_new_id);
+        if (vh.ok()) {
+          next_new_id += P;
+          if (cfg.label_for_new) (void)txn.add_label(*vh, cfg.label_for_new);
+          if (cfg.ptype_for_update)
+            (void)txn.add_property(*vh, cfg.ptype_for_update,
+                                   PropValue{static_cast<std::int64_t>(q)});
+          outcome = txn.commit();
+        } else {
+          outcome = vh.status();
+          txn.abort();
+        }
+        break;
+      }
+      case OltpOp::kDeleteVertex: {
+        Transaction txn(db, self, TxnMode::kWrite);
+        auto vh = txn.find_vertex(random_id());
+        if (vh.ok()) {
+          const Status s = txn.delete_vertex(*vh);
+          outcome = ok(s) ? txn.commit() : s;
+          if (!ok(s)) txn.abort();
+        } else {
+          outcome = vh.status();
+          txn.abort();
+        }
+        break;
+      }
+      case OltpOp::kUpdateVertexProp: {
+        Transaction txn(db, self, TxnMode::kWrite);
+        auto vh = txn.find_vertex(random_id());
+        if (vh.ok()) {
+          const Status s = txn.update_property(
+              *vh, cfg.ptype_for_update, PropValue{static_cast<std::int64_t>(q)});
+          outcome = ok(s) || !is_transaction_critical(s) ? txn.commit() : s;
+          if (is_transaction_critical(s)) txn.abort();
+        } else {
+          outcome = vh.status();
+          txn.abort();
+        }
+        break;
+      }
+      case OltpOp::kAddEdge: {
+        Transaction txn(db, self, TxnMode::kWrite);
+        auto a = txn.find_vertex(random_id());
+        auto b = a.ok() ? txn.find_vertex(random_id()) : Result<VertexHandle>(a.status());
+        if (a.ok() && b.ok()) {
+          auto uid = txn.create_edge(*a, *b, layout::Dir::kOut, cfg.label_for_new);
+          outcome = uid.ok() || !is_transaction_critical(uid.status()) ? txn.commit()
+                                                                       : uid.status();
+          if (is_transaction_critical(uid.status()) && !uid.ok()) txn.abort();
+        } else {
+          outcome = a.ok() ? b.status() : a.status();
+          txn.abort();
+        }
+        break;
+      }
+      case OltpOp::kNumOps:
+        break;
+    }
+
+    if (is_transaction_critical(outcome)) {
+      ++local_failed;
+    } else if (outcome == Status::kNotFound) {
+      ++local_not_found;
+    }
+    res.latency[static_cast<std::size_t>(op)].add(self.sim_time_ns() - t0);
+  }
+
+  const double my_time = self.sim_time_ns();
+  res.rank_time_ns = self.allreduce_max(my_time);
+  res.attempted = self.allreduce_sum(cfg.queries_per_rank);
+  res.failed = self.allreduce_sum(local_failed);
+  res.not_found = self.allreduce_sum(local_not_found);
+  res.throughput_qps =
+      res.rank_time_ns > 0
+          ? static_cast<double>(res.attempted) / (res.rank_time_ns * 1e-9)
+          : 0;
+  return res;
+}
+
+}  // namespace gdi::work

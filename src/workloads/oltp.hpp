@@ -1,0 +1,73 @@
+// OLTP workload driver (paper Section 6.4, Table 3).
+//
+// Stresses a database with a high-velocity stream of single-process
+// transactions sampled from an operation mix. The four mixes of Table 3 --
+// Read Mostly, Read Intensive, Write Intensive, LinkBench -- are provided as
+// presets with the paper's exact operation fractions. The driver records the
+// simulated latency of every operation into per-op-type histograms (Figure 5)
+// and the failed-transaction fraction (the percentages of Figures 4c/4d).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gdi/gdi.hpp"
+#include "stats/stats.hpp"
+
+namespace gdi::work {
+
+enum class OltpOp : std::uint8_t {
+  kGetVertexProps = 0,  // "retrieve vertex"
+  kCountEdges,          // "count edges"
+  kGetEdges,            // "retrieve edges"
+  kAddVertex,           // "insert vertex"
+  kDeleteVertex,        // "delete vertex"
+  kUpdateVertexProp,    // "update vertex"
+  kAddEdge,             // "add edges"
+  kNumOps,
+};
+inline constexpr int kNumOltpOps = static_cast<int>(OltpOp::kNumOps);
+
+[[nodiscard]] const char* oltp_op_name(OltpOp op);
+
+/// Operation mix: fractions summing to 1 (Table 3 columns).
+struct OpMix {
+  std::string name;
+  std::array<double, kNumOltpOps> weights{};
+
+  [[nodiscard]] static OpMix read_mostly();     // RM  [Weaver]: 99.8% reads
+  [[nodiscard]] static OpMix read_intensive();  // RI  [Weaver]: 75% reads
+  [[nodiscard]] static OpMix write_intensive(); // WI  [G-Tran]: 20% reads
+  [[nodiscard]] static OpMix linkbench();       // LB  [LinkBench]: 69% reads
+};
+
+struct OltpConfig {
+  std::uint64_t queries_per_rank = 2000;
+  std::uint64_t seed = 1;
+  std::uint64_t existing_ids = 0;  ///< app ids 0..existing_ids-1 were bulk loaded
+  std::uint32_t label_for_new = 0;
+  std::uint32_t ptype_for_update = 0;
+  double cpu_ns_per_query = 180.0;  ///< modeled client-side work per query
+};
+
+struct OltpResult {
+  std::uint64_t attempted = 0;
+  std::uint64_t failed = 0;     ///< transaction-critical failures (conflicts)
+  std::uint64_t not_found = 0;  ///< benign misses (racing deletes)
+  double rank_time_ns = 0;      ///< max simulated time across ranks
+  double throughput_qps = 0;    ///< global queries per (simulated) second
+  std::array<stats::Histogram, kNumOltpOps> latency;
+
+  [[nodiscard]] double failed_fraction() const {
+    return attempted ? static_cast<double>(failed) / static_cast<double>(attempted) : 0;
+  }
+};
+
+/// Run `cfg.queries_per_rank` single-process transactions on every rank;
+/// returns globally aggregated counters with this rank's latency histograms.
+OltpResult run_oltp(const std::shared_ptr<Database>& db, rma::Rank& self,
+                    const OpMix& mix, const OltpConfig& cfg);
+
+}  // namespace gdi::work

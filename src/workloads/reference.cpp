@@ -1,0 +1,163 @@
+#include "workloads/reference.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+namespace gdi::ref {
+
+Csr Csr::build(std::uint64_t n, const std::vector<BulkEdge>& edges, bool both) {
+  Csr g;
+  g.n = n;
+  g.offsets.assign(n + 1, 0);
+  for (const auto& e : edges) {
+    ++g.offsets[e.src + 1];
+    if (both) ++g.offsets[e.dst + 1];
+  }
+  for (std::uint64_t v = 0; v < n; ++v) g.offsets[v + 1] += g.offsets[v];
+  g.targets.resize(g.offsets[n]);
+  std::vector<std::uint64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (const auto& e : edges) {
+    g.targets[cursor[e.src]++] = e.dst;
+    if (both) g.targets[cursor[e.dst]++] = e.src;
+  }
+  return g;
+}
+
+std::vector<std::uint64_t> bfs_levels(const Csr& g, std::uint64_t root) {
+  constexpr auto kInf = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> level(g.n, kInf);
+  std::deque<std::uint64_t> q;
+  level[root] = 0;
+  q.push_back(root);
+  while (!q.empty()) {
+    const std::uint64_t u = q.front();
+    q.pop_front();
+    for (std::uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+      const std::uint64_t v = g.targets[i];
+      if (level[v] == kInf) {
+        level[v] = level[u] + 1;
+        q.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+std::uint64_t k_hop_count(const Csr& g, std::uint64_t root, int k) {
+  const auto levels = bfs_levels(g, root);
+  std::uint64_t count = 0;
+  for (auto l : levels)
+    if (l <= static_cast<std::uint64_t>(k)) ++count;
+  return count;
+}
+
+std::vector<double> pagerank(const Csr& directed, int iters, double df) {
+  const auto n = static_cast<double>(directed.n);
+  std::vector<double> pr(directed.n, 1.0 / n);
+  std::vector<double> next(directed.n);
+  for (int it = 0; it < iters; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (std::uint64_t u = 0; u < directed.n; ++u) {
+      const std::uint64_t d = directed.degree(u);
+      if (d == 0) {
+        dangling += pr[u];
+        continue;
+      }
+      const double share = pr[u] / static_cast<double>(d);
+      for (std::uint64_t i = directed.offsets[u]; i < directed.offsets[u + 1]; ++i)
+        next[directed.targets[i]] += share;
+    }
+    const double base = (1.0 - df) / n + df * dangling / n;
+    for (std::uint64_t v = 0; v < directed.n; ++v) next[v] = base + df * next[v];
+    pr.swap(next);
+  }
+  return pr;
+}
+
+std::vector<std::uint64_t> wcc(const Csr& g) {
+  std::vector<std::uint64_t> comp(g.n);
+  for (std::uint64_t v = 0; v < g.n; ++v) comp[v] = v;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint64_t u = 0; u < g.n; ++u) {
+      for (std::uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+        const std::uint64_t v = g.targets[i];
+        if (comp[v] < comp[u]) {
+          comp[u] = comp[v];
+          changed = true;
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+std::vector<std::uint64_t> cdlp(const Csr& g, int iters) {
+  std::vector<std::uint64_t> label(g.n);
+  for (std::uint64_t v = 0; v < g.n; ++v) label[v] = v;
+  std::vector<std::uint64_t> next(g.n);
+  std::unordered_map<std::uint64_t, std::uint64_t> freq;
+  for (int it = 0; it < iters; ++it) {
+    for (std::uint64_t u = 0; u < g.n; ++u) {
+      if (g.degree(u) == 0) {
+        next[u] = label[u];
+        continue;
+      }
+      freq.clear();
+      for (std::uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i)
+        ++freq[label[g.targets[i]]];
+      std::uint64_t best = label[u];
+      std::uint64_t best_count = 0;
+      for (const auto& [l, c] : freq) {
+        if (c > best_count || (c == best_count && l < best)) {
+          best = l;
+          best_count = c;
+        }
+      }
+      next[u] = best;
+    }
+    label.swap(next);
+  }
+  return label;
+}
+
+namespace {
+
+/// Sorted, deduplicated neighbor set of `u`, excluding `u` itself.
+std::vector<std::uint64_t> neighbor_set(const Csr& g, std::uint64_t u) {
+  std::vector<std::uint64_t> nu(
+      g.targets.begin() + static_cast<std::ptrdiff_t>(g.offsets[u]),
+      g.targets.begin() + static_cast<std::ptrdiff_t>(g.offsets[u + 1]));
+  std::sort(nu.begin(), nu.end());
+  nu.erase(std::unique(nu.begin(), nu.end()), nu.end());
+  nu.erase(std::remove(nu.begin(), nu.end(), u), nu.end());
+  return nu;
+}
+
+}  // namespace
+
+std::vector<double> lcc(const Csr& g) {
+  std::vector<double> out(g.n, 0.0);
+  for (std::uint64_t u = 0; u < g.n; ++u) {
+    const auto nu = neighbor_set(g, u);
+    const std::size_t d = nu.size();
+    if (d < 2) continue;
+    // Count connected (unordered) pairs within N(u): every edge (v,w) with
+    // both endpoints in N(u) is found from both sides, hence /2.
+    std::uint64_t links2 = 0;
+    for (std::uint64_t v : nu) {
+      const auto nv = neighbor_set(g, v);
+      for (std::uint64_t w : nv)
+        if (w != u && std::binary_search(nu.begin(), nu.end(), w)) ++links2;
+    }
+    out[u] = static_cast<double>(links2) / 2.0 /
+             (static_cast<double>(d) * static_cast<double>(d - 1) / 2.0);
+  }
+  return out;
+}
+
+}  // namespace gdi::ref

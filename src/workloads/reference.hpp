@@ -1,0 +1,48 @@
+// Single-threaded reference implementations of every graph algorithm the
+// OLAP/OLSP workloads run through GDI. They operate directly on edge lists
+// and exist so the test suite can verify the distributed GDI-based versions
+// bit-for-bit (levels, components, counts) or numerically (PageRank, GNN).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gdi/bulk.hpp"
+
+namespace gdi::ref {
+
+/// Compressed sparse row adjacency built from a directed edge list. `both`
+/// adds the reverse of every edge (treat the graph as undirected).
+struct Csr {
+  std::uint64_t n = 0;
+  std::vector<std::uint64_t> offsets;  ///< size n+1
+  std::vector<std::uint64_t> targets;
+
+  [[nodiscard]] std::uint64_t degree(std::uint64_t v) const {
+    return offsets[v + 1] - offsets[v];
+  }
+  [[nodiscard]] static Csr build(std::uint64_t n, const std::vector<BulkEdge>& edges,
+                                 bool both);
+};
+
+/// BFS levels from `root`; unreachable = UINT64_MAX. Traverses undirected.
+[[nodiscard]] std::vector<std::uint64_t> bfs_levels(const Csr& g, std::uint64_t root);
+
+/// Number of distinct vertices within `k` hops of `root` (root included).
+[[nodiscard]] std::uint64_t k_hop_count(const Csr& g, std::uint64_t root, int k);
+
+/// PageRank with damping `df`, `iters` synchronous iterations, out-edge push
+/// over the *directed* graph. Dangling mass is redistributed uniformly.
+[[nodiscard]] std::vector<double> pagerank(const Csr& directed, int iters, double df);
+
+/// Weakly connected components: component id = min vertex id in component.
+[[nodiscard]] std::vector<std::uint64_t> wcc(const Csr& undirected);
+
+/// Community detection by label propagation, `iters` synchronous rounds,
+/// ties broken toward the smaller label (LDBC Graphalytics CDLP rule).
+[[nodiscard]] std::vector<std::uint64_t> cdlp(const Csr& undirected, int iters);
+
+/// Local clustering coefficient per vertex (undirected, dedup neighbors).
+[[nodiscard]] std::vector<double> lcc(const Csr& undirected);
+
+}  // namespace gdi::ref

@@ -1,0 +1,218 @@
+// Unit tests: DPtr packing, EdgeUid, Status taxonomy, hashing, PropValue
+// codec, and the stats utilities.
+#include <gtest/gtest.h>
+
+#include "common/dptr.hpp"
+#include "common/hash.hpp"
+#include "common/status.hpp"
+#include "common/value.hpp"
+#include "stats/stats.hpp"
+
+namespace gdi {
+namespace {
+
+TEST(DPtr, NullIsFalse) {
+  DPtr p;
+  EXPECT_TRUE(p.is_null());
+  EXPECT_FALSE(static_cast<bool>(p));
+  EXPECT_EQ(p.raw(), 0u);
+}
+
+TEST(DPtr, PackUnpackRoundtrip) {
+  const DPtr p(3, 0x123456);
+  EXPECT_EQ(p.rank(), 3u);
+  EXPECT_EQ(p.offset(), 0x123456u);
+  EXPECT_EQ(DPtr{p.raw()}, p);
+}
+
+class DPtrParam : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(DPtrParam, RoundtripSweep) {
+  const auto [rank, offset] = GetParam();
+  const DPtr p(rank, offset);
+  EXPECT_EQ(p.rank(), rank);
+  EXPECT_EQ(p.offset(), offset);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DPtrParam,
+    ::testing::Values(std::pair<std::uint32_t, std::uint64_t>{0, 1},
+                      std::pair<std::uint32_t, std::uint64_t>{1, 0},
+                      std::pair<std::uint32_t, std::uint64_t>{65535, DPtr::kMaxOffset},
+                      std::pair<std::uint32_t, std::uint64_t>{42, 0xFFFFFFFF},
+                      std::pair<std::uint32_t, std::uint64_t>{7, 512},
+                      std::pair<std::uint32_t, std::uint64_t>{255, 1ull << 40}));
+
+TEST(DPtr, OffsetMaskedTo48Bits) {
+  const DPtr p(0, ~std::uint64_t{0});
+  EXPECT_EQ(p.offset(), DPtr::kMaxOffset);
+  EXPECT_EQ(p.rank(), 0u);
+}
+
+TEST(DPtr, Ordering) {
+  EXPECT_LT(DPtr(0, 5), DPtr(0, 6));
+  EXPECT_LT(DPtr(0, 999), DPtr(1, 0));
+}
+
+TEST(DPtr, HashDistinct) {
+  EXPECT_NE(std::hash<DPtr>{}(DPtr(0, 8)), std::hash<DPtr>{}(DPtr(0, 16)));
+}
+
+TEST(EdgeUid, Comparison) {
+  const EdgeUid a{DPtr(1, 64), 176};
+  const EdgeUid b{DPtr(1, 64), 200};
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, (EdgeUid{DPtr(1, 64), 176}));
+  EXPECT_FALSE(a.is_null());
+  EXPECT_TRUE(EdgeUid{}.is_null());
+}
+
+TEST(Status, CriticalClassification) {
+  EXPECT_TRUE(is_transaction_critical(Status::kTxnConflict));
+  EXPECT_TRUE(is_transaction_critical(Status::kTxnAborted));
+  EXPECT_TRUE(is_transaction_critical(Status::kTxnReadOnly));
+  EXPECT_TRUE(is_transaction_critical(Status::kOutOfMemory));
+  EXPECT_FALSE(is_transaction_critical(Status::kOk));
+  EXPECT_FALSE(is_transaction_critical(Status::kNotFound));
+  EXPECT_FALSE(is_transaction_critical(Status::kNoSpace));
+  EXPECT_FALSE(is_transaction_critical(Status::kStale));
+}
+
+TEST(Status, Names) {
+  EXPECT_EQ(to_string(Status::kOk), "OK");
+  EXPECT_EQ(to_string(Status::kTxnConflict), "TXN_CONFLICT");
+  EXPECT_EQ(to_string(Status::kNotFound), "NOT_FOUND");
+}
+
+TEST(Result, ValueAndStatus) {
+  Result<int> good(7);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  Result<int> bad(Status::kNotFound);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status(), Status::kNotFound);
+}
+
+TEST(Hash, SplitmixDeterministicAndMixing) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  // Avalanche sanity: flipping one input bit flips many output bits.
+  int diff = __builtin_popcountll(splitmix64(0x1000) ^ splitmix64(0x1001));
+  EXPECT_GT(diff, 16);
+}
+
+TEST(Hash, CounterRngInRange) {
+  CounterRng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Hash, CounterRngStreamsIndependent) {
+  CounterRng a(1);
+  CounterRng b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Value, Int64Roundtrip) {
+  const PropValue v{std::int64_t{-42}};
+  const auto bytes = encode_value(v);
+  EXPECT_EQ(bytes.size(), 8u);
+  EXPECT_EQ(std::get<std::int64_t>(decode_value(Datatype::kInt64, bytes)), -42);
+}
+
+TEST(Value, DoubleRoundtrip) {
+  const auto bytes = encode_value(PropValue{3.25});
+  EXPECT_DOUBLE_EQ(std::get<double>(decode_value(Datatype::kDouble, bytes)), 3.25);
+}
+
+TEST(Value, StringRoundtrip) {
+  const auto bytes = encode_value(PropValue{std::string("hello world")});
+  EXPECT_EQ(std::get<std::string>(decode_value(Datatype::kString, bytes)), "hello world");
+}
+
+TEST(Value, EmptyString) {
+  const auto bytes = encode_value(PropValue{std::string()});
+  EXPECT_TRUE(bytes.empty());
+  EXPECT_EQ(std::get<std::string>(decode_value(Datatype::kString, bytes)), "");
+}
+
+TEST(Value, BytesRoundtrip) {
+  std::vector<std::byte> raw{std::byte{1}, std::byte{2}, std::byte{255}};
+  const auto bytes = encode_value(PropValue{raw});
+  EXPECT_EQ(std::get<std::vector<std::byte>>(decode_value(Datatype::kBytes, bytes)), raw);
+}
+
+TEST(Stats, SummarizeBasics) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) xs.push_back(static_cast<double>(i));
+  const auto s = stats::summarize(xs, 0.0);
+  EXPECT_NEAR(s.mean, 500.5, 1e-9);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 1000.0);
+  EXPECT_LE(s.ci95_lo, s.mean);
+  EXPECT_GE(s.ci95_hi, s.mean);
+  EXPECT_GT(s.ci95_lo, 450.0);
+  EXPECT_LT(s.ci95_hi, 550.0);
+}
+
+TEST(Stats, SummarizeDropsWarmup) {
+  std::vector<double> xs(100, 10.0);
+  xs[0] = 1e9;  // a warmup outlier
+  const auto s = stats::summarize(xs, 0.01);
+  EXPECT_NEAR(s.mean, 10.0, 1e-9);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const auto s = stats::summarize({});
+  EXPECT_EQ(s.n, 0u);
+}
+
+TEST(Stats, HistogramBuckets) {
+  stats::Histogram h(100, 1e6, 4);
+  h.add(150);
+  h.add(150);
+  h.add(5e5);
+  h.add(1);    // below range -> first bucket
+  h.add(1e9);  // above range -> last bucket
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_GE(h.count(0), 1u);
+  EXPECT_GE(h.count(h.bucket_count() - 1), 1u);
+}
+
+TEST(Stats, HistogramPercentileMonotone) {
+  stats::Histogram h;
+  CounterRng rng(3);
+  for (int i = 0; i < 10000; ++i) h.add(1000.0 + 1e6 * rng.next_unit());
+  EXPECT_LE(h.percentile_ns(50), h.percentile_ns(99));
+  EXPECT_GT(h.mean_ns(), 0);
+}
+
+TEST(Stats, HistogramMerge) {
+  stats::Histogram a, b;
+  a.add(1000);
+  b.add(2000);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+}
+
+TEST(Stats, TableRenders) {
+  stats::Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+}
+
+TEST(Stats, FmtSi) {
+  EXPECT_EQ(stats::Table::fmt_si(1500.0, 1), "1.5K");
+  EXPECT_EQ(stats::Table::fmt_si(2.5e6, 1), "2.5M");
+  EXPECT_EQ(stats::Table::fmt_si(3.0e9, 0), "3B");
+}
+
+}  // namespace
+}  // namespace gdi

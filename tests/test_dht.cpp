@@ -1,0 +1,196 @@
+// Unit tests: the fully-offloaded lock-free distributed hash table
+// (paper Listing 4) -- functional semantics, chained collisions, and
+// concurrent stress with true hardware parallelism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "dht/dht.hpp"
+
+namespace gdi::dht {
+namespace {
+
+DhtConfig small_cfg(std::size_t buckets = 64, std::size_t entries = 256) {
+  return DhtConfig{buckets, entries, 0x1234};
+}
+
+TEST(Dht, InsertLookup) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, small_cfg());
+    EXPECT_TRUE(t->insert(self, 7, 700));
+    EXPECT_TRUE(t->insert(self, 8, 800));
+    EXPECT_EQ(t->lookup(self, 7), std::optional<std::uint64_t>(700));
+    EXPECT_EQ(t->lookup(self, 8), std::optional<std::uint64_t>(800));
+    EXPECT_EQ(t->lookup(self, 9), std::nullopt);
+  });
+}
+
+TEST(Dht, EraseRemovesAndReports) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, small_cfg());
+    EXPECT_TRUE(t->insert(self, 1, 10));
+    EXPECT_TRUE(t->erase(self, 1));
+    EXPECT_EQ(t->lookup(self, 1), std::nullopt);
+    EXPECT_FALSE(t->erase(self, 1)) << "double erase must fail";
+    EXPECT_FALSE(t->erase(self, 999));
+  });
+}
+
+TEST(Dht, DuplicateKeyShadowing) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, small_cfg());
+    EXPECT_TRUE(t->insert(self, 5, 100));
+    EXPECT_TRUE(t->insert(self, 5, 200));  // prepend: newest wins lookups
+    EXPECT_EQ(t->lookup(self, 5), std::optional<std::uint64_t>(200));
+    EXPECT_TRUE(t->erase(self, 5));
+    EXPECT_EQ(t->lookup(self, 5), std::optional<std::uint64_t>(100));
+    EXPECT_TRUE(t->erase(self, 5));
+    EXPECT_EQ(t->lookup(self, 5), std::nullopt);
+  });
+}
+
+TEST(Dht, InsertIfAbsent) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, small_cfg());
+    EXPECT_TRUE(t->insert_if_absent(self, 3, 30));
+    EXPECT_FALSE(t->insert_if_absent(self, 3, 31));
+    EXPECT_EQ(t->lookup(self, 3), std::optional<std::uint64_t>(30));
+  });
+}
+
+TEST(Dht, SingleBucketChainsCorrectly) {
+  // One bucket per rank on one rank: every key collides into one chain.
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, DhtConfig{1, 64, 0});
+    for (std::uint64_t k = 0; k < 40; ++k) EXPECT_TRUE(t->insert(self, k, k * 2));
+    for (std::uint64_t k = 0; k < 40; ++k)
+      EXPECT_EQ(t->lookup(self, k), std::optional<std::uint64_t>(k * 2));
+    // Delete from the middle, head, and tail of the chain.
+    EXPECT_TRUE(t->erase(self, 20));
+    EXPECT_TRUE(t->erase(self, 39));  // head (most recent insert)
+    EXPECT_TRUE(t->erase(self, 0));   // tail
+    EXPECT_EQ(t->lookup(self, 20), std::nullopt);
+    EXPECT_EQ(t->lookup(self, 39), std::nullopt);
+    EXPECT_EQ(t->lookup(self, 0), std::nullopt);
+    for (std::uint64_t k = 1; k < 39; ++k) {
+      if (k == 20) continue;
+      EXPECT_EQ(t->lookup(self, k), std::optional<std::uint64_t>(k * 2)) << k;
+    }
+  });
+}
+
+TEST(Dht, HeapExhaustionReportsFailure) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, DhtConfig{16, 8, 0});
+    for (std::uint64_t k = 0; k < 8; ++k) EXPECT_TRUE(t->insert(self, k, k));
+    EXPECT_FALSE(t->insert(self, 100, 1)) << "heap exhausted";
+    EXPECT_TRUE(t->erase(self, 3));
+    EXPECT_TRUE(t->insert(self, 100, 1)) << "freed entry must be reusable";
+  });
+}
+
+TEST(Dht, LiveEntriesDiagnostic) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, small_cfg());
+    for (std::uint64_t k = 0; k < 10; ++k) EXPECT_TRUE(t->insert(self, k, k));
+    EXPECT_EQ(t->live_entries(self, 0), 10u);
+    EXPECT_TRUE(t->erase(self, 0));
+    EXPECT_EQ(t->live_entries(self, 0), 9u);
+  });
+}
+
+class DhtConcurrency : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, DhtConcurrency, ::testing::Values(2, 4, 8));
+
+TEST_P(DhtConcurrency, ConcurrentDisjointInserts) {
+  const int P = GetParam();
+  rma::Runtime rt(P);
+  constexpr std::uint64_t kPerRank = 200;
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, DhtConfig{32, 4096, 7});
+    const auto base = static_cast<std::uint64_t>(self.id()) * kPerRank;
+    for (std::uint64_t i = 0; i < kPerRank; ++i)
+      EXPECT_TRUE(t->insert(self, base + i, base + i + 1));
+    self.barrier();
+    // Every rank verifies every other rank's keys (remote traversals).
+    for (std::uint64_t k = 0; k < kPerRank * static_cast<std::uint64_t>(P); ++k)
+      EXPECT_EQ(t->lookup(self, k), std::optional<std::uint64_t>(k + 1)) << k;
+  });
+}
+
+TEST_P(DhtConcurrency, ConcurrentInsertEraseChurn) {
+  const int P = GetParam();
+  rma::Runtime rt(P);
+  rt.run([&](rma::Rank& self) {
+    // Few buckets: rank-disjoint keys share chains, stressing the two-CAS
+    // delete protocol against concurrent inserts and deletes.
+    auto t = DistributedHashTable::create(self, DhtConfig{4, 4096, 11});
+    const auto base = static_cast<std::uint64_t>(self.id()) * 1000;
+    for (int round = 0; round < 30; ++round) {
+      for (std::uint64_t i = 0; i < 20; ++i)
+        EXPECT_TRUE(t->insert(self, base + i, round * 100 + i));
+      for (std::uint64_t i = 0; i < 20; ++i)
+        EXPECT_EQ(t->lookup(self, base + i).has_value(), true) << base + i;
+      for (std::uint64_t i = 0; i < 20; ++i) EXPECT_TRUE(t->erase(self, base + i));
+      for (std::uint64_t i = 0; i < 20; ++i)
+        EXPECT_EQ(t->lookup(self, base + i), std::nullopt);
+    }
+    self.barrier();
+  });
+}
+
+TEST_P(DhtConcurrency, LookupsDuringChurnNeverReturnWrongValue) {
+  const int P = GetParam();
+  rma::Runtime rt(P);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, DhtConfig{8, 8192, 13});
+    // Stable keys (never deleted) interleaved with churn keys on the same
+    // chains; lookups of stable keys must always succeed with the right value.
+    if (self.id() == 0)
+      for (std::uint64_t k = 0; k < 50; ++k)
+        EXPECT_TRUE(t->insert(self, k * 2, k * 2 + 1));  // even = stable
+    self.barrier();
+    const auto base = 10000 + static_cast<std::uint64_t>(self.id()) * 500;
+    for (int round = 0; round < 40; ++round) {
+      for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_TRUE(t->insert(self, base + i, i));
+      for (std::uint64_t k = 0; k < 50; ++k) {
+        auto v = t->lookup(self, k * 2);
+        EXPECT_TRUE(v.has_value()) << "stable key vanished";
+        if (v) EXPECT_EQ(*v, k * 2 + 1) << "stable key corrupted";
+      }
+      for (std::uint64_t i = 0; i < 10; ++i) EXPECT_TRUE(t->erase(self, base + i));
+    }
+    self.barrier();
+  });
+}
+
+TEST_P(DhtConcurrency, EntryReuseAcrossRanks) {
+  const int P = GetParam();
+  rma::Runtime rt(P);
+  rt.run([&](rma::Rank& self) {
+    // Tiny heap forces rapid entry reuse -> exercises generation tags.
+    auto t = DistributedHashTable::create(self, DhtConfig{4, 16, 17});
+    const auto key = static_cast<std::uint64_t>(self.id());
+    for (int round = 0; round < 200; ++round) {
+      if (t->insert(self, key, static_cast<std::uint64_t>(round))) {
+        auto v = t->lookup(self, key);
+        // Another rank cannot delete our key; value must match our insert.
+        EXPECT_TRUE(v.has_value());
+        if (v) EXPECT_EQ(*v, static_cast<std::uint64_t>(round));
+        EXPECT_TRUE(t->erase(self, key));
+      }
+    }
+    self.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace gdi::dht

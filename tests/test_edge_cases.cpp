@@ -1,0 +1,161 @@
+// Edge-case tests across modules: degenerate inputs, empty collectives,
+// roots of disconnected graphs, zero-length payloads, single-rank runs.
+#include <gtest/gtest.h>
+
+#include "generator/kronecker.hpp"
+#include "rma/runtime.hpp"
+#include "rma/window.hpp"
+#include "workloads/graph500.hpp"
+#include "workloads/olap.hpp"
+#include "workloads/reference.hpp"
+
+namespace gdi {
+namespace {
+
+TEST(EdgeCases, BroadcastFromNonzeroRoot) {
+  rma::Runtime rt(4);
+  rt.run([&](rma::Rank& self) {
+    const int v = self.id() == 2 ? 77 : 0;
+    EXPECT_EQ(self.broadcast(v, 2), 77);
+  });
+}
+
+TEST(EdgeCases, EmptyAllgathervAndAlltoallv) {
+  rma::Runtime rt(3);
+  rt.run([&](rma::Rank& self) {
+    std::vector<std::uint64_t> empty;
+    EXPECT_TRUE(self.allgatherv(empty).empty());
+    std::vector<std::vector<std::uint64_t>> sends(3);
+    auto recv = self.alltoallv(sends);
+    for (const auto& chunk : recv) EXPECT_TRUE(chunk.empty());
+  });
+}
+
+TEST(EdgeCases, MixedEmptyNonEmptyAlltoallv) {
+  rma::Runtime rt(3);
+  rt.run([&](rma::Rank& self) {
+    // Only rank 0 sends, only to rank 2.
+    std::vector<std::vector<std::uint32_t>> sends(3);
+    if (self.id() == 0) sends[2] = {1, 2, 3};
+    auto recv = self.alltoallv(sends);
+    if (self.id() == 2) {
+      EXPECT_EQ(recv[0], (std::vector<std::uint32_t>{1, 2, 3}));
+      EXPECT_TRUE(recv[1].empty());
+    } else {
+      for (const auto& c : recv) EXPECT_TRUE(c.empty());
+    }
+  });
+}
+
+TEST(EdgeCases, SingleRankCollectivesDegenerate) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    EXPECT_EQ(self.allreduce_sum(5), 5);
+    EXPECT_EQ(self.allgather(9).size(), 1u);
+    EXPECT_EQ(self.exscan_sum(3), 0);
+    self.barrier();
+    EXPECT_EQ(self.nranks(), 1);
+  });
+}
+
+TEST(EdgeCases, ZeroLengthWindowTransfer) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto win = rma::Window::create(self, 64);
+    std::byte dummy{};
+    win->put(self, &dummy, 0, 0, 0);  // zero-length transfers are no-ops
+    win->get(self, &dummy, 0, 0, 0);
+    EXPECT_EQ(self.counters().puts, 1u);  // still counted as operations
+  });
+}
+
+TEST(EdgeCases, BfsFromIsolatedVertex) {
+  // Scale-6 e=4 R-MAT has isolated vertices; BFS from one reaches only itself.
+  gen::LpgConfig cfg;
+  cfg.scale = 6;
+  cfg.edge_factor = 4;
+  cfg.seed = 5;
+  gen::KroneckerGenerator g(cfg, {}, {});
+  const auto csr = ref::Csr::build(cfg.num_vertices(), g.all_edges(), true);
+  std::uint64_t isolated = cfg.num_vertices();
+  for (std::uint64_t v = 0; v < csr.n; ++v) {
+    if (csr.degree(v) == 0) {
+      isolated = v;
+      break;
+    }
+  }
+  ASSERT_LT(isolated, cfg.num_vertices()) << "need an isolated vertex";
+  const auto levels = ref::bfs_levels(csr, isolated);
+  std::uint64_t reached = 0;
+  for (auto l : levels)
+    if (l != ~std::uint64_t{0}) ++reached;
+  EXPECT_EQ(reached, 1u);
+
+  // The distributed versions agree.
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    const auto slice = g.generate_local(self);
+    work::Graph500 g500(self, cfg.num_vertices(), slice.edges);
+    auto res = g500.bfs(self, isolated);
+    std::uint64_t local = 0;
+    for (auto l : res.values)
+      if (l != work::kUnreached) ++local;
+    EXPECT_EQ(self.allreduce_sum(local), 1u);
+  });
+}
+
+TEST(EdgeCases, ReferenceAlgosOnEmptyGraph) {
+  const ref::Csr g = ref::Csr::build(4, {}, true);
+  const auto levels = ref::bfs_levels(g, 0);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], ~std::uint64_t{0});
+  const auto pr = ref::pagerank(ref::Csr::build(4, {}, false), 5, 0.85);
+  double sum = 0;
+  for (double x : pr) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12) << "dangling-only graph keeps PR mass";
+  const auto comp = ref::wcc(g);
+  for (std::uint64_t v = 0; v < 4; ++v) EXPECT_EQ(comp[v], v);
+  const auto coef = ref::lcc(g);
+  for (double c : coef) EXPECT_EQ(c, 0.0);
+}
+
+TEST(EdgeCases, SelfLoopAndParallelEdgesInReference) {
+  std::vector<BulkEdge> edges{{0, 0, 0, layout::Dir::kOut},
+                              {0, 1, 0, layout::Dir::kOut},
+                              {0, 1, 0, layout::Dir::kOut}};
+  const auto g = ref::Csr::build(2, edges, true);
+  EXPECT_EQ(g.degree(0), 4u);  // self-loop twice + two parallel edges
+  EXPECT_EQ(g.degree(1), 2u);
+  const auto levels = ref::bfs_levels(g, 0);
+  EXPECT_EQ(levels[1], 1u);
+}
+
+TEST(EdgeCases, GeneratorScaleZero) {
+  gen::LpgConfig cfg;
+  cfg.scale = 0;  // a single vertex
+  cfg.edge_factor = 2;
+  gen::KroneckerGenerator g(cfg, {1}, {});
+  EXPECT_EQ(cfg.num_vertices(), 1u);
+  for (std::uint64_t k = 0; k < cfg.num_edges(); ++k) {
+    const auto [s, d] = g.edge_endpoints(k);
+    EXPECT_EQ(s, 0u);
+    EXPECT_EQ(d, 0u);
+  }
+}
+
+TEST(EdgeCases, RuntimeManyRanksSmoke) {
+  // 16 threads on any host: oversubscription must not break collectives.
+  rma::Runtime rt(16);
+  rt.run([&](rma::Rank& self) {
+    const auto sum = self.allreduce_sum<std::uint64_t>(1);
+    EXPECT_EQ(sum, 16u);
+    auto win = rma::Window::create(self, 256);
+    (void)win->faa_u64(self, 0, 0, 1);
+    self.barrier();
+    if (self.id() == 0) EXPECT_EQ(win->atomic_get_u64(self, 0, 0), 16u);
+    self.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace gdi

@@ -1,0 +1,283 @@
+// Unit tests: Logical Layout codecs (vertex/edge holders) -- header fields,
+// lightweight-edge records, label/property entries, tombstoning, compaction,
+// reshaping/growth, and dirty-range tracking.
+#include <gtest/gtest.h>
+
+#include "layout/holder.hpp"
+
+namespace gdi::layout {
+namespace {
+
+std::vector<std::byte> bytes_of(std::uint64_t v) {
+  std::vector<std::byte> b(8);
+  std::memcpy(b.data(), &v, 8);
+  return b;
+}
+
+TEST(VertexHolder, InitHeader) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 77, 512, 4);
+  VertexView v(buf);
+  EXPECT_EQ(v.app_id(), 77u);
+  EXPECT_TRUE(v.valid());
+  EXPECT_EQ(v.num_blocks(), 0u);
+  EXPECT_EQ(v.edge_slots(), 0u);
+  EXPECT_EQ(v.table_capacity(), 4u);
+  EXPECT_EQ(v.edge_base(), VertexView::kHeaderSize + 4 * 8);
+  EXPECT_GT(v.edge_capacity(), 0u);
+  EXPECT_GT(v.prop_capacity(), 0u);
+  EXPECT_EQ(v.prop_used(), 0u);
+}
+
+TEST(VertexHolder, BlockTable) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, 512, 4);
+  VertexView v(buf);
+  v.set_num_blocks(2);
+  v.set_block_addr(0, DPtr(0, 256));
+  v.set_block_addr(1, DPtr(3, 1024));
+  EXPECT_EQ(v.block_addr(0), DPtr(0, 256));
+  EXPECT_EQ(v.block_addr(1), DPtr(3, 1024));
+  EXPECT_EQ(v.num_blocks(), 2u);
+}
+
+TEST(VertexHolder, AddAndFindEdges) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, 1024, 4);
+  VertexView v(buf);
+  auto s0 = v.add_edge(EdgeRecord{DPtr(1, 512), DPtr{}, 9, Dir::kOut, true});
+  auto s1 = v.add_edge(EdgeRecord{DPtr(2, 512), DPtr{}, 0, Dir::kIn, true});
+  EXPECT_TRUE(s0.ok());
+  EXPECT_TRUE(s1.ok());
+  EXPECT_EQ(v.live_edge_count(), 2u);
+  EXPECT_EQ(v.find_edge(DPtr(1, 512), Dir::kOut), 0);
+  EXPECT_EQ(v.find_edge(DPtr(2, 512), Dir::kIn), 1);
+  EXPECT_EQ(v.find_edge(DPtr(2, 512), Dir::kOut), -1);
+  const EdgeRecord r = v.edge_at(*s0);
+  EXPECT_EQ(r.neighbor, DPtr(1, 512));
+  EXPECT_EQ(r.label_id, 9u);
+  EXPECT_EQ(r.dir, Dir::kOut);
+  EXPECT_TRUE(r.in_use);
+}
+
+TEST(VertexHolder, RemoveEdgeTombstonesAndReuses) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, 1024, 4);
+  VertexView v(buf);
+  auto s0 = v.add_edge(EdgeRecord{DPtr(1, 512), DPtr{}, 0, Dir::kOut, true});
+  (void)v.add_edge(EdgeRecord{DPtr(2, 512), DPtr{}, 0, Dir::kOut, true});
+  EXPECT_TRUE(v.remove_edge(*s0));
+  EXPECT_FALSE(v.remove_edge(*s0)) << "double remove";
+  EXPECT_EQ(v.live_edge_count(), 1u);
+  // The tombstoned slot is reused before extending.
+  auto s2 = v.add_edge(EdgeRecord{DPtr(3, 512), DPtr{}, 0, Dir::kOut, true});
+  EXPECT_EQ(*s2, *s0);
+  EXPECT_EQ(v.live_edge_count(), 2u);
+}
+
+TEST(VertexHolder, EdgeCapacityExhaustion) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, VertexView::required_size(4, 2, 0), 4);
+  VertexView v(buf);
+  ASSERT_EQ(v.reshape(4, 2, 0), Status::kOk);
+  EXPECT_TRUE(v.add_edge(EdgeRecord{DPtr(1, 64), DPtr{}, 0, Dir::kOut, true}).ok());
+  EXPECT_TRUE(v.add_edge(EdgeRecord{DPtr(1, 128), DPtr{}, 0, Dir::kOut, true}).ok());
+  auto r = v.add_edge(EdgeRecord{DPtr(1, 192), DPtr{}, 0, Dir::kOut, true});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), Status::kNoSpace);
+}
+
+TEST(VertexHolder, EdgeUidOffsetsRoundtrip) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, 1024, 4);
+  VertexView v(buf);
+  auto s = v.add_edge(EdgeRecord{DPtr(1, 512), DPtr{}, 0, Dir::kOut, true});
+  const std::uint32_t off = v.edge_offset(*s);
+  EXPECT_EQ(v.slot_of_offset(off), *s);
+}
+
+TEST(VertexHolder, LabelsAddRemoveQuery) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, 1024, 4);
+  VertexView v(buf);
+  EXPECT_EQ(v.add_label(5), Status::kOk);
+  EXPECT_EQ(v.add_label(9), Status::kOk);
+  EXPECT_EQ(v.add_label(5), Status::kAlreadyExists);
+  EXPECT_TRUE(v.has_label(5));
+  EXPECT_TRUE(v.has_label(9));
+  EXPECT_FALSE(v.has_label(4));
+  EXPECT_EQ(v.labels(), (std::vector<std::uint32_t>{5, 9}));
+  EXPECT_TRUE(v.remove_label(5));
+  EXPECT_FALSE(v.remove_label(5));
+  EXPECT_EQ(v.labels(), (std::vector<std::uint32_t>{9}));
+}
+
+TEST(VertexHolder, PropertyEntriesRoundtrip) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, 1024, 4);
+  VertexView v(buf);
+  EXPECT_EQ(v.add_entry(16, bytes_of(111)), Status::kOk);
+  EXPECT_EQ(v.add_entry(17, bytes_of(222)), Status::kOk);
+  EXPECT_EQ(v.add_entry(16, bytes_of(333)), Status::kOk);  // multi-entry
+  EXPECT_EQ(v.count_props(16), 2);
+  EXPECT_EQ(v.count_props(17), 1);
+  const auto props = v.get_props(16);
+  EXPECT_EQ(props.size(), 2u);
+  EXPECT_EQ(props[0], bytes_of(111));
+  EXPECT_EQ(props[1], bytes_of(333));
+  EXPECT_EQ(v.ptypes(), (std::vector<std::uint32_t>{16, 17}));
+}
+
+TEST(VertexHolder, OddSizedPayloadsArePadded) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, 1024, 4);
+  VertexView v(buf);
+  std::vector<std::byte> odd(5, std::byte{0xAB});
+  EXPECT_EQ(v.add_entry(16, odd), Status::kOk);
+  EXPECT_EQ(v.add_entry(17, bytes_of(1)), Status::kOk);
+  EXPECT_EQ(v.get_props(16)[0], odd);
+  EXPECT_EQ(v.get_props(17)[0], bytes_of(1));
+  EXPECT_EQ(v.prop_used() % 8, 0u);
+}
+
+TEST(VertexHolder, RemoveEntriesAndCompaction) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, 1024, 4);
+  VertexView v(buf);
+  (void)v.add_entry(16, bytes_of(1));
+  (void)v.add_entry(17, bytes_of(2));
+  (void)v.add_entry(16, bytes_of(3));
+  EXPECT_EQ(v.remove_entries(16), 2);
+  EXPECT_EQ(v.count_props(16), 0);
+  EXPECT_EQ(v.count_props(17), 1);
+  const auto used_before = v.prop_used();
+  const auto reclaimed = v.compact_entries();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(v.prop_used(), used_before - reclaimed);
+  EXPECT_EQ(v.get_props(17)[0], bytes_of(2)) << "survivor moved intact";
+}
+
+TEST(VertexHolder, AddEntryCompactsWhenFull) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, VertexView::required_size(4, 0, 48), 4);
+  VertexView v(buf);
+  ASSERT_EQ(v.reshape(4, 0, 48), Status::kOk);
+  EXPECT_EQ(v.add_entry(16, bytes_of(1)), Status::kOk);
+  EXPECT_EQ(v.add_entry(17, bytes_of(2)), Status::kOk);
+  EXPECT_EQ(v.add_entry(18, bytes_of(3)), Status::kOk);
+  EXPECT_EQ(v.add_entry(19, bytes_of(4)), Status::kNoSpace);
+  EXPECT_TRUE(v.remove_entry(17, nullptr, 0));
+  // Region is full of live+tombstone; compaction frees room for the add.
+  EXPECT_EQ(v.add_entry(19, bytes_of(4)), Status::kOk);
+  EXPECT_EQ(v.get_props(19)[0], bytes_of(4));
+}
+
+TEST(VertexHolder, ReshapePreservesContent) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 42, 512, 4);
+  VertexView v(buf);
+  v.set_num_blocks(1);
+  v.set_block_addr(0, DPtr(2, 256));
+  (void)v.add_edge(EdgeRecord{DPtr(1, 512), DPtr{}, 3, Dir::kUndirected, true});
+  (void)v.add_label(8);
+  (void)v.add_entry(16, bytes_of(99));
+  ASSERT_EQ(v.reshape(10, 32, 256), Status::kOk);
+  EXPECT_EQ(v.app_id(), 42u);
+  EXPECT_EQ(v.table_capacity(), 10u);
+  EXPECT_EQ(v.edge_capacity(), 32u);
+  EXPECT_EQ(v.prop_capacity(), 256u);
+  EXPECT_EQ(v.block_addr(0), DPtr(2, 256));
+  EXPECT_EQ(v.live_edge_count(), 1u);
+  const EdgeRecord r = v.edge_at(0);
+  EXPECT_EQ(r.neighbor, DPtr(1, 512));
+  EXPECT_EQ(r.label_id, 3u);
+  EXPECT_EQ(r.dir, Dir::kUndirected);
+  EXPECT_TRUE(v.has_label(8));
+  EXPECT_EQ(v.get_props(16)[0], bytes_of(99));
+}
+
+TEST(VertexHolder, ReshapeRejectsShrinkBelowUsage) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, 1024, 4);
+  VertexView v(buf);
+  (void)v.add_edge(EdgeRecord{DPtr(1, 64), DPtr{}, 0, Dir::kOut, true});
+  (void)v.add_entry(16, bytes_of(1));
+  EXPECT_EQ(v.reshape(4, 0, 256), Status::kInvalidArgument);
+  EXPECT_EQ(v.reshape(4, 8, 0), Status::kInvalidArgument);
+}
+
+TEST(VertexHolder, DirtyRangeTracksMutations) {
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, 1024, 4);
+  VertexView v(buf);
+  v.reset_dirty();
+  EXPECT_FALSE(v.is_dirty());
+  (void)v.add_label(3);
+  EXPECT_TRUE(v.is_dirty());
+  EXPECT_LE(v.dirty_lo(), v.dirty_hi());
+  v.reset_dirty();
+  EXPECT_FALSE(v.is_dirty());
+}
+
+TEST(VertexHolder, RequiredSizeMonotone) {
+  EXPECT_LT(VertexView::required_size(4, 0, 0), VertexView::required_size(4, 1, 0));
+  EXPECT_LT(VertexView::required_size(4, 1, 0), VertexView::required_size(4, 1, 64));
+  EXPECT_LT(VertexView::required_size(4, 1, 64), VertexView::required_size(8, 1, 64));
+}
+
+TEST(EdgeHolder, InitAndEndpoints) {
+  std::vector<std::byte> buf;
+  EdgeView::init(buf, DPtr(1, 256), DPtr(2, 512), 256);
+  EdgeView e(buf);
+  EXPECT_EQ(e.origin(), DPtr(1, 256));
+  EXPECT_EQ(e.target(), DPtr(2, 512));
+  EXPECT_TRUE(e.valid());
+  e.set_endpoints(DPtr(3, 64), DPtr(4, 128));
+  EXPECT_EQ(e.origin(), DPtr(3, 64));
+  EXPECT_EQ(e.target(), DPtr(4, 128));
+}
+
+TEST(EdgeHolder, LabelsAndProps) {
+  std::vector<std::byte> buf;
+  EdgeView::init(buf, DPtr(1, 64), DPtr(1, 128), 512);
+  EdgeView e(buf);
+  EXPECT_EQ(e.add_label(4), Status::kOk);
+  EXPECT_EQ(e.add_label(4), Status::kAlreadyExists);
+  EXPECT_TRUE(e.has_label(4));
+  EXPECT_EQ(e.add_entry(20, bytes_of(5)), Status::kOk);
+  EXPECT_EQ(e.get_props(20)[0], bytes_of(5));
+  EXPECT_EQ(e.ptypes(), (std::vector<std::uint32_t>{20}));
+  EXPECT_TRUE(e.remove_label(4));
+  EXPECT_FALSE(e.has_label(4));
+}
+
+TEST(EdgeHolder, ReshapeGrowsProps) {
+  std::vector<std::byte> buf;
+  EdgeView::init(buf, DPtr(1, 64), DPtr(1, 128), EdgeView::required_size(16));
+  EdgeView e(buf);
+  EXPECT_EQ(e.add_entry(20, bytes_of(1)), Status::kOk);
+  EXPECT_EQ(e.add_entry(21, bytes_of(2)), Status::kNoSpace);
+  ASSERT_EQ(e.reshape(128), Status::kOk);
+  EXPECT_EQ(e.add_entry(21, bytes_of(2)), Status::kOk);
+  EXPECT_EQ(e.get_props(20)[0], bytes_of(1));
+  EXPECT_EQ(e.get_props(21)[0], bytes_of(2));
+}
+
+class HolderSizes : public ::testing::TestWithParam<std::uint32_t> {};
+INSTANTIATE_TEST_SUITE_P(PropSizes, HolderSizes,
+                         ::testing::Values(1, 8, 16, 100, 1000));
+
+TEST_P(HolderSizes, LargePayloadRoundtrip) {
+  const std::uint32_t n = GetParam();
+  std::vector<std::byte> buf;
+  VertexView::init(buf, 1, VertexView::required_size(4, 0, n + 64), 4);
+  VertexView v(buf);
+  ASSERT_EQ(v.reshape(4, 0, n + 64), Status::kOk);
+  std::vector<std::byte> payload(n);
+  for (std::uint32_t i = 0; i < n; ++i) payload[i] = static_cast<std::byte>(i * 7);
+  EXPECT_EQ(v.add_entry(16, payload), Status::kOk);
+  EXPECT_EQ(v.get_props(16)[0], payload);
+}
+
+}  // namespace
+}  // namespace gdi::layout

@@ -1,0 +1,220 @@
+// Unit tests: replicated metadata registries (labels, property types) and
+// DNF constraints.
+#include <gtest/gtest.h>
+
+#include "gdi/constraint.hpp"
+#include "gdi/database.hpp"
+#include "layout/holder.hpp"
+
+namespace gdi {
+namespace {
+
+DatabaseConfig tiny_db() {
+  DatabaseConfig cfg;
+  cfg.block.block_size = 256;
+  cfg.block.blocks_per_rank = 128;
+  cfg.dht.buckets_per_rank = 64;
+  cfg.dht.entries_per_rank = 128;
+  cfg.index_capacity_per_rank = 256;
+  return cfg;
+}
+
+TEST(Metadata, LabelLifecycle) {
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, tiny_db());
+    auto person = db->create_label(self, "Person");
+    auto car = db->create_label(self, "Car");
+    EXPECT_TRUE(person.ok());
+    EXPECT_TRUE(car.ok());
+    EXPECT_NE(*person, *car);
+    EXPECT_GE(*person, 1u) << "label id 0 is reserved for 'no label'";
+
+    // Every rank resolves names locally to the same ids (replication).
+    EXPECT_EQ(*db->label_from_name(self, "Person"), *person);
+    EXPECT_EQ(*db->label_name(self, *car), "Car");
+    EXPECT_EQ(db->all_labels(self).size(), 2u);
+
+    auto dup = db->create_label(self, "Person");
+    EXPECT_EQ(dup.status(), Status::kAlreadyExists);
+
+    EXPECT_EQ(db->delete_label(self, *car), Status::kOk);
+    EXPECT_EQ(db->label_from_name(self, "Car").status(), Status::kNotFound);
+    EXPECT_EQ(db->all_labels(self).size(), 1u);
+    EXPECT_EQ(db->delete_label(self, *car), Status::kNotFound);
+  });
+}
+
+TEST(Metadata, PtypeLifecycle) {
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, tiny_db());
+    PropertyType def;
+    def.name = "age";
+    def.dtype = Datatype::kInt64;
+    def.mult = Multiplicity::kSingle;
+    auto age = db->create_ptype(self, def);
+    EXPECT_TRUE(age.ok());
+    EXPECT_GE(*age, layout::kFirstUserPtype) << "small ids are reserved markers";
+
+    const PropertyType* p = db->ptype(self, *age);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->name, "age");
+    EXPECT_EQ(p->dtype, Datatype::kInt64);
+    EXPECT_EQ(*db->ptype_from_name(self, "age"), *age);
+
+    def.name = "age";
+    EXPECT_EQ(db->create_ptype(self, def).status(), Status::kAlreadyExists);
+
+    EXPECT_EQ(db->delete_ptype(self, *age), Status::kOk);
+    EXPECT_EQ(db->ptype(self, *age), nullptr);
+  });
+}
+
+TEST(Metadata, IdsConsistentAcrossRanks) {
+  rma::Runtime rt(4);
+  std::vector<std::uint32_t> ids(4);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, tiny_db());
+    auto l = db->create_label(self, "X");
+    ids[static_cast<std::size_t>(self.id())] = *l;
+  });
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(ids[0], ids[static_cast<std::size_t>(r)]);
+}
+
+// --- constraints over an in-memory holder ----------------------------------
+
+std::vector<std::byte> int_bytes(std::int64_t v) {
+  std::vector<std::byte> b(8);
+  std::memcpy(b.data(), &v, 8);
+  return b;
+}
+
+struct ConstraintFixture : ::testing::Test {
+  void SetUp() override {
+    layout::VertexView::init(buf, 1, 1024, 4);
+    layout::VertexView v(buf);
+    (void)v.add_label(5);
+    (void)v.add_entry(16, int_bytes(30));
+    (void)v.add_entry(17, int_bytes(-2));
+  }
+  std::vector<std::byte> buf;
+};
+
+TEST_F(ConstraintFixture, EmptyConstraintMatchesAll) {
+  layout::VertexView v(buf);
+  Constraint c;
+  EXPECT_TRUE(c.matches(v));
+  EXPECT_TRUE(c.matches_lw_edge(0));
+}
+
+TEST_F(ConstraintFixture, LabelConditions) {
+  layout::VertexView v(buf);
+  EXPECT_TRUE(Constraint::with_label(5).matches(v));
+  EXPECT_FALSE(Constraint::with_label(6).matches(v));
+  Constraint absent;
+  absent.add_subconstraint().forbid_label(6);
+  EXPECT_TRUE(absent.matches(v));
+  Constraint forbidden;
+  forbidden.add_subconstraint().forbid_label(5);
+  EXPECT_FALSE(forbidden.matches(v));
+}
+
+TEST_F(ConstraintFixture, PropertyComparisons) {
+  layout::VertexView v(buf);
+  auto check = [&](CmpOp op, std::int64_t rhs, bool expect) {
+    Constraint c;
+    c.add_subconstraint().where(16, op, Datatype::kInt64, PropValue{rhs});
+    EXPECT_EQ(c.matches(v), expect) << static_cast<int>(op) << " " << rhs;
+  };
+  check(CmpOp::kEq, 30, true);
+  check(CmpOp::kEq, 31, false);
+  check(CmpOp::kNe, 31, true);
+  check(CmpOp::kLt, 31, true);
+  check(CmpOp::kLt, 30, false);
+  check(CmpOp::kLe, 30, true);
+  check(CmpOp::kGt, 29, true);
+  check(CmpOp::kGe, 30, true);
+  check(CmpOp::kGe, 31, false);
+}
+
+TEST_F(ConstraintFixture, ConjunctionWithinSubconstraint) {
+  layout::VertexView v(buf);
+  Constraint c;
+  c.add_subconstraint()
+      .require_label(5)
+      .where(16, CmpOp::kGt, Datatype::kInt64, PropValue{std::int64_t{10}})
+      .where(17, CmpOp::kLt, Datatype::kInt64, PropValue{std::int64_t{0}});
+  EXPECT_TRUE(c.matches(v));
+  c.subconstraints();  // no-op read
+  Constraint c2;
+  c2.add_subconstraint()
+      .require_label(5)
+      .where(16, CmpOp::kGt, Datatype::kInt64, PropValue{std::int64_t{100}});
+  EXPECT_FALSE(c2.matches(v));
+}
+
+TEST_F(ConstraintFixture, DisjunctionAcrossSubconstraints) {
+  layout::VertexView v(buf);
+  Constraint c;
+  c.add_subconstraint().require_label(99);  // false
+  c.add_subconstraint().where(16, CmpOp::kEq, Datatype::kInt64,
+                              PropValue{std::int64_t{30}});  // true
+  EXPECT_TRUE(c.matches(v)) << "DNF: one true disjunct suffices";
+  Constraint all_false;
+  all_false.add_subconstraint().require_label(99);
+  all_false.add_subconstraint().require_label(98);
+  EXPECT_FALSE(all_false.matches(v));
+}
+
+TEST_F(ConstraintFixture, MissingPropertyNeverMatches) {
+  layout::VertexView v(buf);
+  Constraint c;
+  c.add_subconstraint().where(55, CmpOp::kNe, Datatype::kInt64,
+                              PropValue{std::int64_t{0}});
+  EXPECT_FALSE(c.matches(v));
+}
+
+TEST(Constraint, LightweightEdgeMatching) {
+  Constraint c = Constraint::with_label(7);
+  EXPECT_TRUE(c.matches_lw_edge(7));
+  EXPECT_FALSE(c.matches_lw_edge(8));
+  EXPECT_FALSE(c.matches_lw_edge(0));
+  Constraint with_prop;
+  with_prop.add_subconstraint().where(16, CmpOp::kEq, Datatype::kInt64,
+                                      PropValue{std::int64_t{1}});
+  EXPECT_FALSE(with_prop.matches_lw_edge(7))
+      << "lightweight edges carry no properties";
+}
+
+TEST(Constraint, TypeMismatchIsFalse) {
+  std::vector<std::byte> buf;
+  layout::VertexView::init(buf, 1, 512, 4);
+  layout::VertexView v(buf);
+  (void)v.add_entry(16, int_bytes(1));
+  Constraint c;
+  c.add_subconstraint().where(16, CmpOp::kEq, Datatype::kInt64,
+                              PropValue{std::string("one")});
+  EXPECT_FALSE(c.matches(v)) << "comparing int64 payload to string rhs";
+}
+
+TEST(Constraint, StringComparison) {
+  std::vector<std::byte> buf;
+  layout::VertexView::init(buf, 1, 512, 4);
+  layout::VertexView v(buf);
+  const std::string name = "alice";
+  std::vector<std::byte> nb(name.size());
+  std::memcpy(nb.data(), name.data(), name.size());
+  (void)v.add_entry(18, nb);
+  Constraint c;
+  c.add_subconstraint().where(18, CmpOp::kEq, Datatype::kString,
+                              PropValue{std::string("alice")});
+  EXPECT_TRUE(c.matches(v));
+  Constraint lt;
+  lt.add_subconstraint().where(18, CmpOp::kLt, Datatype::kString,
+                               PropValue{std::string("bob")});
+  EXPECT_TRUE(lt.matches(v));
+}
+
+}  // namespace
+}  // namespace gdi

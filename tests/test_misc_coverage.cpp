@@ -1,0 +1,149 @@
+// Coverage completions for small public surfaces: DPtr-addressed window
+// overloads, counter aggregation, runtime reconfiguration, index diagnostics,
+// and histogram rendering.
+#include <gtest/gtest.h>
+
+#include "gdi/gdi.hpp"
+#include "stats/stats.hpp"
+
+namespace gdi {
+namespace {
+
+TEST(MiscCoverage, WindowDPtrOverloads) {
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    auto win = rma::Window::create(self, 256);
+    const DPtr p(1, 64);
+    if (self.id() == 0) {
+      const std::uint64_t v = 0xC0FFEE;
+      win->put(self, &v, 8, p);
+      win->atomic_put_u64(self, p, 7);
+      EXPECT_EQ(win->atomic_get_u64(self, p), 7u);
+      EXPECT_EQ(win->cas_u64(self, p, 7, 9), 7u);
+      EXPECT_EQ(win->faa_u64(self, p, 1), 9u);
+      std::uint64_t out = 0;
+      win->get(self, &out, 8, DPtr(1, 72));
+      win->flush_all(self);
+    }
+    self.barrier();
+    if (self.id() == 1) {
+      std::uint64_t got = 0;
+      win->get(self, &got, 8, static_cast<std::uint32_t>(self.id()), 64);
+      EXPECT_EQ(got, 10u);  // 9 + 1 from the FAA
+    }
+    self.barrier();
+  });
+}
+
+TEST(MiscCoverage, OpCountersAggregate) {
+  rma::OpCounters a;
+  a.puts = 1;
+  a.gets = 2;
+  a.atomics = 3;
+  a.bytes_put = 10;
+  rma::OpCounters b;
+  b.puts = 4;
+  b.flushes = 5;
+  b.collectives = 6;
+  b.remote_ops = 7;
+  a += b;
+  EXPECT_EQ(a.puts, 5u);
+  EXPECT_EQ(a.flushes, 5u);
+  EXPECT_EQ(a.total_ops(), 5u + 2u + 3u + 5u + 6u);
+  EXPECT_EQ(a.remote_ops, 7u);
+}
+
+TEST(MiscCoverage, RuntimeNetReconfiguration) {
+  rma::Runtime rt(2, rma::NetParams::zero());
+  rt.run([&](rma::Rank& self) { EXPECT_EQ(self.net().alpha_remote_ns, 0.0); });
+  rt.set_net(rma::NetParams::xc40());
+  rt.run([&](rma::Rank& self) {
+    EXPECT_GT(self.net().alpha_remote_ns, 0.0);
+    EXPECT_EQ(self.runtime().nranks(), 2);
+  });
+  EXPECT_EQ(rt.collective_stages(), 1);
+  EXPECT_EQ(rma::Runtime(1).collective_stages(), 0);
+  EXPECT_EQ(rma::Runtime(8).collective_stages(), 3);
+}
+
+TEST(MiscCoverage, IndexShardSizeAndCandidates) {
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    auto idx = self.collective_make<Index>([&] {
+      return std::make_shared<Index>(self.nranks(), IndexDef{{1}, {}}, 8, 0);
+    });
+    if (self.id() == 0) {
+      EXPECT_TRUE(idx->append(self, 1, DPtr(1, 64)));  // remote shard append
+      EXPECT_TRUE(idx->append(self, 0, DPtr(0, 64)));
+    }
+    self.barrier();
+    EXPECT_EQ(idx->shard_size(self, 0), 1u);
+    EXPECT_EQ(idx->shard_size(self, 1), 1u);
+    auto c = idx->candidates(self, 1);
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c[0], DPtr(1, 64));
+    self.barrier();
+  });
+}
+
+TEST(MiscCoverage, HistogramRendering) {
+  stats::Histogram h(100, 1e6, 4);
+  h.add(500);
+  h.add(500);
+  h.add(2e5);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("us:"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+  // percentile of an empty histogram is defined (0).
+  stats::Histogram empty;
+  EXPECT_EQ(empty.percentile_ns(50), 0.0);
+  EXPECT_EQ(empty.mean_ns(), 0.0);
+}
+
+TEST(MiscCoverage, DPtrToString) {
+  EXPECT_EQ(DPtr(3, 128).to_string(), "DPtr{r=3,off=128}");
+}
+
+TEST(MiscCoverage, BulkLoadStatsAndConfigAccessors) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    DatabaseConfig c;
+    c.block.block_size = 256;
+    c.block.blocks_per_rank = 256;
+    auto db = Database::create(self, c);
+    EXPECT_EQ(db->config().block.block_size, 256u);
+    EXPECT_EQ(db->blocks().block_size(), 256u);
+    EXPECT_EQ(db->blocks().blocks_per_rank(), 256u);
+    EXPECT_EQ(db->id_index().config().buckets_per_rank, c.dht.buckets_per_rank);
+    EXPECT_EQ(db->nranks(), 1);
+    BulkLoader loader(db, self);
+    auto stats = loader.load({BulkVertex{5, {}, {}}}, {});
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->vertices_loaded, 1u);
+    EXPECT_EQ(stats->edges_loaded, 0u);
+    EXPECT_EQ(stats->heavy_edges, 0u);
+    EXPECT_GE(stats->blocks_used, 1u);
+    Transaction r(db, self, TxnMode::kRead);
+    EXPECT_TRUE(r.find_vertex(5).ok());
+  });
+}
+
+TEST(MiscCoverage, TxnModeAndScopeAccessors) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    DatabaseConfig c;
+    c.block.block_size = 256;
+    c.block.blocks_per_rank = 64;
+    auto db = Database::create(self, c);
+    Transaction t(db, self, TxnMode::kReadShared, TxnScope::kCollective);
+    EXPECT_EQ(t.mode(), TxnMode::kReadShared);
+    EXPECT_EQ(t.scope(), TxnScope::kCollective);
+    EXPECT_TRUE(t.active());
+    EXPECT_FALSE(t.failed());
+    EXPECT_EQ(t.commit(), Status::kOk);
+    EXPECT_FALSE(t.active());
+  });
+}
+
+}  // namespace
+}  // namespace gdi

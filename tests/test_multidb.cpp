@@ -1,0 +1,176 @@
+// Integration tests: multiple parallel databases (paper Section 3.9) --
+// GDI supports running several concurrent distributed GDBs in one
+// environment; objects of one database must be fully isolated from another.
+#include <gtest/gtest.h>
+
+#include "gdi/gdi.hpp"
+
+namespace gdi {
+namespace {
+
+DatabaseConfig small_cfg() {
+  DatabaseConfig c;
+  c.block.block_size = 256;
+  c.block.blocks_per_rank = 512;
+  c.dht.entries_per_rank = 256;
+  return c;
+}
+
+TEST(MultiDb, SameAppIdsAreIsolated) {
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    auto db1 = Database::create(self, small_cfg());
+    auto db2 = Database::create(self, small_cfg());
+    const std::uint32_t l1 = *db1->create_label(self, "OnlyInDb1");
+    const std::uint32_t l2 = *db2->create_label(self, "OnlyInDb2");
+
+    if (self.id() == 0) {
+      Transaction t1(db1, self, TxnMode::kWrite);
+      auto v = *t1.create_vertex(7);
+      (void)t1.add_label(v, l1);
+      EXPECT_EQ(t1.commit(), Status::kOk);
+    }
+    self.barrier();
+
+    // db2 must not see db1's vertex; metadata namespaces are separate.
+    Transaction t2(db2, self, TxnMode::kRead);
+    EXPECT_EQ(t2.find_vertex(7).status(), Status::kNotFound);
+    EXPECT_EQ(db2->label_from_name(self, "OnlyInDb1").status(), Status::kNotFound);
+    EXPECT_TRUE(db1->label_from_name(self, "OnlyInDb1").ok());
+    EXPECT_TRUE(db2->label_from_name(self, "OnlyInDb2").ok());
+    (void)l2;
+    self.barrier();
+
+    // Same id in db2, different content.
+    if (self.id() == 1) {
+      Transaction w(db2, self, TxnMode::kWrite);
+      auto v = *w.create_vertex(7);
+      (void)w.add_label(v, l2);
+      EXPECT_EQ(w.commit(), Status::kOk);
+    }
+    self.barrier();
+    Transaction r1(db1, self, TxnMode::kRead);
+    Transaction r2(db2, self, TxnMode::kRead);
+    auto v1 = r1.find_vertex(7);
+    auto v2 = r2.find_vertex(7);
+    EXPECT_TRUE(v1.ok());
+    EXPECT_TRUE(v2.ok());
+    EXPECT_EQ(*r1.labels_of(*v1), (std::vector<std::uint32_t>{l1}));
+    EXPECT_EQ(*r2.labels_of(*v2), (std::vector<std::uint32_t>{l2}));
+    self.barrier();
+  });
+}
+
+TEST(MultiDb, ConcurrentTransactionsAcrossDatabases) {
+  // A single process can be inside arbitrarily many concurrent transactions
+  // (paper 3.3) -- including transactions on different databases.
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db1 = Database::create(self, small_cfg());
+    auto db2 = Database::create(self, small_cfg());
+    Transaction t1(db1, self, TxnMode::kWrite);
+    Transaction t2(db2, self, TxnMode::kWrite);
+    EXPECT_TRUE(t1.create_vertex(1).ok());
+    EXPECT_TRUE(t2.create_vertex(1).ok());
+    EXPECT_EQ(t1.commit(), Status::kOk);
+    EXPECT_EQ(t2.commit(), Status::kOk);
+    // Locks of one database never interfere with the other.
+    Transaction w1(db1, self, TxnMode::kWrite);
+    auto v1 = w1.find_vertex(1);
+    EXPECT_TRUE(v1.ok());
+    Transaction r2(db2, self, TxnMode::kRead);
+    EXPECT_TRUE(r2.find_vertex(1).ok());
+    w1.abort();
+  });
+}
+
+TEST(MultiDb, IndexRegistriesIndependent) {
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    auto db1 = Database::create(self, small_cfg());
+    auto db2 = Database::create(self, small_cfg());
+    const std::uint32_t l = *db1->create_label(self, "X");
+    auto idx = db1->create_index(self, IndexDef{{l}, {}});
+    EXPECT_EQ(db1->indexes().size(), 1u);
+    EXPECT_EQ(db2->indexes().size(), 0u);
+    EXPECT_EQ(idx->def().labels, (std::vector<std::uint32_t>{l}));
+    EXPECT_EQ(idx->id(), 0u);
+    self.barrier();
+  });
+}
+
+TEST(MultiDb, ManyDatabasesStress) {
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    std::vector<std::shared_ptr<Database>> dbs;
+    for (int i = 0; i < 6; ++i) dbs.push_back(Database::create(self, small_cfg()));
+    // Round-robin writes into all of them.
+    if (self.id() == 0) {
+      for (int i = 0; i < 6; ++i) {
+        Transaction w(dbs[static_cast<std::size_t>(i)], self, TxnMode::kWrite);
+        EXPECT_TRUE(w.create_vertex(static_cast<std::uint64_t>(100 + i)).ok());
+        EXPECT_EQ(w.commit(), Status::kOk);
+      }
+    }
+    self.barrier();
+    for (int i = 0; i < 6; ++i) {
+      Transaction r(dbs[static_cast<std::size_t>(i)], self, TxnMode::kRead);
+      EXPECT_TRUE(r.find_vertex(static_cast<std::uint64_t>(100 + i)).ok());
+      EXPECT_EQ(r.find_vertex(static_cast<std::uint64_t>(100 + (i + 1) % 6)).status(),
+                Status::kNotFound);
+    }
+    self.barrier();
+  });
+}
+
+TEST(Partitioning, HashedPlacementWorksTransactionally) {
+  rma::Runtime rt(4);
+  rt.run([&](rma::Rank& self) {
+    DatabaseConfig c = small_cfg();
+    c.block.blocks_per_rank = 2048;
+    c.partitioning = Partitioning::kHashed;
+    auto db = Database::create(self, c);
+    if (self.id() == 0) {
+      Transaction w(db, self, TxnMode::kWrite);
+      for (std::uint64_t i = 0; i < 64; ++i) EXPECT_TRUE(w.create_vertex(i).ok());
+      EXPECT_EQ(w.commit(), Status::kOk);
+    }
+    self.barrier();
+    // All vertices findable; placement is spread across ranks and follows
+    // the hashed owner function.
+    Transaction r(db, self, TxnMode::kReadShared);
+    std::set<std::uint32_t> owners;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      auto vid = r.translate_vertex_id(i);
+      EXPECT_TRUE(vid.ok()) << i;
+      if (vid.ok()) {
+        EXPECT_EQ(vid->rank(), db->owner_rank(i)) << i;
+        owners.insert(vid->rank());
+      }
+    }
+    EXPECT_EQ(owners.size(), 4u) << "hashed placement must use all ranks";
+    (void)r.commit();
+    self.barrier();
+  });
+}
+
+TEST(Partitioning, RoundRobinAndHashedDiffer) {
+  rma::Runtime rt(4);
+  rt.run([&](rma::Rank& self) {
+    DatabaseConfig rrc = small_cfg();
+    DatabaseConfig hc = small_cfg();
+    hc.partitioning = Partitioning::kHashed;
+    auto rr = Database::create(self, rrc);
+    auto h = Database::create(self, hc);
+    int differ = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      EXPECT_EQ(rr->owner_rank(i), static_cast<std::uint32_t>(i % 4));
+      if (rr->owner_rank(i) != h->owner_rank(i)) ++differ;
+    }
+    EXPECT_GT(differ, 16) << "hashing must actually scatter";
+    self.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace gdi

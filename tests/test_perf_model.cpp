@@ -1,0 +1,240 @@
+// Performance-model tests: the paper supports "nearly any function ... with a
+// theoretical performance analysis" (Section 5.9). These tests pin the
+// communication complexity of key routines by asserting on the RMA op
+// counters -- O(1)-work claims become exact op-count checks.
+#include <gtest/gtest.h>
+
+#include "gdi/gdi.hpp"
+
+namespace gdi {
+namespace {
+
+DatabaseConfig cfg_with_block(std::size_t bs) {
+  DatabaseConfig c;
+  c.block.block_size = bs;
+  c.block.blocks_per_rank = 4096;
+  c.dht.entries_per_rank = 1024;
+  c.dht.buckets_per_rank = 256;
+  return c;
+}
+
+TEST(PerfModel, OneBlockVertexFetchIsOneGet) {
+  // "One only needs a single remote operation to fetch the data of a vertex
+  // that fits in one block" (Section 5.5 design-choice box).
+  rma::Runtime rt(2, rma::NetParams::xc40());
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, cfg_with_block(512));
+    if (self.id() == 0) {
+      {
+        Transaction w(db, self, TxnMode::kWrite);
+        (void)w.create_vertex(1);  // owner rank 1: remote from rank 0
+        (void)w.commit();
+      }
+      Transaction r(db, self, TxnMode::kReadShared);
+      auto vid = r.translate_vertex_id(1);
+      ASSERT_TRUE(vid.ok());
+      self.reset_counters();
+      auto vh = r.associate_vertex(*vid);
+      ASSERT_TRUE(vh.ok());
+      EXPECT_EQ(self.counters().gets, 1u) << "exactly one GET for one block";
+      EXPECT_EQ(self.counters().bytes_get, 512u);
+      // Cached: further access costs nothing.
+      self.reset_counters();
+      (void)r.labels_of(*vh);
+      EXPECT_EQ(self.counters().gets, 0u);
+    }
+    self.barrier();
+  });
+}
+
+TEST(PerfModel, MultiBlockVertexFetchCostsBlockCountGets) {
+  rma::Runtime rt(1, rma::NetParams::xc40());
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, cfg_with_block(256));
+    std::uint32_t nblocks = 0;
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      auto hub = *w.create_vertex(0);
+      for (std::uint64_t i = 1; i <= 50; ++i) {
+        auto v = *w.create_vertex(i);
+        (void)w.create_edge(hub, v, layout::Dir::kOut);
+      }
+      (void)w.commit();
+    }
+    {
+      // Learn the block count from a first fetch.
+      Transaction r(db, self, TxnMode::kReadShared);
+      auto vid = *r.translate_vertex_id(0);
+      std::uint64_t header[6];
+      db->blocks().read(self, vid, 0, header, sizeof(header));
+      std::uint32_t nb;
+      std::memcpy(&nb, reinterpret_cast<std::byte*>(header) + 12, 4);
+      nblocks = nb;
+      ASSERT_GT(nblocks, 1u) << "test requires a multi-block holder";
+      self.reset_counters();
+      auto vh = r.associate_vertex(vid);
+      ASSERT_TRUE(vh.ok());
+      EXPECT_EQ(self.counters().gets, nblocks)
+          << "fetch = 1 primary GET + (num_blocks-1) continuation GETs";
+    }
+  });
+}
+
+TEST(PerfModel, DhtLookupMissOnEmptyBucketIsOneAtomic) {
+  rma::Runtime rt(1, rma::NetParams::xc40());
+  rt.run([&](rma::Rank& self) {
+    dht::DistributedHashTable t(1, dht::DhtConfig{1024, 128, 1});
+    self.reset_counters();
+    EXPECT_EQ(t.lookup(self, 12345), std::nullopt);
+    EXPECT_EQ(self.counters().atomics, 1u) << "one AGET of the bucket head";
+    EXPECT_EQ(self.counters().gets, 0u);
+  });
+}
+
+TEST(PerfModel, DhtLookupHitCostIsChainPosition) {
+  rma::Runtime rt(1, rma::NetParams::xc40());
+  rt.run([&](rma::Rank& self) {
+    // Single bucket: key k sits at chain position (n-1-k) from the head.
+    dht::DistributedHashTable t(1, dht::DhtConfig{1, 128, 1});
+    for (std::uint64_t k = 0; k < 8; ++k) ASSERT_TRUE(t.insert(self, k, k));
+    self.reset_counters();
+    EXPECT_TRUE(t.lookup(self, 7).has_value());  // head of chain
+    const auto head_cost = self.counters().atomics;
+    self.reset_counters();
+    EXPECT_TRUE(t.lookup(self, 0).has_value());  // tail of chain
+    const auto tail_cost = self.counters().atomics;
+    EXPECT_GT(tail_cost, head_cost);
+    EXPECT_GE(head_cost, 2u);  // bucket head + >=1 entry field reads
+  });
+}
+
+TEST(PerfModel, CommitWritesOnlyDirtyBlocks) {
+  rma::Runtime rt(1, rma::NetParams::xc40());
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, cfg_with_block(256));
+    PropertyType pd{.name = "p", .dtype = Datatype::kInt64};
+    const std::uint32_t pt = *db->create_ptype(self, pd);
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      auto hub = *w.create_vertex(0);
+      for (std::uint64_t i = 1; i <= 50; ++i) {
+        auto v = *w.create_vertex(i);
+        (void)w.create_edge(hub, v, layout::Dir::kOut);
+      }
+      (void)w.commit();
+    }
+    // Update one property on the (multi-block) hub: write-back must touch a
+    // bounded dirty range, not the whole holder.
+    Transaction w(db, self, TxnMode::kWrite);
+    auto vh = *w.find_vertex(0);
+    std::uint64_t fetch_gets = self.counters().gets;
+    ASSERT_EQ(w.update_property(vh, pt, PropValue{std::int64_t{9}}), Status::kOk);
+    self.reset_counters();
+    ASSERT_EQ(w.commit(), Status::kOk);
+    EXPECT_LT(self.counters().puts, fetch_gets)
+        << "dirty write-back must be narrower than the full holder";
+    EXPECT_GE(self.counters().puts, 2u)
+        << "header block + property block are both dirty";
+  });
+}
+
+TEST(PerfModel, CollectiveCostScalesLogarithmically) {
+  double t2 = 0, t8 = 0;
+  for (int P : {2, 8}) {
+    rma::Runtime rt(P, rma::NetParams::xc50());
+    rt.run([&](rma::Rank& self) {
+      self.reset_clock();
+      self.barrier();
+      if (self.id() == 0) (P == 2 ? t2 : t8) = self.sim_time_ns();
+    });
+  }
+  EXPECT_NEAR(t8 / t2, 3.0, 0.01) << "barrier cost ~ ceil(log2 P) stages";
+}
+
+TEST(PerfModel, ReadSharedScanHasNoAtomics) {
+  // The paper's optimized read-only transactions take no locks: a kReadShared
+  // scan must issue zero atomics (no lock words touched).
+  rma::Runtime rt(1, rma::NetParams::xc40());
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, cfg_with_block(512));
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      for (std::uint64_t i = 0; i < 16; ++i) (void)w.create_vertex(i);
+      (void)w.commit();
+    }
+    Transaction r(db, self, TxnMode::kReadShared);
+    std::vector<DPtr> vids;
+    for (std::uint64_t i = 0; i < 16; ++i) vids.push_back(*r.translate_vertex_id(i));
+    self.reset_counters();
+    for (DPtr vid : vids) {
+      auto vh = r.associate_vertex(vid);
+      ASSERT_TRUE(vh.ok());
+      (void)r.labels_of(*vh);
+    }
+    EXPECT_EQ(self.counters().atomics, 0u);
+    (void)r.commit();
+  });
+}
+
+TEST(PerfModel, ReadLockedScanUsesOneAtomicPerVertex) {
+  rma::Runtime rt(1, rma::NetParams::xc40());
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, cfg_with_block(512));
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      for (std::uint64_t i = 0; i < 8; ++i) (void)w.create_vertex(i);
+      (void)w.commit();
+    }
+    Transaction r(db, self, TxnMode::kRead);
+    std::vector<DPtr> vids;
+    for (std::uint64_t i = 0; i < 8; ++i) vids.push_back(*r.translate_vertex_id(i));
+    self.reset_counters();
+    for (DPtr vid : vids) ASSERT_TRUE(r.associate_vertex(vid).ok());
+    // Uncontended read lock: one AGET + one CAS per vertex.
+    EXPECT_EQ(self.counters().atomics, 16u);
+    (void)r.commit();
+  });
+}
+
+TEST(PerfModel, BlockAcquireUncontendedIsThreeAtomics) {
+  // acquireBlock = head AGET + next AGET + CAS (+1 FAA bookkeeping).
+  rma::Runtime rt(1, rma::NetParams::xc40());
+  rt.run([&](rma::Rank& self) {
+    block::BlockStore bs(1, block::BlockStoreConfig{256, 64});
+    self.reset_counters();
+    const DPtr p = bs.acquire(self, 0);
+    ASSERT_FALSE(p.is_null());
+    EXPECT_EQ(self.counters().atomics, 4u);
+  });
+}
+
+TEST(PerfModel, RemoteOpsDominateAtHighRankCounts) {
+  // With round-robin sharding, a fraction ~ (P-1)/P of holder fetches is
+  // remote: the cost model must reflect that (used by Fig. 4 analyses).
+  for (int P : {2, 4}) {
+    rma::Runtime rt(P, rma::NetParams::xc40());
+    rt.run([&](rma::Rank& self) {
+      auto db = Database::create(self, cfg_with_block(512));
+      {
+        Transaction w(db, self, TxnMode::kWrite, TxnScope::kCollective);
+        for (std::uint64_t i = static_cast<std::uint64_t>(self.id()); i < 64;
+             i += static_cast<std::uint64_t>(P))
+          (void)w.create_vertex(i);
+        (void)w.commit();
+      }
+      if (self.id() == 0) {
+        Transaction r(db, self, TxnMode::kReadShared);
+        self.reset_counters();
+        for (std::uint64_t i = 0; i < 64; ++i) (void)r.find_vertex(i);
+        const double remote_frac =
+            static_cast<double>(self.counters().remote_ops) /
+            static_cast<double>(self.counters().total_ops());
+        EXPECT_NEAR(remote_frac, static_cast<double>(P - 1) / P, 0.25);
+      }
+      self.barrier();
+    });
+  }
+}
+
+}  // namespace
+}  // namespace gdi

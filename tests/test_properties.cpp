@@ -1,0 +1,378 @@
+// Property-style randomized tests: long random operation sequences executed
+// against both the real implementation and a trivial in-memory model, then
+// compared. Parameterized over seeds (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/hash.hpp"
+#include "dht/dht.hpp"
+#include "gdi/gdi.hpp"
+#include "layout/holder.hpp"
+
+namespace gdi {
+namespace {
+
+class SeedParam : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedParam,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- DHT vs std::unordered_map ----------------------------------------------
+
+TEST_P(SeedParam, DhtMatchesHashMapModel) {
+  rma::Runtime rt(1);
+  const std::uint64_t seed = GetParam();
+  rt.run([&](rma::Rank& self) {
+    dht::DistributedHashTable table(1, dht::DhtConfig{16, 512, seed});
+    std::unordered_map<std::uint64_t, std::uint64_t> model;
+    CounterRng rng(seed);
+    for (int step = 0; step < 2000; ++step) {
+      const std::uint64_t key = rng.next_below(64);  // small key space: churn
+      const int op = static_cast<int>(rng.next_below(3));
+      if (op == 0) {  // insert-if-absent (model semantics: map insert)
+        const std::uint64_t val = rng.next();
+        const bool did = table.insert_if_absent(self, key, val);
+        const bool expect = !model.contains(key);
+        EXPECT_EQ(did, expect) << "step " << step;
+        if (did) model.emplace(key, val);
+      } else if (op == 1) {  // erase
+        EXPECT_EQ(table.erase(self, key), model.erase(key) > 0) << "step " << step;
+      } else {  // lookup
+        auto got = table.lookup(self, key);
+        auto it = model.find(key);
+        EXPECT_EQ(got.has_value(), it != model.end()) << "step " << step;
+        if (got && it != model.end()) EXPECT_EQ(*got, it->second) << "step " << step;
+      }
+    }
+    // Final state equivalence.
+    for (const auto& [k, v] : model)
+      EXPECT_EQ(table.lookup(self, k), std::optional<std::uint64_t>(v));
+  });
+}
+
+// --- Holder codec vs model ----------------------------------------------------
+
+struct HolderModel {
+  std::multiset<std::pair<std::uint32_t, std::vector<std::byte>>> entries;
+  std::map<std::uint32_t, layout::EdgeRecord> edges;  // slot -> record
+};
+
+TEST_P(SeedParam, HolderMatchesModel) {
+  const std::uint64_t seed = GetParam();
+  CounterRng rng(seed ^ 0xBEEF);
+  std::vector<std::byte> buf;
+  layout::VertexView::init(buf, seed, 4096, 8);
+  layout::VertexView v(buf);
+  ASSERT_EQ(v.reshape(8, 64, 1024), Status::kOk);
+  HolderModel model;
+
+  auto payload = [&](std::size_t len) {
+    std::vector<std::byte> p(len);
+    for (auto& b : p) b = static_cast<std::byte>(rng.next_below(256));
+    return p;
+  };
+
+  for (int step = 0; step < 1500; ++step) {
+    switch (rng.next_below(6)) {
+      case 0: {  // add entry
+        const auto id = static_cast<std::uint32_t>(16 + rng.next_below(4));
+        const auto p = payload(rng.next_below(24));
+        if (v.add_entry(id, p) == Status::kOk) model.entries.emplace(id, p);
+        break;
+      }
+      case 1: {  // remove all entries of a type
+        const auto id = static_cast<std::uint32_t>(16 + rng.next_below(4));
+        const int removed = v.remove_entries(id);
+        int expect = 0;
+        for (auto it = model.entries.begin(); it != model.entries.end();) {
+          if (it->first == id) {
+            it = model.entries.erase(it);
+            ++expect;
+          } else {
+            ++it;
+          }
+        }
+        EXPECT_EQ(removed, expect) << "step " << step;
+        break;
+      }
+      case 2: {  // compact (no semantic change)
+        (void)v.compact_entries();
+        break;
+      }
+      case 3: {  // add edge
+        if (model.edges.size() >= 60) break;
+        layout::EdgeRecord rec;
+        rec.neighbor = DPtr(static_cast<std::uint32_t>(rng.next_below(4)),
+                            64 * (1 + rng.next_below(100)));
+        rec.label_id = static_cast<std::uint32_t>(rng.next_below(5));
+        rec.dir = static_cast<layout::Dir>(rng.next_below(3));
+        rec.in_use = true;
+        auto slot = v.add_edge(rec);
+        EXPECT_TRUE(slot.ok()) << "step " << step;
+        if (slot.ok()) model.edges[*slot] = rec;
+        break;
+      }
+      case 4: {  // remove a random live edge
+        if (model.edges.empty()) break;
+        auto it = model.edges.begin();
+        std::advance(it, static_cast<long>(rng.next_below(model.edges.size())));
+        EXPECT_TRUE(v.remove_edge(it->first)) << "step " << step;
+        model.edges.erase(it);
+        break;
+      }
+      default: {  // verify a random entry type count
+        const auto id = static_cast<std::uint32_t>(16 + rng.next_below(4));
+        int expect = 0;
+        for (const auto& e : model.entries)
+          if (e.first == id) ++expect;
+        EXPECT_EQ(v.count_props(id), expect) << "step " << step;
+        break;
+      }
+    }
+  }
+  // Full final comparison: entries...
+  std::multiset<std::pair<std::uint32_t, std::vector<std::byte>>> got;
+  v.for_each_entry([&](std::uint32_t id, std::span<const std::byte> p) {
+    got.emplace(id, std::vector<std::byte>(p.begin(), p.end()));
+  });
+  EXPECT_EQ(got, model.entries);
+  // ...and edges.
+  EXPECT_EQ(v.live_edge_count(), model.edges.size());
+  for (const auto& [slot, rec] : model.edges) {
+    const auto r = v.edge_at(slot);
+    EXPECT_TRUE(r.in_use);
+    EXPECT_EQ(r.neighbor, rec.neighbor);
+    EXPECT_EQ(r.label_id, rec.label_id);
+    EXPECT_EQ(r.dir, rec.dir);
+  }
+}
+
+// --- Transactions vs an in-memory LPG model ------------------------------------
+
+struct GraphModel {
+  struct V {
+    std::set<std::uint32_t> labels;
+    std::map<std::uint32_t, std::int64_t> props;  // single-valued
+    // (neighbor app id, dir, label) multiset as seen from this vertex
+    std::multiset<std::tuple<std::uint64_t, int, std::uint32_t>> edges;
+  };
+  std::map<std::uint64_t, V> vertices;
+};
+
+TEST_P(SeedParam, TransactionsMatchGraphModel) {
+  const std::uint64_t seed = GetParam();
+  rma::Runtime rt(2);  // two ranks: remote paths exercised, rank 0 drives
+  rt.run([&](rma::Rank& self) {
+    DatabaseConfig c;
+    c.block.block_size = 256;
+    c.block.blocks_per_rank = 1u << 13;
+    c.dht.entries_per_rank = 1u << 11;
+    auto db = Database::create(self, c);
+    std::vector<std::uint32_t> labels;
+    for (int i = 0; i < 3; ++i)
+      labels.push_back(*db->create_label(self, "L" + std::to_string(i)));
+    PropertyType pd{.name = "p", .dtype = Datatype::kInt64,
+                    .mult = Multiplicity::kSingle};
+    const std::uint32_t prop = *db->create_ptype(self, pd);
+
+    if (self.id() == 0) {
+      GraphModel model;
+      CounterRng rng(seed ^ 0xF00D);
+      constexpr std::uint64_t kIds = 24;
+
+      for (int step = 0; step < 600; ++step) {
+        Transaction txn(db, self, TxnMode::kWrite);
+        const std::uint64_t a = rng.next_below(kIds);
+        const std::uint64_t b = rng.next_below(kIds);
+        switch (rng.next_below(7)) {
+          case 0: {  // create
+            auto r = txn.create_vertex(a);
+            EXPECT_EQ(r.ok(), !model.vertices.contains(a)) << step;
+            if (r.ok()) model.vertices[a];
+            break;
+          }
+          case 1: {  // delete (also cleans incident edges in the model)
+            auto h = txn.find_vertex(a);
+            if (h.ok()) {
+              EXPECT_EQ(txn.delete_vertex(*h), Status::kOk) << step;
+              model.vertices.erase(a);
+              for (auto& [id, mv] : model.vertices) {
+                for (auto it = mv.edges.begin(); it != mv.edges.end();) {
+                  if (std::get<0>(*it) == a) it = mv.edges.erase(it);
+                  else ++it;
+                }
+              }
+            } else {
+              EXPECT_FALSE(model.vertices.contains(a)) << step;
+            }
+            break;
+          }
+          case 2: {  // add label
+            auto h = txn.find_vertex(a);
+            if (h.ok()) {
+              const auto l = labels[rng.next_below(labels.size())];
+              const Status s = txn.add_label(*h, l);
+              const bool fresh = model.vertices[a].labels.insert(l).second;
+              EXPECT_EQ(s == Status::kOk, fresh) << step;
+            }
+            break;
+          }
+          case 3: {  // set property
+            auto h = txn.find_vertex(a);
+            if (h.ok()) {
+              const auto val = static_cast<std::int64_t>(rng.next_below(1000));
+              EXPECT_EQ(txn.update_property(*h, prop, PropValue{val}), Status::kOk);
+              model.vertices[a].props[prop] = val;
+            }
+            break;
+          }
+          case 4: {  // add directed edge a->b
+            auto ha = txn.find_vertex(a);
+            auto hb = txn.find_vertex(b);
+            if (ha.ok() && hb.ok()) {
+              const auto l = labels[rng.next_below(labels.size())];
+              EXPECT_TRUE(txn.create_edge(*ha, *hb, layout::Dir::kOut, l).ok()) << step;
+              model.vertices[a].edges.emplace(b, 0, l);
+              if (a != b) model.vertices[b].edges.emplace(a, 1, l);
+              else model.vertices[a].edges.emplace(a, 1, l);
+            }
+            break;
+          }
+          case 5: {  // remove one edge of a (first matching in storage order)
+            auto ha = txn.find_vertex(a);
+            if (ha.ok()) {
+              auto edges = txn.edges_of(*ha, DirFilter::kAll);
+              if (edges.ok() && !edges->empty()) {
+                const auto& pick = (*edges)[rng.next_below(edges->size())];
+                auto nid = txn.peek_app_id(pick.neighbor);
+                EXPECT_EQ(txn.delete_edge(*ha, pick.uid), Status::kOk) << step;
+                auto& ma = model.vertices[a].edges;
+                const auto key = std::make_tuple(
+                    *nid, static_cast<int>(pick.dir), pick.label_id);
+                auto it = ma.find(key);
+                ASSERT_NE(it, ma.end()) << step;
+                ma.erase(it);
+                const bool undirected_self =
+                    *nid == a && pick.dir == layout::Dir::kUndirected;
+                if (!undirected_self) {
+                  auto& mb = model.vertices[*nid].edges;
+                  const int mdir = pick.dir == layout::Dir::kOut   ? 1
+                                   : pick.dir == layout::Dir::kIn  ? 0
+                                                                   : 2;
+                  auto jt = mb.find(std::make_tuple(a, mdir, pick.label_id));
+                  ASSERT_NE(jt, mb.end()) << step;
+                  mb.erase(jt);
+                }
+              }
+            }
+            break;
+          }
+          default: {  // verify one vertex against the model
+            auto h = txn.find_vertex(a);
+            EXPECT_EQ(h.ok(), model.vertices.contains(a)) << step;
+            if (h.ok()) {
+              const auto& mv = model.vertices[a];
+              auto ls = txn.labels_of(*h);
+              std::set<std::uint32_t> got(ls->begin(), ls->end());
+              EXPECT_EQ(got, mv.labels) << step;
+              EXPECT_EQ(*txn.count_edges(*h, DirFilter::kAll), mv.edges.size()) << step;
+              auto ps = txn.get_properties(*h, prop);
+              if (mv.props.contains(prop)) {
+                ASSERT_EQ(ps->size(), 1u) << step;
+                EXPECT_EQ(std::get<std::int64_t>((*ps)[0]), mv.props.at(prop)) << step;
+              } else {
+                EXPECT_TRUE(ps->empty()) << step;
+              }
+            }
+            break;
+          }
+        }
+        EXPECT_EQ(txn.commit(), Status::kOk) << "step " << step;
+      }
+
+      // Final deep comparison of the whole graph.
+      Transaction txn(db, self, TxnMode::kRead);
+      for (const auto& [id, mv] : model.vertices) {
+        auto h = txn.find_vertex(id);
+        ASSERT_TRUE(h.ok()) << id;
+        std::multiset<std::tuple<std::uint64_t, int, std::uint32_t>> got;
+        auto edges = txn.edges_of(*h, DirFilter::kAll);
+        for (const auto& e : *edges) {
+          auto nid = txn.peek_app_id(e.neighbor);
+          got.emplace(*nid, static_cast<int>(e.dir), e.label_id);
+        }
+        EXPECT_EQ(got, mv.edges) << "vertex " << id;
+      }
+    }
+    self.barrier();
+  });
+}
+
+// --- random DNF constraints -----------------------------------------------------
+
+TEST_P(SeedParam, RandomDnfMatchesDirectEvaluation) {
+  const std::uint64_t seed = GetParam();
+  CounterRng rng(seed ^ 0xD4F);
+  // Random holder decoration.
+  std::vector<std::byte> buf;
+  layout::VertexView::init(buf, 1, 2048, 4);
+  layout::VertexView v(buf);
+  std::set<std::uint32_t> labels;
+  std::map<std::uint32_t, std::int64_t> props;
+  for (int i = 0; i < 3; ++i) {
+    const auto l = static_cast<std::uint32_t>(1 + rng.next_below(6));
+    if (v.add_label(l) == Status::kOk) labels.insert(l);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const auto pt = static_cast<std::uint32_t>(16 + rng.next_below(4));
+    if (props.contains(pt)) continue;
+    const auto val = static_cast<std::int64_t>(rng.next_below(100));
+    std::vector<std::byte> bytes(8);
+    std::memcpy(bytes.data(), &val, 8);
+    if (v.add_entry(pt, bytes) == Status::kOk) props.emplace(pt, val);
+  }
+
+  for (int trial = 0; trial < 60; ++trial) {
+    Constraint c;
+    bool expect = false;
+    const std::size_t n_subs = 1 + rng.next_below(3);
+    for (std::size_t s = 0; s < n_subs; ++s) {
+      auto& sub = c.add_subconstraint();
+      bool sub_true = true;
+      const std::size_t n_conds = 1 + rng.next_below(3);
+      for (std::size_t k = 0; k < n_conds; ++k) {
+        if (rng.next_below(2) == 0) {
+          const auto l = static_cast<std::uint32_t>(1 + rng.next_below(6));
+          const bool present = rng.next_below(2) == 0;
+          if (present) sub.require_label(l);
+          else sub.forbid_label(l);
+          if (labels.contains(l) != present) sub_true = false;
+        } else {
+          const auto pt = static_cast<std::uint32_t>(16 + rng.next_below(4));
+          const auto rhs = static_cast<std::int64_t>(rng.next_below(100));
+          const auto op = static_cast<CmpOp>(rng.next_below(6));
+          sub.where(pt, op, Datatype::kInt64, PropValue{rhs});
+          bool cond = false;
+          if (auto it = props.find(pt); it != props.end()) {
+            switch (op) {
+              case CmpOp::kEq: cond = it->second == rhs; break;
+              case CmpOp::kNe: cond = it->second != rhs; break;
+              case CmpOp::kLt: cond = it->second < rhs; break;
+              case CmpOp::kLe: cond = it->second <= rhs; break;
+              case CmpOp::kGt: cond = it->second > rhs; break;
+              case CmpOp::kGe: cond = it->second >= rhs; break;
+            }
+          }
+          if (!cond) sub_true = false;
+        }
+      }
+      if (sub_true) expect = true;
+    }
+    EXPECT_EQ(c.matches(v), expect) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace gdi

@@ -1,0 +1,311 @@
+// Unit tests: RMA runtime -- one-sided window operations, remote atomics,
+// collectives (parameterized over rank counts), and the cost model.
+//
+// NOTE: inside Runtime::run all assertions must be EXPECT_* (non-fatal);
+// a fatal ASSERT would return from one rank's lambda and deadlock the team.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "rma/runtime.hpp"
+#include "rma/window.hpp"
+
+namespace gdi::rma {
+namespace {
+
+class RmaParam : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, RmaParam, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST_P(RmaParam, RunExecutesEveryRankOnce) {
+  Runtime rt(GetParam());
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(GetParam()));
+  rt.run([&](Rank& self) { hits[static_cast<std::size_t>(self.id())]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Runtime, RethrowsRankException) {
+  Runtime rt(1);
+  EXPECT_THROW(rt.run([](Rank&) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+}
+
+TEST(Runtime, ReusableAcrossRuns) {
+  Runtime rt(4);
+  for (int i = 0; i < 3; ++i)
+    rt.run([&](Rank& self) { EXPECT_EQ(self.nranks(), 4); });
+}
+
+TEST_P(RmaParam, PutGetRoundtripAllPairs) {
+  Runtime rt(GetParam());
+  rt.run([&](Rank& self) {
+    auto win = Window::create(self, 4096);
+    // Every rank writes a distinctive word into every peer's region at its
+    // own slot, then reads back after a barrier.
+    for (int t = 0; t < self.nranks(); ++t) {
+      const std::uint64_t v = 1000 + static_cast<std::uint64_t>(self.id());
+      win->put(self, &v, 8, static_cast<std::uint32_t>(t),
+               static_cast<std::uint64_t>(self.id()) * 8);
+    }
+    self.barrier();
+    for (int t = 0; t < self.nranks(); ++t) {
+      std::uint64_t v = 0;
+      win->get(self, &v, 8, static_cast<std::uint32_t>(self.id()),
+               static_cast<std::uint64_t>(t) * 8);
+      EXPECT_EQ(v, 1000 + static_cast<std::uint64_t>(t));
+    }
+    self.barrier();
+  });
+}
+
+class PayloadParam : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, PayloadParam,
+                         ::testing::Values(1, 7, 8, 64, 511, 4096));
+
+TEST_P(PayloadParam, VariableSizeTransfers) {
+  const std::size_t n = GetParam();
+  Runtime rt(2);
+  rt.run([&](Rank& self) {
+    auto win = Window::create(self, 8192);
+    if (self.id() == 0) {
+      std::vector<std::byte> src(n);
+      for (std::size_t i = 0; i < n; ++i) src[i] = static_cast<std::byte>(i & 0xFF);
+      win->put(self, src.data(), n, 1, 16);
+    }
+    self.barrier();
+    if (self.id() == 1) {
+      std::vector<std::byte> dst(n);
+      win->get(self, dst.data(), n, 1, 16);
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(dst[i], static_cast<std::byte>(i & 0xFF));
+    }
+    self.barrier();
+  });
+}
+
+TEST(Window, CasSemantics) {
+  Runtime rt(1);
+  rt.run([&](Rank& self) {
+    auto win = Window::create(self, 64);
+    EXPECT_EQ(win->cas_u64(self, 0, 0, 0, 5), 0u);   // success: old == expected
+    EXPECT_EQ(win->atomic_get_u64(self, 0, 0), 5u);
+    EXPECT_EQ(win->cas_u64(self, 0, 0, 0, 9), 5u);   // failure: returns current
+    EXPECT_EQ(win->atomic_get_u64(self, 0, 0), 5u);
+    EXPECT_EQ(win->cas_u64(self, 0, 0, 5, 9), 5u);   // success again
+    EXPECT_EQ(win->atomic_get_u64(self, 0, 0), 9u);
+  });
+}
+
+TEST(Window, FaaReturnsPrevious) {
+  Runtime rt(1);
+  rt.run([&](Rank& self) {
+    auto win = Window::create(self, 64);
+    EXPECT_EQ(win->faa_u64(self, 0, 8, 3), 0u);
+    EXPECT_EQ(win->faa_u64(self, 0, 8, -1), 3u);
+    EXPECT_EQ(win->atomic_get_u64(self, 0, 8), 2u);
+  });
+}
+
+TEST_P(RmaParam, ConcurrentFaaIsAtomic) {
+  const int P = GetParam();
+  Runtime rt(P);
+  constexpr int kPerRank = 2000;
+  rt.run([&](Rank& self) {
+    auto win = Window::create(self, 64);
+    for (int i = 0; i < kPerRank; ++i) (void)win->faa_u64(self, 0, 0, 1);
+    self.barrier();
+    EXPECT_EQ(win->atomic_get_u64(self, 0, 0),
+              static_cast<std::uint64_t>(P) * kPerRank);
+  });
+}
+
+TEST_P(RmaParam, ConcurrentCasExactlyOneWinnerPerRound) {
+  const int P = GetParam();
+  Runtime rt(P);
+  std::atomic<int> winners{0};
+  rt.run([&](Rank& self) {
+    auto win = Window::create(self, 64);
+    const std::uint64_t mine = static_cast<std::uint64_t>(self.id()) + 1;
+    if (win->cas_u64(self, 0, 0, 0, mine) == 0) winners++;
+    self.barrier();
+    const std::uint64_t final = win->atomic_get_u64(self, 0, 0);
+    EXPECT_GE(final, 1u);
+    EXPECT_LE(final, static_cast<std::uint64_t>(P));
+  });
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST_P(RmaParam, Broadcast) {
+  Runtime rt(GetParam());
+  rt.run([&](Rank& self) {
+    const std::uint64_t v = self.id() == 0 ? 0xDEAD : 0;
+    EXPECT_EQ(self.broadcast(v, 0), 0xDEADu);
+  });
+}
+
+TEST_P(RmaParam, AllreduceSumMinMax) {
+  const int P = GetParam();
+  Runtime rt(P);
+  rt.run([&](Rank& self) {
+    const auto x = static_cast<std::int64_t>(self.id()) + 1;
+    EXPECT_EQ(self.allreduce_sum(x), static_cast<std::int64_t>(P) * (P + 1) / 2);
+    EXPECT_EQ(self.allreduce_min(x), 1);
+    EXPECT_EQ(self.allreduce_max(x), P);
+    EXPECT_TRUE(self.allreduce_or(self.id() == 0));
+    EXPECT_FALSE(self.allreduce_or(false));
+  });
+}
+
+TEST_P(RmaParam, AllreduceVector) {
+  const int P = GetParam();
+  Runtime rt(P);
+  rt.run([&](Rank& self) {
+    std::vector<double> v{static_cast<double>(self.id()), 1.0};
+    auto out = self.allreduce(std::span<const double>(v),
+                              [](double a, double b) { return a + b; });
+    EXPECT_DOUBLE_EQ(out[0], static_cast<double>(P) * (P - 1) / 2.0);
+    EXPECT_DOUBLE_EQ(out[1], static_cast<double>(P));
+  });
+}
+
+TEST_P(RmaParam, AllgatherOrdered) {
+  const int P = GetParam();
+  Runtime rt(P);
+  rt.run([&](Rank& self) {
+    auto all = self.allgather(static_cast<std::uint32_t>(self.id() * 10));
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r)
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], static_cast<std::uint32_t>(r * 10));
+  });
+}
+
+TEST_P(RmaParam, AllgathervConcatenatesInRankOrder) {
+  const int P = GetParam();
+  Runtime rt(P);
+  rt.run([&](Rank& self) {
+    // Rank r contributes r copies of its id.
+    std::vector<std::uint32_t> mine(static_cast<std::size_t>(self.id()),
+                                    static_cast<std::uint32_t>(self.id()));
+    auto all = self.allgatherv(mine);
+    std::size_t expected_size = 0;
+    for (int r = 0; r < P; ++r) expected_size += static_cast<std::size_t>(r);
+    EXPECT_EQ(all.size(), expected_size);
+    std::size_t pos = 0;
+    for (int r = 0; r < P; ++r)
+      for (int i = 0; i < r; ++i)
+        EXPECT_EQ(all[pos++], static_cast<std::uint32_t>(r));
+  });
+}
+
+TEST_P(RmaParam, AlltoallvPersonalized) {
+  const int P = GetParam();
+  Runtime rt(P);
+  rt.run([&](Rank& self) {
+    std::vector<std::vector<std::uint64_t>> sends(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d)
+      sends[static_cast<std::size_t>(d)] = {
+          static_cast<std::uint64_t>(self.id()) * 100 + static_cast<std::uint64_t>(d)};
+    auto recv = self.alltoallv(sends);
+    for (int s = 0; s < P; ++s) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)].size(), 1u);
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)][0],
+                static_cast<std::uint64_t>(s) * 100 +
+                    static_cast<std::uint64_t>(self.id()));
+    }
+  });
+}
+
+TEST_P(RmaParam, ExscanSum) {
+  const int P = GetParam();
+  Runtime rt(P);
+  rt.run([&](Rank& self) {
+    const auto v = self.exscan_sum<std::uint64_t>(2);
+    EXPECT_EQ(v, static_cast<std::uint64_t>(self.id()) * 2);
+  });
+}
+
+TEST(Rank, CollectiveMakeSharesOneInstance) {
+  Runtime rt(4);
+  rt.run([&](Rank& self) {
+    auto obj = self.collective_make<int>([] { return std::make_shared<int>(41); });
+    EXPECT_EQ(*obj, 41);
+    self.barrier();  // everyone observed 41 before rank 0 mutates
+    if (self.id() == 0) *obj = 42;
+    self.barrier();
+    EXPECT_EQ(*obj, 42);  // all ranks see the same instance
+  });
+}
+
+TEST(CostModel, RemoteCostsMoreThanLocal) {
+  Runtime rt(2, NetParams::xc40());
+  rt.run([&](Rank& self) {
+    auto win = Window::create(self, 256);
+    self.reset_clock();
+    std::uint64_t v = 0;
+    win->get(self, &v, 8, static_cast<std::uint32_t>(self.id()), 0);
+    const double local = self.sim_time_ns();
+    self.reset_clock();
+    win->get(self, &v, 8, static_cast<std::uint32_t>(1 - self.id()), 0);
+    const double remote = self.sim_time_ns();
+    EXPECT_GT(remote, local);
+    self.barrier();
+  });
+}
+
+TEST(CostModel, BandwidthTermScalesWithBytes) {
+  Runtime rt(2, NetParams::xc50());
+  rt.run([&](Rank& self) {
+    auto win = Window::create(self, 1 << 20);
+    if (self.id() == 0) {
+      std::vector<std::byte> buf(1 << 16);
+      self.reset_clock();
+      win->get(self, buf.data(), 64, 1, 0);
+      const double small = self.sim_time_ns();
+      self.reset_clock();
+      win->get(self, buf.data(), buf.size(), 1, 0);
+      const double big = self.sim_time_ns();
+      EXPECT_GT(big, small * 2);
+    }
+    self.barrier();
+  });
+}
+
+TEST(CostModel, CountersTrackOps) {
+  Runtime rt(2, NetParams::xc40());
+  rt.run([&](Rank& self) {
+    auto win = Window::create(self, 256);
+    self.reset_counters();
+    std::uint64_t v = 1;
+    win->put(self, &v, 8, 0, 0);
+    win->get(self, &v, 8, 1, 0);
+    (void)win->faa_u64(self, 0, 8, 1);
+    win->flush(self, 0);
+    const auto& c = self.counters();
+    EXPECT_EQ(c.puts, 1u);
+    EXPECT_EQ(c.gets, 1u);
+    EXPECT_EQ(c.atomics, 1u);
+    EXPECT_EQ(c.flushes, 1u);
+    EXPECT_EQ(c.bytes_put, 8u);
+    EXPECT_EQ(c.bytes_get, 8u);
+    self.barrier();
+  });
+}
+
+TEST(CostModel, ZeroParamsChargeNothing) {
+  Runtime rt(2, NetParams::zero());
+  rt.run([&](Rank& self) {
+    auto win = Window::create(self, 256);
+    std::uint64_t v = 0;
+    win->get(self, &v, 8, 1 - self.id(), 0);
+    self.barrier();
+    EXPECT_EQ(self.sim_time_ns(), 0.0);
+  });
+}
+
+TEST(CostModel, XC50HasMoreBandwidthPerCore) {
+  EXPECT_LT(NetParams::xc50().beta_ns_per_byte, NetParams::xc40().beta_ns_per_byte);
+  EXPECT_LT(NetParams::xc50().alpha_remote_ns, NetParams::xc40().alpha_remote_ns);
+}
+
+}  // namespace
+}  // namespace gdi::rma

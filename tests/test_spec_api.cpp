@@ -1,0 +1,268 @@
+// Tests: the GDI specification bindings. The centerpiece re-implements the
+// paper's Listing 1 (interactive friends-of query) and Listing 3 (BI count
+// query) with the spec-named routines, structurally line-for-line.
+#include <gtest/gtest.h>
+
+#include "gdi/spec.hpp"
+
+namespace gdi::spec {
+namespace {
+
+DatabaseConfig cfg() {
+  DatabaseConfig c;
+  c.block.block_size = 512;
+  c.block.blocks_per_rank = 4096;
+  c.dht.entries_per_rank = 1024;
+  return c;
+}
+
+TEST(SpecApi, MetadataRoundtrip) {
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    GDI_Database db;
+    EXPECT_EQ(GDI_CreateDatabase(self, cfg(), &db), Status::kOk);
+    GDI_Label person = 0;
+    EXPECT_EQ(GDI_CreateLabel(&person, "Person", self, db), Status::kOk);
+    GDI_Label found = 0;
+    EXPECT_EQ(GDI_GetLabelFromName(&found, "Person", self, db), Status::kOk);
+    EXPECT_EQ(found, person);
+    std::string name;
+    EXPECT_EQ(GDI_GetNameOfLabel(&name, person, self, db), Status::kOk);
+    EXPECT_EQ(name, "Person");
+    std::vector<Label> all;
+    EXPECT_EQ(GDI_GetAllLabelsOfDatabase(&all, self, db), Status::kOk);
+    EXPECT_EQ(all.size(), 1u);
+    GDI_Label missing = 0;
+    EXPECT_EQ(GDI_GetLabelFromName(&missing, "Nope", self, db), Status::kNotFound);
+    std::string ename;
+    EXPECT_EQ(GDI_GetErrorName(&ename, Status::kNotFound), Status::kOk);
+    EXPECT_EQ(ename, "NOT_FOUND");
+    EXPECT_TRUE(GDI_IsTransactionCritical(Status::kTxnConflict));
+  });
+}
+
+TEST(SpecApi, Listing1FriendsOfQuery) {
+  // Paper Listing 1: retrieve first and last names of all persons a given
+  // person is friends with.
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    GDI_Database db;
+    ASSERT_EQ(GDI_CreateDatabase(self, cfg(), &db), Status::kOk);
+    GDI_Label GDI_LABEL_FRIENDOF = 0, GDI_LABEL_COLLEAGUE = 0;
+    ASSERT_EQ(GDI_CreateLabel(&GDI_LABEL_FRIENDOF, "FRIEND_OF", self, db), Status::kOk);
+    ASSERT_EQ(GDI_CreateLabel(&GDI_LABEL_COLLEAGUE, "COLLEAGUE", self, db), Status::kOk);
+    GDI_PropertyType GDI_PROP_TYPE_FNAME = 0, GDI_PROP_TYPE_LNAME = 0;
+    PropertyType fdef{.name = "fname", .dtype = Datatype::kString};
+    PropertyType ldef{.name = "lname", .dtype = Datatype::kString};
+    ASSERT_EQ(GDI_CreatePropertyType(&GDI_PROP_TYPE_FNAME, fdef, self, db), Status::kOk);
+    ASSERT_EQ(GDI_CreatePropertyType(&GDI_PROP_TYPE_LNAME, ldef, self, db), Status::kOk);
+
+    // Ingest: person 0 with two friends (1, 2) and one colleague (3).
+    if (self.id() == 0) {
+      GDI_Transaction txn;
+      (void)GDI_StartTransaction(&txn, db, self);
+      const char* names[][2] = {
+          {"Ada", "Lovelace"}, {"Edsger", "Dijkstra"}, {"Grace", "Hopper"},
+          {"Alan", "Turing"}};
+      GDI_VertexHolder people[4];
+      for (std::uint64_t i = 0; i < 4; ++i) {
+        ASSERT_EQ(GDI_CreateVertex(&people[i], i, txn), Status::kOk);
+        (void)GDI_AddPropertyToVertex(PropValue{std::string(names[i][0])},
+                                      GDI_PROP_TYPE_FNAME, people[i], txn);
+        (void)GDI_AddPropertyToVertex(PropValue{std::string(names[i][1])},
+                                      GDI_PROP_TYPE_LNAME, people[i], txn);
+      }
+      GDI_EdgeUid e;
+      (void)GDI_CreateEdge(&e, layout::Dir::kUndirected, people[0], people[1], txn,
+                           GDI_LABEL_FRIENDOF);
+      (void)GDI_CreateEdge(&e, layout::Dir::kUndirected, people[0], people[2], txn,
+                           GDI_LABEL_FRIENDOF);
+      (void)GDI_CreateEdge(&e, layout::Dir::kUndirected, people[0], people[3], txn,
+                           GDI_LABEL_COLLEAGUE);
+      ASSERT_EQ(GDI_CloseTransaction(&txn), Status::kOk);
+    }
+    self.barrier();
+
+    // --- Listing 1 body, structurally verbatim --------------------------------
+    const std::uint64_t vID_app = 0;
+    GDI_Transaction trans_obj;
+    (void)GDI_StartTransaction(&trans_obj, db, self, TxnMode::kRead);  // l.1
+    GDI_VertexUid vID;
+    ASSERT_EQ(GDI_TranslateVertexID(&vID, vID_app, trans_obj), Status::kOk);  // l.2
+    GDI_VertexHolder vH;
+    ASSERT_EQ(GDI_AssociateVertex(vID, trans_obj, &vH), Status::kOk);  // l.3
+    std::vector<EdgeDesc> eIDs;
+    ASSERT_EQ(GDI_GetEdgesOfVertex(&eIDs, GDI_EDGE_UNDIRECTED, vH, trans_obj),
+              Status::kOk);  // l.4
+    std::vector<GDI_VertexUid> neighborsID;
+    for (const auto& eID : eIDs) {                       // l.5
+      if (eID.label_id == GDI_LABEL_FRIENDOF)            // l.7-8
+        neighborsID.push_back(eID.neighbor);             // l.9-10
+    }
+    std::vector<std::pair<std::string, std::string>> result;
+    for (GDI_VertexUid nID : neighborsID) {              // l.11
+      GDI_VertexHolder nH;
+      ASSERT_EQ(GDI_AssociateVertex(nID, trans_obj, &nH), Status::kOk);  // l.12
+      std::vector<PropValue> fName, lName;
+      (void)GDI_GetPropertiesOfVertex(&fName, GDI_PROP_TYPE_FNAME, nH, trans_obj);
+      (void)GDI_GetPropertiesOfVertex(&lName, GDI_PROP_TYPE_LNAME, nH, trans_obj);
+      result.emplace_back(std::get<std::string>(fName[0]),
+                          std::get<std::string>(lName[0]));  // l.13-15
+    }
+    EXPECT_EQ(GDI_CloseTransaction(&trans_obj), Status::kOk);  // l.16
+
+    ASSERT_EQ(result.size(), 2u) << "colleague must be filtered out";
+    std::sort(result.begin(), result.end());
+    EXPECT_EQ(result[0], (std::pair<std::string, std::string>{"Edsger", "Dijkstra"}));
+    EXPECT_EQ(result[1], (std::pair<std::string, std::string>{"Grace", "Hopper"}));
+    self.barrier();
+  });
+}
+
+TEST(SpecApi, Listing3BusinessIntelligenceCount) {
+  // Paper Listing 3: "MATCH (per:Person) WHERE per.age > 30 AND
+  // per-[:OWN]->vehicle(:Car) AND vehicle.color = red RETURN count(per)".
+  rma::Runtime rt(4);
+  rt.run([&](rma::Rank& self) {
+    GDI_Database db;
+    ASSERT_EQ(GDI_CreateDatabase(self, cfg(), &db), Status::kOk);
+    GDI_Label GDI_LABEL_PERSON = 0, GDI_LABEL_CAR = 0, GDI_LABEL_OWN = 0;
+    (void)GDI_CreateLabel(&GDI_LABEL_PERSON, "Person", self, db);
+    (void)GDI_CreateLabel(&GDI_LABEL_CAR, "Car", self, db);
+    (void)GDI_CreateLabel(&GDI_LABEL_OWN, "OWN", self, db);
+    GDI_PropertyType GDI_PROP_TYPE_AGE = 0, GDI_PROP_TYPE_COLOR = 0;
+    PropertyType adef{.name = "age", .dtype = Datatype::kInt64};
+    PropertyType cdef{.name = "color", .dtype = Datatype::kString};
+    (void)GDI_CreatePropertyType(&GDI_PROP_TYPE_AGE, adef, self, db);
+    (void)GDI_CreatePropertyType(&GDI_PROP_TYPE_COLOR, cdef, self, db);
+    GDI_Index index_obj;
+    (void)GDI_CreateIndex(&index_obj, IndexDef{{GDI_LABEL_PERSON}, {}}, self, db);
+
+    // Deterministic dataset: 80 people, every third owns a red car, every
+    // other age is > 30.
+    {
+      GDI_Transaction txn;
+      (void)GDI_StartCollectiveTransaction(&txn, db, self, TxnMode::kWrite);
+      for (std::uint64_t i = static_cast<std::uint64_t>(self.id()); i < 80; i += 4) {
+        GDI_VertexHolder per;
+        ASSERT_EQ(GDI_CreateVertex(&per, i, txn), Status::kOk);
+        (void)GDI_AddLabelToVertex(GDI_LABEL_PERSON, per, txn);
+        (void)GDI_AddPropertyToVertex(
+            PropValue{static_cast<std::int64_t>(i % 2 ? 45 : 20)}, GDI_PROP_TYPE_AGE,
+            per, txn);
+        if (i % 3 == 0) {
+          GDI_VertexHolder veh;
+          ASSERT_EQ(GDI_CreateVertex(&veh, 1000 + i, txn), Status::kOk);
+          (void)GDI_AddLabelToVertex(GDI_LABEL_CAR, veh, txn);
+          (void)GDI_AddPropertyToVertex(PropValue{std::string("red")},
+                                        GDI_PROP_TYPE_COLOR, veh, txn);
+          GDI_EdgeUid e;
+          (void)GDI_CreateEdge(&e, layout::Dir::kOut, per, veh, txn, GDI_LABEL_OWN);
+        }
+      }
+      ASSERT_EQ(GDI_CloseCollectiveTransaction(&txn), Status::kOk);
+    }
+
+    // --- Listing 3 body, structurally verbatim --------------------------------
+    std::uint64_t local_count = 0;                                       // l.1
+    GDI_Transaction trans_obj;
+    (void)GDI_StartCollectiveTransaction(&trans_obj, db, self);          // l.2
+    std::vector<GDI_VertexUid> vIDs;
+    ASSERT_EQ(GDI_GetLocalVerticesOfIndex(&vIDs, index_obj, trans_obj),  // l.4
+              Status::kOk);
+    for (GDI_VertexUid person : vIDs) {                                  // l.5
+      GDI_VertexHolder vH;
+      ASSERT_EQ(GDI_AssociateVertex(person, trans_obj, &vH), Status::kOk);  // l.6
+      std::vector<PropValue> age;
+      (void)GDI_GetPropertiesOfVertex(&age, GDI_PROP_TYPE_AGE, vH, trans_obj);  // l.7
+      if (age.empty() || std::get<std::int64_t>(age[0]) <= 30) continue;  // l.8
+      GDI_Constraint cnstr = Constraint::with_label(GDI_LABEL_OWN);       // l.9
+      std::vector<GDI_VertexUid> things;
+      ASSERT_EQ(GDI_GetNeighborVerticesOfVertex(&things, GDI_EDGE_OUTGOING, vH,
+                                                trans_obj, &cnstr),
+                Status::kOk);                                             // l.10
+      for (GDI_VertexUid object : things) {                               // l.11
+        GDI_VertexHolder oH;
+        ASSERT_EQ(GDI_AssociateVertex(object, trans_obj, &oH), Status::kOk);  // l.12
+        std::vector<GDI_Label> labels;
+        (void)GDI_GetAllLabelsOfVertex(&labels, oH, trans_obj);           // l.13
+        if (std::find(labels.begin(), labels.end(), GDI_LABEL_CAR) == labels.end())
+          continue;                                                       // l.14
+        std::vector<PropValue> color;
+        (void)GDI_GetPropertiesOfVertex(&color, GDI_PROP_TYPE_COLOR, oH, trans_obj);
+        if (!color.empty() && std::get<std::string>(color[0]) == "red") {  // l.15-16
+          ++local_count;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(GDI_CloseCollectiveTransaction(&trans_obj), Status::kOk);   // l.17
+    const std::uint64_t total = self.allreduce_sum(local_count);          // l.18
+
+    // Expected: i odd (age 45) and i % 3 == 0 -> i in {3,9,15,...,75}: 13.
+    EXPECT_EQ(total, 13u);
+    self.barrier();
+  });
+}
+
+TEST(SpecApi, TransactionAbortAndTypeQueries) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    GDI_Database db;
+    (void)GDI_CreateDatabase(self, cfg(), &db);
+    GDI_Transaction txn;
+    (void)GDI_StartTransaction(&txn, db, self);
+    TxnScope scope;
+    TxnMode mode;
+    (void)GDI_GetTypeOfTransaction(&scope, &mode, txn);
+    EXPECT_EQ(scope, TxnScope::kLocal);
+    EXPECT_EQ(mode, TxnMode::kWrite);
+    GDI_VertexHolder v;
+    ASSERT_EQ(GDI_CreateVertex(&v, 9, txn), Status::kOk);
+    EXPECT_EQ(GDI_AbortTransaction(&txn), Status::kOk);
+    // The vertex must not exist after the abort.
+    GDI_Transaction r;
+    (void)GDI_StartTransaction(&r, db, self, TxnMode::kRead);
+    GDI_VertexUid vid;
+    EXPECT_EQ(GDI_TranslateVertexID(&vid, 9, r), Status::kNotFound);
+    (void)GDI_AbortTransaction(&r);
+  });
+}
+
+TEST(SpecApi, EdgeHolderRoutines) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    GDI_Database db;
+    (void)GDI_CreateDatabase(self, cfg(), &db);
+    GDI_Label lab = 0;
+    (void)GDI_CreateLabel(&lab, "REL", self, db);
+    PropertyType wdef{.name = "w", .dtype = Datatype::kDouble,
+                      .etype = EntityType::kEdge};
+    GDI_PropertyType wt = 0;
+    (void)GDI_CreatePropertyType(&wt, wdef, self, db);
+
+    GDI_Transaction txn;
+    (void)GDI_StartTransaction(&txn, db, self);
+    GDI_VertexHolder a, b;
+    (void)GDI_CreateVertex(&a, 1, txn);
+    (void)GDI_CreateVertex(&b, 2, txn);
+    auto eh = txn->create_heavy_edge(a, b, layout::Dir::kOut);
+    ASSERT_TRUE(eh.ok());
+    (void)txn->add_edge_label(*eh, lab);
+    EXPECT_EQ(GDI_AddPropertyToEdge(PropValue{1.5}, wt, *eh, txn), Status::kOk);
+    std::vector<GDI_Label> labels;
+    EXPECT_EQ(GDI_GetAllLabelsOfEdge(&labels, *eh, txn), Status::kOk);
+    EXPECT_EQ(labels, (std::vector<GDI_Label>{lab}));
+    GDI_VertexUid o, t;
+    EXPECT_EQ(GDI_GetVerticesOfEdge(&o, &t, *eh, txn), Status::kOk);
+    EXPECT_EQ(o, a.vid);
+    EXPECT_EQ(t, b.vid);
+    std::vector<PropValue> w;
+    EXPECT_EQ(GDI_GetPropertiesOfEdge(&w, wt, *eh, txn), Status::kOk);
+    EXPECT_DOUBLE_EQ(std::get<double>(w[0]), 1.5);
+    EXPECT_EQ(GDI_CloseTransaction(&txn), Status::kOk);
+  });
+}
+
+}  // namespace
+}  // namespace gdi::spec

@@ -1,0 +1,777 @@
+// Integration tests: GDI transactions -- ACID semantics, CRUD on vertices,
+// edges, labels, properties; visibility, abort/rollback, conflicts,
+// collective transactions, indexes, and holder growth across blocks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "gdi/gdi.hpp"
+
+namespace gdi {
+namespace {
+
+using layout::Dir;
+
+DatabaseConfig test_db(std::size_t block_size = 256, std::size_t blocks = 2048) {
+  DatabaseConfig cfg;
+  cfg.block.block_size = block_size;
+  cfg.block.blocks_per_rank = blocks;
+  cfg.dht.buckets_per_rank = 128;
+  cfg.dht.entries_per_rank = 2048;
+  cfg.index_capacity_per_rank = 1024;
+  return cfg;
+}
+
+struct Meta {
+  std::uint32_t person = 0, car = 0, knows = 0;
+  std::uint32_t age = 0, name = 0, multi = 0;
+};
+
+Meta make_meta(rma::Rank& self, const std::shared_ptr<Database>& db) {
+  Meta m;
+  m.person = *db->create_label(self, "Person");
+  m.car = *db->create_label(self, "Car");
+  m.knows = *db->create_label(self, "KNOWS");
+  PropertyType age{.name = "age", .dtype = Datatype::kInt64,
+                   .mult = Multiplicity::kSingle};
+  PropertyType name{.name = "name", .dtype = Datatype::kString};
+  PropertyType multi{.name = "multi", .dtype = Datatype::kInt64,
+                     .mult = Multiplicity::kMultiple};
+  m.age = *db->create_ptype(self, age);
+  m.name = *db->create_ptype(self, name);
+  m.multi = *db->create_ptype(self, multi);
+  return m;
+}
+
+/// find-or-fail returning the handle (assumes success).
+VertexHandle txn_find(Transaction& txn, std::uint64_t id) {
+  auto v = txn.find_vertex(id);
+  EXPECT_TRUE(v.ok()) << "find_vertex(" << id << ")";
+  return v.ok() ? *v : VertexHandle{};
+}
+
+TEST(Txn, CreateCommitVisible) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    {
+      Transaction txn(db, self, TxnMode::kWrite);
+      auto v = txn.create_vertex(100);
+      EXPECT_TRUE(v.ok());
+      EXPECT_EQ(txn.add_label(*v, m.person), Status::kOk);
+      EXPECT_EQ(txn.add_property(*v, m.age, PropValue{std::int64_t{33}}), Status::kOk);
+      EXPECT_EQ(txn.commit(), Status::kOk);
+    }
+    {
+      Transaction txn(db, self, TxnMode::kRead);
+      auto v = txn.find_vertex(100);
+      EXPECT_TRUE(v.ok());
+      auto labels = txn.labels_of(*v);
+      EXPECT_TRUE(labels.ok());
+      EXPECT_EQ(*labels, (std::vector<std::uint32_t>{m.person}));
+      auto age = txn.get_properties(*v, m.age);
+      EXPECT_TRUE(age.ok());
+      ASSERT_EQ(age->size(), 1u);
+      EXPECT_EQ(std::get<std::int64_t>((*age)[0]), 33);
+      EXPECT_EQ(*txn.app_id_of(*v), 100u);
+      EXPECT_EQ(txn.commit(), Status::kOk);
+    }
+  });
+}
+
+TEST(Txn, AbortRollsBackEverything) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    const std::uint64_t blocks_before = db->blocks().allocated_count(self, 0);
+    {
+      Transaction txn(db, self, TxnMode::kWrite);
+      auto v = txn.create_vertex(1);
+      EXPECT_TRUE(v.ok());
+      (void)txn.add_label(*v, m.person);
+      txn.abort();
+    }
+    EXPECT_EQ(db->blocks().allocated_count(self, 0), blocks_before)
+        << "aborted create must release its blocks";
+    Transaction txn(db, self, TxnMode::kRead);
+    EXPECT_EQ(txn.find_vertex(1).status(), Status::kNotFound);
+  });
+}
+
+TEST(Txn, DestructorAbortsUncommitted) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    {
+      Transaction txn(db, self, TxnMode::kWrite);
+      (void)txn.create_vertex(7);
+      // no commit: dtor aborts
+    }
+    Transaction txn(db, self, TxnMode::kRead);
+    EXPECT_EQ(txn.find_vertex(7).status(), Status::kNotFound);
+  });
+}
+
+TEST(Txn, DuplicateAppIdRejected) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    {
+      Transaction txn(db, self, TxnMode::kWrite);
+      EXPECT_TRUE(txn.create_vertex(5).ok());
+      EXPECT_EQ(txn.create_vertex(5).status(), Status::kAlreadyExists)
+          << "duplicate within one transaction";
+      EXPECT_EQ(txn.commit(), Status::kOk);
+    }
+    Transaction txn(db, self, TxnMode::kWrite);
+    EXPECT_EQ(txn.create_vertex(5).status(), Status::kAlreadyExists)
+        << "duplicate across transactions";
+    txn.abort();
+  });
+}
+
+TEST(Txn, ReadOnlyRejectsWrites) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    {
+      Transaction txn(db, self, TxnMode::kWrite);
+      (void)txn.create_vertex(1);
+      (void)txn.commit();
+    }
+    Transaction txn(db, self, TxnMode::kRead);
+    auto v = txn.find_vertex(1);
+    EXPECT_TRUE(v.ok());
+    const Status s = txn.add_label(*v, m.person);
+    EXPECT_EQ(s, Status::kTxnReadOnly);
+    EXPECT_TRUE(is_transaction_critical(s));
+    EXPECT_TRUE(txn.failed()) << "write in read txn dooms the transaction";
+    txn.abort();
+  });
+}
+
+TEST(Txn, UpdateAndRemoveProperties) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    Transaction w(db, self, TxnMode::kWrite);
+    auto v = w.create_vertex(1);
+    EXPECT_EQ(w.add_property(*v, m.age, PropValue{std::int64_t{10}}), Status::kOk);
+    // kSingle multiplicity: second add is a constraint violation.
+    EXPECT_EQ(w.add_property(*v, m.age, PropValue{std::int64_t{11}}),
+              Status::kConstraintViolated);
+    EXPECT_EQ(w.update_property(*v, m.age, PropValue{std::int64_t{12}}), Status::kOk);
+    // kMultiple: several entries allowed.
+    EXPECT_EQ(w.add_property(*v, m.multi, PropValue{std::int64_t{1}}), Status::kOk);
+    EXPECT_EQ(w.add_property(*v, m.multi, PropValue{std::int64_t{2}}), Status::kOk);
+    EXPECT_EQ(w.commit(), Status::kOk);
+
+    {
+      Transaction r(db, self, TxnMode::kRead);
+      auto h = txn_find(r, 1);
+      auto age = r.get_properties(h, m.age);
+      EXPECT_EQ(std::get<std::int64_t>((*age)[0]), 12);
+      auto multi = r.get_properties(h, m.multi);
+      EXPECT_EQ(multi->size(), 2u);
+      auto pts = r.ptypes_of(h);
+      EXPECT_EQ(pts->size(), 2u);
+      EXPECT_EQ(r.commit(), Status::kOk);  // release read locks before writing
+    }
+
+    Transaction w2(db, self, TxnMode::kWrite);
+    auto h2 = txn_find(w2, 1);
+    EXPECT_EQ(w2.remove_properties(h2, m.multi), Status::kOk);
+    EXPECT_EQ(w2.remove_properties(h2, m.multi), Status::kNotFound);
+    EXPECT_EQ(w2.commit(), Status::kOk);
+  });
+}
+
+TEST(Txn, StringProperties) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    Transaction w(db, self, TxnMode::kWrite);
+    auto v = w.create_vertex(1);
+    EXPECT_EQ(w.add_property(*v, m.name, PropValue{std::string("Maciej")}), Status::kOk);
+    EXPECT_EQ(w.commit(), Status::kOk);
+    Transaction r(db, self, TxnMode::kRead);
+    auto got = r.get_properties(txn_find(r, 1), m.name);
+    EXPECT_EQ(std::get<std::string>((*got)[0]), "Maciej");
+  });
+}
+
+TEST(Txn, EdgesDirectedAndUndirected) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    Transaction w(db, self, TxnMode::kWrite);
+    auto a = *w.create_vertex(1);
+    auto b = *w.create_vertex(2);
+    auto c = *w.create_vertex(3);
+    EXPECT_TRUE(w.create_edge(a, b, Dir::kOut, m.knows).ok());
+    EXPECT_TRUE(w.create_edge(a, c, Dir::kUndirected).ok());
+    EXPECT_EQ(w.commit(), Status::kOk);
+
+    Transaction r(db, self, TxnMode::kRead);
+    auto ha = txn_find(r, 1);
+    auto hb = txn_find(r, 2);
+    auto hc = txn_find(r, 3);
+    EXPECT_EQ(*r.count_edges(ha, DirFilter::kOut), 1u);
+    EXPECT_EQ(*r.count_edges(ha, DirFilter::kUndirected), 1u);
+    EXPECT_EQ(*r.count_edges(ha, DirFilter::kAll), 2u);
+    EXPECT_EQ(*r.count_edges(hb, DirFilter::kIn), 1u) << "mirror record";
+    EXPECT_EQ(*r.count_edges(hb, DirFilter::kOut), 0u);
+    EXPECT_EQ(*r.count_edges(hc, DirFilter::kUndirected), 1u);
+    EXPECT_EQ(*r.count_edges(ha, DirFilter::kOutgoing), 2u);
+    EXPECT_EQ(*r.count_edges(ha, DirFilter::kIncoming), 1u);
+
+    auto edges = r.edges_of(ha, DirFilter::kOut);
+    ASSERT_EQ(edges->size(), 1u);
+    EXPECT_EQ((*edges)[0].label_id, m.knows);
+    EXPECT_EQ((*edges)[0].neighbor, hb.vid);
+  });
+}
+
+TEST(Txn, EdgeConstraintFiltering) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    Transaction w(db, self, TxnMode::kWrite);
+    auto a = *w.create_vertex(1);
+    auto b = *w.create_vertex(2);
+    auto c = *w.create_vertex(3);
+    (void)w.create_edge(a, b, Dir::kOut, m.knows);
+    (void)w.create_edge(a, c, Dir::kOut, m.person /* different label */);
+    EXPECT_EQ(w.commit(), Status::kOk);
+
+    Transaction r(db, self, TxnMode::kRead);
+    auto ha = txn_find(r, 1);
+    const Constraint knows = Constraint::with_label(m.knows);
+    auto nbrs = r.neighbors_of(ha, DirFilter::kOut, &knows);
+    ASSERT_EQ(nbrs->size(), 1u);
+    EXPECT_EQ((*nbrs)[0], txn_find(r, 2).vid);
+  });
+}
+
+TEST(Txn, DeleteEdgeRemovesMirror) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    Transaction w(db, self, TxnMode::kWrite);
+    auto a = *w.create_vertex(1);
+    auto b = *w.create_vertex(2);
+    auto uid = w.create_edge(a, b, Dir::kOut, m.knows);
+    EXPECT_TRUE(uid.ok());
+    EXPECT_EQ(w.commit(), Status::kOk);
+
+    Transaction w2(db, self, TxnMode::kWrite);
+    auto ha = txn_find(w2, 1);
+    auto edges = w2.edges_of(ha, DirFilter::kOut);
+    ASSERT_EQ(edges->size(), 1u);
+    EXPECT_EQ(w2.delete_edge(ha, (*edges)[0].uid), Status::kOk);
+    EXPECT_EQ(w2.commit(), Status::kOk);
+
+    Transaction r(db, self, TxnMode::kRead);
+    EXPECT_EQ(*r.count_edges(txn_find(r, 1), DirFilter::kAll), 0u);
+    EXPECT_EQ(*r.count_edges(txn_find(r, 2), DirFilter::kAll), 0u)
+        << "mirror must be gone";
+  });
+}
+
+TEST(Txn, DeleteVertexCleansNeighborsAndIndex) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    Transaction w(db, self, TxnMode::kWrite);
+    auto a = *w.create_vertex(1);
+    auto b = *w.create_vertex(2);
+    auto c = *w.create_vertex(3);
+    (void)w.create_edge(a, b, Dir::kOut, m.knows);
+    (void)w.create_edge(c, a, Dir::kOut, m.knows);
+    (void)w.create_edge(a, a, Dir::kUndirected);  // self loop
+    EXPECT_EQ(w.commit(), Status::kOk);
+
+    Transaction d(db, self, TxnMode::kWrite);
+    EXPECT_EQ(d.delete_vertex(txn_find(d, 1)), Status::kOk);
+    EXPECT_EQ(d.commit(), Status::kOk);
+
+    Transaction r(db, self, TxnMode::kRead);
+    EXPECT_EQ(r.find_vertex(1).status(), Status::kNotFound);
+    EXPECT_EQ(r.translate_vertex_id(1).status(), Status::kNotFound)
+        << "DHT entry removed";
+    EXPECT_EQ(*r.count_edges(txn_find(r, 2), DirFilter::kAll), 0u);
+    EXPECT_EQ(*r.count_edges(txn_find(r, 3), DirFilter::kAll), 0u);
+  });
+}
+
+TEST(Txn, SelfLoopSemantics) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    (void)make_meta(self, db);
+    Transaction w(db, self, TxnMode::kWrite);
+    auto a = *w.create_vertex(1);
+    (void)w.create_edge(a, a, Dir::kOut);         // directed loop: out + in
+    (void)w.create_edge(a, a, Dir::kUndirected);  // undirected loop: one record
+    EXPECT_EQ(w.commit(), Status::kOk);
+    Transaction r(db, self, TxnMode::kRead);
+    auto h = txn_find(r, 1);
+    EXPECT_EQ(*r.count_edges(h, DirFilter::kOut), 1u);
+    EXPECT_EQ(*r.count_edges(h, DirFilter::kIn), 1u);
+    EXPECT_EQ(*r.count_edges(h, DirFilter::kUndirected), 1u);
+    EXPECT_EQ(*r.count_edges(h, DirFilter::kAll), 3u);
+  });
+}
+
+TEST(Txn, HolderGrowsAcrossBlocks) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    // 256-byte blocks: ~100 edges require many continuation blocks.
+    auto db = Database::create(self, test_db(256, 4096));
+    (void)make_meta(self, db);
+    Transaction w(db, self, TxnMode::kWrite);
+    auto hub = *w.create_vertex(0);
+    for (std::uint64_t i = 1; i <= 100; ++i) {
+      auto v = *w.create_vertex(i);
+      EXPECT_TRUE(w.create_edge(hub, v, Dir::kOut).ok()) << i;
+    }
+    EXPECT_EQ(w.commit(), Status::kOk);
+
+    Transaction r(db, self, TxnMode::kRead);
+    auto h = txn_find(r, 0);
+    EXPECT_EQ(*r.count_edges(h, DirFilter::kOut), 100u);
+    auto edges = r.edges_of(h, DirFilter::kOut);
+    std::set<std::uint64_t> seen;
+    for (const auto& e : *edges) {
+      auto id = r.peek_app_id(e.neighbor);
+      seen.insert(*id);
+    }
+    EXPECT_EQ(seen.size(), 100u);
+  });
+}
+
+TEST(Txn, LargePropertySpansBlocks) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db(256, 1024));
+    PropertyType blob{.name = "blob", .dtype = Datatype::kBytes};
+    const std::uint32_t pt = *db->create_ptype(self, blob);
+    std::vector<std::byte> payload(1500);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      payload[i] = static_cast<std::byte>(i % 251);
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      auto v = *w.create_vertex(1);
+      EXPECT_EQ(w.add_property(v, pt, PropValue{payload}), Status::kOk);
+      EXPECT_EQ(w.commit(), Status::kOk);
+    }
+    Transaction r(db, self, TxnMode::kRead);
+    auto got = r.get_properties(txn_find(r, 1), pt);
+    ASSERT_EQ(got->size(), 1u);
+    EXPECT_EQ(std::get<std::vector<std::byte>>((*got)[0]), payload);
+  });
+}
+
+TEST(Txn, WriteConflictAbortsSecondTxn) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      (void)w.create_vertex(1);
+      (void)w.commit();
+    }
+    Transaction t1(db, self, TxnMode::kWrite);
+    auto v1 = txn_find(t1, 1);
+    EXPECT_EQ(t1.add_label(v1, m.person), Status::kOk);  // holds write lock
+    {
+      Transaction t2(db, self, TxnMode::kWrite);
+      auto v2 = t2.find_vertex(1);
+      EXPECT_FALSE(v2.ok());
+      EXPECT_EQ(v2.status(), Status::kTxnConflict);
+      EXPECT_TRUE(t2.failed());
+      EXPECT_EQ(t2.commit(), Status::kTxnConflict);
+    }
+    EXPECT_EQ(t1.commit(), Status::kOk) << "first txn unaffected";
+    Transaction r(db, self, TxnMode::kRead);
+    EXPECT_EQ(r.labels_of(txn_find(r, 1))->size(), 1u);
+  });
+}
+
+TEST(Txn, ReadersShareButBlockWriters) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      (void)w.create_vertex(1);
+      (void)w.commit();
+    }
+    Transaction r1(db, self, TxnMode::kRead);
+    Transaction r2(db, self, TxnMode::kRead);
+    EXPECT_TRUE(r1.find_vertex(1).ok());
+    EXPECT_TRUE(r2.find_vertex(1).ok()) << "readers share";
+    Transaction w(db, self, TxnMode::kWrite);
+    auto v = w.find_vertex(1);  // read lock is fine alongside other readers
+    EXPECT_TRUE(v.ok());
+    EXPECT_EQ(w.update_property(v.ok() ? *v : VertexHandle{}, m.age,
+                                PropValue{std::int64_t{1}}),
+              Status::kTxnConflict)
+        << "upgrade blocked by concurrent readers";
+    w.abort();
+  });
+}
+
+TEST(Txn, HeavyEdgeLabelsAndProperties) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    PropertyType weight{.name = "weight", .dtype = Datatype::kDouble,
+                        .etype = EntityType::kEdge};
+    const std::uint32_t wt = *db->create_ptype(self, weight);
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      auto a = *w.create_vertex(1);
+      auto b = *w.create_vertex(2);
+      auto e = w.create_heavy_edge(a, b, Dir::kOut);
+      EXPECT_TRUE(e.ok());
+      EXPECT_EQ(w.add_edge_label(*e, m.knows), Status::kOk);
+      EXPECT_EQ(w.add_edge_label(*e, m.person), Status::kOk);
+      EXPECT_EQ(w.add_edge_property(*e, wt, PropValue{2.5}), Status::kOk);
+      EXPECT_EQ(w.commit(), Status::kOk);
+    }
+    Transaction r(db, self, TxnMode::kRead);
+    auto ha = txn_find(r, 1);
+    auto edges = r.edges_of(ha, DirFilter::kOut);
+    ASSERT_EQ(edges->size(), 1u);
+    ASSERT_FALSE((*edges)[0].heavy.is_null());
+    auto eh = r.associate_edge((*edges)[0].heavy);
+    EXPECT_TRUE(eh.ok());
+    auto labels = r.edge_labels_of(*eh);
+    EXPECT_EQ(labels->size(), 2u);
+    auto props = r.get_edge_properties(*eh, wt);
+    EXPECT_DOUBLE_EQ(std::get<double>((*props)[0]), 2.5);
+    auto ends = r.edge_endpoints(*eh);
+    EXPECT_EQ(ends->first, ha.vid);
+    // Constraint on heavy edges consults the holder labels.
+    const Constraint knows = Constraint::with_label(m.knows);
+    auto filtered = r.edges_of(ha, DirFilter::kOut, &knows);
+    EXPECT_EQ(filtered->size(), 1u);
+    const Constraint car = Constraint::with_label(m.car);
+    EXPECT_EQ(r.edges_of(ha, DirFilter::kOut, &car)->size(), 0u);
+  });
+}
+
+TEST(Txn, HeavyEdgeDeletedWithEdge) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    (void)make_meta(self, db);
+    DPtr heavy;
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      auto a = *w.create_vertex(1);
+      auto b = *w.create_vertex(2);
+      (void)w.create_heavy_edge(a, b, Dir::kOut);
+      (void)w.commit();
+    }
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      auto ha = txn_find(w, 1);
+      auto edges = w.edges_of(ha, DirFilter::kOut);
+      heavy = (*edges)[0].heavy;
+      EXPECT_EQ(w.delete_edge(ha, (*edges)[0].uid), Status::kOk);
+      EXPECT_EQ(w.commit(), Status::kOk);
+    }
+    Transaction r(db, self, TxnMode::kRead);
+    EXPECT_EQ(r.associate_edge(heavy).status(), Status::kNotFound);
+  });
+}
+
+TEST(Txn, IndexReflectsCreatesLabelsAndDeletes) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    auto idx = db->create_index(self, IndexDef{{m.person}, {}});
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      auto a = *w.create_vertex(1);
+      (void)w.add_label(a, m.person);
+      auto b = *w.create_vertex(2);
+      (void)w.add_label(b, m.car);
+      (void)w.create_vertex(3);  // no label
+      (void)w.commit();
+    }
+    {
+      Transaction r(db, self, TxnMode::kRead);
+      auto people = r.local_index_vertices(*idx);
+      EXPECT_EQ(people->size(), 1u);
+    }
+    {  // labeling later also enters the index
+      Transaction w(db, self, TxnMode::kWrite);
+      (void)w.add_label(txn_find(w, 3), m.person);
+      (void)w.commit();
+    }
+    {
+      Transaction r(db, self, TxnMode::kRead);
+      EXPECT_EQ(r.local_index_vertices(*idx)->size(), 2u);
+    }
+    {  // deletion drops the vertex from query results (stale entry filtered)
+      Transaction w(db, self, TxnMode::kWrite);
+      (void)w.delete_vertex(txn_find(w, 1));
+      (void)w.commit();
+    }
+    {
+      Transaction r(db, self, TxnMode::kRead);
+      EXPECT_EQ(r.local_index_vertices(*idx)->size(), 1u);
+    }
+  });
+}
+
+TEST(Txn, IndexWithConstraintAndPtypeCondition) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    auto idx = db->create_index(self, IndexDef{{m.person}, {m.age}});
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      for (std::uint64_t i = 0; i < 10; ++i) {
+        auto v = *w.create_vertex(i);
+        (void)w.add_label(v, m.person);
+        if (i < 8) (void)w.add_property(v, m.age, PropValue{static_cast<std::int64_t>(i * 10)});
+      }
+      (void)w.commit();
+    }
+    Transaction r(db, self, TxnMode::kRead);
+    EXPECT_EQ(r.local_index_vertices(*idx)->size(), 8u)
+        << "index requires the age ptype";
+    Constraint adults;
+    adults.add_subconstraint().where(m.age, CmpOp::kGt, Datatype::kInt64,
+                                     PropValue{std::int64_t{30}});
+    EXPECT_EQ(r.local_index_vertices(*idx, &adults)->size(), 4u);  // 40,50,60,70
+  });
+}
+
+TEST(Txn, CollectiveCreateAndCrossRankEdges) {
+  rma::Runtime rt(4);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    const Meta m = make_meta(self, db);
+    {
+      // Each rank creates its own vertices collectively.
+      Transaction txn(db, self, TxnMode::kWrite, TxnScope::kCollective);
+      for (std::uint64_t i = static_cast<std::uint64_t>(self.id()); i < 16; i += 4) {
+        auto v = txn.create_vertex(i);
+        EXPECT_TRUE(v.ok());
+        (void)txn.add_label(*v, m.person);
+      }
+      EXPECT_EQ(txn.commit(), Status::kOk);
+    }
+    {
+      // Rank 0 connects vertices that live on different ranks.
+      if (self.id() == 0) {
+        Transaction txn(db, self, TxnMode::kWrite);
+        for (std::uint64_t i = 0; i + 1 < 16; ++i) {
+          auto a = txn.find_vertex(i);
+          auto b = txn.find_vertex(i + 1);
+          EXPECT_TRUE(a.ok());
+          EXPECT_TRUE(b.ok());
+          if (a.ok() && b.ok()) EXPECT_TRUE(txn.create_edge(*a, *b, Dir::kOut).ok());
+        }
+        EXPECT_EQ(txn.commit(), Status::kOk);
+      }
+      self.barrier();
+    }
+    {
+      // Every rank sees the chain.
+      Transaction txn(db, self, TxnMode::kRead);
+      auto v = txn.find_vertex(5);
+      EXPECT_TRUE(v.ok());
+      EXPECT_EQ(*txn.count_edges(*v, DirFilter::kOut), 1u);
+      EXPECT_EQ(*txn.count_edges(*v, DirFilter::kIn), 1u);
+    }
+    self.barrier();
+  });
+}
+
+TEST(Txn, CollectiveCommitAbortsAllOnOneFailure) {
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    (void)make_meta(self, db);
+    {
+      Transaction w(db, self, TxnMode::kWrite, TxnScope::kCollective);
+      if (self.id() == 0) (void)w.create_vertex(100);
+      EXPECT_EQ(w.commit(), Status::kOk);
+    }
+    // Rank 1 write-locks vertex 100 with a local txn; the collective txn's
+    // rank-0 access then conflicts; agreement must abort BOTH ranks' parts.
+    if (self.id() == 1) {
+      Transaction blocker(db, self, TxnMode::kWrite);
+      auto v = blocker.find_vertex(100);
+      EXPECT_TRUE(v.ok());
+      (void)blocker.update_property(*v, 16, PropValue{std::int64_t{0}});
+      self.barrier();  // (A) blocker holds the lock now
+      {
+        Transaction c(db, self, TxnMode::kWrite, TxnScope::kCollective);
+        auto mine = c.create_vertex(201);  // would succeed locally
+        EXPECT_TRUE(mine.ok());
+        EXPECT_NE(c.commit(), Status::kOk) << "peer failure aborts everyone";
+      }
+      blocker.abort();
+    } else {
+      self.barrier();  // (A)
+      {
+        Transaction c(db, self, TxnMode::kWrite, TxnScope::kCollective);
+        auto v = c.find_vertex(100);
+        EXPECT_EQ(v.status(), Status::kTxnConflict);
+        EXPECT_NE(c.commit(), Status::kOk);
+      }
+    }
+    self.barrier();
+    // Neither 201 nor any change to 100 is visible.
+    Transaction r(db, self, TxnMode::kRead);
+    EXPECT_EQ(r.find_vertex(201).status(), Status::kNotFound);
+    self.barrier();
+  });
+}
+
+TEST(Txn, BlocksReclaimedAfterDelete) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db(256, 512));
+    (void)make_meta(self, db);
+    const std::uint64_t before = db->blocks().allocated_count(self, 0);
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      auto hub = *w.create_vertex(0);
+      for (std::uint64_t i = 1; i <= 40; ++i) {
+        auto v = *w.create_vertex(i);
+        (void)w.create_edge(hub, v, Dir::kOut);
+      }
+      (void)w.commit();
+    }
+    EXPECT_GT(db->blocks().allocated_count(self, 0), before);
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      for (std::uint64_t i = 0; i <= 40; ++i)
+        EXPECT_EQ(w.delete_vertex(txn_find(w, i)), Status::kOk) << i;
+      EXPECT_EQ(w.commit(), Status::kOk);
+    }
+    EXPECT_EQ(db->blocks().allocated_count(self, 0), before)
+        << "all holder blocks must be recycled";
+  });
+}
+
+TEST(Txn, VolatileHandleInvalidAfterClose) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    (void)make_meta(self, db);
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      (void)w.create_vertex(1);
+      (void)w.commit();
+    }
+    Transaction r(db, self, TxnMode::kRead);
+    auto v = txn_find(r, 1);
+    EXPECT_EQ(r.commit(), Status::kOk);
+    EXPECT_EQ(r.labels_of(v).status(), Status::kTxnAborted)
+        << "ops after close must fail";
+  });
+}
+
+class TxnConcurrent : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, TxnConcurrent, ::testing::Values(2, 4, 8));
+
+TEST_P(TxnConcurrent, DisjointWritersAllSucceed) {
+  const int P = GetParam();
+  rma::Runtime rt(P);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db(256, 4096));
+    const Meta m = make_meta(self, db);
+    constexpr std::uint64_t kPerRank = 30;
+    const auto base = static_cast<std::uint64_t>(self.id()) * 1000;
+    std::uint64_t committed = 0;
+    for (std::uint64_t i = 0; i < kPerRank; ++i) {
+      Transaction w(db, self, TxnMode::kWrite);
+      auto v = w.create_vertex(base + i);
+      EXPECT_TRUE(v.ok());
+      (void)w.add_label(*v, m.person);
+      (void)w.add_property(*v, m.age, PropValue{static_cast<std::int64_t>(i)});
+      if (w.commit() == Status::kOk) ++committed;
+    }
+    EXPECT_EQ(committed, kPerRank) << "disjoint ids must never conflict";
+    self.barrier();
+    // Everyone verifies everyone's vertices.
+    Transaction r(db, self, TxnMode::kReadShared);
+    for (int peer = 0; peer < P; ++peer) {
+      const auto pb = static_cast<std::uint64_t>(peer) * 1000;
+      for (std::uint64_t i = 0; i < kPerRank; ++i) {
+        auto v = r.find_vertex(pb + i);
+        EXPECT_TRUE(v.ok()) << pb + i;
+      }
+    }
+    self.barrier();
+  });
+}
+
+TEST_P(TxnConcurrent, ContendedCounterUpdatesSerialize) {
+  const int P = GetParam();
+  rma::Runtime rt(P);
+  std::atomic<std::uint64_t> success{0};
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, test_db());
+    PropertyType cnt{.name = "cnt", .dtype = Datatype::kInt64,
+                     .mult = Multiplicity::kSingle};
+    const std::uint32_t pt = *db->create_ptype(self, cnt);
+    if (self.id() == 0) {
+      Transaction w(db, self, TxnMode::kWrite);
+      auto v = *w.create_vertex(0);
+      (void)w.add_property(v, pt, PropValue{std::int64_t{0}});
+      (void)w.commit();
+    }
+    self.barrier();
+    for (int i = 0; i < 40; ++i) {
+      Transaction w(db, self, TxnMode::kWrite);
+      auto v = w.find_vertex(0);
+      if (!v.ok()) continue;  // conflict: txn doomed, try again
+      auto cur = w.get_properties(*v, pt);
+      if (!cur.ok() || cur->empty()) continue;
+      const auto x = std::get<std::int64_t>((*cur)[0]);
+      if (w.update_property(*v, pt, PropValue{x + 1}) != Status::kOk) continue;
+      if (w.commit() == Status::kOk) success++;
+    }
+    self.barrier();
+    // Serializability: the final counter equals the number of committed
+    // increments (lost updates would make it smaller).
+    Transaction r(db, self, TxnMode::kRead);
+    auto v = r.find_vertex(0);
+    EXPECT_TRUE(v.ok());
+    if (v.ok()) {
+      auto cur = r.get_properties(*v, pt);
+      EXPECT_EQ(std::get<std::int64_t>((*cur)[0]),
+                static_cast<std::int64_t>(success.load()));
+    }
+    self.barrier();
+  });
+  EXPECT_GT(success.load(), 0u);
+}
+
+}  // namespace
+}  // namespace gdi
