@@ -11,7 +11,7 @@ int main() {
   const std::vector<int> ranks{1, 2, 4, 8};
 
   stats::Table table({"ranks", "#vertices", "#edges", "algorithm", "runtime s",
-                      "remote ops"});
+                      "remote ops", "cache hit"});
   for (int P : ranks) {
     rma::Runtime rt(P, rma::NetParams::xc50());
     rt.run([&](rma::Rank& self) {
@@ -19,10 +19,12 @@ int main() {
       o.scale = kBaseScale + static_cast<int>(std::log2(P));
       auto env = setup_db(self, o);
       auto add = [&](const char* name, double ns, std::uint64_t ops) {
+        auto g = global_counters(self);  // collective: all ranks call
         if (self.id() == 0)
           table.add_row({std::to_string(P), stats::Table::fmt_si(double(env.n), 1),
                          stats::Table::fmt_si(double(env.m), 1), name, fmt_s(ns),
-                         stats::Table::fmt_si(double(ops), 2)});
+                         stats::Table::fmt_si(double(ops), 2),
+                         fmt_pct(stats::cache_hit_rate(g))});
       };
       auto pr = work::pagerank(env.db, self, env.n, 10, 0.85);
       add("PageRank(i=10,df=0.85)", pr.sim_time_ns, pr.remote_ops);

@@ -31,6 +31,11 @@ int main() {
       }
       auto bfs = work::bfs(env.db, self, env.n, 0);
       add("BFS", "GDA/XC50", bfs.sim_time_ns);
+      {
+        auto g = global_counters(self);  // collective: all ranks call
+        if (self.id() == 0)
+          std::cout << "P=" << P << " GDA " << stats::counters_line(g) << "\n";
+      }
 
       gen::LpgConfig g;
       g.scale = o.scale;

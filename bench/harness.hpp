@@ -47,6 +47,8 @@ struct SetupOpts {
   std::size_t block_size = 512;
   std::uint64_t seed = 42;
   bool with_index = true;
+  bool batched_reads = true;  ///< nonblocking batch engine on read hot paths
+  bool block_cache = true;    ///< per-transaction read-through block cache
 };
 
 /// Collective: create a database, register metadata, generate and bulk load.
@@ -64,6 +66,8 @@ inline LoadedDb setup_db(rma::Rank& self, const SetupOpts& o) {
   out.m = g.num_edges();
 
   DatabaseConfig c;
+  c.batched_reads = o.batched_reads;
+  c.block_cache = o.block_cache;
   c.block.block_size = o.block_size;
   const auto per_rank = out.n / static_cast<std::uint64_t>(self.nranks()) + 64;
   // Generous pool: holders + growth + OLTP inserts.
@@ -105,6 +109,14 @@ inline void for_each_scale(const std::vector<int>& ranks, const rma::NetParams& 
     rma::Runtime rt(P, net);
     rt.run(body);
   }
+}
+
+/// Collective: sum every rank's op counters (all ranks call, all receive).
+inline rma::OpCounters global_counters(rma::Rank& self) {
+  auto all = self.allgather(self.counters());
+  rma::OpCounters sum;
+  for (const auto& c : all) sum += c;
+  return sum;
 }
 
 inline std::string fmt_mqps(double qps) {

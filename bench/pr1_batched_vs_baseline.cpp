@@ -1,0 +1,120 @@
+// PR 1 perf record: baseline (blocking per-GET reads, no cache -- the seed's
+// behaviour) vs the nonblocking batched RMA engine + per-transaction block
+// cache, on the fig6a (PageRank/CDLP/WCC) and fig6e (BFS/k-hop) workloads.
+//
+// Emits JSON on stdout; the committed snapshot lives in BENCH_pr1.json so the
+// perf trajectory of the repo starts with this PR. Run with:
+//   ./bench_pr1_batched_vs_baseline > BENCH_pr1.json
+#include "harness.hpp"
+
+namespace {
+
+struct Measurement {
+  double sim_ns = 0;
+  std::uint64_t remote_ops = 0;
+  gdi::rma::OpCounters counters;
+};
+
+struct WorkloadRow {
+  std::string name;
+  Measurement baseline, batched;
+};
+
+}  // namespace
+
+int main() {
+  using namespace gdi;
+  using namespace gdi::bench;
+
+  constexpr int kRanks = 4;
+  constexpr int kScale = 11;
+  std::vector<WorkloadRow> rows;
+  auto row = [&](const std::string& name) -> WorkloadRow& {
+    for (auto& r : rows)
+      if (r.name == name) return r;
+    rows.push_back(WorkloadRow{name, {}, {}});
+    return rows.back();
+  };
+
+  for (const bool batched : {false, true}) {
+    rma::Runtime rt(kRanks, rma::NetParams::xc40());
+    rt.run([&](rma::Rank& self) {
+      SetupOpts o;
+      o.scale = kScale;
+      o.batched_reads = batched;
+      o.block_cache = batched;
+      auto env = setup_db(self, o);
+      auto record = [&](const std::string& name, double ns, std::uint64_t remote) {
+        auto g = global_counters(self);  // collective
+        if (self.id() == 0) {
+          Measurement& m = batched ? row(name).batched : row(name).baseline;
+          m.sim_ns = ns;
+          m.remote_ops = remote;
+          m.counters = g;
+        }
+      };
+      // fig6a workload set.
+      auto pr = work::pagerank(env.db, self, env.n, 10, 0.85);
+      record("fig6a_olap_weak/pagerank", pr.sim_time_ns, pr.remote_ops);
+      auto cd = work::cdlp(env.db, self, env.n, 5);
+      record("fig6a_olap_weak/cdlp", cd.sim_time_ns, cd.remote_ops);
+      auto wc = work::wcc(env.db, self, env.n, 5);
+      record("fig6a_olap_weak/wcc", wc.sim_time_ns, wc.remote_ops);
+      // fig6e workload set.
+      for (int k : {2, 3, 4}) {
+        auto kh = work::k_hop(env.db, self, env.n, 0, k);
+        record("fig6e_bfs_khop_weak/" + std::to_string(k) + "-hop", kh.sim_time_ns,
+               kh.remote_ops);
+      }
+      auto bfs = work::bfs(env.db, self, env.n, 0);
+      record("fig6e_bfs_khop_weak/bfs", bfs.sim_time_ns, bfs.remote_ops);
+      self.barrier();
+    });
+  }
+
+  // Group totals (the acceptance-criterion figures).
+  double base6a = 0, bat6a = 0, base6e = 0, bat6e = 0;
+  for (const auto& r : rows) {
+    if (r.name.starts_with("fig6a")) {
+      base6a += r.baseline.sim_ns;
+      bat6a += r.batched.sim_ns;
+    } else {
+      base6e += r.baseline.sim_ns;
+      bat6e += r.batched.sim_ns;
+    }
+  }
+
+  auto num = [](double v) { return stats::Table::fmt(v, 1); };
+  std::cout << "{\n"
+            << "  \"bench\": \"pr1_batched_vs_baseline\",\n"
+            << "  \"description\": \"seed blocking reads vs nonblocking batched RMA "
+               "engine + per-txn block cache\",\n"
+            << "  \"net\": \"xc40\",\n"
+            << "  \"ranks\": " << kRanks << ",\n"
+            << "  \"scale\": " << kScale << ",\n"
+            << "  \"groups\": {\n"
+            << "    \"fig6a_olap_weak\": {\"baseline_ns\": " << num(base6a)
+            << ", \"batched_ns\": " << num(bat6a)
+            << ", \"speedup\": " << num(base6a / bat6a) << "},\n"
+            << "    \"fig6e_bfs_khop_weak\": {\"baseline_ns\": " << num(base6e)
+            << ", \"batched_ns\": " << num(bat6e)
+            << ", \"speedup\": " << num(base6e / bat6e) << "}\n"
+            << "  },\n"
+            << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::cout << "    {\"name\": \"" << r.name << "\""
+              << ", \"baseline_ns\": " << num(r.baseline.sim_ns)
+              << ", \"batched_ns\": " << num(r.batched.sim_ns)
+              << ", \"speedup\": " << num(r.baseline.sim_ns / r.batched.sim_ns)
+              << ", \"baseline_remote_ops\": " << r.baseline.remote_ops
+              << ", \"batched_remote_ops\": " << r.batched.remote_ops
+              << ", \"batched_batches\": " << r.batched.counters.batches
+              << ", \"batched_max_batch_depth\": " << r.batched.counters.max_batch_ops
+              << ", \"batched_cache_hit_rate\": "
+              << stats::Table::fmt(stats::cache_hit_rate(r.batched.counters), 4) << "}"
+              << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ]\n}\n";
+  return 0;
+}

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "common/dptr.hpp"
 #include "rma/window.hpp"
@@ -56,6 +57,19 @@ class BlockStore {
 
   void read_block(rma::Rank& self, DPtr blk, void* dst) {
     data_.get(self, dst, cfg_.block_size, blk);
+  }
+  /// One scatter-read destination for the vectored read path.
+  struct BlockReadOp {
+    DPtr blk;
+    void* dst = nullptr;
+  };
+  /// Vectored block read: issues one nonblocking GET per op and completes the
+  /// whole set with a single Rank::flush_all(), so an overlapped batch is
+  /// charged max(alpha) + sum(beta*bytes) instead of paying every latency
+  /// serially. Results are byte-identical to calling read_block per op.
+  void read_blocks(rma::Rank& self, std::span<const BlockReadOp> ops) {
+    for (const auto& op : ops) (void)data_.get_nb(self, op.dst, cfg_.block_size, op.blk);
+    if (!ops.empty()) (void)self.flush_all();
   }
   void write_block(rma::Rank& self, DPtr blk, const void* src) {
     data_.put(self, src, cfg_.block_size, blk);

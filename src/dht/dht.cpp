@@ -116,6 +116,76 @@ restart:
   return std::nullopt;
 }
 
+std::vector<std::optional<std::uint64_t>> DistributedHashTable::lookup_many(
+    rma::Rank& self, std::span<const std::uint64_t> keys) {
+  std::vector<std::optional<std::uint64_t>> out(keys.size());
+  if (keys.empty()) return out;
+
+  // Per-key cursor through the same traversal state machine as lookup():
+  // (re)read the bucket head, then walk the chain entry by entry, restarting
+  // on a deletion mark or a generation-tag mismatch. Each round issues the
+  // next word reads of *all* live cursors nonblocking and completes them with
+  // one flush, so k independent lookups pay one overlapped latency per round.
+  struct Cursor {
+    BucketLoc b{};
+    Ref ref{};
+    bool need_head = true;
+    bool done = false;
+    std::uint64_t head = 0;
+    std::uint64_t f_next = 0, f_key = 0, f_val = 0, f_gen = 0;
+  };
+  std::vector<Cursor> cur(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) cur[i].b = locate(keys[i]);
+
+  for (;;) {
+    bool any_live = false;
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      Cursor& c = cur[i];
+      if (c.done) continue;
+      any_live = true;
+      if (c.need_head) {
+        (void)table_.atomic_get_u64_nb(self, c.b.rank, c.b.offset, &c.head);
+      } else {
+        const DPtr e = c.ref.ptr();
+        // Same read order as lookup(): next, then key/value, then the
+        // generation word that validates them.
+        (void)heap_.atomic_get_u64_nb(self, e.rank(), e.offset() + kNextOff, &c.f_next);
+        (void)heap_.atomic_get_u64_nb(self, e.rank(), e.offset() + kKeyOff, &c.f_key);
+        (void)heap_.atomic_get_u64_nb(self, e.rank(), e.offset() + kValOff, &c.f_val);
+        (void)heap_.atomic_get_u64_nb(self, e.rank(), e.offset() + kGenOff, &c.f_gen);
+      }
+    }
+    if (!any_live) break;
+    (void)self.flush_all();
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      Cursor& c = cur[i];
+      if (c.done) continue;
+      if (c.need_head) {
+        c.ref = Ref{c.head};
+        c.need_head = false;
+        if (c.ref.is_null()) c.done = true;  // empty bucket / exhausted chain
+        continue;
+      }
+      if (Ref{c.f_next}.marked()) {  // entry being deleted: clean retraversal
+        c.need_head = true;
+        continue;
+      }
+      if ((c.f_gen & kTagMask) != c.ref.tag()) {  // reused entry: restart
+        c.need_head = true;
+        continue;
+      }
+      if (c.f_key == keys[i]) {
+        out[i] = c.f_val;
+        c.done = true;
+        continue;
+      }
+      c.ref = Ref{c.f_next};
+      if (c.ref.is_null()) c.done = true;
+    }
+  }
+  return out;
+}
+
 bool DistributedHashTable::erase(rma::Rank& self, std::uint64_t key) {
   const BucketLoc b = locate(key);
 restart:

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "common/dptr.hpp"
 #include "common/hash.hpp"
@@ -54,6 +56,14 @@ class DistributedHashTable {
 
   /// Find the value for `key`, or nullopt.
   [[nodiscard]] std::optional<std::uint64_t> lookup(rma::Rank& self, std::uint64_t key);
+
+  /// Batched multi-lookup: resolves every key with the same chain-walk
+  /// protocol as lookup(), but overlaps the independent remote reads of all
+  /// keys round by round through the nonblocking engine (one flush_all() per
+  /// traversal round instead of one latency per word). Results are identical
+  /// to calling lookup() per key.
+  [[nodiscard]] std::vector<std::optional<std::uint64_t>> lookup_many(
+      rma::Rank& self, std::span<const std::uint64_t> keys);
 
   /// Remove one entry with `key`; returns false if no such entry.
   [[nodiscard]] bool erase(rma::Rank& self, std::uint64_t key);

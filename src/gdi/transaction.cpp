@@ -59,6 +59,181 @@ std::uint32_t Transaction::max_table_cap() const {
 }
 
 // ---------------------------------------------------------------------------
+// Block cache & batched reads
+// ---------------------------------------------------------------------------
+
+bool Transaction::cache_enabled() const { return db_->config().block_cache; }
+bool Transaction::batching_enabled() const { return db_->config().batched_reads; }
+
+void Transaction::cache_read_block(DPtr blk, void* dst) {
+  auto& blocks = db_->blocks();
+  const std::size_t B = blocks.block_size();
+  if (!cache_enabled()) {
+    blocks.read_block(self_, blk, dst);
+    return;
+  }
+  auto it = blk_cache_.find(blk.raw());
+  if (it != blk_cache_.end()) {
+    std::memcpy(dst, it->second.data(), B);
+    self_.counters().cache_hits += 1;
+    return;
+  }
+  blocks.read_block(self_, blk, dst);
+  self_.counters().cache_misses += 1;
+  const auto* bytes = static_cast<const std::byte*>(dst);
+  blk_cache_.emplace(blk.raw(), std::vector<std::byte>(bytes, bytes + B));
+}
+
+void Transaction::read_tail_blocks(std::vector<std::byte>& buf, std::size_t total,
+                                   std::uint32_t num_blocks,
+                                   const std::function<DPtr(std::uint32_t)>& addr_of) {
+  auto& blocks = db_->blocks();
+  const std::size_t B = blocks.block_size();
+  struct Miss {
+    DPtr blk;
+    std::size_t lo;  ///< destination offset in buf
+    std::size_t n;   ///< bytes belonging to the holder (tail block may be partial)
+  };
+  std::vector<Miss> misses;
+  for (std::uint32_t i = 1; i < num_blocks; ++i) {
+    const std::size_t lo = i * B;
+    const std::size_t n = std::min(B, total - lo);
+    const DPtr blk = addr_of(i);
+    if (cache_enabled()) {
+      auto it = blk_cache_.find(blk.raw());
+      if (it != blk_cache_.end()) {
+        std::memcpy(buf.data() + lo, it->second.data(), n);
+        self_.counters().cache_hits += 1;
+        continue;
+      }
+    }
+    misses.push_back(Miss{blk, lo, n});
+  }
+  if (misses.empty()) return;
+  // Full-block scratch reads: the cache stores whole blocks, and reading the
+  // block-sized region is always in-bounds even for a partial tail.
+  std::vector<std::byte> scratch(misses.size() * B);
+  if (batching_enabled()) {
+    std::vector<block::BlockStore::BlockReadOp> ops;
+    ops.reserve(misses.size());
+    for (std::size_t j = 0; j < misses.size(); ++j)
+      ops.push_back({misses[j].blk, scratch.data() + j * B});
+    blocks.read_blocks(self_, ops);
+  } else {
+    for (std::size_t j = 0; j < misses.size(); ++j)
+      blocks.read_block(self_, misses[j].blk, scratch.data() + j * B);
+  }
+  for (std::size_t j = 0; j < misses.size(); ++j) {
+    const Miss& m = misses[j];
+    std::memcpy(buf.data() + m.lo, scratch.data() + j * B, m.n);
+    if (cache_enabled()) {
+      self_.counters().cache_misses += 1;
+      blk_cache_.emplace(m.blk.raw(),
+                         std::vector<std::byte>(scratch.data() + j * B,
+                                                scratch.data() + (j + 1) * B));
+    }
+  }
+}
+
+void Transaction::invalidate_cached_blocks(
+    DPtr primary, std::uint32_t num_blocks,
+    const std::function<DPtr(std::uint32_t)>& addr_of) {
+  if (blk_cache_.empty()) return;
+  blk_cache_.erase(primary.raw());
+  for (std::uint32_t i = 1; i < num_blocks; ++i) blk_cache_.erase(addr_of(i).raw());
+}
+
+Result<std::vector<DPtr>> Transaction::translate_vertex_ids(
+    std::span<const std::uint64_t> app_ids) {
+  if (!active_ || failed_) return Status::kTxnAborted;
+  std::vector<DPtr> out(app_ids.size());
+  std::vector<std::uint64_t> need;
+  std::vector<std::size_t> need_pos;
+  for (std::size_t i = 0; i < app_ids.size(); ++i) {
+    auto it = created_ids_.find(app_ids[i]);
+    if (it != created_ids_.end()) {
+      out[i] = it->second;
+    } else {
+      need.push_back(app_ids[i]);
+      need_pos.push_back(i);
+    }
+  }
+  if (batching_enabled()) {
+    auto vals = db_->id_index().lookup_many(self_, need);
+    for (std::size_t j = 0; j < need.size(); ++j)
+      if (vals[j]) out[need_pos[j]] = DPtr{*vals[j]};
+  } else {
+    for (std::size_t j = 0; j < need.size(); ++j)
+      if (auto v = db_->id_index().lookup(self_, need[j])) out[need_pos[j]] = DPtr{*v};
+  }
+  return out;
+}
+
+void Transaction::prefetch_vertices(std::span<const DPtr> vids) {
+  if (!active_ || failed_) return;
+  // Lock-free read transactions only: in locking modes a fetch must observe
+  // the holder *after* lock acquisition, so pre-lock prefetches could go
+  // stale the moment a writer slips in before our lock.
+  if (mode_ != TxnMode::kReadShared) return;
+  if (!cache_enabled() || !batching_enabled()) return;
+
+  auto& blocks = db_->blocks();
+  const std::size_t B = blocks.block_size();
+  std::vector<DPtr> need;
+  for (DPtr v : vids) {
+    if (v.is_null()) continue;
+    if (vcache_.contains(v.raw()) || blk_cache_.contains(v.raw())) continue;
+    // Reserve the slot so duplicates within `vids` are fetched once.
+    blk_cache_.emplace(v.raw(), std::vector<std::byte>{});
+    need.push_back(v);
+  }
+  if (need.empty()) return;
+
+  // Round 1: all primary blocks, one overlapped batch.
+  std::vector<std::byte> scratch(need.size() * B);
+  std::vector<block::BlockStore::BlockReadOp> ops;
+  ops.reserve(need.size());
+  for (std::size_t j = 0; j < need.size(); ++j)
+    ops.push_back({need[j], scratch.data() + j * B});
+  blocks.read_blocks(self_, ops);
+  self_.counters().cache_misses += need.size();
+
+  // Round 2: continuation blocks of multi-block holders (the block-address
+  // table always lives in the primary block, so round 1 gives every address).
+  std::vector<block::BlockStore::BlockReadOp> tail_ops;
+  std::vector<DPtr> tail_blks;
+  std::vector<std::vector<std::byte>> tail_bufs;
+  for (std::size_t j = 0; j < need.size(); ++j) {
+    auto& slot = blk_cache_[need[j].raw()];
+    slot.assign(scratch.data() + j * B, scratch.data() + (j + 1) * B);
+    layout::VertexView view(slot);
+    if (!view.valid()) continue;
+    const std::uint32_t nb = view.num_blocks();
+    // Defensive clamp: a stale DPtr may point at a reused non-vertex block
+    // whose header bytes are arbitrary; never chase addresses beyond the
+    // block-address table that fits in the primary block.
+    if (nb > view.table_capacity() ||
+        nb > (B - layout::VertexView::kBlockTableOff) / 8)
+      continue;
+    for (std::uint32_t i = 1; i < nb; ++i) {
+      const DPtr blk = view.block_addr(i);
+      if (blk.is_null() || blk_cache_.contains(blk.raw())) continue;
+      blk_cache_.emplace(blk.raw(), std::vector<std::byte>{});
+      tail_blks.push_back(blk);
+    }
+  }
+  if (tail_blks.empty()) return;
+  tail_bufs.resize(tail_blks.size(), std::vector<std::byte>(B));
+  tail_ops.reserve(tail_blks.size());
+  for (std::size_t j = 0; j < tail_blks.size(); ++j)
+    tail_ops.push_back({tail_blks[j], tail_bufs[j].data()});
+  blocks.read_blocks(self_, tail_ops);
+  self_.counters().cache_misses += tail_blks.size();
+  for (std::size_t j = 0; j < tail_blks.size(); ++j)
+    blk_cache_[tail_blks[j].raw()] = std::move(tail_bufs[j]);
+}
+
+// ---------------------------------------------------------------------------
 // Locking & fetching
 // ---------------------------------------------------------------------------
 
@@ -102,19 +277,16 @@ Status Transaction::fetch_vertex(DPtr vid, VertexState& st) {
   const std::size_t B = blocks.block_size();
   // One GET suffices for a one-block vertex -- the BGDL design goal.
   st.buf.resize(B);
-  blocks.read_block(self_, vid, st.buf.data());
+  cache_read_block(vid, st.buf.data());
   if (!st.view.valid()) return Status::kNotFound;
   const std::size_t total =
       layout::VertexView::required_size(st.view.table_capacity(), st.view.edge_capacity(),
                                         st.view.prop_capacity());
   if (total > B) {
     st.buf.resize(total);
-    const std::uint32_t nb = st.view.num_blocks();
-    for (std::uint32_t i = 1; i < nb; ++i) {
-      const std::size_t lo = i * B;
-      const std::size_t n = std::min(B, total - lo);
-      blocks.read(self_, st.view.block_addr(i), 0, st.buf.data() + lo, n);
-    }
+    // Continuation blocks: cache-served or fetched as one overlapped batch.
+    read_tail_blocks(st.buf, total, st.view.num_blocks(),
+                     [&](std::uint32_t i) { return st.view.block_addr(i); });
   } else {
     st.buf.resize(total);
   }
@@ -139,37 +311,42 @@ Result<Transaction::VertexState*> Transaction::vertex_state(VertexHandle v,
     if (st->deleted) return Status::kNotFound;
     if (for_write && st->lock != LockState::kWrite && !st->created) {
       if (Status s = acquire_vertex_lock(*st, v.vid, true); !ok(s)) return s;
+      // Same-transaction write intent: the cached window blocks are about to
+      // diverge from the buffered holder -- drop them.
+      invalidate_cached_blocks(v.vid, st->view.num_blocks(),
+                               [&](std::uint32_t i) { return st->view.block_addr(i); });
     }
     return st;
   }
   auto st = std::make_unique<VertexState>();
   if (Status s = acquire_vertex_lock(*st, v.vid, for_write); !ok(s)) return s;
   if (Status s = fetch_vertex(v.vid, *st); !ok(s)) {
-    // Not a valid vertex: release the just-taken lock and report.
+    // Not a valid vertex: release the just-taken lock and report. Drop the
+    // block from the cache too -- with the lock gone nothing pins its bytes,
+    // and a later lookup of a recycled block must re-read the window.
+    blk_cache_.erase(v.vid.raw());
     if (st->lock == LockState::kWrite) db_->blocks().write_unlock(self_, v.vid);
     if (st->lock == LockState::kRead) db_->blocks().read_unlock(self_, v.vid);
     return s;
   }
+  if (st->lock == LockState::kWrite)
+    invalidate_cached_blocks(v.vid, st->view.num_blocks(),
+                             [&](std::uint32_t i) { return st->view.block_addr(i); });
   VertexState* out = st.get();
   vcache_.emplace(v.vid.raw(), std::move(st));
   return out;
 }
 
 Status Transaction::fetch_edge(DPtr eid, EdgeState& st) {
-  auto& blocks = db_->blocks();
-  const std::size_t B = blocks.block_size();
+  const std::size_t B = db_->blocks().block_size();
   st.buf.resize(B);
-  blocks.read_block(self_, eid, st.buf.data());
+  cache_read_block(eid, st.buf.data());
   if (!st.view.valid()) return Status::kNotFound;
   const std::size_t total = layout::EdgeView::required_size(st.view.prop_capacity());
   if (total > B) {
     st.buf.resize(total);
-    const std::uint32_t nb = st.view.num_blocks();
-    for (std::uint32_t i = 1; i < nb; ++i) {
-      const std::size_t lo = i * B;
-      const std::size_t n = std::min(B, total - lo);
-      blocks.read(self_, st.view.block_addr(i), 0, st.buf.data() + lo, n);
-    }
+    read_tail_blocks(st.buf, total, st.view.num_blocks(),
+                     [&](std::uint32_t i) { return st.view.block_addr(i); });
   } else {
     st.buf.resize(total);
   }
@@ -196,6 +373,8 @@ Result<Transaction::EdgeState*> Transaction::edge_state(EdgeHandle e, bool for_w
       }
       if (!got) return fail(Status::kTxnConflict);
       st->lock = LockState::kWrite;
+      invalidate_cached_blocks(e.eid, st->view.num_blocks(),
+                               [&](std::uint32_t i) { return st->view.block_addr(i); });
     }
     return st;
   }
@@ -212,10 +391,14 @@ Result<Transaction::EdgeState*> Transaction::edge_state(EdgeHandle e, bool for_w
     return fail(Status::kTxnReadOnly);
   }
   if (Status s = fetch_edge(e.eid, *st); !ok(s)) {
+    blk_cache_.erase(e.eid.raw());  // see vertex_state: nothing pins the bytes
     if (st->lock == LockState::kWrite) db_->blocks().write_unlock(self_, e.eid);
     if (st->lock == LockState::kRead) db_->blocks().read_unlock(self_, e.eid);
     return s;
   }
+  if (st->lock == LockState::kWrite)
+    invalidate_cached_blocks(e.eid, st->view.num_blocks(),
+                             [&](std::uint32_t i) { return st->view.block_addr(i); });
   EdgeState* out = st.get();
   ecache_.emplace(e.eid.raw(), std::move(st));
   return out;
@@ -235,6 +418,7 @@ Result<VertexHandle> Transaction::create_vertex(std::uint64_t app_id) {
   const std::uint32_t owner = db_->owner_rank(app_id);
   const DPtr primary = blocks.acquire(self_, owner);
   if (primary.is_null()) return fail(Status::kOutOfMemory);
+  blk_cache_.erase(primary.raw());  // block may have been cached pre-recycling
   if (!blocks.try_write_lock(self_, primary)) {
     // A fresh block's lock word is always zero; failure means protocol abuse.
     blocks.release(self_, primary);
@@ -318,6 +502,18 @@ Result<std::uint64_t> Transaction::peek_app_id(DPtr vid) {
   if (!active_ || failed_) return Status::kTxnAborted;
   auto it = vcache_.find(vid.raw());
   if (it != vcache_.end()) return it->second->view.app_id();
+  if (cache_enabled()) {
+    auto cit = blk_cache_.find(vid.raw());
+    if (cit != blk_cache_.end() && cit->second.size() >= 8) {
+      self_.counters().cache_hits += 1;
+      std::uint64_t id = 0;
+      std::memcpy(&id, cit->second.data(), 8);
+      return id;
+    }
+  }
+  // Miss path stays the minimal 8-byte GET (no population): peeks pay for a
+  // whole-block fetch only when a frontier prefetch asked for one.
+  if (cache_enabled()) self_.counters().cache_misses += 1;
   std::uint64_t id = 0;
   db_->blocks().read(self_, vid, 0, &id, 8);
   return id;
@@ -550,6 +746,7 @@ Result<EdgeHandle> Transaction::create_heavy_edge(VertexHandle origin,
   auto& blocks = db_->blocks();
   const DPtr eid = blocks.acquire(self_, origin.vid.rank());
   if (eid.is_null()) return fail(Status::kOutOfMemory);
+  blk_cache_.erase(eid.raw());
   if (!blocks.try_write_lock(self_, eid)) {
     blocks.release(self_, eid);
     return fail(Status::kTxnConflict);
@@ -770,6 +967,7 @@ Status Transaction::sync_blocks_vertex(DPtr vid, VertexState& st) {
                      static_cast<std::uint32_t>(db_->nranks()));
     }
     if (blk.is_null()) return Status::kOutOfMemory;
+    blk_cache_.erase(blk.raw());
     st.view.set_block_addr(i, blk);
   }
   for (std::uint32_t i = needed; i < cur; ++i)
@@ -967,6 +1165,7 @@ Status Transaction::commit_local() {
   release_locks();
   for (DPtr blk : to_release) blocks.release(self_, blk);
 
+  blk_cache_.clear();  // cache lifetime ends with the transaction
   active_ = false;
   return Status::kOk;
 }
@@ -1012,6 +1211,7 @@ void Transaction::abort() {
   vcache_.clear();
   ecache_.clear();
   created_ids_.clear();
+  blk_cache_.clear();
   active_ = false;
 }
 

@@ -26,7 +26,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -102,9 +104,25 @@ class Transaction {
 
   Result<std::uint64_t> app_id_of(VertexHandle v);
   /// Optimized read of just the application ID of a (possibly remote) vertex:
-  /// one 8-byte GET, no caching, no lock. Intended for kReadShared scans
-  /// (GDI allows implementations such sub-holder reads through handles).
+  /// served from the per-transaction block cache when the holder's primary
+  /// block was already fetched/prefetched, otherwise one 8-byte GET. No lock.
+  /// Intended for kReadShared scans (GDI allows implementations such
+  /// sub-holder reads through handles).
   Result<std::uint64_t> peek_app_id(DPtr vid);
+
+  /// Batched GDI_TranslateVertexID over many application IDs: one DHT
+  /// multi-lookup instead of one serial lookup per ID. result[i] is the
+  /// internal ID for app_ids[i], or a null DPtr when unknown.
+  Result<std::vector<DPtr>> translate_vertex_ids(std::span<const std::uint64_t> app_ids);
+
+  /// Read-side frontier prefetch: batch-fetches the holder blocks of every
+  /// not-yet-cached vertex in `vids` into the per-transaction block cache
+  /// (primary blocks in one overlapped batch, continuation blocks in a
+  /// second). Subsequent associate_vertex / edges_of / peek_app_id on these
+  /// vertices are then served locally. Only active in kReadShared mode (the
+  /// paper's lock-free read-only transactions) -- a silent no-op otherwise,
+  /// so call sites need not branch on mode.
+  void prefetch_vertices(std::span<const DPtr> vids);
   Status add_label(VertexHandle v, std::uint32_t label_id);
   Status remove_label(VertexHandle v, std::uint32_t label_id);
   Result<std::vector<std::uint32_t>> labels_of(VertexHandle v);
@@ -183,6 +201,24 @@ class Transaction {
   Status fetch_vertex(DPtr vid, VertexState& st);
   Status fetch_edge(DPtr eid, EdgeState& st);
 
+  // Per-transaction block cache (tentpole: read-through, keyed by block DPtr;
+  // entries are whole blocks). Populated by fetches and prefetches, consulted
+  // before any window GET, invalidated for a holder's blocks the moment this
+  // transaction takes write intent on it, dropped wholesale at commit/abort.
+  [[nodiscard]] bool cache_enabled() const;
+  [[nodiscard]] bool batching_enabled() const;
+  /// Read one block through the cache (counts hits/misses).
+  void cache_read_block(DPtr blk, void* dst);
+  /// Read a holder's continuation blocks [1, num_blocks) into `buf`:
+  /// cache-served where possible, remaining misses fetched as one overlapped
+  /// batch (or serially when batching is disabled).
+  void read_tail_blocks(std::vector<std::byte>& buf, std::size_t total,
+                        std::uint32_t num_blocks,
+                        const std::function<DPtr(std::uint32_t)>& addr_of);
+  /// Drop a holder's blocks from the cache (same-transaction write intent).
+  void invalidate_cached_blocks(DPtr primary, std::uint32_t num_blocks,
+                                const std::function<DPtr(std::uint32_t)>& addr_of);
+
   // Capacity management.
   Status ensure_edge_capacity(VertexState& st, std::uint32_t extra_slots);
   Status ensure_prop_capacity(VertexState& st, std::uint32_t extra_bytes);
@@ -214,6 +250,8 @@ class Transaction {
   std::unordered_map<std::uint64_t, std::unique_ptr<VertexState>> vcache_;
   std::unordered_map<std::uint64_t, std::unique_ptr<EdgeState>> ecache_;
   std::unordered_map<std::uint64_t, DPtr> created_ids_;  ///< app_id -> DPtr
+  /// Block cache: block DPtr raw -> block bytes (block_size each).
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> blk_cache_;
 };
 
 }  // namespace gdi

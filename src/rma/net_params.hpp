@@ -21,6 +21,13 @@ struct NetParams {
   double beta_ns_per_byte = 0.0;        ///< inverse bandwidth for remote transfers
   double alpha_flush_ns = 0.0;          ///< cost of a flush (completion fence)
   double alpha_collective_ns = 0.0;     ///< per-tree-stage cost of a collective
+  /// NIC queue depth for nonblocking batches: up to this many outstanding
+  /// operations overlap, paying a single latency term per "round" of the
+  /// queue (paper Section 5.1: fully-offloaded ops are pipelined by the NIC).
+  /// 0 = unlimited depth. A completed batch of k operations charges
+  ///   ceil(k / depth) * max(alpha_i) + sum(beta * bytes_i)
+  /// instead of the blocking sum(alpha_i + beta * bytes_i).
+  std::uint32_t nic_queue_depth = 0;
 
   /// Free model: every operation costs nothing (used by unit tests).
   [[nodiscard]] static constexpr NetParams zero() { return NetParams{}; }
@@ -35,6 +42,7 @@ struct NetParams {
         .beta_ns_per_byte = 0.085,
         .alpha_flush_ns = 320.0,
         .alpha_collective_ns = 1200.0,
+        .nic_queue_depth = 64,
     };
   }
 
@@ -48,6 +56,7 @@ struct NetParams {
         .beta_ns_per_byte = 0.055,
         .alpha_flush_ns = 300.0,
         .alpha_collective_ns = 1100.0,
+        .nic_queue_depth = 64,
     };
   }
 };
@@ -64,6 +73,18 @@ struct OpCounters {
   std::uint64_t bytes_get = 0;
   std::uint64_t remote_ops = 0;  ///< subset of the above that crossed ranks
 
+  // Nonblocking-engine counters. nb_* ops are also counted in puts/gets/
+  // atomics above (they are the same logical operations, just overlapped).
+  std::uint64_t nb_gets = 0;       ///< gets issued through the batch engine
+  std::uint64_t nb_puts = 0;       ///< puts issued through the batch engine
+  std::uint64_t nb_atomics = 0;    ///< atomics issued through the batch engine
+  std::uint64_t batches = 0;       ///< nonempty flush_all() completion points
+  std::uint64_t max_batch_ops = 0; ///< high-water outstanding ops in one batch
+
+  // Per-transaction block-cache counters (maintained by the GDI layer).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
   OpCounters& operator+=(const OpCounters& o) {
     puts += o.puts;
     gets += o.gets;
@@ -73,6 +94,13 @@ struct OpCounters {
     bytes_put += o.bytes_put;
     bytes_get += o.bytes_get;
     remote_ops += o.remote_ops;
+    nb_gets += o.nb_gets;
+    nb_puts += o.nb_puts;
+    nb_atomics += o.nb_atomics;
+    batches += o.batches;
+    max_batch_ops = max_batch_ops > o.max_batch_ops ? max_batch_ops : o.max_batch_ops;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
     return *this;
   }
 

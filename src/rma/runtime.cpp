@@ -1,5 +1,7 @@
 #include "rma/runtime.hpp"
 
+#include <algorithm>
+
 namespace gdi::rma {
 
 Runtime::Runtime(int nranks, NetParams params)
@@ -34,6 +36,24 @@ int Rank::nranks() const { return rt_.nranks_; }
 const NetParams& Rank::net() const { return rt_.params_; }
 
 void Rank::barrier_only() { rt_.barrier_.arrive_and_wait(); }
+
+std::uint64_t Rank::flush_all() {
+  const std::uint64_t n = nb_ops_;
+  if (n == 0) return 0;
+  const auto& p = net();
+  // Queue-depth pipelining: the NIC overlaps up to `nic_queue_depth`
+  // outstanding ops, so a batch pays one max-latency term per full queue.
+  const std::uint64_t depth = p.nic_queue_depth == 0 ? n : p.nic_queue_depth;
+  const std::uint64_t rounds = (n + depth - 1) / depth;
+  charge(static_cast<double>(rounds) * nb_max_alpha_ + nb_beta_ns_ + p.alpha_flush_ns);
+  counters_.flushes += 1;
+  counters_.batches += 1;
+  counters_.max_batch_ops = std::max(counters_.max_batch_ops, n);
+  nb_max_alpha_ = 0.0;
+  nb_beta_ns_ = 0.0;
+  nb_ops_ = 0;
+  return n;
+}
 
 void Rank::barrier() {
   charge_collective(0);

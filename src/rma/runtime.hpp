@@ -31,6 +31,16 @@ namespace gdi::rma {
 
 class Runtime;
 
+/// Lightweight handle for a nonblocking one-sided operation (Window::get_nb /
+/// put_nb / atomic_get_u64_nb). In-process operations complete their data
+/// movement eagerly, so the handle carries no completion state -- it exists so
+/// call sites keep the issue/complete structure a real RDMA backend requires.
+/// All outstanding handles complete at the issuing rank's next flush_all().
+struct NbRequest {
+  std::uint64_t seq = 0;  ///< issue sequence number within this rank, 1-based
+  [[nodiscard]] bool valid() const { return seq != 0; }
+};
+
 /// Per-rank execution context handed to the user function by Runtime::run().
 /// A Rank is only ever touched by its own thread.
 class Rank {
@@ -53,6 +63,31 @@ class Rank {
   [[nodiscard]] OpCounters& counters() { return counters_; }
   [[nodiscard]] const OpCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = OpCounters{}; }
+
+  // --- nonblocking operation engine ---------------------------------------
+  //
+  // Windows enqueue the cost of conceptually-nonblocking operations here
+  // instead of charging it immediately; flush_all() is the completion point
+  // and charges the *overlapped* batch cost
+  //   ceil(k / nic_queue_depth) * max(alpha_i) + sum(beta * bytes_i) + alpha_flush
+  // mirroring how a real NIC pipelines many outstanding one-sided ops
+  // (paper Section 5.1). Data movement itself happened eagerly at issue time.
+
+  /// Record one outstanding nonblocking op; returns its handle.
+  NbRequest enqueue_nb(double alpha_ns, double beta_bytes_ns) {
+    nb_max_alpha_ = nb_max_alpha_ > alpha_ns ? nb_max_alpha_ : alpha_ns;
+    nb_beta_ns_ += beta_bytes_ns;
+    nb_ops_ += 1;
+    return NbRequest{++nb_seq_};
+  }
+
+  /// Completion fence for all outstanding nonblocking ops issued by this
+  /// rank. Charges the overlapped batch cost; a no-op when nothing is
+  /// outstanding. Returns the number of operations completed.
+  std::uint64_t flush_all();
+
+  /// Number of issued-but-not-yet-flushed nonblocking ops.
+  [[nodiscard]] std::uint64_t pending_nb_ops() const { return nb_ops_; }
 
   // --- collectives (all ranks must call, in the same order) ----------------
   void barrier();
@@ -204,6 +239,12 @@ class Rank {
   int id_;
   double sim_ns_ = 0.0;
   OpCounters counters_;
+
+  // Outstanding nonblocking batch (see enqueue_nb / flush_all).
+  double nb_max_alpha_ = 0.0;
+  double nb_beta_ns_ = 0.0;
+  std::uint64_t nb_ops_ = 0;
+  std::uint64_t nb_seq_ = 0;
 };
 
 /// Owns the rank team. Reusable: run() may be called repeatedly.

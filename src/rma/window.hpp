@@ -77,6 +77,55 @@ class Window {
     put(self, src, n, p.rank(), p.offset());
   }
 
+  // --- nonblocking data movement (batch engine) ----------------------------
+  //
+  // Same one-sided semantics as get/put, but the latency/bandwidth cost is
+  // deferred to the issuing rank's next Rank::flush_all(), which charges the
+  // whole outstanding batch the *overlapped* cost max(alpha) + sum(beta*bytes)
+  // (per NIC queue round) instead of sum(alpha + beta*bytes). Data movement
+  // happens eagerly in-process; as with real RDMA, the caller must not rely
+  // on completion (reads valid / writes visible-in-order) before the flush.
+
+  NbRequest get_nb(Rank& self, void* dst, std::size_t n, std::uint32_t target,
+                   std::uint64_t offset) {
+    assert(offset + n <= bytes_per_rank_);
+    std::memcpy(dst, addr(target, offset), n);
+    return enqueue_data(self, n, target, /*is_put=*/false);
+  }
+
+  NbRequest put_nb(Rank& self, const void* src, std::size_t n, std::uint32_t target,
+                   std::uint64_t offset) {
+    assert(offset + n <= bytes_per_rank_);
+    std::memcpy(addr(target, offset), src, n);
+    return enqueue_data(self, n, target, /*is_put=*/true);
+  }
+
+  NbRequest get_nb(Rank& self, void* dst, std::size_t n, DPtr p) {
+    return get_nb(self, dst, n, p.rank(), p.offset());
+  }
+  NbRequest put_nb(Rank& self, const void* src, std::size_t n, DPtr p) {
+    return put_nb(self, src, n, p.rank(), p.offset());
+  }
+
+  /// Nonblocking 64-bit atomic read: the value is loaded (linearizably) at
+  /// issue time into *out; the latency joins the current batch. Used by
+  /// read-side multi-lookups that overlap many independent atomic fetches.
+  NbRequest atomic_get_u64_nb(Rank& self, std::uint32_t target, std::uint64_t offset,
+                              std::uint64_t* out) {
+    *out = word(target, offset).load(std::memory_order_acquire);
+    const auto& p = self.net();
+    const bool remote = target != static_cast<std::uint32_t>(self.id());
+    auto& c = self.counters();
+    c.atomics += 1;
+    c.nb_atomics += 1;
+    if (remote) c.remote_ops += 1;
+    return self.enqueue_nb(remote ? p.alpha_atomic_remote_ns : p.alpha_atomic_local_ns,
+                           0.0);
+  }
+  NbRequest atomic_get_u64_nb(Rank& self, DPtr p, std::uint64_t* out) {
+    return atomic_get_u64_nb(self, p.rank(), p.offset(), out);
+  }
+
   // --- remote atomics (AGET / APUT / CAS / FAA on 64-bit words) ------------
 
   [[nodiscard]] std::uint64_t atomic_get_u64(Rank& self, std::uint32_t target,
@@ -149,6 +198,24 @@ class Window {
     assert(offset % 8 == 0 && "remote atomics require 8-byte alignment");
     return std::atomic_ref<std::uint64_t>(
         *reinterpret_cast<std::uint64_t*>(addr(rank, offset)));
+  }
+
+  NbRequest enqueue_data(Rank& self, std::size_t n, std::uint32_t target, bool is_put) {
+    const auto& p = self.net();
+    const bool remote = target != static_cast<std::uint32_t>(self.id());
+    auto& c = self.counters();
+    if (is_put) {
+      c.puts += 1;
+      c.bytes_put += n;
+      c.nb_puts += 1;
+    } else {
+      c.gets += 1;
+      c.bytes_get += n;
+      c.nb_gets += 1;
+    }
+    if (remote) c.remote_ops += 1;
+    return self.enqueue_nb(remote ? p.alpha_remote_ns : p.alpha_local_ns,
+                           remote ? p.beta_ns_per_byte * static_cast<double>(n) : 0.0);
   }
 
   void charge_data(Rank& self, std::size_t n, std::uint32_t target, bool is_put) {

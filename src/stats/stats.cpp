@@ -102,6 +102,23 @@ std::string Histogram::to_string(int max_rows) const {
   return os.str();
 }
 
+std::string counters_line(const rma::OpCounters& c) {
+  std::ostringstream os;
+  os << "ops: gets=" << Table::fmt_si(static_cast<double>(c.gets), 1) << " (nb "
+     << Table::fmt_si(static_cast<double>(c.nb_gets), 1) << ")"
+     << " puts=" << Table::fmt_si(static_cast<double>(c.puts), 1) << " (nb "
+     << Table::fmt_si(static_cast<double>(c.nb_puts), 1) << ")"
+     << " atomics=" << Table::fmt_si(static_cast<double>(c.atomics), 1) << " (nb "
+     << Table::fmt_si(static_cast<double>(c.nb_atomics), 1) << ")"
+     << " remote=" << Table::fmt_si(static_cast<double>(c.remote_ops), 1)
+     << " | batches=" << Table::fmt_si(static_cast<double>(c.batches), 1)
+     << " max_depth=" << c.max_batch_ops << " | cache "
+     << Table::fmt(cache_hit_rate(c) * 100.0, 1) << "% hit ("
+     << Table::fmt_si(static_cast<double>(c.cache_hits), 1) << "/"
+     << Table::fmt_si(static_cast<double>(c.cache_hits + c.cache_misses), 1) << ")";
+  return os.str();
+}
+
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 
 void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }

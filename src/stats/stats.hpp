@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "rma/net_params.hpp"
+
 namespace gdi::stats {
 
 struct Summary {
@@ -51,6 +53,16 @@ class Histogram {
   std::uint64_t total_ = 0;
   double sum_ = 0;
 };
+
+/// One-line rendering of RMA op counters for bench output: blocking vs
+/// nonblocking op mix, batch statistics, and block-cache hit rate.
+[[nodiscard]] std::string counters_line(const rma::OpCounters& c);
+
+/// Block-cache hit rate in [0,1]; 0 when the cache saw no traffic.
+[[nodiscard]] inline double cache_hit_rate(const rma::OpCounters& c) {
+  const std::uint64_t total = c.cache_hits + c.cache_misses;
+  return total == 0 ? 0.0 : static_cast<double>(c.cache_hits) / static_cast<double>(total);
+}
 
 /// Minimal aligned-column table printer for the benchmark harnesses.
 class Table {

@@ -1,6 +1,8 @@
 #include "workloads/gnn.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <span>
 
 namespace gdi::work {
 namespace {
@@ -75,36 +77,71 @@ ShardResult<std::vector<float>> gnn_forward(const std::shared_ptr<Database>& db,
 
   for (int layer = 0; layer < cfg.layers; ++layer) {
     // Read pass (Listing 2 lines 3-14): lock-free collective read of own
-    // features plus every neighbor's feature property (remote GETs).
+    // features plus every neighbor's feature property (remote GETs). The
+    // pass is chunked so every round of holder fetches -- local vertices and
+    // then their whole neighbor frontier -- rides one overlapped batch.
     std::vector<std::vector<float>> next;
     {
+      constexpr std::size_t kChunk = 128;
       Transaction txn(db, self, TxnMode::kReadShared, TxnScope::kCollective);
-      for (std::uint64_t v = static_cast<std::uint64_t>(self.id()); v < n; v += P) {
-        auto vh = txn.find_vertex(v);
-        if (!vh.ok()) {
-          next.emplace_back(static_cast<std::size_t>(cfg.k), 0.0f);
-          continue;
-        }
-        auto own = txn.get_properties(*vh, feature_ptype);
-        std::vector<float> agg(static_cast<std::size_t>(cfg.k), 0.0f);
-        if (own.ok() && !own->empty())
-          agg = decode_features(std::get<std::vector<std::byte>>((*own)[0]));
-        auto edges = txn.edges_of(*vh, DirFilter::kOutgoing);
-        if (edges.ok()) {
+      std::vector<std::uint64_t> local_ids;
+      for (std::uint64_t v = static_cast<std::uint64_t>(self.id()); v < n; v += P)
+        local_ids.push_back(v);
+      for (std::size_t base = 0; base < local_ids.size(); base += kChunk) {
+        const std::size_t end = std::min(base + kChunk, local_ids.size());
+        auto vids_r = txn.translate_vertex_ids(
+            std::span<const std::uint64_t>(local_ids.data() + base, end - base));
+        std::vector<DPtr> vids =
+            vids_r.ok() ? *vids_r : std::vector<DPtr>(end - base, DPtr{});
+        txn.prefetch_vertices(vids);
+
+        // Pass 1: own features + edge lists; collect the chunk's frontier.
+        std::vector<std::vector<float>> aggs(end - base);
+        std::vector<std::vector<DPtr>> nbrs(end - base);
+        std::vector<DPtr> frontier;
+        for (std::size_t j = 0; j < end - base; ++j) {
+          aggs[j].assign(static_cast<std::size_t>(cfg.k), 0.0f);
+          const DPtr vid = vids[j];
+          if (vid.is_null()) continue;
+          auto vh = txn.associate_vertex(vid);
+          if (!vh.ok()) continue;
+          if (auto idr = txn.app_id_of(*vh); !idr.ok() || *idr != local_ids[base + j])
+            continue;  // stale-DHT guard (find_vertex's app-id check)
+          auto own = txn.get_properties(*vh, feature_ptype);
+          if (own.ok() && !own->empty())
+            aggs[j] = decode_features(std::get<std::vector<std::byte>>((*own)[0]));
+          auto edges = txn.edges_of(*vh, DirFilter::kOutgoing);
+          if (!edges.ok()) continue;
+          nbrs[j].reserve(edges->size());
           for (const auto& e : *edges) {
-            auto nh = txn.associate_vertex(e.neighbor);
+            nbrs[j].push_back(e.neighbor);
+            frontier.push_back(e.neighbor);
+          }
+        }
+
+        // Pass 2: one overlapped fetch of every neighbor holder, then
+        // aggregate from the block cache.
+        txn.prefetch_vertices(frontier);
+        for (std::size_t j = 0; j < end - base; ++j) {
+          const DPtr vid = vids[j];
+          if (vid.is_null()) {
+            next.emplace_back(static_cast<std::size_t>(cfg.k), 0.0f);
+            continue;
+          }
+          for (DPtr nb : nbrs[j]) {
+            auto nh = txn.associate_vertex(nb);
             if (!nh.ok()) continue;
             auto nf = txn.get_properties(*nh, feature_ptype);
             if (nf.ok() && !nf->empty()) {
               const auto fv = decode_features(std::get<std::vector<std::byte>>((*nf)[0]));
               for (int i = 0; i < cfg.k; ++i)
-                agg[static_cast<std::size_t>(i)] += fv[static_cast<std::size_t>(i)];
+                aggs[j][static_cast<std::size_t>(i)] += fv[static_cast<std::size_t>(i)];
             }
           }
+          next.push_back(layer_update(cfg, aggs[j]));
+          // Modeled MLP cost: k x k multiply-accumulate.
+          self.charge_compute(static_cast<double>(cfg.k) * cfg.k);
         }
-        next.push_back(layer_update(cfg, agg));
-        // Modeled MLP cost: k x k multiply-accumulate.
-        self.charge_compute(static_cast<double>(cfg.k) * cfg.k);
       }
       (void)txn.commit();
     }

@@ -21,35 +21,74 @@ struct LocalAdjacency {
   std::vector<std::vector<std::uint64_t>> nbrs;      ///< neighbor app ids
 };
 
+/// Chunk size for frontier batching: bounded working set, still deep enough
+/// that an overlapped batch amortizes its latency across many operations.
+constexpr std::size_t kFrontierChunk = 128;
+
 LocalAdjacency build_adjacency(const std::shared_ptr<Database>& db, rma::Rank& self,
                                std::uint64_t n, DirFilter f) {
   LocalAdjacency adj;
   const int P = self.nranks();
   Transaction txn(db, self, TxnMode::kReadShared, TxnScope::kCollective);
   std::unordered_map<std::uint64_t, std::uint64_t> id_cache;  // DPtr raw -> app id
+
+  std::vector<std::uint64_t> local_ids;
   for (std::uint64_t v = static_cast<std::uint64_t>(self.id()); v < n;
-       v += static_cast<std::uint64_t>(P)) {
-    adj.ids.push_back(v);
-    auto& out = adj.nbrs.emplace_back();
-    auto vh = txn.find_vertex(v);
-    if (!vh.ok()) continue;
-    auto edges = txn.edges_of(*vh, f);
-    if (!edges.ok()) continue;
-    out.reserve(edges->size());
-    for (const auto& e : *edges) {
-      auto it = id_cache.find(e.neighbor.raw());
-      std::uint64_t nid;
-      if (it != id_cache.end()) {
-        nid = it->second;
-      } else {
-        auto r = txn.peek_app_id(e.neighbor);
-        nid = r.ok() ? *r : kUnreached;
-        id_cache.emplace(e.neighbor.raw(), nid);
+       v += static_cast<std::uint64_t>(P))
+    local_ids.push_back(v);
+
+  // Chunked pipeline: batch-translate a slice of local vertices through the
+  // DHT multi-lookup, batch-prefetch their holders, walk their edge lists
+  // from the block cache, then batch-resolve all newly seen neighbor IDs --
+  // four overlapped rounds instead of one network latency per GET.
+  for (std::size_t base = 0; base < local_ids.size(); base += kFrontierChunk) {
+    const std::size_t end = std::min(base + kFrontierChunk, local_ids.size());
+    auto vids = txn.translate_vertex_ids(
+        std::span<const std::uint64_t>(local_ids.data() + base, end - base));
+    if (!vids.ok()) break;
+    txn.prefetch_vertices(*vids);
+
+    const std::size_t first_row = adj.ids.size();
+    std::vector<DPtr> to_resolve;
+    std::vector<std::vector<DPtr>> row_nbrs(end - base);
+    for (std::size_t j = 0; j < end - base; ++j) {
+      adj.ids.push_back(local_ids[base + j]);
+      adj.nbrs.emplace_back();
+      const DPtr vid = (*vids)[j];
+      if (vid.is_null()) continue;
+      auto vh = txn.associate_vertex(vid);
+      if (!vh.ok()) continue;
+      // Stale-DHT guard (same check find_vertex performs).
+      if (auto idr = txn.app_id_of(*vh); !idr.ok() || *idr != local_ids[base + j])
+        continue;
+      auto edges = txn.edges_of(*vh, f);
+      if (!edges.ok()) continue;
+      row_nbrs[j].reserve(edges->size());
+      for (const auto& e : *edges) {
+        row_nbrs[j].push_back(e.neighbor);
+        if (!id_cache.contains(e.neighbor.raw())) to_resolve.push_back(e.neighbor);
+        self.charge_compute(kNsPerEdge);
       }
-      if (nid != kUnreached) out.push_back(nid);
-      self.charge_compute(kNsPerEdge);
+      self.charge_compute(kNsPerVertex);
     }
-    self.charge_compute(kNsPerVertex);
+
+    txn.prefetch_vertices(to_resolve);
+    for (std::size_t j = 0; j < row_nbrs.size(); ++j) {
+      auto& out = adj.nbrs[first_row + j];
+      out.reserve(row_nbrs[j].size());
+      for (DPtr nb : row_nbrs[j]) {
+        auto it = id_cache.find(nb.raw());
+        std::uint64_t nid;
+        if (it != id_cache.end()) {
+          nid = it->second;
+        } else {
+          auto r = txn.peek_app_id(nb);
+          nid = r.ok() ? *r : kUnreached;
+          id_cache.emplace(nb.raw(), nid);
+        }
+        if (nid != kUnreached) out.push_back(nid);
+      }
+    }
   }
   (void)txn.commit();
   return adj;
@@ -109,6 +148,10 @@ ShardResult<std::uint64_t> bfs(const std::shared_ptr<Database>& db, rma::Rank& s
   std::uint64_t level = 0;
   for (;;) {
     std::vector<std::vector<std::uint64_t>> sends(static_cast<std::size_t>(P));
+    // Frontier expansion: one overlapped prefetch of the whole frontier's
+    // holders (usually cache hits already -- each frontier vertex's block was
+    // pulled when it arrived), then pure-cache edge walks.
+    txn.prefetch_vertices(frontier);
     for (DPtr v : frontier) {
       auto vh = txn.associate_vertex(v);
       if (!vh.ok()) continue;
@@ -122,19 +165,21 @@ ShardResult<std::uint64_t> bfs(const std::shared_ptr<Database>& db, rma::Rank& s
     auto recv = self.alltoallv(sends);
     frontier.clear();
     ++level;
-    for (const auto& chunk : recv) {
-      for (std::uint64_t raw : chunk) {
-        if (!seen.emplace(raw, true).second) continue;  // duplicate arrival
-        const DPtr nd{raw};
-        auto idr = txn.peek_app_id(nd);  // local read: nd lives on this rank
-        if (!idr.ok()) continue;
-        const std::uint64_t idx = owner_index(*idr, P);
-        if (idx < res.values.size() && res.values[idx] == kUnreached) {
-          res.values[idx] = level;
-          frontier.push_back(nd);
-        }
-        self.charge_compute(kNsPerVertex);
+    // Batch the holder reads of all fresh arrivals before peeking their IDs.
+    std::vector<DPtr> fresh;
+    for (const auto& chunk : recv)
+      for (std::uint64_t raw : chunk)
+        if (seen.emplace(raw, true).second) fresh.push_back(DPtr{raw});
+    txn.prefetch_vertices(fresh);
+    for (const DPtr nd : fresh) {
+      auto idr = txn.peek_app_id(nd);  // local read: nd lives on this rank
+      if (!idr.ok()) continue;
+      const std::uint64_t idx = owner_index(*idr, P);
+      if (idx < res.values.size() && res.values[idx] == kUnreached) {
+        res.values[idx] = level;
+        frontier.push_back(nd);
       }
+      self.charge_compute(kNsPerVertex);
     }
     const std::uint64_t active = self.allreduce_sum<std::uint64_t>(frontier.size());
     if (active == 0) break;
@@ -170,6 +215,7 @@ ShardResult<std::uint64_t> k_hop(const std::shared_ptr<Database>& db, rma::Rank&
   }
   for (int hop = 1; hop <= k; ++hop) {
     std::vector<std::vector<std::uint64_t>> sends(static_cast<std::size_t>(P));
+    txn.prefetch_vertices(frontier);
     for (DPtr v : frontier) {
       auto vh = txn.associate_vertex(v);
       if (!vh.ok()) continue;
@@ -182,17 +228,18 @@ ShardResult<std::uint64_t> k_hop(const std::shared_ptr<Database>& db, rma::Rank&
     }
     auto recv = self.alltoallv(sends);
     frontier.clear();
-    for (const auto& chunk : recv) {
-      for (std::uint64_t raw : chunk) {
-        if (!seen.emplace(raw, true).second) continue;
-        const DPtr nd{raw};
-        auto idr = txn.peek_app_id(nd);
-        if (!idr.ok()) continue;
-        const std::uint64_t idx = owner_index(*idr, P);
-        if (idx < level.size() && level[idx] == kUnreached) {
-          level[idx] = static_cast<std::uint64_t>(hop);
-          frontier.push_back(nd);
-        }
+    std::vector<DPtr> fresh;
+    for (const auto& chunk : recv)
+      for (std::uint64_t raw : chunk)
+        if (seen.emplace(raw, true).second) fresh.push_back(DPtr{raw});
+    txn.prefetch_vertices(fresh);
+    for (const DPtr nd : fresh) {
+      auto idr = txn.peek_app_id(nd);
+      if (!idr.ok()) continue;
+      const std::uint64_t idx = owner_index(*idr, P);
+      if (idx < level.size() && level[idx] == kUnreached) {
+        level[idx] = static_cast<std::uint64_t>(hop);
+        frontier.push_back(nd);
       }
     }
     if (self.allreduce_sum<std::uint64_t>(frontier.size()) == 0) break;
@@ -208,7 +255,6 @@ ShardResult<std::uint64_t> k_hop(const std::shared_ptr<Database>& db, rma::Rank&
 
 ShardResult<double> pagerank(const std::shared_ptr<Database>& db, rma::Rank& self,
                              std::uint64_t n, int iters, double df) {
-  const int P = self.nranks();
   self.reset_clock();
   self.reset_counters();
   // Structure snapshot: directed out-adjacency read through GDI.
@@ -317,6 +363,11 @@ ShardResult<double> lcc(const std::shared_ptr<Database>& db, rma::Rank& self,
     std::vector<std::uint64_t> out;
     auto edges = txn.edges_of(vh, DirFilter::kAll);
     if (!edges.ok()) return out;
+    // Resolve all uncached neighbor IDs with one overlapped batch.
+    std::vector<DPtr> need;
+    for (const auto& e : *edges)
+      if (!id_cache.contains(e.neighbor.raw())) need.push_back(e.neighbor);
+    txn.prefetch_vertices(need);
     for (const auto& e : *edges) {
       auto it = id_cache.find(e.neighbor.raw());
       std::uint64_t nid;
@@ -345,13 +396,31 @@ ShardResult<double> lcc(const std::shared_ptr<Database>& db, rma::Rank& self,
       nu.erase(std::remove(nu.begin(), nu.end(), u), nu.end());
       const std::size_t d = nu.size();
       if (d >= 2) {
+        // Batch-translate and prefetch the uncached two-hop vertices before
+        // walking them: one DHT multi-lookup + one overlapped holder fetch.
+        std::vector<std::uint64_t> need_ids;
+        for (std::uint64_t vid_app : nu)
+          if (!nbr_cache.contains(vid_app)) need_ids.push_back(vid_app);
+        std::unordered_map<std::uint64_t, DPtr> translated;
+        if (auto vids = txn.translate_vertex_ids(need_ids); vids.ok()) {
+          txn.prefetch_vertices(*vids);
+          for (std::size_t j = 0; j < need_ids.size(); ++j)
+            translated.emplace(need_ids[j], (*vids)[j]);
+        }
         std::uint64_t links2 = 0;
         for (std::uint64_t vid_app : nu) {
           auto it = nbr_cache.find(vid_app);
           if (it == nbr_cache.end()) {
             std::vector<std::uint64_t> nv;
-            auto nvh = txn.find_vertex(vid_app);
-            if (nvh.ok()) nv = neighbor_ids(*nvh);
+            const auto tit = translated.find(vid_app);
+            const DPtr nvid = tit != translated.end() ? tit->second : DPtr{};
+            if (!nvid.is_null()) {
+              if (auto nvh = txn.associate_vertex(nvid); nvh.ok()) {
+                // Stale-DHT guard (find_vertex's app-id check).
+                if (auto idr = txn.app_id_of(*nvh); idr.ok() && *idr == vid_app)
+                  nv = neighbor_ids(*nvh);
+              }
+            }
             // Exclude the vertex itself (self-loops do not close triangles).
             nv.erase(std::remove(nv.begin(), nv.end(), vid_app), nv.end());
             it = nbr_cache.emplace(vid_app, std::move(nv)).first;

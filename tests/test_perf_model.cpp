@@ -208,6 +208,35 @@ TEST(PerfModel, BlockAcquireUncontendedIsThreeAtomics) {
   });
 }
 
+TEST(PerfModel, BatchedFrontierFetchCheaperThanSequential) {
+  // Tentpole charge rule: an overlapped batch of k one-sided reads costs
+  //   ceil(k/Q) * max(alpha) + sum(beta*bytes) + alpha_flush
+  // which must undercut the blocking sum(alpha + beta*bytes) for any
+  // frontier deeper than a couple of ops.
+  rma::Runtime rt(2, rma::NetParams::xc40());
+  rt.run([&](rma::Rank& self) {
+    auto win = rma::Window::create(self, 1 << 16);
+    if (self.id() == 0) {
+      constexpr int kFrontier = 48;
+      std::vector<std::byte> buf(kFrontier * 512);
+      self.reset_clock();
+      for (int i = 0; i < kFrontier; ++i)
+        win->get(self, buf.data() + i * 512, 512, 1, static_cast<std::uint64_t>(i) * 512);
+      const double sequential = self.sim_time_ns();
+      self.reset_clock();
+      for (int i = 0; i < kFrontier; ++i)
+        (void)win->get_nb(self, buf.data() + i * 512, 512, 1,
+                          static_cast<std::uint64_t>(i) * 512);
+      (void)self.flush_all();
+      const double batched = self.sim_time_ns();
+      EXPECT_LT(batched, sequential) << "batched < sequential must always hold here";
+      EXPECT_LT(batched, sequential / 4.0)
+          << "a 48-deep frontier should amortize most of its latency";
+    }
+    self.barrier();
+  });
+}
+
 TEST(PerfModel, RemoteOpsDominateAtHighRankCounts) {
   // With round-robin sharding, a fraction ~ (P-1)/P of holder fetches is
   // remote: the cost model must reflect that (used by Fig. 4 analyses).
