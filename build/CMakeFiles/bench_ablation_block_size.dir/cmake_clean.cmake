@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_block_size.dir/bench/ablation_block_size.cpp.o"
+  "CMakeFiles/bench_ablation_block_size.dir/bench/ablation_block_size.cpp.o.d"
+  "bench_ablation_block_size"
+  "bench_ablation_block_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

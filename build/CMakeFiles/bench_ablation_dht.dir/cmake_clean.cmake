@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dht.dir/bench/ablation_dht.cpp.o"
+  "CMakeFiles/bench_ablation_dht.dir/bench/ablation_dht.cpp.o.d"
+  "bench_ablation_dht"
+  "bench_ablation_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

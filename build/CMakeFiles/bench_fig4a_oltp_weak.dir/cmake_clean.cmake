@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_oltp_weak.dir/bench/fig4a_oltp_weak.cpp.o"
+  "CMakeFiles/bench_fig4a_oltp_weak.dir/bench/fig4a_oltp_weak.cpp.o.d"
+  "bench_fig4a_oltp_weak"
+  "bench_fig4a_oltp_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_oltp_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4a_oltp_weak.
+# This may be replaced when dependencies are built.

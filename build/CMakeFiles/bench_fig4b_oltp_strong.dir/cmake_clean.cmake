@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_oltp_strong.dir/bench/fig4b_oltp_strong.cpp.o"
+  "CMakeFiles/bench_fig4b_oltp_strong.dir/bench/fig4b_oltp_strong.cpp.o.d"
+  "bench_fig4b_oltp_strong"
+  "bench_fig4b_oltp_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_oltp_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

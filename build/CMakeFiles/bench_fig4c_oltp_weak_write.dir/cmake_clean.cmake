@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4c_oltp_weak_write.dir/bench/fig4c_oltp_weak_write.cpp.o"
+  "CMakeFiles/bench_fig4c_oltp_weak_write.dir/bench/fig4c_oltp_weak_write.cpp.o.d"
+  "bench_fig4c_oltp_weak_write"
+  "bench_fig4c_oltp_weak_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_oltp_weak_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4c_oltp_weak_write.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6e_bfs_khop_weak.dir/bench/fig6e_bfs_khop_weak.cpp.o"
+  "CMakeFiles/bench_fig6e_bfs_khop_weak.dir/bench/fig6e_bfs_khop_weak.cpp.o.d"
+  "bench_fig6e_bfs_khop_weak"
+  "bench_fig6e_bfs_khop_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6e_bfs_khop_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6f_bfs_khop_strong.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pr1_batched_vs_baseline.dir/bench/pr1_batched_vs_baseline.cpp.o"
+  "CMakeFiles/bench_pr1_batched_vs_baseline.dir/bench/pr1_batched_vs_baseline.cpp.o.d"
+  "bench_pr1_batched_vs_baseline"
+  "bench_pr1_batched_vs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pr1_batched_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

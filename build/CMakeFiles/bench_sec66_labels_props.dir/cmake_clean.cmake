@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec66_labels_props.dir/bench/sec66_labels_props.cpp.o"
+  "CMakeFiles/bench_sec66_labels_props.dir/bench/sec66_labels_props.cpp.o.d"
+  "bench_sec66_labels_props"
+  "bench_sec66_labels_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec66_labels_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

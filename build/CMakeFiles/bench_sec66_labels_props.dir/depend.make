@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec66_labels_props.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_scale_summary.dir/bench/tab1_scale_summary.cpp.o"
+  "CMakeFiles/bench_tab1_scale_summary.dir/bench/tab1_scale_summary.cpp.o.d"
+  "bench_tab1_scale_summary"
+  "bench_tab1_scale_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_scale_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_mixes.dir/bench/tab3_mixes.cpp.o"
+  "CMakeFiles/bench_tab3_mixes.dir/bench/tab3_mixes.cpp.o.d"
+  "bench_tab3_mixes"
+  "bench_tab3_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_analytics_gnn.dir/examples/analytics_gnn.cpp.o"
+  "CMakeFiles/example_analytics_gnn.dir/examples/analytics_gnn.cpp.o.d"
+  "example_analytics_gnn"
+  "example_analytics_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_analytics_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_business_intelligence.dir/examples/business_intelligence.cpp.o"
+  "CMakeFiles/example_business_intelligence.dir/examples/business_intelligence.cpp.o.d"
+  "example_business_intelligence"
+  "example_business_intelligence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_business_intelligence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

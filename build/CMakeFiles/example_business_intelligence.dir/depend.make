@@ -1,0 +1,2 @@
+# Empty dependencies file for example_business_intelligence.
+# This may be replaced when dependencies are built.

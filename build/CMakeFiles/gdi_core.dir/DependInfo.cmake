@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/rpc_store.cpp" "CMakeFiles/gdi_core.dir/src/baseline/rpc_store.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/baseline/rpc_store.cpp.o.d"
+  "/root/repo/src/block/block_store.cpp" "CMakeFiles/gdi_core.dir/src/block/block_store.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/block/block_store.cpp.o.d"
+  "/root/repo/src/dht/dht.cpp" "CMakeFiles/gdi_core.dir/src/dht/dht.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/dht/dht.cpp.o.d"
+  "/root/repo/src/gdi/bulk.cpp" "CMakeFiles/gdi_core.dir/src/gdi/bulk.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/gdi/bulk.cpp.o.d"
+  "/root/repo/src/gdi/constraint.cpp" "CMakeFiles/gdi_core.dir/src/gdi/constraint.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/gdi/constraint.cpp.o.d"
+  "/root/repo/src/gdi/database.cpp" "CMakeFiles/gdi_core.dir/src/gdi/database.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/gdi/database.cpp.o.d"
+  "/root/repo/src/gdi/metadata.cpp" "CMakeFiles/gdi_core.dir/src/gdi/metadata.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/gdi/metadata.cpp.o.d"
+  "/root/repo/src/gdi/transaction.cpp" "CMakeFiles/gdi_core.dir/src/gdi/transaction.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/gdi/transaction.cpp.o.d"
+  "/root/repo/src/generator/kronecker.cpp" "CMakeFiles/gdi_core.dir/src/generator/kronecker.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/generator/kronecker.cpp.o.d"
+  "/root/repo/src/layout/holder.cpp" "CMakeFiles/gdi_core.dir/src/layout/holder.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/layout/holder.cpp.o.d"
+  "/root/repo/src/rma/runtime.cpp" "CMakeFiles/gdi_core.dir/src/rma/runtime.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/rma/runtime.cpp.o.d"
+  "/root/repo/src/stats/stats.cpp" "CMakeFiles/gdi_core.dir/src/stats/stats.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/stats/stats.cpp.o.d"
+  "/root/repo/src/workloads/bi.cpp" "CMakeFiles/gdi_core.dir/src/workloads/bi.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/workloads/bi.cpp.o.d"
+  "/root/repo/src/workloads/gnn.cpp" "CMakeFiles/gdi_core.dir/src/workloads/gnn.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/workloads/gnn.cpp.o.d"
+  "/root/repo/src/workloads/graph500.cpp" "CMakeFiles/gdi_core.dir/src/workloads/graph500.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/workloads/graph500.cpp.o.d"
+  "/root/repo/src/workloads/olap.cpp" "CMakeFiles/gdi_core.dir/src/workloads/olap.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/workloads/olap.cpp.o.d"
+  "/root/repo/src/workloads/oltp.cpp" "CMakeFiles/gdi_core.dir/src/workloads/oltp.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/workloads/oltp.cpp.o.d"
+  "/root/repo/src/workloads/reference.cpp" "CMakeFiles/gdi_core.dir/src/workloads/reference.cpp.o" "gcc" "CMakeFiles/gdi_core.dir/src/workloads/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

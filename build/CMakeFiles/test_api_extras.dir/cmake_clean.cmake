@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_extras.dir/tests/test_api_extras.cpp.o"
+  "CMakeFiles/test_api_extras.dir/tests/test_api_extras.cpp.o.d"
+  "test_api_extras"
+  "test_api_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generator_bulk.dir/tests/test_generator_bulk.cpp.o"
+  "CMakeFiles/test_generator_bulk.dir/tests/test_generator_bulk.cpp.o.d"
+  "test_generator_bulk"
+  "test_generator_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generator_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_holder.dir/tests/test_holder.cpp.o"
+  "CMakeFiles/test_holder.dir/tests/test_holder.cpp.o.d"
+  "test_holder"
+  "test_holder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_holder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

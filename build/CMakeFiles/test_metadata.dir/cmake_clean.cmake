@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata.dir/tests/test_metadata.cpp.o"
+  "CMakeFiles/test_metadata.dir/tests/test_metadata.cpp.o.d"
+  "test_metadata"
+  "test_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

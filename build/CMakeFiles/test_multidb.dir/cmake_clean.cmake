@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multidb.dir/tests/test_multidb.cpp.o"
+  "CMakeFiles/test_multidb.dir/tests/test_multidb.cpp.o.d"
+  "test_multidb"
+  "test_multidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_olap.dir/tests/test_olap.cpp.o"
+  "CMakeFiles/test_olap.dir/tests/test_olap.cpp.o.d"
+  "test_olap"
+  "test_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

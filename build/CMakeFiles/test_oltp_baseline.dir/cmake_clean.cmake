@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oltp_baseline.dir/tests/test_oltp_baseline.cpp.o"
+  "CMakeFiles/test_oltp_baseline.dir/tests/test_oltp_baseline.cpp.o.d"
+  "test_oltp_baseline"
+  "test_oltp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oltp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

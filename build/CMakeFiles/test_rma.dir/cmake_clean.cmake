@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rma.dir/tests/test_rma.cpp.o"
+  "CMakeFiles/test_rma.dir/tests/test_rma.cpp.o.d"
+  "test_rma"
+  "test_rma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
