@@ -27,7 +27,7 @@ int main() {
         for (const auto& mix :
              {work::OpMix::read_mostly(), work::OpMix::read_intensive()}) {
           work::OltpConfig cfg;
-          cfg.queries_per_rank = 1500;
+          cfg.queries_per_rank = bench_queries(1500);
           cfg.existing_ids = env.n;
           cfg.label_for_new = env.label_ids[0];
           cfg.ptype_for_update = env.ptype_ids[0];

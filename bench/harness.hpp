@@ -7,7 +7,9 @@
 // (see DESIGN.md section 2) so only *shapes* are comparable to the paper.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -51,8 +53,25 @@ struct SetupOpts {
   bool block_cache = true;    ///< per-transaction read-through block cache
 };
 
+/// BENCH_SMOKE=1 shrinks every bench to a seconds-long CI smoke run: tiny
+/// graphs, few queries -- enough to catch scheduler/correctness regressions,
+/// not to measure. Wired into setup_db (scale clamp) and the per-bench query
+/// counts via bench_queries().
+[[nodiscard]] inline bool smoke_mode() {
+  static const bool s = std::getenv("BENCH_SMOKE") != nullptr;
+  return s;
+}
+[[nodiscard]] inline int bench_scale(int scale) {
+  return smoke_mode() ? std::min(scale, 7) : scale;
+}
+[[nodiscard]] inline std::uint64_t bench_queries(std::uint64_t q) {
+  return smoke_mode() ? std::min<std::uint64_t>(q, 120) : q;
+}
+
 /// Collective: create a database, register metadata, generate and bulk load.
-inline LoadedDb setup_db(rma::Rank& self, const SetupOpts& o) {
+inline LoadedDb setup_db(rma::Rank& self, const SetupOpts& opts) {
+  SetupOpts o = opts;
+  o.scale = bench_scale(o.scale);
   LoadedDb out;
   gen::LpgConfig g;
   g.scale = o.scale;

@@ -85,6 +85,67 @@ void BlockStore::read_unlock(rma::Rank& self, DPtr blk) {
   (void)system_.faa_u64(self, blk.rank(), off, -1);
 }
 
+std::vector<std::uint8_t> BlockStore::try_read_lock_many(rma::Rank& self,
+                                                         std::span<const DPtr> blks,
+                                                         int attempts) {
+  std::vector<std::uint8_t> got(blks.size(), 0);
+  struct Pending {
+    std::size_t i;
+    std::uint64_t expected;  ///< last observed lock word (optimistically 0)
+    std::uint64_t prev = 0;  ///< CAS result landing here at the next flush
+  };
+  std::vector<Pending> pend;
+  pend.reserve(blks.size());
+  for (std::size_t i = 0; i < blks.size(); ++i) pend.push_back({i, 0});
+  for (int round = 0; round < attempts && !pend.empty(); ++round) {
+    for (auto& p : pend) {
+      const DPtr b = blks[p.i];
+      (void)system_.cas_u64_nb(self, b.rank(), lock_offset(block_index(b)), p.expected,
+                               p.expected + 1, &p.prev);
+    }
+    (void)self.flush_all();
+    std::vector<Pending> next;
+    for (const auto& p : pend) {
+      if (p.prev == p.expected) {
+        got[p.i] = 1;
+      } else if ((p.prev & kWriteBit) == 0) {
+        next.push_back({p.i, p.prev});  // raced with a reader; retry
+      }
+      // Writer present: give up on this word (blocking try_read_lock semantics).
+    }
+    pend = std::move(next);
+  }
+  return got;
+}
+
+std::vector<std::uint8_t> BlockStore::try_write_lock_many(rma::Rank& self,
+                                                          std::span<const DPtr> blks,
+                                                          int attempts) {
+  std::vector<std::uint8_t> got(blks.size(), 0);
+  struct Pending {
+    std::size_t i;
+    std::uint64_t prev = 0;
+  };
+  std::vector<Pending> pend;
+  pend.reserve(blks.size());
+  for (std::size_t i = 0; i < blks.size(); ++i) pend.push_back({i});
+  for (int round = 0; round < attempts && !pend.empty(); ++round) {
+    for (auto& p : pend) {
+      const DPtr b = blks[p.i];
+      (void)system_.cas_u64_nb(self, b.rank(), lock_offset(block_index(b)), 0, kWriteBit,
+                               &p.prev);
+    }
+    (void)self.flush_all();
+    std::vector<Pending> next;
+    for (const auto& p : pend) {
+      if (p.prev == 0) got[p.i] = 1;
+      else next.push_back({p.i});  // still held; retry next round
+    }
+    pend = std::move(next);
+  }
+  return got;
+}
+
 bool BlockStore::try_write_lock(rma::Rank& self, DPtr blk) {
   const std::uint64_t off = lock_offset(block_index(blk));
   return system_.cas_u64(self, blk.rank(), off, 0, kWriteBit) == 0;

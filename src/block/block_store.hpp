@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "common/dptr.hpp"
 #include "rma/window.hpp"
@@ -81,6 +82,17 @@ class BlockStore {
   void write(rma::Rank& self, DPtr blk, std::size_t off, const void* src, std::size_t n) {
     data_.put(self, src, n, blk.rank(), blk.offset() + off);
   }
+  /// Nonblocking sub-block access: the transfer joins the issuing rank's
+  /// pending batch and completes at its next Rank::flush_all(). Commit-time
+  /// writeback enqueues every dirty block with write_nb and pays one
+  /// overlapped flush for the whole transaction instead of one per holder.
+  void read_nb(rma::Rank& self, DPtr blk, std::size_t off, void* dst, std::size_t n) {
+    (void)data_.get_nb(self, dst, n, blk.rank(), blk.offset() + off);
+  }
+  void write_nb(rma::Rank& self, DPtr blk, std::size_t off, const void* src,
+                std::size_t n) {
+    (void)data_.put_nb(self, src, n, blk.rank(), blk.offset() + off);
+  }
   void flush(rma::Rank& self, std::uint32_t target) { data_.flush(self, target); }
 
   // --- per-vertex reader/writer locks (paper Section 5.6) -------------------
@@ -91,6 +103,17 @@ class BlockStore {
   [[nodiscard]] bool try_read_lock(rma::Rank& self, DPtr blk, int attempts = 16);
   void read_unlock(rma::Rank& self, DPtr blk);
   [[nodiscard]] bool try_write_lock(rma::Rank& self, DPtr blk);
+  /// Batched lock acquisition: one nonblocking CAS per lock word per round,
+  /// each round completed by a single flush_all, so acquiring k independent
+  /// locks costs ceil(rounds) overlapped latencies instead of k serial CAS
+  /// round-trips. result[i] == 1 iff blks[i] was acquired. Per-word semantics
+  /// are identical to the blocking try_*_lock calls (a visible writer makes a
+  /// read-lock attempt give up immediately; contended words retry up to
+  /// `attempts` rounds).
+  [[nodiscard]] std::vector<std::uint8_t> try_read_lock_many(
+      rma::Rank& self, std::span<const DPtr> blks, int attempts = 16);
+  [[nodiscard]] std::vector<std::uint8_t> try_write_lock_many(
+      rma::Rank& self, std::span<const DPtr> blks, int attempts = 16);
   /// Upgrade a held read lock to a write lock (succeeds only if this is the
   /// sole reader and no writer raced in).
   [[nodiscard]] bool try_upgrade_lock(rma::Rank& self, DPtr blk);

@@ -41,7 +41,8 @@ using PropValue = std::variant<std::int64_t, std::uint64_t, double, std::string,
         using T = std::decay_t<decltype(x)>;
         if constexpr (std::is_same_v<T, std::string>) {
           out.resize(x.size());
-          std::memcpy(out.data(), x.data(), x.size());
+          // memcpy requires non-null pointers even for n=0 (empty string).
+          if (!x.empty()) std::memcpy(out.data(), x.data(), x.size());
         } else if constexpr (std::is_same_v<T, std::vector<std::byte>>) {
           out = x;
         } else {

@@ -1,0 +1,355 @@
+#include "gdi/async.hpp"
+
+#include <cassert>
+
+namespace gdi {
+
+BatchScope Transaction::batch() { return BatchScope(this); }
+
+// ---------------------------------------------------------------------------
+// Enqueue
+// ---------------------------------------------------------------------------
+
+bool BatchScope::Op::resolved() const {
+  switch (kind) {
+    case Kind::kTranslate: return f_vid->ready;
+    case Kind::kFind:
+    case Kind::kAssociate: return f_vh->ready;
+    case Kind::kPeek: return f_u64->ready;
+    case Kind::kEdges: return f_edges->ready;
+    case Kind::kGetProps: return f_props->ready;
+    case Kind::kSetProp: return f_done->ready;
+    case Kind::kPrefetch: return hint_done;
+  }
+  return true;
+}
+
+void BatchScope::Op::resolve_status(Status s) {
+  hint_done = true;
+  auto set = [&](auto& st) {
+    if (st && !st->ready) {
+      st->status = s;
+      st->ready = true;
+    }
+  };
+  set(f_vid);
+  set(f_vh);
+  set(f_u64);
+  set(f_edges);
+  set(f_props);
+  set(f_done);
+}
+
+Future<DPtr> BatchScope::translate(std::uint64_t app_id) {
+  ops_.emplace_back();
+  Op& op = ops_.back();
+  op.kind = Op::Kind::kTranslate;
+  op.app_id = app_id;
+  op.f_vid = std::make_shared<detail::FutureState<DPtr>>();
+  Future<DPtr> f(op.f_vid);
+  return f;
+}
+
+Future<VertexHandle> BatchScope::find(std::uint64_t app_id) {
+  ops_.emplace_back();
+  Op& op = ops_.back();
+  op.kind = Op::Kind::kFind;
+  op.app_id = app_id;
+  op.f_vh = std::make_shared<detail::FutureState<VertexHandle>>();
+  Future<VertexHandle> f(op.f_vh);
+  return f;
+}
+
+Future<VertexHandle> BatchScope::associate(DPtr vid) {
+  ops_.emplace_back();
+  Op& op = ops_.back();
+  op.kind = Op::Kind::kAssociate;
+  op.vid = vid;
+  op.f_vh = std::make_shared<detail::FutureState<VertexHandle>>();
+  Future<VertexHandle> f(op.f_vh);
+  return f;
+}
+
+Future<std::uint64_t> BatchScope::peek_app_id(DPtr vid) {
+  ops_.emplace_back();
+  Op& op = ops_.back();
+  op.kind = Op::Kind::kPeek;
+  op.vid = vid;
+  op.f_u64 = std::make_shared<detail::FutureState<std::uint64_t>>();
+  Future<std::uint64_t> f(op.f_u64);
+  return f;
+}
+
+Future<std::vector<EdgeDesc>> BatchScope::edges_of(DPtr vid, DirFilter f,
+                                                   const Constraint* c) {
+  ops_.emplace_back();
+  Op& op = ops_.back();
+  op.kind = Op::Kind::kEdges;
+  op.vid = vid;
+  op.filter = f;
+  op.cnstr = c;
+  op.f_edges = std::make_shared<detail::FutureState<std::vector<EdgeDesc>>>();
+  Future<std::vector<EdgeDesc>> fut(op.f_edges);
+  return fut;
+}
+
+Future<std::vector<PropValue>> BatchScope::get_properties(DPtr vid,
+                                                          std::uint32_t ptype) {
+  ops_.emplace_back();
+  Op& op = ops_.back();
+  op.kind = Op::Kind::kGetProps;
+  op.vid = vid;
+  op.ptype = ptype;
+  op.f_props = std::make_shared<detail::FutureState<std::vector<PropValue>>>();
+  Future<std::vector<PropValue>> fut(op.f_props);
+  return fut;
+}
+
+Future<std::monostate> BatchScope::set_property(DPtr vid, std::uint32_t ptype,
+                                                PropValue value) {
+  ops_.emplace_back();
+  Op& op = ops_.back();
+  op.kind = Op::Kind::kSetProp;
+  op.vid = vid;
+  op.ptype = ptype;
+  op.value = std::move(value);
+  op.f_done = std::make_shared<detail::FutureState<std::monostate>>();
+  Future<std::monostate> fut(op.f_done);
+  return fut;
+}
+
+void BatchScope::prefetch(DPtr vid) {
+  ops_.emplace_back();
+  Op& op = ops_.back();
+  op.kind = Op::Kind::kPrefetch;
+  op.vid = vid;
+}
+
+void BatchScope::prefetch(std::span<const DPtr> vids) {
+  ops_.reserve(ops_.size() + vids.size());
+  for (DPtr v : vids) prefetch(v);
+}
+
+// ---------------------------------------------------------------------------
+// Execute
+// ---------------------------------------------------------------------------
+
+Status BatchScope::execute() {
+  if (txn_ == nullptr) return Status::kInvalidArgument;
+  Transaction& t = *txn_;
+  std::vector<Op> ops = std::move(ops_);
+  ops_.clear();
+  if (ops.empty()) return Status::kOk;
+
+  auto resolve_rest = [&](Status s) {
+    for (auto& op : ops)
+      if (!op.resolved()) op.resolve_status(s);
+  };
+  if (!t.active_ || t.failed_) {
+    resolve_rest(Status::kTxnAborted);
+    return Status::kTxnAborted;
+  }
+
+  // Phase 1: ID translation -- one DHT multi-lookup for every translate/find.
+  {
+    std::vector<std::uint64_t> app_ids;
+    std::vector<std::size_t> pos;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind == Op::Kind::kTranslate || ops[i].kind == Op::Kind::kFind) {
+        app_ids.push_back(ops[i].app_id);
+        pos.push_back(i);
+      }
+    }
+    if (!app_ids.empty()) {
+      auto vids = t.translate_ids_impl(app_ids);
+      if (!vids.ok()) {  // only an aborted/doomed txn fails translation
+        resolve_rest(vids.status());
+        return vids.status();
+      }
+      for (std::size_t j = 0; j < pos.size(); ++j) {
+        Op& op = ops[pos[j]];
+        const DPtr v = (*vids)[j];
+        if (op.kind == Op::Kind::kTranslate) {
+          if (v.is_null()) {
+            op.resolve_status(Status::kNotFound);
+          } else {
+            op.f_vid->value = v;
+            op.resolve_status(Status::kOk);
+          }
+        } else if (v.is_null()) {
+          op.resolve_status(Status::kNotFound);
+        } else {
+          op.vid = v;
+        }
+      }
+    }
+  }
+
+  // Phase 2: collect the holder set. Reads and the write intents share one
+  // spec list; kReadShared prefetch hints bypass specs (lock-free cache
+  // population), kWrite ignores hints entirely.
+  std::vector<Transaction::FetchSpec> specs;
+  std::vector<std::size_t> op_spec(ops.size(), SIZE_MAX);
+  std::vector<DPtr> lockfree_hints;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    Op& op = ops[i];
+    if (op.resolved()) continue;
+    switch (op.kind) {
+      case Op::Kind::kFind:
+      case Op::Kind::kAssociate:
+      case Op::Kind::kEdges:
+      case Op::Kind::kGetProps:
+        if (op.vid.is_null()) {
+          op.resolve_status(Status::kInvalidArgument);
+          break;
+        }
+        op_spec[i] = specs.size();
+        specs.push_back({op.vid, /*write=*/false, /*required=*/true});
+        break;
+      case Op::Kind::kSetProp:
+        if (op.vid.is_null()) {
+          op.resolve_status(Status::kInvalidArgument);
+          break;
+        }
+        op_spec[i] = specs.size();
+        specs.push_back({op.vid, /*write=*/true, /*required=*/true});
+        break;
+      case Op::Kind::kPrefetch:
+        if (op.vid.is_null()) break;
+        if (t.mode_ == TxnMode::kReadShared) lockfree_hints.push_back(op.vid);
+        else if (t.mode_ == TxnMode::kRead)
+          specs.push_back({op.vid, /*write=*/false, /*required=*/false});
+        break;
+      case Op::Kind::kTranslate:
+      case Op::Kind::kPeek:
+        break;  // no holder needed
+    }
+  }
+
+  // Phase 3: hints first (so spec fetches hit the freshly populated cache),
+  // then the single lock/fetch path for everything that needs a state.
+  if (!lockfree_hints.empty()) t.populate_block_cache(lockfree_hints);
+  std::vector<Status> per(specs.size(), Status::kOk);
+  const Status doom =
+      specs.empty()
+          ? Status::kOk
+          : t.fetch_vertices_batch(specs, std::span<Status>(per.data(), per.size()));
+  if (!ok(doom)) {
+    // Transaction-critical failure: the offending ops carry their own status,
+    // everything else unresolved aborts.
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].resolved()) continue;
+      const std::size_t s = op_spec[i];
+      if (s != SIZE_MAX && !ok(per[s])) ops[i].resolve_status(per[s]);
+      else ops[i].resolve_status(Status::kTxnAborted);
+    }
+    return doom;
+  }
+
+  // Phase 4: resolution, in enqueue order. Holder-based ops are now local
+  // (vcache_/block-cache hits); app-ID peeks that miss queue up for one final
+  // overlapped 8-byte batch.
+  struct PendingPeek {
+    std::size_t op;
+    std::uint64_t id = 0;
+  };
+  std::vector<PendingPeek> peeks;
+  Status final_status = Status::kOk;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    Op& op = ops[i];
+    if (op.resolved()) continue;
+    if (!ok(final_status)) {
+      // A resolution-time critical failure (e.g. a read-only violation from a
+      // write intent) doomed the transaction: everything still unresolved
+      // aborts, matching the documented error model.
+      op.resolve_status(Status::kTxnAborted);
+      continue;
+    }
+    const std::size_t s = op_spec[i];
+    if (s != SIZE_MAX && !ok(per[s])) {
+      op.resolve_status(per[s]);
+      continue;
+    }
+    switch (op.kind) {
+      case Op::Kind::kFind: {
+        // Stale-DHT guard (the blocking find_vertex's app-id check): the
+        // holder we fetched must actually be the vertex we looked up.
+        auto it = t.vcache_.find(op.vid.raw());
+        assert(it != t.vcache_.end());
+        if (it->second->view.app_id() != op.app_id) {
+          op.resolve_status(Status::kNotFound);
+        } else {
+          op.f_vh->value = VertexHandle{op.vid};
+          op.resolve_status(Status::kOk);
+        }
+        break;
+      }
+      case Op::Kind::kAssociate:
+        op.f_vh->value = VertexHandle{op.vid};
+        op.resolve_status(Status::kOk);
+        break;
+      case Op::Kind::kEdges: {
+        auto r = t.edges_of_impl(VertexHandle{op.vid}, op.filter, op.cnstr);
+        if (r.ok()) op.f_edges->value = std::move(r.value());
+        op.resolve_status(r.status());
+        if (is_transaction_critical(r.status())) final_status = r.status();
+        break;
+      }
+      case Op::Kind::kGetProps: {
+        auto r = t.get_properties(VertexHandle{op.vid}, op.ptype);
+        if (r.ok()) op.f_props->value = std::move(r.value());
+        op.resolve_status(r.status());
+        if (is_transaction_critical(r.status())) final_status = r.status();
+        break;
+      }
+      case Op::Kind::kSetProp: {
+        const Status s2 = t.update_property(VertexHandle{op.vid}, op.ptype, op.value);
+        op.resolve_status(s2);
+        if (is_transaction_critical(s2)) final_status = s2;
+        break;
+      }
+      case Op::Kind::kPeek: {
+        if (op.vid.is_null()) {
+          op.resolve_status(Status::kInvalidArgument);
+          break;
+        }
+        std::uint64_t id = 0;
+        if (t.peek_cached(op.vid, &id)) {
+          op.f_u64->value = id;
+          op.resolve_status(Status::kOk);
+        } else {
+          peeks.push_back({i});
+        }
+        break;
+      }
+      case Op::Kind::kTranslate:
+      case Op::Kind::kPrefetch:
+        break;
+    }
+  }
+
+  // Phase 5: overlapped 8-byte peeks (blocking reads when batching is off --
+  // identical bytes, serial latency). A doomed transaction issues no further
+  // RMA: queued peeks abort like any other unresolved future.
+  if (!ok(final_status)) {
+    for (auto& p : peeks) ops[p.op].resolve_status(Status::kTxnAborted);
+    return final_status;
+  }
+  if (!peeks.empty()) {
+    auto& blocks = t.db_->blocks();
+    if (t.batching_enabled()) {
+      for (auto& p : peeks) blocks.read_nb(t.self_, ops[p.op].vid, 0, &p.id, 8);
+      (void)t.self_.flush_all();
+    } else {
+      for (auto& p : peeks) blocks.read(t.self_, ops[p.op].vid, 0, &p.id, 8);
+    }
+    if (t.cache_enabled()) t.self_.counters().cache_misses += peeks.size();
+    for (auto& p : peeks) {
+      ops[p.op].f_u64->value = p.id;
+      ops[p.op].resolve_status(Status::kOk);
+    }
+  }
+  return final_status;
+}
+
+}  // namespace gdi

@@ -18,6 +18,7 @@
 #include "common/dptr.hpp"
 #include "common/status.hpp"
 #include "common/value.hpp"
+#include "gdi/async.hpp"
 #include "gdi/bulk.hpp"
 #include "gdi/constraint.hpp"
 #include "gdi/database.hpp"

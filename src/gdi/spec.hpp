@@ -130,6 +130,69 @@ inline Status GDI_GetTypeOfTransaction(TxnScope* scope_out, TxnMode* mode_out,
   return Status::kOk;
 }
 
+// --- nonblocking operations (async-first surface, gdi/async.hpp) -------------
+//
+// Spec-style access to the batch engine: start a batch object, enqueue GDI_*Nb
+// operations (each returns a typed future through an out-parameter), then
+// complete all of them with one GDI_Execute, which overlaps the DHT lookups,
+// lock CAS rounds, and block fetches of the whole batch. Futures report their
+// per-operation outcome via Future::status() after GDI_Execute returns.
+
+using GDI_Batch = BatchScope;
+template <class T>
+using GDI_Future = Future<T>;
+
+inline Status GDI_StartBatch(GDI_Batch* batch_out, const GDI_Transaction& txn) {
+  *batch_out = txn->batch();
+  return Status::kOk;
+}
+
+inline Status GDI_TranslateVertexIDNb(GDI_Future<GDI_VertexUid>* f_out,
+                                      std::uint64_t vID_app, GDI_Batch& batch) {
+  *f_out = batch.translate(vID_app);
+  return Status::kOk;
+}
+
+inline Status GDI_AssociateVertexNb(GDI_VertexUid vID, GDI_Batch& batch,
+                                    GDI_Future<GDI_VertexHolder>* f_out) {
+  *f_out = batch.associate(vID);
+  return Status::kOk;
+}
+
+/// translate + associate + stale-DHT validation in one future.
+inline Status GDI_FindVertexNb(GDI_Future<GDI_VertexHolder>* f_out,
+                               std::uint64_t vID_app, GDI_Batch& batch) {
+  *f_out = batch.find(vID_app);
+  return Status::kOk;
+}
+
+inline Status GDI_GetEdgesOfVertexNb(GDI_Future<std::vector<EdgeDesc>>* f_out,
+                                     DirFilter filter, GDI_VertexHolder vH,
+                                     GDI_Batch& batch,
+                                     const GDI_Constraint* cnstr = nullptr) {
+  *f_out = batch.edges_of(vH, filter, cnstr);
+  return Status::kOk;
+}
+
+inline Status GDI_GetPropertiesOfVertexNb(GDI_Future<std::vector<PropValue>>* f_out,
+                                          GDI_PropertyType pt, GDI_VertexHolder vH,
+                                          GDI_Batch& batch) {
+  *f_out = batch.get_properties(vH, pt);
+  return Status::kOk;
+}
+
+inline Status GDI_UpdatePropertyOfVertexNb(GDI_Future<std::monostate>* f_out,
+                                           const PropValue& value, GDI_PropertyType pt,
+                                           GDI_VertexHolder vH, GDI_Batch& batch) {
+  *f_out = batch.set_property(vH, pt, value);
+  return Status::kOk;
+}
+
+/// Completion point: resolves every future enqueued on the batch. Returns kOk
+/// (per-operation soft failures are reported only on their futures) or the
+/// transaction-critical error that doomed the transaction.
+inline Status GDI_Execute(GDI_Batch& batch) { return batch.execute(); }
+
 // --- graph data: vertices --------------------------------------------------------
 
 inline Status GDI_CreateVertex(GDI_VertexHolder* vH_out, std::uint64_t app_id,

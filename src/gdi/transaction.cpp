@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "gdi/async.hpp"
+
 namespace gdi {
 
 using layout::Dir;
@@ -143,7 +145,7 @@ void Transaction::invalidate_cached_blocks(
   for (std::uint32_t i = 1; i < num_blocks; ++i) blk_cache_.erase(addr_of(i).raw());
 }
 
-Result<std::vector<DPtr>> Transaction::translate_vertex_ids(
+Result<std::vector<DPtr>> Transaction::translate_ids_impl(
     std::span<const std::uint64_t> app_ids) {
   if (!active_ || failed_) return Status::kTxnAborted;
   std::vector<DPtr> out(app_ids.size());
@@ -158,7 +160,9 @@ Result<std::vector<DPtr>> Transaction::translate_vertex_ids(
       need_pos.push_back(i);
     }
   }
-  if (batching_enabled()) {
+  // Multi-lookup earns its round flushes only past one key; a singleton walks
+  // the chain blocking, exactly like translate_vertex_id.
+  if (batching_enabled() && need.size() > 1) {
     auto vals = db_->id_index().lookup_many(self_, need);
     for (std::size_t j = 0; j < need.size(); ++j)
       if (vals[j]) out[need_pos[j]] = DPtr{*vals[j]};
@@ -169,12 +173,31 @@ Result<std::vector<DPtr>> Transaction::translate_vertex_ids(
   return out;
 }
 
+Result<std::vector<DPtr>> Transaction::translate_vertex_ids(
+    std::span<const std::uint64_t> app_ids) {
+  // n-op wrapper over the async surface: one translate future per ID.
+  BatchScope scope = batch();
+  std::vector<Future<DPtr>> futs;
+  futs.reserve(app_ids.size());
+  for (std::uint64_t id : app_ids) futs.push_back(scope.translate(id));
+  if (Status s = scope.execute(); is_transaction_critical(s)) return s;
+  std::vector<DPtr> out(app_ids.size());
+  for (std::size_t i = 0; i < futs.size(); ++i)
+    if (futs[i].ok()) out[i] = *futs[i];
+  return out;
+}
+
 void Transaction::prefetch_vertices(std::span<const DPtr> vids) {
+  // n-op wrapper over the async surface; BatchScope::execute dispatches the
+  // hints by mode (kReadShared cache population / kRead lock-then-validate /
+  // kWrite no-op).
+  BatchScope scope = batch();
+  scope.prefetch(vids);
+  (void)scope.execute();
+}
+
+void Transaction::populate_block_cache(std::span<const DPtr> vids) {
   if (!active_ || failed_) return;
-  // Lock-free read transactions only: in locking modes a fetch must observe
-  // the holder *after* lock acquisition, so pre-lock prefetches could go
-  // stale the moment a writer slips in before our lock.
-  if (mode_ != TxnMode::kReadShared) return;
   if (!cache_enabled() || !batching_enabled()) return;
 
   auto& blocks = db_->blocks();
@@ -231,6 +254,152 @@ void Transaction::prefetch_vertices(std::span<const DPtr> vids) {
   self_.counters().cache_misses += tail_blks.size();
   for (std::size_t j = 0; j < tail_blks.size(); ++j)
     blk_cache_[tail_blks[j].raw()] = std::move(tail_bufs[j]);
+}
+
+// ---------------------------------------------------------------------------
+// The single lock/fetch path
+// ---------------------------------------------------------------------------
+
+Status Transaction::fetch_vertices_batch(std::span<const FetchSpec> specs,
+                                         std::span<Status> per) {
+  assert(per.size() == specs.size());
+  if (!active_ || failed_) {
+    std::fill(per.begin(), per.end(), Status::kTxnAborted);
+    return Status::kTxnAborted;
+  }
+
+  // Deduplicate by vid, merging write/required intent; route vids that
+  // already have a state through the (upgrade-aware) vcache_ hit path.
+  struct Item {
+    DPtr vid;
+    bool write = false;
+    bool required = false;
+    LockState lock = LockState::kNone;
+    Status st = Status::kOk;
+  };
+  std::vector<Item> items;
+  std::unordered_map<std::uint64_t, std::size_t> item_of;
+  std::vector<std::size_t> spec_item(specs.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const FetchSpec& sp = specs[i];
+    if (sp.vid.is_null()) {
+      per[i] = Status::kInvalidArgument;
+      continue;
+    }
+    if (vcache_.contains(sp.vid.raw())) {
+      auto r = vertex_state(VertexHandle{sp.vid}, sp.write);  // hit branch only
+      per[i] = r.ok() ? Status::kOk : r.status();
+      if (sp.required && is_transaction_critical(per[i])) return per[i];
+      continue;
+    }
+    auto [it, fresh] = item_of.try_emplace(sp.vid.raw(), items.size());
+    if (fresh) items.push_back(Item{sp.vid, sp.write, sp.required});
+    else {
+      items[it->second].write |= sp.write;
+      items[it->second].required |= sp.required;
+    }
+    spec_item[i] = it->second;
+  }
+
+  Status doom = Status::kOk;
+  const int attempts = db_->config().lock_attempts;
+  auto& blocks = db_->blocks();
+
+  // Phase 1: locks. kReadShared is lock-free for reads and rejects writes;
+  // locking modes acquire every still-needed lock with overlapped CAS rounds
+  // (one nonblocking CAS per word per round, one flush per round). Singleton
+  // batches use the blocking word ops -- same semantics, no flush overhead.
+  if (mode_ == TxnMode::kReadShared) {
+    for (auto& it : items) {
+      if (!it.write) continue;
+      it.st = Status::kTxnReadOnly;
+      if (it.required) {
+        (void)fail(Status::kTxnReadOnly);
+        if (ok(doom)) doom = Status::kTxnReadOnly;
+      }
+    }
+  } else {
+    std::vector<std::size_t> read_idx;
+    std::vector<std::size_t> write_idx;
+    for (std::size_t j = 0; j < items.size(); ++j)
+      (items[j].write ? write_idx : read_idx).push_back(j);
+    auto lock_serial = [&](Item& it) {
+      bool got = false;
+      if (it.write) {
+        for (int a = 0; a < attempts && !got; ++a)
+          got = blocks.try_write_lock(self_, it.vid);
+      } else {
+        got = blocks.try_read_lock(self_, it.vid, attempts);
+      }
+      return got;
+    };
+    const bool batch_locks =
+        batching_enabled() && read_idx.size() + write_idx.size() > 1;
+    std::vector<std::uint8_t> got_r;
+    std::vector<std::uint8_t> got_w;
+    if (batch_locks) {
+      std::vector<DPtr> rv;
+      std::vector<DPtr> wv;
+      rv.reserve(read_idx.size());
+      wv.reserve(write_idx.size());
+      for (std::size_t j : read_idx) rv.push_back(items[j].vid);
+      for (std::size_t j : write_idx) wv.push_back(items[j].vid);
+      if (!rv.empty()) got_r = blocks.try_read_lock_many(self_, rv, attempts);
+      if (!wv.empty()) got_w = blocks.try_write_lock_many(self_, wv, attempts);
+    }
+    auto apply = [&](std::span<const std::size_t> idx,
+                     std::span<const std::uint8_t> got, LockState granted) {
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        Item& it = items[idx[k]];
+        const bool won = batch_locks ? got[k] != 0 : lock_serial(it);
+        if (won) {
+          it.lock = granted;
+          continue;
+        }
+        it.st = it.required ? fail(Status::kTxnConflict) : Status::kTxnConflict;
+        if (it.required && ok(doom)) doom = Status::kTxnConflict;
+      }
+    };
+    apply(read_idx, got_r, LockState::kRead);
+    apply(write_idx, got_w, LockState::kWrite);
+  }
+
+  // Phase 2: block population. All locks are held (or the mode is lock-free),
+  // so one overlapped batch of primary blocks plus one of continuation blocks
+  // is observation-safe. Locked items are fetched even when another item
+  // doomed the transaction -- their locks must be tracked for release.
+  std::vector<DPtr> to_fetch;
+  to_fetch.reserve(items.size());
+  for (const auto& it : items)
+    if (ok(it.st) && (mode_ == TxnMode::kReadShared || it.lock != LockState::kNone))
+      to_fetch.push_back(it.vid);
+  if (to_fetch.size() > 1) populate_block_cache(to_fetch);
+
+  // Phase 3: materialize VertexStates (block-cache hits on the batched path).
+  for (auto& it : items) {
+    if (!ok(it.st)) continue;
+    if (mode_ != TxnMode::kReadShared && it.lock == LockState::kNone) continue;
+    auto st = std::make_unique<VertexState>();
+    st->lock = it.lock;
+    if (Status s = fetch_vertex(it.vid, *st); !ok(s)) {
+      // Not a valid vertex: release the just-taken lock and report. Drop the
+      // block from the cache too -- with the lock gone nothing pins its
+      // bytes, and a later lookup of a recycled block must re-read.
+      blk_cache_.erase(it.vid.raw());
+      if (st->lock == LockState::kWrite) blocks.write_unlock(self_, it.vid);
+      if (st->lock == LockState::kRead) blocks.read_unlock(self_, it.vid);
+      it.st = s;
+      continue;
+    }
+    if (st->lock == LockState::kWrite)
+      invalidate_cached_blocks(it.vid, st->view.num_blocks(),
+                               [&](std::uint32_t i) { return st->view.block_addr(i); });
+    vcache_.emplace(it.vid.raw(), std::move(st));
+  }
+
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    if (spec_item[i] != SIZE_MAX) per[i] = items[spec_item[i]].st;
+  return doom;
 }
 
 // ---------------------------------------------------------------------------
@@ -318,23 +487,14 @@ Result<Transaction::VertexState*> Transaction::vertex_state(VertexHandle v,
     }
     return st;
   }
-  auto st = std::make_unique<VertexState>();
-  if (Status s = acquire_vertex_lock(*st, v.vid, for_write); !ok(s)) return s;
-  if (Status s = fetch_vertex(v.vid, *st); !ok(s)) {
-    // Not a valid vertex: release the just-taken lock and report. Drop the
-    // block from the cache too -- with the lock gone nothing pins its bytes,
-    // and a later lookup of a recycled block must re-read the window.
-    blk_cache_.erase(v.vid.raw());
-    if (st->lock == LockState::kWrite) db_->blocks().write_unlock(self_, v.vid);
-    if (st->lock == LockState::kRead) db_->blocks().read_unlock(self_, v.vid);
-    return s;
-  }
-  if (st->lock == LockState::kWrite)
-    invalidate_cached_blocks(v.vid, st->view.num_blocks(),
-                             [&](std::uint32_t i) { return st->view.block_addr(i); });
-  VertexState* out = st.get();
-  vcache_.emplace(v.vid.raw(), std::move(st));
-  return out;
+  // Miss: a one-element trip through the shared batch path (which degenerates
+  // to blocking lock + fetch for singletons).
+  const FetchSpec spec{v.vid, for_write, /*required=*/true};
+  Status st = Status::kOk;
+  (void)fetch_vertices_batch(std::span<const FetchSpec>(&spec, 1),
+                             std::span<Status>(&st, 1));
+  if (!ok(st)) return st;
+  return vcache_.find(v.vid.raw())->second.get();
 }
 
 Status Transaction::fetch_edge(DPtr eid, EdgeState& st) {
@@ -455,14 +615,13 @@ Result<VertexHandle> Transaction::associate_vertex(DPtr vid) {
 }
 
 Result<VertexHandle> Transaction::find_vertex(std::uint64_t app_id) {
-  auto vid = translate_vertex_id(app_id);
-  if (!vid.ok()) return vid.status();
-  auto st = vertex_state(VertexHandle{*vid}, /*for_write=*/false);
-  if (!st.ok()) return st.status();
-  // Guard against stale DHT entries racing with block reuse: the holder we
-  // fetched must actually be the vertex we looked up.
-  if ((*st)->view.app_id() != app_id) return Status::kNotFound;
-  return VertexHandle{*vid};
+  // One-op wrapper over the async surface (translate + associate + stale-DHT
+  // validation happen inside BatchScope::execute).
+  BatchScope scope = batch();
+  Future<VertexHandle> f = scope.find(app_id);
+  (void)scope.execute();
+  if (!f.ok()) return f.status();
+  return *f;
 }
 
 Status Transaction::delete_vertex(VertexHandle v) {
@@ -498,23 +657,30 @@ Status Transaction::delete_vertex(VertexHandle v) {
   return Status::kOk;
 }
 
-Result<std::uint64_t> Transaction::peek_app_id(DPtr vid) {
-  if (!active_ || failed_) return Status::kTxnAborted;
+bool Transaction::peek_cached(DPtr vid, std::uint64_t* out) {
   auto it = vcache_.find(vid.raw());
-  if (it != vcache_.end()) return it->second->view.app_id();
+  if (it != vcache_.end()) {
+    *out = it->second->view.app_id();
+    return true;
+  }
   if (cache_enabled()) {
     auto cit = blk_cache_.find(vid.raw());
     if (cit != blk_cache_.end() && cit->second.size() >= 8) {
       self_.counters().cache_hits += 1;
-      std::uint64_t id = 0;
-      std::memcpy(&id, cit->second.data(), 8);
-      return id;
+      std::memcpy(out, cit->second.data(), 8);
+      return true;
     }
   }
+  return false;
+}
+
+Result<std::uint64_t> Transaction::peek_app_id(DPtr vid) {
+  if (!active_ || failed_) return Status::kTxnAborted;
+  std::uint64_t id = 0;
+  if (peek_cached(vid, &id)) return id;
   // Miss path stays the minimal 8-byte GET (no population): peeks pay for a
   // whole-block fetch only when a frontier prefetch asked for one.
   if (cache_enabled()) self_.counters().cache_misses += 1;
-  std::uint64_t id = 0;
   db_->blocks().read(self_, vid, 0, &id, 8);
   return id;
 }
@@ -689,6 +855,16 @@ Status Transaction::delete_edge(VertexHandle base, const EdgeUid& uid) {
 
 Result<std::vector<EdgeDesc>> Transaction::edges_of(VertexHandle v, DirFilter f,
                                                     const Constraint* c) {
+  // One-op wrapper over the async surface.
+  BatchScope scope = batch();
+  Future<std::vector<EdgeDesc>> fut = scope.edges_of(v, f, c);
+  (void)scope.execute();
+  if (!fut.ok()) return fut.status();
+  return *fut;
+}
+
+Result<std::vector<EdgeDesc>> Transaction::edges_of_impl(VertexHandle v, DirFilter f,
+                                                         const Constraint* c) {
   auto r = vertex_state(v, false);
   if (!r.ok()) return r.status();
   VertexState* st = *r;
@@ -875,20 +1051,26 @@ Result<std::vector<PropValue>> Transaction::get_edge_properties(EdgeHandle e,
 Result<std::vector<DPtr>> Transaction::local_index_vertices(Index& idx,
                                                             const Constraint* c) {
   if (!active_ || failed_) return Status::kTxnAborted;
-  std::vector<DPtr> out;
+  // Batch-fetch the whole candidate shard through the shared lock/fetch path:
+  // overlapped lock CAS rounds + two overlapped block batches instead of one
+  // serial lock + GET per candidate.
+  std::vector<FetchSpec> specs;
   std::unordered_map<std::uint64_t, bool> seen;  // dedup stale duplicates
   for (DPtr cand : idx.candidates(self_, static_cast<std::uint32_t>(self_.id()))) {
     if (seen.contains(cand.raw())) continue;
     seen.emplace(cand.raw(), true);
-    auto r = vertex_state(VertexHandle{cand}, false);
-    if (!r.ok()) {
-      if (is_transaction_critical(r.status())) return r.status();
-      continue;  // stale entry (deleted vertex)
-    }
-    VertexState* st = *r;
+    specs.push_back(FetchSpec{cand, /*write=*/false, /*required=*/true});
+  }
+  std::vector<Status> per(specs.size(), Status::kOk);
+  if (Status s = fetch_vertices_batch(specs, per); !ok(s)) return s;
+  std::vector<DPtr> out;
+  for (std::size_t j = 0; j < specs.size(); ++j) {
+    if (!ok(per[j])) continue;  // stale entry (deleted vertex)
+    VertexState* st = vcache_.find(specs[j].vid.raw())->second.get();
+    if (st->deleted) continue;
     if (!idx.matches(st->view)) continue;  // stale entry (re-labeled vertex)
     if (c != nullptr && !c->matches(st->view)) continue;
-    out.push_back(cand);
+    out.push_back(specs[j].vid);
   }
   return out;
 }
@@ -1023,17 +1205,20 @@ Status Transaction::writeback_vertex(DPtr vid, VertexState& st) {
       spans[1] = {0, 0};
     }
   }
+  // Dirty blocks ride the nonblocking engine: commit_local completes every
+  // holder's PUTs with one flush_all instead of one flush per holder.
   bool wrote = false;
   for (const auto& [b0, b1] : spans) {
     for (std::size_t b = b0; b < b1 && b < st.view.num_blocks(); ++b) {
       const DPtr blk = b == 0 ? vid : st.view.block_addr(b);
       const std::size_t off = b * B;
       const std::size_t n = std::min(B, total - off);
-      blocks.write(self_, blk, 0, st.buf.data() + off, n);
+      if (batching_enabled()) blocks.write_nb(self_, blk, 0, st.buf.data() + off, n);
+      else blocks.write(self_, blk, 0, st.buf.data() + off, n);
       wrote = true;
     }
   }
-  if (wrote) blocks.flush(self_, vid.rank());
+  if (wrote && !batching_enabled()) blocks.flush(self_, vid.rank());
   st.view.reset_dirty();
   return Status::kOk;
 }
@@ -1051,9 +1236,10 @@ Status Transaction::writeback_edge(DPtr eid, EdgeState& st) {
     const DPtr blk = b == 0 ? eid : st.view.block_addr(b);
     const std::size_t off = b * B;
     const std::size_t n = std::min(B, total - off);
-    blocks.write(self_, blk, 0, st.buf.data() + off, n);
+    if (batching_enabled()) blocks.write_nb(self_, blk, 0, st.buf.data() + off, n);
+    else blocks.write(self_, blk, 0, st.buf.data() + off, n);
   }
-  blocks.flush(self_, eid.rank());
+  if (!batching_enabled()) blocks.flush(self_, eid.rank());
   st.view.reset_dirty();
   return Status::kOk;
 }
@@ -1116,9 +1302,13 @@ Status Transaction::commit_local() {
     if (!st->deleted) continue;
     const DPtr vid{raw};
     if (!st->created) {
-      blocks.write(self_, vid, 0, st->buf.data(),
-                   std::min(B, st->buf.size()));  // header now invalid
-      blocks.flush(self_, vid.rank());
+      if (batching_enabled()) {
+        blocks.write_nb(self_, vid, 0, st->buf.data(),
+                        std::min(B, st->buf.size()));  // header now invalid
+      } else {
+        blocks.write(self_, vid, 0, st->buf.data(), std::min(B, st->buf.size()));
+        blocks.flush(self_, vid.rank());
+      }
     }
     for (std::uint32_t i = 0; i < st->view.num_blocks(); ++i)
       to_release.push_back(i == 0 ? vid : st->view.block_addr(i));
@@ -1128,12 +1318,22 @@ Status Transaction::commit_local() {
     const DPtr eid{raw};
     if (!st->created) {
       std::uint32_t zero = 0;
-      blocks.write(self_, eid, 16, &zero, 4);  // clear the valid flag
-      blocks.flush(self_, eid.rank());
+      if (batching_enabled()) {
+        blocks.write_nb(self_, eid, 16, &zero, 4);  // clear the valid flag
+      } else {
+        blocks.write(self_, eid, 16, &zero, 4);
+        blocks.flush(self_, eid.rank());
+      }
     }
     for (std::uint32_t i = 0; i < st->view.num_blocks(); ++i)
       to_release.push_back(i == 0 ? eid : st->view.block_addr(i));
   }
+
+  // Writeback completion: every dirty-block and deletion PUT issued above
+  // (phases 2-3) completes here with a single overlapped flush -- at most one
+  // flush per target rank per commit, the ROADMAP "write batching" item --
+  // before the DHT/indexes publish anything and before locks release.
+  if (batching_enabled() && self_.pending_nb_ops() > 0) (void)self_.flush_all();
 
   // Phase 4: internal DHT index (app id -> DPtr) and explicit indexes.
   auto& dht = db_->id_index();

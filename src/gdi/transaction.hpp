@@ -41,6 +41,8 @@
 
 namespace gdi {
 
+class BatchScope;
+
 enum class TxnMode : std::uint8_t { kRead = 0, kReadShared, kWrite };
 enum class TxnScope : std::uint8_t { kLocal = 0, kCollective };
 
@@ -91,6 +93,12 @@ class Transaction {
   [[nodiscard]] bool active() const { return active_; }
   [[nodiscard]] bool failed() const { return failed_; }
 
+  /// Async-first surface (see gdi/async.hpp): returns a BatchScope on which
+  /// typed operations are enqueued and resolved together by one execute()
+  /// that overlaps DHT lookups, lock CAS rounds, and block fetches. The
+  /// blocking methods below are thin wrappers over this path.
+  [[nodiscard]] BatchScope batch();
+
   // --- vertex CRUD ----------------------------------------------------------
   Result<VertexHandle> create_vertex(std::uint64_t app_id);
   /// GDI_TranslateVertexID: application-level ID -> internal ID.
@@ -116,12 +124,17 @@ class Transaction {
   Result<std::vector<DPtr>> translate_vertex_ids(std::span<const std::uint64_t> app_ids);
 
   /// Read-side frontier prefetch: batch-fetches the holder blocks of every
-  /// not-yet-cached vertex in `vids` into the per-transaction block cache
-  /// (primary blocks in one overlapped batch, continuation blocks in a
-  /// second). Subsequent associate_vertex / edges_of / peek_app_id on these
-  /// vertices are then served locally. Only active in kReadShared mode (the
-  /// paper's lock-free read-only transactions) -- a silent no-op otherwise,
-  /// so call sites need not branch on mode.
+  /// not-yet-cached vertex in `vids` so subsequent associate_vertex /
+  /// edges_of / peek_app_id on them are served locally. In kReadShared mode
+  /// (the paper's lock-free read-only transactions) this populates the
+  /// per-transaction block cache with no locking (primary blocks in one
+  /// overlapped batch, continuation blocks in a second). In kRead mode the
+  /// hint routes through the batched lock-then-validate path: read locks for
+  /// the whole set are acquired with overlapped CAS rounds, then the holders
+  /// are fetched in the same two overlapped batches -- a lock failure skips
+  /// that vertex (a hint never dooms the transaction). kWrite ignores the
+  /// hint (speculative read locks would poison later lock upgrades), so call
+  /// sites need not branch on mode.
   void prefetch_vertices(std::span<const DPtr> vids);
   Status add_label(VertexHandle v, std::uint32_t label_id);
   Status remove_label(VertexHandle v, std::uint32_t label_id);
@@ -175,6 +188,8 @@ class Transaction {
   void abort();
 
  private:
+  friend class BatchScope;
+
   enum class LockState : std::uint8_t { kNone = 0, kRead, kWrite };
 
   struct VertexState {
@@ -200,6 +215,39 @@ class Transaction {
   Status acquire_vertex_lock(VertexState& st, DPtr vid, bool write);
   Status fetch_vertex(DPtr vid, VertexState& st);
   Status fetch_edge(DPtr eid, EdgeState& st);
+
+  // --- the single lock/fetch path (tentpole) --------------------------------
+  //
+  // Every vertex materialization in the system -- blocking associate/find,
+  // BatchScope::execute, kRead prefetch hints, index scans -- funnels through
+  // fetch_vertices_batch. It acquires all still-needed locks with overlapped
+  // CAS rounds, pulls every primary block in one nonblocking batch and every
+  // continuation block in a second, and installs the resulting VertexStates
+  // in vcache_. A one-element call degenerates to the blocking path (no extra
+  // flush), so single-op wrappers cost what they did before batching existed.
+  struct FetchSpec {
+    DPtr vid;
+    bool write = false;    ///< take/upgrade to the write lock
+    bool required = false; ///< lock failure dooms the txn (false for hints)
+  };
+  /// per[i] receives specs[i]'s outcome (kOk = state available in vcache_;
+  /// kNotFound / kTxnConflict / ... otherwise). Returns kOk unless a
+  /// *required* spec hit a transaction-critical failure, in which case the
+  /// transaction is doomed and that status is returned.
+  Status fetch_vertices_batch(std::span<const FetchSpec> specs, std::span<Status> per);
+
+  // Internal (non-wrapper) implementations used by BatchScope resolution and
+  // by the blocking wrappers; bodies predate the async surface.
+  Result<std::vector<DPtr>> translate_ids_impl(std::span<const std::uint64_t> app_ids);
+  Result<std::vector<EdgeDesc>> edges_of_impl(VertexHandle v, DirFilter f,
+                                              const Constraint* c);
+  /// Batch-populate the block cache with the holders of `vids` (primaries in
+  /// one overlapped batch, continuations in a second). Callers must hold the
+  /// needed locks (or run lock-free in kReadShared). No-op unless both the
+  /// cache and batching are enabled.
+  void populate_block_cache(std::span<const DPtr> vids);
+  /// Serve an app-ID peek from vcache_/blk_cache_; false = caller must read.
+  [[nodiscard]] bool peek_cached(DPtr vid, std::uint64_t* out);
 
   // Per-transaction block cache (tentpole: read-through, keyed by block DPtr;
   // entries are whole blocks). Populated by fetches and prefetches, consulted

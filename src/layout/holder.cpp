@@ -303,9 +303,10 @@ Status VertexView::reshape(std::uint32_t new_table_cap, std::uint32_t new_edge_c
   std::vector<std::byte> header(buf_.begin(), buf_.begin() + kHeaderSize);
   buf_.assign(new_total, std::byte{0});
   std::memcpy(buf_.data(), header.data(), kHeaderSize);
-  std::memcpy(buf_.data() + kBlockTableOff, table.data(), table.size());
-  std::memcpy(buf_.data() + new_edge_base, edges.data(), edges.size());
-  std::memcpy(buf_.data() + new_prop_base, props.data(), props.size());
+  // Empty segments have a null data(); memcpy requires non-null even for n=0.
+  if (!table.empty()) std::memcpy(buf_.data() + kBlockTableOff, table.data(), table.size());
+  if (!edges.empty()) std::memcpy(buf_.data() + new_edge_base, edges.data(), edges.size());
+  if (!props.empty()) std::memcpy(buf_.data() + new_prop_base, props.data(), props.size());
 
   put32(20, new_edge_cap);
   put32(28, new_prop_cap);

@@ -126,6 +126,32 @@ class Window {
     return atomic_get_u64_nb(self, p.rank(), p.offset(), out);
   }
 
+  /// Nonblocking compare-and-swap: executes (linearizably) at issue time,
+  /// writing the previous value to *prev_out; the latency joins the current
+  /// batch. Success iff *prev_out == expected after the next flush_all().
+  /// Used by batched lock acquisition, which overlaps one CAS round across
+  /// many independent lock words.
+  NbRequest cas_u64_nb(Rank& self, std::uint32_t target, std::uint64_t offset,
+                       std::uint64_t expected, std::uint64_t desired,
+                       std::uint64_t* prev_out) {
+    std::uint64_t e = expected;
+    word(target, offset).compare_exchange_strong(e, desired, std::memory_order_acq_rel,
+                                                 std::memory_order_acquire);
+    *prev_out = e;
+    const auto& p = self.net();
+    const bool remote = target != static_cast<std::uint32_t>(self.id());
+    auto& c = self.counters();
+    c.atomics += 1;
+    c.nb_atomics += 1;
+    if (remote) c.remote_ops += 1;
+    return self.enqueue_nb(remote ? p.alpha_atomic_remote_ns : p.alpha_atomic_local_ns,
+                           0.0);
+  }
+  NbRequest cas_u64_nb(Rank& self, DPtr p, std::uint64_t expected,
+                       std::uint64_t desired, std::uint64_t* prev_out) {
+    return cas_u64_nb(self, p.rank(), p.offset(), expected, desired, prev_out);
+  }
+
   // --- remote atomics (AGET / APUT / CAS / FAA on 64-bit words) ------------
 
   [[nodiscard]] std::uint64_t atomic_get_u64(Rank& self, std::uint32_t target,

@@ -89,54 +89,47 @@ ShardResult<std::vector<float>> gnn_forward(const std::shared_ptr<Database>& db,
         local_ids.push_back(v);
       for (std::size_t base = 0; base < local_ids.size(); base += kChunk) {
         const std::size_t end = std::min(base + kChunk, local_ids.size());
-        auto vids_r = txn.translate_vertex_ids(
-            std::span<const std::uint64_t>(local_ids.data() + base, end - base));
-        std::vector<DPtr> vids =
-            vids_r.ok() ? *vids_r : std::vector<DPtr>(end - base, DPtr{});
-        txn.prefetch_vertices(vids);
+        // Pass 1: find the whole chunk with one execute (batched DHT
+        // translation + overlapped holder fetch + stale-DHT validation),
+        // then read own features and edge lists from local state.
+        BatchScope finds = txn.batch();
+        std::vector<Future<VertexHandle>> handles;
+        handles.reserve(end - base);
+        for (std::size_t j = 0; j < end - base; ++j)
+          handles.push_back(finds.find(local_ids[base + j]));
+        (void)finds.execute();
 
-        // Pass 1: own features + edge lists; collect the chunk's frontier.
         std::vector<std::vector<float>> aggs(end - base);
-        std::vector<std::vector<DPtr>> nbrs(end - base);
-        std::vector<DPtr> frontier;
+        std::vector<std::vector<Future<std::vector<PropValue>>>> nfeat(end - base);
+        BatchScope nreads = txn.batch();
         for (std::size_t j = 0; j < end - base; ++j) {
           aggs[j].assign(static_cast<std::size_t>(cfg.k), 0.0f);
-          const DPtr vid = vids[j];
-          if (vid.is_null()) continue;
-          auto vh = txn.associate_vertex(vid);
-          if (!vh.ok()) continue;
-          if (auto idr = txn.app_id_of(*vh); !idr.ok() || *idr != local_ids[base + j])
-            continue;  // stale-DHT guard (find_vertex's app-id check)
-          auto own = txn.get_properties(*vh, feature_ptype);
+          if (!handles[j].ok()) continue;
+          const VertexHandle vh = *handles[j];
+          auto own = txn.get_properties(vh, feature_ptype);
           if (own.ok() && !own->empty())
             aggs[j] = decode_features(std::get<std::vector<std::byte>>((*own)[0]));
-          auto edges = txn.edges_of(*vh, DirFilter::kOutgoing);
+          auto edges = txn.edges_of(vh, DirFilter::kOutgoing);
           if (!edges.ok()) continue;
-          nbrs[j].reserve(edges->size());
-          for (const auto& e : *edges) {
-            nbrs[j].push_back(e.neighbor);
-            frontier.push_back(e.neighbor);
-          }
+          // Pass 2 setup: one future per neighbor feature read.
+          nfeat[j].reserve(edges->size());
+          for (const auto& e : *edges)
+            nfeat[j].push_back(nreads.get_properties(e.neighbor, feature_ptype));
         }
 
-        // Pass 2: one overlapped fetch of every neighbor holder, then
-        // aggregate from the block cache.
-        txn.prefetch_vertices(frontier);
+        // Pass 2: one execute fetches every neighbor holder overlapped and
+        // resolves all feature reads; aggregate from the futures.
+        (void)nreads.execute();
         for (std::size_t j = 0; j < end - base; ++j) {
-          const DPtr vid = vids[j];
-          if (vid.is_null()) {
+          if (!handles[j].ok()) {
             next.emplace_back(static_cast<std::size_t>(cfg.k), 0.0f);
             continue;
           }
-          for (DPtr nb : nbrs[j]) {
-            auto nh = txn.associate_vertex(nb);
-            if (!nh.ok()) continue;
-            auto nf = txn.get_properties(*nh, feature_ptype);
-            if (nf.ok() && !nf->empty()) {
-              const auto fv = decode_features(std::get<std::vector<std::byte>>((*nf)[0]));
-              for (int i = 0; i < cfg.k; ++i)
-                aggs[j][static_cast<std::size_t>(i)] += fv[static_cast<std::size_t>(i)];
-            }
+          for (const auto& nf : nfeat[j]) {
+            if (!nf.ok() || nf->empty()) continue;
+            const auto fv = decode_features(std::get<std::vector<std::byte>>((*nf)[0]));
+            for (int i = 0; i < cfg.k; ++i)
+              aggs[j][static_cast<std::size_t>(i)] += fv[static_cast<std::size_t>(i)];
           }
           next.push_back(layer_update(cfg, aggs[j]));
           // Modeled MLP cost: k x k multiply-accumulate.
@@ -147,13 +140,29 @@ ShardResult<std::vector<float>> gnn_forward(const std::shared_ptr<Database>& db,
     }
     self.barrier();  // Listing 2 line 2: collective synchronization
     // Write pass (Listing 2 line 15): each rank updates its own vertices.
+    // Write intents ride the async surface (one execute per chunk), and the
+    // commit writes every dirty block back with put_nb + one flush.
     {
+      constexpr std::size_t kChunk = 128;
       Transaction txn(db, self, TxnMode::kWrite, TxnScope::kCollective);
-      std::size_t i = 0;
-      for (std::uint64_t v = static_cast<std::uint64_t>(self.id()); v < n; v += P, ++i) {
-        auto vh = txn.find_vertex(v);
-        if (!vh.ok()) continue;
-        (void)txn.update_property(*vh, feature_ptype, PropValue{encode_features(next[i])});
+      std::vector<std::uint64_t> own_ids;
+      for (std::uint64_t v = static_cast<std::uint64_t>(self.id()); v < n; v += P)
+        own_ids.push_back(v);
+      for (std::size_t base = 0; base < own_ids.size(); base += kChunk) {
+        const std::size_t end = std::min(base + kChunk, own_ids.size());
+        BatchScope finds = txn.batch();
+        std::vector<Future<VertexHandle>> handles;
+        handles.reserve(end - base);
+        for (std::size_t j = base; j < end; ++j)
+          handles.push_back(finds.find(own_ids[j]));
+        (void)finds.execute();
+        BatchScope writes = txn.batch();
+        for (std::size_t j = base; j < end; ++j) {
+          if (!handles[j - base].ok()) continue;
+          (void)writes.set_property(*handles[j - base], feature_ptype,
+                                    PropValue{encode_features(next[j])});
+        }
+        (void)writes.execute();
       }
       (void)txn.commit();
     }

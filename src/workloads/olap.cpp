@@ -37,42 +37,47 @@ LocalAdjacency build_adjacency(const std::shared_ptr<Database>& db, rma::Rank& s
        v += static_cast<std::uint64_t>(P))
     local_ids.push_back(v);
 
-  // Chunked pipeline: batch-translate a slice of local vertices through the
-  // DHT multi-lookup, batch-prefetch their holders, walk their edge lists
-  // from the block cache, then batch-resolve all newly seen neighbor IDs --
-  // four overlapped rounds instead of one network latency per GET.
+  // Async pipeline in two stages. Stage 1 finds every local vertex,
+  // chunk-by-chunk, one BatchScope::execute per chunk (DHT multi-lookup +
+  // overlapped holder fetch + stale-DHT validation); after it, every local
+  // holder is transaction state. Stage 2 walks the edge lists and resolves
+  // neighbor IDs: local neighbors are free state hits, remote neighbors ride
+  // batched overlapped 8-byte peeks -- 8 bytes on the wire per remote
+  // neighbor instead of the whole-block prefetch the pre-async code paid.
+  std::vector<Future<VertexHandle>> handles;
+  handles.reserve(local_ids.size());
   for (std::size_t base = 0; base < local_ids.size(); base += kFrontierChunk) {
     const std::size_t end = std::min(base + kFrontierChunk, local_ids.size());
-    auto vids = txn.translate_vertex_ids(
-        std::span<const std::uint64_t>(local_ids.data() + base, end - base));
-    if (!vids.ok()) break;
-    txn.prefetch_vertices(*vids);
+    BatchScope finds = txn.batch();
+    for (std::size_t j = base; j < end; ++j) handles.push_back(finds.find(local_ids[j]));
+    if (is_transaction_critical(finds.execute())) return adj;
+  }
 
+  for (std::size_t base = 0; base < local_ids.size(); base += kFrontierChunk) {
+    const std::size_t end = std::min(base + kFrontierChunk, local_ids.size());
     const std::size_t first_row = adj.ids.size();
-    std::vector<DPtr> to_resolve;
     std::vector<std::vector<DPtr>> row_nbrs(end - base);
-    for (std::size_t j = 0; j < end - base; ++j) {
-      adj.ids.push_back(local_ids[base + j]);
+    BatchScope peeks = txn.batch();
+    std::unordered_map<std::uint64_t, Future<std::uint64_t>> peeked;
+    for (std::size_t j = base; j < end; ++j) {
+      adj.ids.push_back(local_ids[j]);
       adj.nbrs.emplace_back();
-      const DPtr vid = (*vids)[j];
-      if (vid.is_null()) continue;
-      auto vh = txn.associate_vertex(vid);
-      if (!vh.ok()) continue;
-      // Stale-DHT guard (same check find_vertex performs).
-      if (auto idr = txn.app_id_of(*vh); !idr.ok() || *idr != local_ids[base + j])
-        continue;
-      auto edges = txn.edges_of(*vh, f);
+      if (!handles[j].ok()) continue;
+      auto edges = txn.edges_of(*handles[j], f);
       if (!edges.ok()) continue;
-      row_nbrs[j].reserve(edges->size());
+      row_nbrs[j - base].reserve(edges->size());
       for (const auto& e : *edges) {
-        row_nbrs[j].push_back(e.neighbor);
-        if (!id_cache.contains(e.neighbor.raw())) to_resolve.push_back(e.neighbor);
+        row_nbrs[j - base].push_back(e.neighbor);
+        // contains-guard first: try_emplace would evaluate (and enqueue) the
+        // peek even when the key is already present.
+        if (!id_cache.contains(e.neighbor.raw()) && !peeked.contains(e.neighbor.raw()))
+          peeked.emplace(e.neighbor.raw(), peeks.peek_app_id(e.neighbor));
         self.charge_compute(kNsPerEdge);
       }
       self.charge_compute(kNsPerVertex);
     }
 
-    txn.prefetch_vertices(to_resolve);
+    (void)peeks.execute();
     for (std::size_t j = 0; j < row_nbrs.size(); ++j) {
       auto& out = adj.nbrs[first_row + j];
       out.reserve(row_nbrs[j].size());
@@ -82,8 +87,8 @@ LocalAdjacency build_adjacency(const std::shared_ptr<Database>& db, rma::Rank& s
         if (it != id_cache.end()) {
           nid = it->second;
         } else {
-          auto r = txn.peek_app_id(nb);
-          nid = r.ok() ? *r : kUnreached;
+          const auto& fut = peeked.at(nb.raw());
+          nid = fut.ok() ? *fut : kUnreached;
           id_cache.emplace(nb.raw(), nid);
         }
         if (nid != kUnreached) out.push_back(nid);
@@ -148,14 +153,15 @@ ShardResult<std::uint64_t> bfs(const std::shared_ptr<Database>& db, rma::Rank& s
   std::uint64_t level = 0;
   for (;;) {
     std::vector<std::vector<std::uint64_t>> sends(static_cast<std::size_t>(P));
-    // Frontier expansion: one overlapped prefetch of the whole frontier's
-    // holders (usually cache hits already -- each frontier vertex's block was
-    // pulled when it arrived), then pure-cache edge walks.
-    txn.prefetch_vertices(frontier);
-    for (DPtr v : frontier) {
-      auto vh = txn.associate_vertex(v);
-      if (!vh.ok()) continue;
-      auto edges = txn.edges_of(*vh, DirFilter::kAll);
+    // Frontier expansion through the async surface: one execute resolves the
+    // edge lists of the whole frontier (usually cache hits already -- each
+    // frontier vertex's block was pulled when it arrived).
+    BatchScope scope = txn.batch();
+    std::vector<Future<std::vector<EdgeDesc>>> edge_futs;
+    edge_futs.reserve(frontier.size());
+    for (DPtr v : frontier) edge_futs.push_back(scope.edges_of(v, DirFilter::kAll));
+    (void)scope.execute();
+    for (const auto& edges : edge_futs) {
       if (!edges.ok()) continue;
       for (const auto& e : *edges) {
         sends[e.neighbor.rank()].push_back(e.neighbor.raw());
@@ -215,11 +221,12 @@ ShardResult<std::uint64_t> k_hop(const std::shared_ptr<Database>& db, rma::Rank&
   }
   for (int hop = 1; hop <= k; ++hop) {
     std::vector<std::vector<std::uint64_t>> sends(static_cast<std::size_t>(P));
-    txn.prefetch_vertices(frontier);
-    for (DPtr v : frontier) {
-      auto vh = txn.associate_vertex(v);
-      if (!vh.ok()) continue;
-      auto edges = txn.edges_of(*vh, DirFilter::kAll);
+    BatchScope scope = txn.batch();
+    std::vector<Future<std::vector<EdgeDesc>>> edge_futs;
+    edge_futs.reserve(frontier.size());
+    for (DPtr v : frontier) edge_futs.push_back(scope.edges_of(v, DirFilter::kAll));
+    (void)scope.execute();
+    for (const auto& edges : edge_futs) {
       if (!edges.ok()) continue;
       for (const auto& e : *edges) {
         sends[e.neighbor.rank()].push_back(e.neighbor.raw());
@@ -363,19 +370,25 @@ ShardResult<double> lcc(const std::shared_ptr<Database>& db, rma::Rank& self,
     std::vector<std::uint64_t> out;
     auto edges = txn.edges_of(vh, DirFilter::kAll);
     if (!edges.ok()) return out;
-    // Resolve all uncached neighbor IDs with one overlapped batch.
-    std::vector<DPtr> need;
+    // Resolve all uncached neighbor IDs as one batch of overlapped 8-byte
+    // peeks -- no whole-block fetch for one-hop vertices whose holders are
+    // only needed if they later join the two-hop set.
+    BatchScope scope = txn.batch();
+    std::unordered_map<std::uint64_t, Future<std::uint64_t>> peeked;
     for (const auto& e : *edges)
-      if (!id_cache.contains(e.neighbor.raw())) need.push_back(e.neighbor);
-    txn.prefetch_vertices(need);
+      // contains-guard first: try_emplace would evaluate (and enqueue) the
+      // peek even when the key is already present.
+      if (!id_cache.contains(e.neighbor.raw()) && !peeked.contains(e.neighbor.raw()))
+        peeked.emplace(e.neighbor.raw(), scope.peek_app_id(e.neighbor));
+    (void)scope.execute();
     for (const auto& e : *edges) {
       auto it = id_cache.find(e.neighbor.raw());
       std::uint64_t nid;
       if (it != id_cache.end()) {
         nid = it->second;
       } else {
-        auto r = txn.peek_app_id(e.neighbor);
-        nid = r.ok() ? *r : kUnreached;
+        const auto& fut = peeked.at(e.neighbor.raw());
+        nid = fut.ok() ? *fut : kUnreached;
         id_cache.emplace(e.neighbor.raw(), nid);
       }
       if (nid != kUnreached) out.push_back(nid);

@@ -50,6 +50,13 @@ struct OltpConfig {
   std::uint32_t label_for_new = 0;
   std::uint32_t ptype_for_update = 0;
   double cpu_ns_per_query = 180.0;  ///< modeled client-side work per query
+  /// Frontier-grouping of independent point reads: up to this many consecutive
+  /// read-only queries share one kRead transaction and one BatchScope::execute
+  /// (batched DHT translation, overlapped read-lock CAS rounds, one overlapped
+  /// holder fetch), amortizing the network latency the paper's serial
+  /// transaction-per-query shape pays per read. 1 = the legacy one
+  /// round-trip-per-query behaviour.
+  std::uint32_t read_batch = 32;
 };
 
 struct OltpResult {

@@ -385,7 +385,11 @@ TEST(BatchedRma, BlockCacheNeverServesStaleAfterOwnWrite) {
   });
 }
 
-TEST(BatchedRma, PrefetchIsNoOpInLockingModes) {
+// kRead prefetch routes through the batched lock-then-validate path: read
+// locks for the whole set are acquired with overlapped CAS rounds *before*
+// any holder bytes are read, then the fetches ride one batch. Later
+// associate_vertex calls are pure state hits.
+TEST(BatchedRma, PrefetchLocksThenFetchesInKReadMode) {
   rma::Runtime rt(1, rma::NetParams::xc40());
   rt.run([&](rma::Rank& self) {
     auto db = Database::create(self, make_cfg(true, true));
@@ -394,16 +398,56 @@ TEST(BatchedRma, PrefetchIsNoOpInLockingModes) {
       for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(w.create_vertex(i).ok());
       EXPECT_EQ(w.commit(), Status::kOk);
     }
-    Transaction r(db, self, TxnMode::kRead);
-    std::vector<std::uint64_t> ids{0, 1, 2, 3};
-    auto vids = r.translate_vertex_ids(ids);
-    EXPECT_TRUE(vids.ok());
-    self.reset_counters();
-    r.prefetch_vertices(*vids);  // locking mode: must not read ahead of locks
-    EXPECT_EQ(self.counters().gets, 0u);
-    // Reads still work (and take their locks) through the normal path.
-    for (DPtr vid : *vids) EXPECT_TRUE(r.associate_vertex(vid).ok());
-    EXPECT_EQ(r.commit(), Status::kOk);
+    {
+      Transaction r(db, self, TxnMode::kRead);
+      std::vector<std::uint64_t> ids{0, 1, 2, 3};
+      auto vids = r.translate_vertex_ids(ids);
+      EXPECT_TRUE(vids.ok());
+      self.reset_counters();
+      r.prefetch_vertices(*vids);
+      EXPECT_EQ(self.counters().gets, 4u) << "one batched GET per holder";
+      EXPECT_GE(self.counters().nb_atomics, 4u) << "lock CAS rounds are batched";
+      for (DPtr vid : *vids) {
+        const auto word = db->blocks().lock_word(self, vid);
+        EXPECT_EQ(word, 1u) << "read lock held after prefetch";
+      }
+      // Associates are now pure hits: no further window GETs.
+      const auto gets_before = self.counters().gets;
+      for (DPtr vid : *vids) EXPECT_TRUE(r.associate_vertex(vid).ok());
+      EXPECT_EQ(self.counters().gets, gets_before);
+      EXPECT_EQ(r.commit(), Status::kOk);
+      // Commit released the prefetch-taken locks.
+      for (DPtr vid : *vids) EXPECT_EQ(db->blocks().lock_word(self, vid), 0u);
+    }
+    // A prefetch hint must never doom the transaction: a concurrently held
+    // write lock makes the hint skip that vertex; only a *required* access
+    // (associate) would report the conflict.
+    {
+      Transaction r(db, self, TxnMode::kRead);
+      std::vector<std::uint64_t> ids{0, 1, 2, 3};
+      auto vids = r.translate_vertex_ids(ids);
+      EXPECT_TRUE(vids.ok());
+      EXPECT_TRUE(db->blocks().try_write_lock(self, (*vids)[0]));  // foreign writer
+      r.prefetch_vertices(*vids);
+      EXPECT_FALSE(r.failed()) << "hints are soft: no doom on lock conflict";
+      // The unlocked vertices were prefetched and are readable.
+      for (std::size_t i = 1; i < vids->size(); ++i)
+        EXPECT_TRUE(r.associate_vertex((*vids)[i]).ok());
+      EXPECT_EQ(r.commit(), Status::kOk);
+      db->blocks().write_unlock(self, (*vids)[0]);
+    }
+    // kWrite ignores the hint: speculative read locks would poison upgrades.
+    {
+      Transaction w(db, self, TxnMode::kWrite);
+      std::vector<std::uint64_t> ids{0, 1, 2, 3};
+      auto vids = w.translate_vertex_ids(ids);
+      EXPECT_TRUE(vids.ok());
+      self.reset_counters();
+      w.prefetch_vertices(*vids);
+      EXPECT_EQ(self.counters().gets, 0u);
+      for (DPtr vid : *vids) EXPECT_EQ(db->blocks().lock_word(self, vid), 0u);
+      EXPECT_EQ(w.commit(), Status::kOk);
+    }
   });
 }
 
