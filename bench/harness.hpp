@@ -94,8 +94,7 @@ inline LoadedDb setup_db(rma::Rank& self, const SetupOpts& opts) {
       per_rank * (2 + (o.edge_factor * 2 * 24 + o.props_per_vertex * (o.value_bytes + 16)) /
                           o.block_size) +
       8192;
-  c.dht.entries_per_rank = per_rank * 2 + 4096;
-  c.dht.buckets_per_rank = 2048;
+  c.dht = gen::recommended_dht_config(g, self.nranks());
   c.index_capacity_per_rank = per_rank * 2 + 4096;
   out.db = Database::create(self, c);
 

@@ -1,5 +1,8 @@
 #include "dht/dht.hpp"
 
+#include <cassert>
+#include <unordered_set>
+
 namespace gdi::dht {
 
 std::shared_ptr<DistributedHashTable> DistributedHashTable::create(
@@ -11,23 +14,20 @@ std::shared_ptr<DistributedHashTable> DistributedHashTable::create(
 DistributedHashTable::DistributedHashTable(int nranks, const DhtConfig& cfg)
     : cfg_(cfg),
       nranks_(nranks),
-      table_(nranks, cfg.buckets_per_rank * 8),
-      heap_(nranks, (cfg.entries_per_rank + 1) * kEntrySize),
-      ctrl_(nranks, 16) {
-  // Thread every rank's entry slots onto its free stack. Slot 0 is reserved
-  // (offset 0 on rank 0 would alias the null DPtr); usable slots are
-  // 1..entries_per_rank. The "next free" index is stashed in the entry's
-  // next field (idx value, not a reference).
-  for (int r = 0; r < nranks; ++r) {
-    auto* heap = reinterpret_cast<std::uint64_t*>(heap_.local_base(r));
-    for (std::size_t i = 1; i <= cfg.entries_per_rank; ++i) {
-      const std::size_t base = i * (kEntrySize / 8);
-      heap[base + kNextOff / 8] = (i < cfg.entries_per_rank) ? i + 1 : kNilIdx;
-      heap[base + kGenOff / 8] = 0;
-    }
-    auto* ctrl = reinterpret_cast<std::uint64_t*>(ctrl_.local_base(r));
-    ctrl[0] = cfg.entries_per_rank > 0 ? 1 : kNilIdx;
-  }
+      table_seg_(cfg.buckets_per_rank * 8),
+      heap_seg_((cfg.entries_per_rank + 1) * kEntrySize),
+      table_(nranks, table_seg_, cfg.max_shards == 0 ? 1 : cfg.max_shards),
+      heap_(nranks, heap_seg_, cfg.max_shards == 0 ? 1 : cfg.max_shards),
+      dir_(nranks, 8),
+      local_(static_cast<std::size_t>(nranks)) {
+  if (cfg_.max_shards == 0) cfg_.max_shards = 1;
+  assert(cfg_.buckets_per_rank > 0);
+  // Entry references must stay addressable through a 48-bit DPtr offset.
+  assert(cfg_.max_shards * heap_seg_ <= DPtr::kMaxOffset);
+  // A fresh all-zero segment is a valid empty shard (empty buckets, empty
+  // free stack, zero watermark), so only the shard directory needs a nonzero
+  // initial value. Construction happens-before the collective publication.
+  *reinterpret_cast<std::uint64_t*>(dir_.local_base(0)) = 1;
 }
 
 DistributedHashTable::BucketLoc DistributedHashTable::locate(std::uint64_t key) const {
@@ -38,19 +38,80 @@ DistributedHashTable::BucketLoc DistributedHashTable::locate(std::uint64_t key) 
                    (g % cfg_.buckets_per_rank) * 8};
 }
 
-DPtr DistributedHashTable::alloc_entry(rma::Rank& self) {
-  const auto target = static_cast<std::uint32_t>(self.id());
-  std::uint64_t head = ctrl_.atomic_get_u64(self, target, kFreeHeadOff);
+// ---------------------------------------------------------------------------
+// Shard directory
+// ---------------------------------------------------------------------------
+
+std::uint32_t DistributedHashTable::known_shards(rma::Rank& self) const {
+  return local_[static_cast<std::size_t>(self.id())].shards;
+}
+
+std::uint32_t DistributedHashTable::refresh_shards(rma::Rank& self) {
+  const auto n = static_cast<std::uint32_t>(dir_.atomic_get_u64(self, 0, 0));
+  auto& mine = local_[static_cast<std::size_t>(self.id())].shards;
+  if (n > mine) {
+    // Commit the reserved window segments backing the newly published shards
+    // before addressing them (registration bookkeeping; see Window).
+    (void)table_.ensure_segments(self, n);
+    (void)heap_.ensure_segments(self, n);
+    mine = n;
+  }
+  return mine;
+}
+
+bool DistributedHashTable::grow(rma::Rank& self) {
+  const std::uint32_t before = known_shards(self);
+  if (refresh_shards(self) > before) return true;  // a racer already published
+  if (before >= cfg_.max_shards) return false;
+  // Commit memory for shard `before` on every rank, then publish it with one
+  // one-sided CAS on the directory word. A fresh segment is already a valid
+  // empty shard, so no initialization writes are needed -- losing the CAS
+  // race is harmless (the winner published the same all-zero shard).
+  (void)table_.ensure_segments(self, before + 1);
+  (void)heap_.ensure_segments(self, before + 1);
+  (void)dir_.cas_u64(self, 0, 0, before, before + 1);
+  (void)refresh_shards(self);  // pick up our publication or the racer's
+  return true;
+}
+
+std::uint32_t DistributedHashTable::shard_count(rma::Rank& self) {
+  return refresh_shards(self);
+}
+
+// ---------------------------------------------------------------------------
+// Entry heap
+// ---------------------------------------------------------------------------
+
+DPtr DistributedHashTable::pop_free(rma::Rank& self, std::uint32_t target,
+                                    std::uint32_t shard) {
+  std::uint64_t head =
+      heap_.atomic_get_u64(self, target, ctrl_off(shard) + kFreeHeadOff);
   for (;;) {
     const std::uint64_t idx = head & kIdxMask;
+    if (idx == 0) return DPtr{};  // empty (slot 0 is the control slot)
     const std::uint64_t tag = head >> 48;
-    if (idx == kNilIdx) return DPtr{};
     const std::uint64_t next =
-        heap_.atomic_get_u64(self, target, idx * kEntrySize + kNextOff);
+        heap_.atomic_get_u64(self, target, entry_off(shard, idx) + kNextOff);
     const std::uint64_t new_head = ((tag + 1) << 48) | (next & kIdxMask);
-    const std::uint64_t old = ctrl_.cas_u64(self, target, kFreeHeadOff, head, new_head);
-    if (old == head) return DPtr{target, idx * kEntrySize};
+    const std::uint64_t old = heap_.cas_u64(self, target, ctrl_off(shard) + kFreeHeadOff,
+                                            head, new_head);
+    if (old == head) return DPtr{target, entry_off(shard, idx)};
     head = old;
+  }
+}
+
+DPtr DistributedHashTable::alloc_entry(rma::Rank& self) {
+  const auto target = static_cast<std::uint32_t>(self.id());
+  for (;;) {
+    const std::uint32_t newest = known_shards(self) - 1;
+    // Recycled entries of the newest shard first (bounds memory under
+    // churn), then bump allocation from its never-used region.
+    if (DPtr e = pop_free(self, target, newest); !e.is_null()) return e;
+    const std::uint64_t w =
+        heap_.faa_u64(self, target, ctrl_off(newest) + kWatermarkOff, 1);
+    if (w < cfg_.entries_per_rank) return DPtr{target, entry_off(newest, w + 1)};
+    // Newest shard exhausted: publish (or adopt) the next shard and retry.
+    if (!grow(self)) return DPtr{};
   }
 }
 
@@ -59,35 +120,47 @@ void DistributedHashTable::dealloc_entry(rma::Rank& self, DPtr e) {
   const std::uint64_t gen = field(self, e, kGenOff);
   set_field(self, e, kGenOff, gen + 1);
   const std::uint32_t target = e.rank();
-  const std::uint64_t idx = e.offset() / kEntrySize;
-  std::uint64_t head = ctrl_.atomic_get_u64(self, target, kFreeHeadOff);
+  const std::uint32_t shard = shard_of(e);
+  const std::uint64_t idx = (e.offset() - ctrl_off(shard)) / kEntrySize;
+  std::uint64_t head =
+      heap_.atomic_get_u64(self, target, ctrl_off(shard) + kFreeHeadOff);
   for (;;) {
     const std::uint64_t tag = head >> 48;
     set_field(self, e, kNextOff, head & kIdxMask);
     const std::uint64_t new_head = ((tag + 1) << 48) | idx;
-    const std::uint64_t old = ctrl_.cas_u64(self, target, kFreeHeadOff, head, new_head);
+    const std::uint64_t old = heap_.cas_u64(self, target, ctrl_off(shard) + kFreeHeadOff,
+                                            head, new_head);
     if (old == head) return;
     head = old;
   }
 }
 
+// ---------------------------------------------------------------------------
+// Insert
+// ---------------------------------------------------------------------------
+
 bool DistributedHashTable::insert(rma::Rank& self, std::uint64_t key,
                                   std::uint64_t value) {
   const DPtr e = alloc_entry(self);
-  if (e.is_null()) return false;
+  if (e.is_null()) return false;  // shard cap reached
+  const std::uint32_t shard = shard_of(e);
   const std::uint64_t gen = field(self, e, kGenOff);
   set_field(self, e, kKeyOff, key);
   set_field(self, e, kValOff, value);
   heap_.flush(self, e.rank());
+  // Publish into the entry's own shard's bucket segment.
   const BucketLoc b = locate(key);
-  std::uint64_t head = table_.atomic_get_u64(self, b.rank, b.offset);
+  const std::uint64_t off = bucket_off(shard, b);
+  std::uint64_t head = table_.atomic_get_u64(self, b.rank, off);
   for (;;) {  // Listing 4, insert: prepend with CAS on the bucket head.
     set_field(self, e, kNextOff, head);
-    const std::uint64_t old =
-        table_.cas_u64(self, b.rank, b.offset, head, make_ref(e, gen).word);
-    if (old == head) return true;
+    const std::uint64_t old = table_.cas_u64(self, b.rank, off, head,
+                                             make_ref(e, gen).word);
+    if (old == head) break;
     head = old;
   }
+  (void)heap_.faa_u64(self, e.rank(), ctrl_off(shard) + kLiveCountOff, 1);
+  return true;
 }
 
 bool DistributedHashTable::insert_if_absent(rma::Rank& self, std::uint64_t key,
@@ -96,11 +169,130 @@ bool DistributedHashTable::insert_if_absent(rma::Rank& self, std::uint64_t key,
   return insert(self, key, value);
 }
 
-std::optional<std::uint64_t> DistributedHashTable::lookup(rma::Rank& self,
-                                                          std::uint64_t key) {
-  const BucketLoc b = locate(key);
+std::vector<std::uint8_t> DistributedHashTable::insert_many(
+    rma::Rank& self, std::span<const std::uint64_t> keys,
+    std::span<const std::uint64_t> values) {
+  assert(keys.size() == values.size());
+  std::vector<std::uint8_t> done(keys.size(), 0);
+  if (keys.empty()) return done;
+
+  struct Pending {
+    std::size_t i = 0;  ///< index into keys/values
+    DPtr e;
+    std::uint32_t shard = 0;
+    BucketLoc b{};
+    std::uint64_t off = 0;   ///< bucket head word offset (within b.rank)
+    std::uint64_t gen = 0;
+    std::uint64_t head = 0;  ///< expected head for the next CAS round
+    std::uint64_t prev = 0;  ///< CAS-observed previous value
+    bool linked = false;
+  };
+  std::vector<Pending> ps;
+  ps.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const DPtr e = alloc_entry(self);
+    if (e.is_null()) continue;  // shard cap reached; done[i] stays 0
+    Pending p;
+    p.i = i;
+    p.e = e;
+    p.shard = shard_of(e);
+    p.b = locate(keys[i]);
+    p.off = bucket_off(p.shard, p.b);
+    ps.push_back(p);
+  }
+  if (ps.empty()) return done;
+
+  // Round 0: every entry's generation word and bucket head (reads) plus its
+  // key/value fields (writes) ride one overlapped batch with a single
+  // flush_all -- the write-side analogue of lookup_many's traversal rounds.
+  // The flush also orders the field writes before any head CAS below, the
+  // same publication fence the blocking insert pays per entry.
+  for (auto& p : ps) {
+    (void)heap_.atomic_get_u64_nb(self, p.e.rank(), p.e.offset() + kGenOff, &p.gen);
+    (void)table_.atomic_get_u64_nb(self, p.b.rank, p.off, &p.head);
+    (void)heap_.atomic_put_u64_nb(self, p.e.rank(), p.e.offset() + kKeyOff, keys[p.i]);
+    (void)heap_.atomic_put_u64_nb(self, p.e.rank(), p.e.offset() + kValOff,
+                                  values[p.i]);
+  }
+  (void)self.flush_all();
+
+  // CAS rounds (the try_read_lock_many shape): each still-unlinked insert
+  // rewrites its next field to the head it observed and CASes the bucket
+  // head; losers carry the observed value into the next round as their new
+  // expectation. The next-field write and the CAS share a round -- the NIC
+  // orders same-queue-pair operations, matching the blocking path's
+  // write-then-CAS order.
+  std::size_t remaining = ps.size();
+  while (remaining > 0) {
+    for (auto& p : ps) {
+      if (p.linked) continue;
+      (void)heap_.atomic_put_u64_nb(self, p.e.rank(), p.e.offset() + kNextOff, p.head);
+      (void)table_.cas_u64_nb(self, p.b.rank, p.off, p.head,
+                              make_ref(p.e, p.gen).word, &p.prev);
+    }
+    (void)self.flush_all();
+    for (auto& p : ps) {
+      if (p.linked) continue;
+      if (p.prev == p.head) {
+        p.linked = true;
+        done[p.i] = 1;
+        --remaining;
+      } else {
+        p.head = p.prev;
+      }
+    }
+  }
+
+  // Live counters: one local FAA per touched shard (all entries are ours).
+  std::vector<std::pair<std::uint32_t, std::int64_t>> per_shard;
+  for (const auto& p : ps) {
+    bool found = false;
+    for (auto& [s, c] : per_shard)
+      if (s == p.shard) {
+        ++c;
+        found = true;
+        break;
+      }
+    if (!found) per_shard.emplace_back(p.shard, 1);
+  }
+  for (const auto& [s, c] : per_shard)
+    (void)heap_.faa_u64(self, static_cast<std::uint32_t>(self.id()),
+                        ctrl_off(s) + kLiveCountOff, c);
+  return done;
+}
+
+std::vector<std::uint8_t> DistributedHashTable::insert_if_absent_many(
+    rma::Rank& self, std::span<const std::uint64_t> keys,
+    std::span<const std::uint64_t> values) {
+  assert(keys.size() == values.size());
+  std::vector<std::uint8_t> res(keys.size(), 0);
+  if (keys.empty()) return res;
+  const auto found = lookup_many(self, keys);
+  std::vector<std::uint64_t> ins_keys, ins_vals;
+  std::vector<std::size_t> pos;
+  std::unordered_set<std::uint64_t> in_batch;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (found[i].has_value()) continue;
+    if (!in_batch.insert(keys[i]).second) continue;  // first occurrence wins
+    ins_keys.push_back(keys[i]);
+    ins_vals.push_back(values[i]);
+    pos.push_back(i);
+  }
+  if (ins_keys.empty()) return res;
+  const auto inserted = insert_many(self, ins_keys, ins_vals);
+  for (std::size_t j = 0; j < pos.size(); ++j) res[pos[j]] = inserted[j];
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------------
+
+std::optional<std::uint64_t> DistributedHashTable::lookup_in_shard(
+    rma::Rank& self, std::uint64_t key, const BucketLoc& b, std::uint32_t shard) {
+  const std::uint64_t off = bucket_off(shard, b);
 restart:
-  Ref ref{table_.atomic_get_u64(self, b.rank, b.offset)};
+  Ref ref{table_.atomic_get_u64(self, b.rank, off)};
   while (!ref.is_null()) {
     const DPtr e = ref.ptr();
     const std::uint64_t next = field(self, e, kNextOff);
@@ -116,35 +308,65 @@ restart:
   return std::nullopt;
 }
 
+std::optional<std::uint64_t> DistributedHashTable::lookup(rma::Rank& self,
+                                                          std::uint64_t key) {
+  const BucketLoc b = locate(key);
+  std::optional<std::uint64_t> out;
+  (void)walk_shards(self, [&](std::uint32_t s) {
+    out = lookup_in_shard(self, key, b, s);
+    return out.has_value();
+  });
+  return out;
+}
+
 std::vector<std::optional<std::uint64_t>> DistributedHashTable::lookup_many(
     rma::Rank& self, std::span<const std::uint64_t> keys) {
   std::vector<std::optional<std::uint64_t>> out(keys.size());
   if (keys.empty()) return out;
 
   // Per-key cursor through the same traversal state machine as lookup():
-  // (re)read the bucket head, then walk the chain entry by entry, restarting
-  // on a deletion mark or a generation-tag mismatch. Each round issues the
-  // next word reads of *all* live cursors nonblocking and completes them with
-  // one flush, so k independent lookups pay one overlapped latency per round.
+  // (re)read the shard's bucket head, walk the chain entry by entry
+  // (restarting on a deletion mark or a generation-tag mismatch), then drop
+  // to the next older shard. Each round issues the next word reads of *all*
+  // live cursors nonblocking and completes them with one flush, so k
+  // independent lookups pay one overlapped latency per round. Cursors that
+  // exhaust every known shard wait for one shared directory re-read; newly
+  // published shards are then walked the same way.
   struct Cursor {
     BucketLoc b{};
     Ref ref{};
+    std::uint32_t shard = 0;  ///< shard currently being walked
+    std::uint32_t stop = 0;   ///< lowest shard of the current pass (inclusive)
     bool need_head = true;
+    bool missing = false;  ///< exhausted the pass; awaiting directory re-check
     bool done = false;
     std::uint64_t head = 0;
     std::uint64_t f_next = 0, f_key = 0, f_val = 0, f_gen = 0;
   };
   std::vector<Cursor> cur(keys.size());
-  for (std::size_t i = 0; i < keys.size(); ++i) cur[i].b = locate(keys[i]);
+  std::uint32_t walked = known_shards(self);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    cur[i].b = locate(keys[i]);
+    cur[i].shard = walked - 1;
+  }
+
+  auto next_shard = [](Cursor& c) {  // chain exhausted in c.shard
+    if (c.shard > c.stop) {
+      --c.shard;
+      c.need_head = true;
+    } else {
+      c.missing = true;
+    }
+  };
 
   for (;;) {
     bool any_live = false;
-    for (std::size_t i = 0; i < cur.size(); ++i) {
-      Cursor& c = cur[i];
-      if (c.done) continue;
+    for (auto& c : cur) {
+      if (c.done || c.missing) continue;
       any_live = true;
       if (c.need_head) {
-        (void)table_.atomic_get_u64_nb(self, c.b.rank, c.b.offset, &c.head);
+        (void)table_.atomic_get_u64_nb(self, c.b.rank, bucket_off(c.shard, c.b),
+                                       &c.head);
       } else {
         const DPtr e = c.ref.ptr();
         // Same read order as lookup(): next, then key/value, then the
@@ -155,22 +377,42 @@ std::vector<std::optional<std::uint64_t>> DistributedHashTable::lookup_many(
         (void)heap_.atomic_get_u64_nb(self, e.rank(), e.offset() + kGenOff, &c.f_gen);
       }
     }
-    if (!any_live) break;
+    if (!any_live) {
+      bool any_missing = false;
+      for (auto& c : cur) any_missing = any_missing || (!c.done && c.missing);
+      if (!any_missing) break;
+      if (walked >= cfg_.max_shards) break;  // no shard can be newer
+      // One directory re-read serves every missing cursor in the batch.
+      const std::uint32_t fresh = refresh_shards(self);
+      if (fresh <= walked) {
+        for (auto& c : cur) c.done = true;  // confirmed missing
+        break;
+      }
+      for (auto& c : cur) {
+        if (c.done || !c.missing) continue;
+        c.shard = fresh - 1;
+        c.stop = walked;
+        c.missing = false;
+        c.need_head = true;
+      }
+      walked = fresh;
+      continue;
+    }
     (void)self.flush_all();
     for (std::size_t i = 0; i < cur.size(); ++i) {
       Cursor& c = cur[i];
-      if (c.done) continue;
+      if (c.done || c.missing) continue;
       if (c.need_head) {
         c.ref = Ref{c.head};
         c.need_head = false;
-        if (c.ref.is_null()) c.done = true;  // empty bucket / exhausted chain
+        if (c.ref.is_null()) next_shard(c);  // empty bucket in this shard
         continue;
       }
       if (Ref{c.f_next}.marked()) {  // entry being deleted: clean retraversal
         c.need_head = true;
         continue;
       }
-      if ((c.f_gen & kTagMask) != c.ref.tag()) {  // reused entry: restart
+      if ((c.f_gen & kTagMask) != c.ref.tag()) {  // reused entry: restart shard
         c.need_head = true;
         continue;
       }
@@ -180,20 +422,25 @@ std::vector<std::optional<std::uint64_t>> DistributedHashTable::lookup_many(
         continue;
       }
       c.ref = Ref{c.f_next};
-      if (c.ref.is_null()) c.done = true;
+      if (c.ref.is_null()) next_shard(c);  // chain exhausted in this shard
     }
   }
   return out;
 }
 
-bool DistributedHashTable::erase(rma::Rank& self, std::uint64_t key) {
-  const BucketLoc b = locate(key);
+// ---------------------------------------------------------------------------
+// Erase
+// ---------------------------------------------------------------------------
+
+bool DistributedHashTable::erase_in_shard(rma::Rank& self, std::uint64_t key,
+                                          const BucketLoc& b, std::uint32_t shard) {
+  const std::uint64_t boff = bucket_off(shard, b);
 restart:
   // prev_* identify the word holding the reference to the current entry:
   // either the bucket head word or the predecessor entry's next field.
   bool prev_is_bucket = true;
   DPtr prev_entry;
-  Ref ref{table_.atomic_get_u64(self, b.rank, b.offset)};
+  Ref ref{table_.atomic_get_u64(self, b.rank, boff)};
   while (!ref.is_null()) {
     const DPtr e = ref.ptr();
     const std::uint64_t next = field(self, e, kNextOff);
@@ -209,14 +456,14 @@ restart:
       // CAS 2 (Listing 4 l.37): unlink by swinging the predecessor reference.
       std::uint64_t old;
       if (prev_is_bucket) {
-        old = table_.cas_u64(self, b.rank, b.offset, ref.word, next);
+        old = table_.cas_u64(self, b.rank, boff, ref.word, next);
       } else {
         old = heap_.cas_u64(self, prev_entry.rank(), prev_entry.offset() + kNextOff,
                             ref.word, next);
       }
       if (old == ref.word) {
         dealloc_entry(self, e);
-        (void)ctrl_.faa_u64(self, e.rank(), kLiveCountOff, 0);  // no-op hook
+        (void)heap_.faa_u64(self, e.rank(), ctrl_off(shard_of(e)) + kLiveCountOff, -1);
         return true;
       }
       // Unlink failed (predecessor changed / being deleted). Revert the mark
@@ -233,16 +480,26 @@ restart:
   return false;
 }
 
+bool DistributedHashTable::erase(rma::Rank& self, std::uint64_t key) {
+  // Newest-first like lookup(): erase removes the entry a lookup would have
+  // returned.
+  const BucketLoc b = locate(key);
+  return walk_shards(
+      self, [&](std::uint32_t s) { return erase_in_shard(self, key, b, s); });
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
 std::uint64_t DistributedHashTable::live_entries(rma::Rank& self, std::uint32_t rank) {
-  // Diagnostic only (not linearizable): derive live = capacity - free by
-  // walking the free list.
-  std::uint64_t free_count = 0;
-  std::uint64_t idx = ctrl_.atomic_get_u64(self, rank, kFreeHeadOff) & kIdxMask;
-  while (idx != kNilIdx && free_count <= cfg_.entries_per_rank) {
-    ++free_count;
-    idx = heap_.atomic_get_u64(self, rank, idx * kEntrySize + kNextOff) & kIdxMask;
-  }
-  return cfg_.entries_per_rank - std::min(free_count, cfg_.entries_per_rank);
+  // Sum the per-shard live counters (each maintained by FAA at publish /
+  // unlink time) so the count stays exact across shard growth.
+  const std::uint32_t shards = refresh_shards(self);
+  std::uint64_t sum = 0;
+  for (std::uint32_t s = 0; s < shards; ++s)
+    sum += heap_.atomic_get_u64(self, rank, ctrl_off(s) + kLiveCountOff);
+  return sum;
 }
 
 }  // namespace gdi::dht

@@ -1,13 +1,34 @@
 // Fully-offloaded lock-free distributed hash table (paper Section 5.7,
-// Listing 4).
+// Listing 4), sharded and growable.
 //
 // GDA resolves application-vertex-ID -> internal-DPtr translation (and other
-// internal indexing) with a DHT whose *every* operation -- including delete --
-// is one-sided: RDMA gets, puts, atomics, flushes only; the owner rank of a
-// bucket never participates.
+// internal indexing) with a DHT whose *every* operation -- including delete
+// and capacity growth -- is one-sided: RDMA gets, puts, atomics, flushes
+// only; the owner rank of a bucket never participates.
 //
-// Structure: a sharded bucket table (one 64-bit head word per bucket) plus a
-// per-rank heap of 64-byte entries chained into per-bucket linked lists.
+// Structure: a two-level shard map. The table is an ordered list of *shards*;
+// each shard contributes, on every rank, one bucket segment (one 64-bit head
+// word per bucket) and one entry-heap segment (64-byte entries chained into
+// per-bucket linked lists). Shard 0 exists from construction; when a rank
+// exhausts its newest shard's heap it commits the next reserved window
+// segment pair and *publishes* the shard with a single one-sided CAS on the
+// shard-directory word (rank 0). New shards are born all-zero -- empty
+// buckets, empty free list, zero allocation watermark -- so publication
+// needs no initialization writes and racing growers are harmless (the
+// directory CAS picks one winner; the loser observes the advanced count).
+//
+// Shard discipline: inserts always allocate from (and publish into) the
+// newest shard the inserting rank knows; the known-shard count is refreshed
+// whenever allocation fails, so insert shard indices are monotone in time
+// per rank. Lookups and erases walk shards newest-first and re-check the
+// directory on a miss, which preserves Listing 4's "latest insert wins"
+// semantics for the committed-before cases GDI relies on (each application
+// key is inserted once; erase + re-insert is found in the newer shard).
+// The one documented relaxation: a *live duplicate* key spanning a growth
+// event may be resolved from the older shard by a rank whose cached shard
+// count is stale -- GDI never creates live duplicates (create/insert_if_
+// absent check existence first).
+//
 // Collision resolution is distributed chaining. ABA protection uses the
 // paper's "established tagged pointer technique": entries are 64-byte aligned
 // so the low 6 bits of every reference are free -- bits 0..4 carry a 5-bit
@@ -17,6 +38,13 @@
 // two-CAS protocol, with one robustness addition: if the unlink CAS fails,
 // the deleter *reverts* its mark before restarting, which removes the
 // livelock window of the pseudocode.
+//
+// Write batching: insert_many / insert_if_absent_many are the write-side
+// peers of lookup_many. A batch of k inserts pays
+//   1 overlapped round of field reads/writes (gens, heads, keys, values)
+// + ceil(k/Q) * max(alpha) per head-CAS round (same round-by-round shape as
+//   BlockStore::try_read_lock_many)
+// instead of k serial insert latency chains.
 #pragma once
 
 #include <cstdint>
@@ -32,9 +60,13 @@
 namespace gdi::dht {
 
 struct DhtConfig {
-  std::size_t buckets_per_rank = 1024;
-  std::size_t entries_per_rank = 4096;
+  std::size_t buckets_per_rank = 1024;  ///< per shard
+  std::size_t entries_per_rank = 4096;  ///< per shard
   std::uint64_t salt = 0x9E3779B97F4A7C15ull;  ///< hash salt (per-DHT instance)
+  /// Growth cap: total capacity is max_shards * entries_per_rank entries per
+  /// rank. 1 = fixed capacity (the pre-growth behaviour: insert returns
+  /// false on heap exhaustion).
+  std::size_t max_shards = 64;
 };
 
 class DistributedHashTable {
@@ -45,8 +77,9 @@ class DistributedHashTable {
   DistributedHashTable(int nranks, const DhtConfig& cfg);
 
   /// Prepend (key, value); duplicates are allowed (Listing 4 semantics) --
-  /// a later lookup returns the most recent insert. Returns false iff the
-  /// calling rank's entry heap is exhausted.
+  /// a later lookup returns the most recent insert. Grows the table when the
+  /// calling rank's newest heap segment is exhausted; returns false iff the
+  /// shard cap (DhtConfig::max_shards) is reached.
   [[nodiscard]] bool insert(rma::Rank& self, std::uint64_t key, std::uint64_t value);
 
   /// Insert only if no entry with `key` is currently visible. Best-effort
@@ -54,10 +87,26 @@ class DistributedHashTable {
   [[nodiscard]] bool insert_if_absent(rma::Rank& self, std::uint64_t key,
                                       std::uint64_t value);
 
+  /// Batched insert: result[i] is insert(keys[i], values[i]). Allocates all
+  /// entries first, writes every entry's fields through the nonblocking
+  /// engine with one flush, then resolves all bucket-head CAS rounds
+  /// overlapped (one flush per round instead of one latency per insert).
+  [[nodiscard]] std::vector<std::uint8_t> insert_many(
+      rma::Rank& self, std::span<const std::uint64_t> keys,
+      std::span<const std::uint64_t> values);
+
+  /// Batched insert_if_absent: one lookup_many for the whole key set, then
+  /// one insert_many for the misses. result[i] is true iff this call
+  /// inserted keys[i]; a key occurring twice in the batch is inserted once
+  /// (the first occurrence wins).
+  [[nodiscard]] std::vector<std::uint8_t> insert_if_absent_many(
+      rma::Rank& self, std::span<const std::uint64_t> keys,
+      std::span<const std::uint64_t> values);
+
   /// Find the value for `key`, or nullopt.
   [[nodiscard]] std::optional<std::uint64_t> lookup(rma::Rank& self, std::uint64_t key);
 
-  /// Batched multi-lookup: resolves every key with the same chain-walk
+  /// Batched multi-lookup: resolves every key with the same shard-walk
   /// protocol as lookup(), but overlaps the independent remote reads of all
   /// keys round by round through the nonblocking engine (one flush_all() per
   /// traversal round instead of one latency per word). Results are identical
@@ -68,8 +117,13 @@ class DistributedHashTable {
   /// Remove one entry with `key`; returns false if no such entry.
   [[nodiscard]] bool erase(rma::Rank& self, std::uint64_t key);
 
-  /// Number of live entries on `rank` (diagnostic; eventually consistent).
+  /// Number of live entries on `rank`: the sum of the per-shard live
+  /// counters, so the count stays exact across shard growth (diagnostic;
+  /// eventually consistent under concurrent mutation).
   [[nodiscard]] std::uint64_t live_entries(rma::Rank& self, std::uint32_t rank);
+
+  /// Published shard count (refreshes this rank's cached view).
+  [[nodiscard]] std::uint32_t shard_count(rma::Rank& self);
 
   [[nodiscard]] const DhtConfig& config() const { return cfg_; }
 
@@ -87,11 +141,15 @@ class DistributedHashTable {
   static constexpr std::uint64_t kMarkBit = 0x20;
   static constexpr std::uint64_t kPtrMask = ~std::uint64_t{0x3F};
 
-  // Control window layout per rank: free-stack head (tagged idx) + live count.
+  // Per-shard control block: slot 0 of every rank's heap segment (so a fresh
+  // all-zero segment is a valid empty shard). Free-stack head encodes
+  // tag(high 16) | slot idx(low 48); idx 0 -- the control slot itself --
+  // doubles as the empty sentinel. The watermark counts never-recycled slots
+  // handed out by bump allocation.
   static constexpr std::uint64_t kFreeHeadOff = 0;
-  static constexpr std::uint64_t kLiveCountOff = 8;
+  static constexpr std::uint64_t kWatermarkOff = 8;
+  static constexpr std::uint64_t kLiveCountOff = 16;
   static constexpr std::uint64_t kIdxMask = (std::uint64_t{1} << 48) - 1;
-  static constexpr std::uint64_t kNilIdx = kIdxMask;
 
   struct Ref {
     std::uint64_t word = 0;
@@ -108,13 +166,68 @@ class DistributedHashTable {
 
   struct BucketLoc {
     std::uint32_t rank;
-    std::uint64_t offset;
+    std::uint64_t offset;  ///< byte offset of the head word *within a segment*
   };
   [[nodiscard]] BucketLoc locate(std::uint64_t key) const;
+  [[nodiscard]] std::uint64_t bucket_off(std::uint32_t shard, const BucketLoc& b) const {
+    return static_cast<std::uint64_t>(shard) * table_seg_ + b.offset;
+  }
+  [[nodiscard]] std::uint64_t ctrl_off(std::uint32_t shard) const {
+    return static_cast<std::uint64_t>(shard) * heap_seg_;
+  }
+  [[nodiscard]] std::uint64_t entry_off(std::uint32_t shard, std::uint64_t idx) const {
+    return static_cast<std::uint64_t>(shard) * heap_seg_ + idx * kEntrySize;
+  }
+  [[nodiscard]] std::uint32_t shard_of(DPtr e) const {
+    return static_cast<std::uint32_t>(e.offset() / heap_seg_);
+  }
 
-  // Entry heap allocation (per-rank lock-free tagged stack).
+  // Shard-count cache maintenance (see header comment: refreshed on every
+  // miss and on allocation exhaustion; reads of the directory word are the
+  // only remote traffic growth adds to the steady state).
+  [[nodiscard]] std::uint32_t known_shards(rma::Rank& self) const;
+  std::uint32_t refresh_shards(rma::Rank& self);
+  /// Publish one more shard (or observe a racer publishing it). False iff
+  /// the shard cap is reached.
+  bool grow(rma::Rank& self);
+
+  // Entry heap allocation: per (rank, shard) bump watermark + lock-free
+  // recycled-entry stack; always from the calling rank's newest known shard.
   [[nodiscard]] DPtr alloc_entry(rma::Rank& self);
+  [[nodiscard]] DPtr pop_free(rma::Rank& self, std::uint32_t target,
+                              std::uint32_t shard);
   void dealloc_entry(rma::Rank& self, DPtr e);
+
+  // One shard's chain operations (the Listing 4 state machines).
+  [[nodiscard]] std::optional<std::uint64_t> lookup_in_shard(rma::Rank& self,
+                                                             std::uint64_t key,
+                                                             const BucketLoc& b,
+                                                             std::uint32_t shard);
+  [[nodiscard]] bool erase_in_shard(rma::Rank& self, std::uint64_t key,
+                                    const BucketLoc& b, std::uint32_t shard);
+
+  /// The shared walk protocol of lookup()/erase(): visit shards newest-first
+  /// (so the most recent insert wins), and on a full miss re-read the
+  /// directory and cover any shards published since -- an operation that
+  /// completed before this walk started published its shard first. `fn(s)`
+  /// returns true to stop the walk; walk_shards() returns whether it did.
+  template <class ShardFn>
+  bool walk_shards(rma::Rank& self, ShardFn&& fn) {
+    std::uint32_t hi = known_shards(self);
+    std::uint32_t lo = 0;
+    std::uint32_t walked = hi;
+    for (;;) {
+      for (std::uint32_t s = hi; s-- > lo;) {
+        if (fn(s)) return true;
+      }
+      if (walked >= cfg_.max_shards) return false;  // no shard can be newer
+      const std::uint32_t fresh = refresh_shards(self);
+      if (fresh <= walked) return false;
+      lo = walked;
+      hi = fresh;
+      walked = fresh;
+    }
+  }
 
   // Field accessors.
   [[nodiscard]] std::uint64_t field(rma::Rank& self, DPtr e, std::uint64_t off) {
@@ -126,9 +239,18 @@ class DistributedHashTable {
 
   DhtConfig cfg_;
   int nranks_;
-  rma::Window table_;  ///< bucket head words
-  rma::Window heap_;   ///< entry slots
-  rma::Window ctrl_;   ///< per-rank free-stack head + live counter
+  std::uint64_t table_seg_;  ///< bucket-segment bytes per rank per shard
+  std::uint64_t heap_seg_;   ///< heap-segment bytes per rank per shard
+  rma::Window table_;  ///< bucket head words, one segment per shard
+  rma::Window heap_;   ///< control slot + entry slots, one segment per shard
+  rma::Window dir_;    ///< shard directory: published shard count (rank 0)
+
+  /// Per-rank cached shard count; each slot is only touched by its own rank
+  /// (the distributed implementation's per-process cache of the directory).
+  struct alignas(64) RankLocal {
+    std::uint32_t shards = 1;
+  };
+  mutable std::vector<RankLocal> local_;
 };
 
 }  // namespace gdi::dht

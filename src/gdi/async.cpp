@@ -14,6 +14,7 @@ bool BatchScope::Op::resolved() const {
   switch (kind) {
     case Kind::kTranslate: return f_vid->ready;
     case Kind::kFind:
+    case Kind::kCreate:
     case Kind::kAssociate: return f_vh->ready;
     case Kind::kPeek: return f_u64->ready;
     case Kind::kEdges: return f_edges->ready;
@@ -54,6 +55,16 @@ Future<VertexHandle> BatchScope::find(std::uint64_t app_id) {
   ops_.emplace_back();
   Op& op = ops_.back();
   op.kind = Op::Kind::kFind;
+  op.app_id = app_id;
+  op.f_vh = std::make_shared<detail::FutureState<VertexHandle>>();
+  Future<VertexHandle> f(op.f_vh);
+  return f;
+}
+
+Future<VertexHandle> BatchScope::create(std::uint64_t app_id) {
+  ops_.emplace_back();
+  Op& op = ops_.back();
+  op.kind = Op::Kind::kCreate;
   op.app_id = app_id;
   op.f_vh = std::make_shared<detail::FutureState<VertexHandle>>();
   Future<VertexHandle> f(op.f_vh);
@@ -150,12 +161,14 @@ Status BatchScope::execute() {
     return Status::kTxnAborted;
   }
 
-  // Phase 1: ID translation -- one DHT multi-lookup for every translate/find.
+  // Phase 1: ID translation -- one DHT multi-lookup for every translate/find,
+  // and for every create's existence check (a create *expects* a miss).
   {
     std::vector<std::uint64_t> app_ids;
     std::vector<std::size_t> pos;
     for (std::size_t i = 0; i < ops.size(); ++i) {
-      if (ops[i].kind == Op::Kind::kTranslate || ops[i].kind == Op::Kind::kFind) {
+      if (ops[i].kind == Op::Kind::kTranslate || ops[i].kind == Op::Kind::kFind ||
+          ops[i].kind == Op::Kind::kCreate) {
         app_ids.push_back(ops[i].app_id);
         pos.push_back(i);
       }
@@ -176,6 +189,10 @@ Status BatchScope::execute() {
             op.f_vid->value = v;
             op.resolve_status(Status::kOk);
           }
+        } else if (op.kind == Op::Kind::kCreate) {
+          // A hit fails only this create; a miss defers to resolution time
+          // (create_vertex_impl with the existence check already done).
+          if (!v.is_null()) op.resolve_status(Status::kAlreadyExists);
         } else if (v.is_null()) {
           op.resolve_status(Status::kNotFound);
         } else {
@@ -221,6 +238,7 @@ Status BatchScope::execute() {
           specs.push_back({op.vid, /*write=*/false, /*required=*/false});
         break;
       case Op::Kind::kTranslate:
+      case Op::Kind::kCreate:
       case Op::Kind::kPeek:
         break;  // no holder needed
     }
@@ -288,6 +306,13 @@ Status BatchScope::execute() {
         op.f_vh->value = VertexHandle{op.vid};
         op.resolve_status(Status::kOk);
         break;
+      case Op::Kind::kCreate: {
+        auto r = t.create_vertex_impl(op.app_id, /*dht_checked=*/true);
+        if (r.ok()) op.f_vh->value = *r;
+        op.resolve_status(r.status());
+        if (is_transaction_critical(r.status())) final_status = r.status();
+        break;
+      }
       case Op::Kind::kEdges: {
         auto r = t.edges_of_impl(VertexHandle{op.vid}, op.filter, op.cnstr);
         if (r.ok()) op.f_edges->value = std::move(r.value());

@@ -96,6 +96,12 @@ class BatchScope {
   Future<DPtr> translate(std::uint64_t app_id);
   /// translate + associate + stale-DHT validation (find_vertex semantics).
   Future<VertexHandle> find(std::uint64_t app_id);
+  /// GDI_CreateVertexNb: create_vertex whose DHT existence check rides the
+  /// batch's one multi-lookup -- the write-side peer of find(). A batch of k
+  /// creates pays one overlapped lookup round instead of k serial chain
+  /// walks; the new vertices publish to the DHT at commit through one
+  /// insert_many. kAlreadyExists is soft (only this future fails).
+  Future<VertexHandle> create(std::uint64_t app_id);
   /// GDI_AssociateVertexNb: fetch + lock the holder of an internal ID.
   Future<VertexHandle> associate(DPtr vid);
   /// Lock-free 8-byte application-ID read (peek_app_id semantics).
@@ -141,6 +147,7 @@ class BatchScope {
     enum class Kind : std::uint8_t {
       kTranslate,
       kFind,
+      kCreate,
       kAssociate,
       kPeek,
       kEdges,

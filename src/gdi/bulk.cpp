@@ -113,6 +113,7 @@ Result<BulkLoadStats> BulkLoader::load(const std::vector<BulkVertex>& vertices,
 
   // --- Step 2: materialize owned vertices with exact-size holders ------------
   struct Pending {
+    std::uint64_t app_id = 0;
     DPtr primary;
     std::vector<std::byte> buf;
     std::vector<WireEdge> recs;
@@ -161,6 +162,7 @@ Result<BulkLoadStats> BulkLoader::load(const std::vector<BulkVertex>& vertices,
     }
 
     Pending p;
+    p.app_id = bv.app_id;
     p.primary = blocks.acquire(self_, static_cast<std::uint32_t>(self_.id()));
     if (p.primary.is_null()) return Status::kOutOfMemory;
     const std::size_t total = VertexView::required_size(
@@ -188,18 +190,52 @@ Result<BulkLoadStats> BulkLoader::load(const std::vector<BulkVertex>& vertices,
     for (const auto& [pt, bytes] : bv.props)
       if (Status s = view.add_entry(pt, bytes); !ok(s)) return s;
 
-    if (!dht.insert(self_, bv.app_id, p.primary.raw())) return Status::kOutOfMemory;
     p.recs = std::move(recs);
     pending.push_back(std::move(p));
     ++stats.vertices_loaded;
+  }
+
+  // Publish every owned vertex's translation in one batched insert (the
+  // write-side analogue of the resolver's lookup_many below): all entry
+  // fields ride one overlapped flush, the bucket-head CAS rounds overlap
+  // across the whole set, and the DHT grows shards on demand instead of
+  // failing the load when a segment fills.
+  {
+    std::vector<std::uint64_t> keys, vals;
+    keys.reserve(pending.size());
+    vals.reserve(pending.size());
+    for (const auto& p : pending) {
+      keys.push_back(p.app_id);
+      vals.push_back(p.primary.raw());
+    }
+    if (db_->cfg_.batched_reads && keys.size() > 1) {
+      const auto inserted = dht.insert_many(self_, keys, vals);
+      for (std::uint8_t okf : inserted)
+        if (!okf) return Status::kOutOfMemory;
+    } else {
+      for (std::size_t i = 0; i < keys.size(); ++i)
+        if (!dht.insert(self_, keys[i], vals[i])) return Status::kOutOfMemory;
+    }
   }
 
   // All DHT insertions must be visible before cross-rank ID resolution.
   self_.barrier();
 
   // --- Step 3: resolve neighbor IDs and write the holders out ---------------
+  // Every distinct neighbor ID resolves through one DHT multi-lookup up
+  // front (overlapped traversal rounds); the map then serves the per-record
+  // resolution locally.
   std::unordered_map<std::uint64_t, DPtr> id_cache;
   id_cache.reserve(1024);
+  if (db_->cfg_.batched_reads) {
+    std::vector<std::uint64_t> need;
+    for (const auto& p : pending)
+      for (const auto& w : p.recs)
+        if (id_cache.emplace(w.neighbor, DPtr{}).second) need.push_back(w.neighbor);
+    const auto vals = dht.lookup_many(self_, need);
+    for (std::size_t j = 0; j < need.size(); ++j)
+      if (vals[j]) id_cache[need[j]] = DPtr{*vals[j]};
+  }
   auto resolve = [&](std::uint64_t app_id) -> DPtr {
     auto it = id_cache.find(app_id);
     if (it != id_cache.end()) return it->second;

@@ -166,6 +166,14 @@ inline Status GDI_FindVertexNb(GDI_Future<GDI_VertexHolder>* f_out,
   return Status::kOk;
 }
 
+/// create_vertex whose DHT existence check rides the batch's multi-lookup;
+/// the created vertices publish at commit through one DHT insert_many.
+inline Status GDI_CreateVertexNb(GDI_Future<GDI_VertexHolder>* f_out,
+                                 std::uint64_t vID_app, GDI_Batch& batch) {
+  *f_out = batch.create(vID_app);
+  return Status::kOk;
+}
+
 inline Status GDI_GetEdgesOfVertexNb(GDI_Future<std::vector<EdgeDesc>>* f_out,
                                      DirFilter filter, GDI_VertexHolder vH,
                                      GDI_Batch& batch,

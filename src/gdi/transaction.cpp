@@ -569,10 +569,16 @@ Result<Transaction::EdgeState*> Transaction::edge_state(EdgeHandle e, bool for_w
 // ---------------------------------------------------------------------------
 
 Result<VertexHandle> Transaction::create_vertex(std::uint64_t app_id) {
+  return create_vertex_impl(app_id, /*dht_checked=*/false);
+}
+
+Result<VertexHandle> Transaction::create_vertex_impl(std::uint64_t app_id,
+                                                     bool dht_checked) {
   if (!active_ || failed_) return Status::kTxnAborted;
   if (Status s = check_writable(); !ok(s)) return fail(s);
   if (created_ids_.contains(app_id)) return Status::kAlreadyExists;
-  if (db_->id_index().lookup(self_, app_id).has_value()) return Status::kAlreadyExists;
+  if (!dht_checked && db_->id_index().lookup(self_, app_id).has_value())
+    return Status::kAlreadyExists;
 
   auto& blocks = db_->blocks();
   const std::uint32_t owner = db_->owner_rank(app_id);
@@ -1335,18 +1341,39 @@ Status Transaction::commit_local() {
   // before the DHT/indexes publish anything and before locks release.
   if (batching_enabled() && self_.pending_nb_ops() > 0) (void)self_.flush_all();
 
-  // Phase 4: internal DHT index (app id -> DPtr) and explicit indexes.
+  // Phase 4: internal DHT index (app id -> DPtr) and explicit indexes. All
+  // created vertices publish through one insert_many (overlapped field
+  // writes + head-CAS rounds) instead of one insert latency chain each.
   auto& dht = db_->id_index();
+  std::vector<std::uint64_t> pub_keys, pub_vals;
   for (auto& [raw, st] : vcache_) {
-    const DPtr vid{raw};
     if (st->created && !st->deleted) {
-      if (!dht.insert(self_, st->view.app_id(), vid.raw())) {
-        failed_ = true;
-        abort();
-        return Status::kOutOfMemory;
-      }
+      pub_keys.push_back(st->view.app_id());
+      pub_vals.push_back(raw);
     } else if (st->deleted && !st->created) {
       (void)dht.erase(self_, st->view.app_id());
+    }
+  }
+  if (!pub_keys.empty()) {
+    std::vector<std::uint8_t> pub_ok;
+    if (batching_enabled() && pub_keys.size() > 1) {
+      pub_ok = dht.insert_many(self_, pub_keys, pub_vals);
+    } else {
+      pub_ok.assign(pub_keys.size(), 0);
+      for (std::size_t i = 0; i < pub_keys.size(); ++i) {
+        if (!dht.insert(self_, pub_keys[i], pub_vals[i])) break;
+        pub_ok[i] = 1;
+      }
+    }
+    bool pub_failed = false;
+    for (std::uint8_t okf : pub_ok) pub_failed = pub_failed || okf == 0;
+    if (pub_failed) {
+      // Partial publication must not leak translations to released blocks.
+      for (std::size_t i = 0; i < pub_keys.size(); ++i)
+        if (pub_ok[i]) (void)dht.erase(self_, pub_keys[i]);
+      failed_ = true;
+      abort();
+      return Status::kOutOfMemory;
     }
   }
   const auto& indexes = db_->indexes();

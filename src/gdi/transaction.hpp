@@ -239,6 +239,10 @@ class Transaction {
   // Internal (non-wrapper) implementations used by BatchScope resolution and
   // by the blocking wrappers; bodies predate the async surface.
   Result<std::vector<DPtr>> translate_ids_impl(std::span<const std::uint64_t> app_ids);
+  /// create_vertex body; `dht_checked` skips the per-call DHT existence
+  /// lookup (BatchScope::create already resolved it through the batch's one
+  /// multi-lookup).
+  Result<VertexHandle> create_vertex_impl(std::uint64_t app_id, bool dht_checked);
   Result<std::vector<EdgeDesc>> edges_of_impl(VertexHandle v, DirFilter f,
                                               const Constraint* c);
   /// Batch-populate the block cache with the holders of `vids` (primaries in

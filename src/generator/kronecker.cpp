@@ -5,6 +5,20 @@
 
 namespace gdi::gen {
 
+dht::DhtConfig recommended_dht_config(const LpgConfig& cfg, int nranks) {
+  const auto P = static_cast<std::uint64_t>(nranks < 1 ? 1 : nranks);
+  const std::uint64_t resident = cfg.num_vertices() / P + 64;
+  dht::DhtConfig d;
+  // Shard 0 holds the load's resident keys with slack; a bucket per ~2
+  // expected entries keeps chains short without bloating the head table.
+  d.entries_per_rank = resident + resident / 8 + 1024;
+  std::size_t buckets = 1024;
+  while (buckets < resident / 2) buckets *= 2;
+  d.buckets_per_rank = buckets;
+  d.max_shards = 8;
+  return d;
+}
+
 std::pair<std::uint64_t, std::uint64_t> KroneckerGenerator::edge_endpoints(
     std::uint64_t k) const {
   // R-MAT recursive quadrant descent with counter-based randomness: one

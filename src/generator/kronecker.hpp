@@ -46,6 +46,13 @@ struct GeneratedSlice {
   std::vector<BulkEdge> edges;       ///< this rank's share of the edge list
 };
 
+/// DHT sizing for bulk-loading a graph of this shape on `nranks` ranks:
+/// shard 0 is provisioned for the generated resident key set (so the load
+/// itself normally needs no growth) and max_shards leaves ~8x headroom for
+/// OLTP insert streams on top. Loads larger than the estimate -- or fed from
+/// other sources -- simply grow shards on demand.
+[[nodiscard]] dht::DhtConfig recommended_dht_config(const LpgConfig& cfg, int nranks);
+
 class KroneckerGenerator {
  public:
   /// `label_ids` / `ptype_ids` are the registered metadata ids to decorate

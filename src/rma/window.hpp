@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/dptr.hpp"
@@ -35,37 +36,92 @@ class Window {
     return win;
   }
 
+  /// Fixed-size window: one segment per rank, fully committed up front.
   Window(int nranks, std::size_t bytes_per_rank)
-      : bytes_per_rank_(align_up(bytes_per_rank)) {
-    regions_.reserve(static_cast<std::size_t>(nranks));
-    for (int r = 0; r < nranks; ++r) {
-      regions_.push_back(std::make_unique<std::byte[]>(bytes_per_rank_));
-      std::memset(regions_.back().get(), 0, bytes_per_rank_);
-    }
+      : Window(nranks, bytes_per_rank, 1) {}
+
+  /// Growable window: every rank's region is a *reserved* address range of
+  /// `max_segments` segments of `seg_bytes_per_rank` bytes, of which only
+  /// segment 0 is committed (allocated + registered) up front. Any rank may
+  /// later commit further segments with ensure_segments(); committed memory
+  /// is zero-filled and immediately addressable by every rank's one-sided
+  /// operations. This mirrors MPI dynamic windows / pre-registered reserved
+  /// VA on real RDMA hardware: *publication* of grown structures stays
+  /// one-sided (a remote CAS on some directory word owned by the data
+  /// structure); only the local registration bookkeeping is internal.
+  Window(int nranks, std::size_t seg_bytes_per_rank, std::size_t max_segments)
+      : nranks_(nranks),
+        seg_bytes_(align_up(seg_bytes_per_rank)),
+        max_segments_(max_segments == 0 ? 1 : max_segments),
+        segments_(std::make_unique<std::atomic<Segment*>[]>(
+            max_segments == 0 ? 1 : max_segments)) {
+    for (std::size_t s = 0; s < max_segments_; ++s)
+      segments_[s].store(nullptr, std::memory_order_relaxed);
+    commit_segment_locked(0);
+    committed_.store(1, std::memory_order_release);
   }
 
-  [[nodiscard]] std::size_t bytes_per_rank() const { return bytes_per_rank_; }
-  [[nodiscard]] int nranks() const { return static_cast<int>(regions_.size()); }
+  ~Window() {
+    for (std::size_t s = 0; s < max_segments_; ++s)
+      delete segments_[s].load(std::memory_order_acquire);
+  }
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  /// Committed bytes per rank (grows with ensure_segments).
+  [[nodiscard]] std::size_t bytes_per_rank() const {
+    return committed_.load(std::memory_order_acquire) * seg_bytes_;
+  }
+  [[nodiscard]] std::size_t segment_bytes() const { return seg_bytes_; }
+  [[nodiscard]] std::size_t max_segments() const { return max_segments_; }
+  [[nodiscard]] std::size_t committed_segments() const {
+    return committed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  /// Commit (allocate + register + zero-fill) segments so that at least
+  /// `count` are available, clamped to max_segments(); returns the committed
+  /// segment count. Idempotent and safe to race: registration is serialized
+  /// internally, remote accesses never block. The caller still owns making
+  /// the new memory *reachable* (publishing a reference via a remote atomic).
+  std::size_t ensure_segments(Rank& self, std::size_t count) {
+    if (count > max_segments_) count = max_segments_;
+    std::size_t cur = committed_.load(std::memory_order_acquire);
+    if (cur >= count) return cur;
+    std::lock_guard<std::mutex> lk(grow_mu_);
+    cur = committed_.load(std::memory_order_relaxed);
+    while (cur < count) {
+      commit_segment_locked(cur);
+      committed_.store(cur + 1, std::memory_order_release);
+      ++cur;
+      // Registration cost stand-in (memory pinning + rkey exchange would be
+      // local work plus one control message on real hardware).
+      self.charge(self.net().alpha_remote_ns);
+    }
+    return cur;
+  }
 
   /// Direct pointer into a rank's region. Only valid for the owning rank's
   /// own initialization or for test assertions -- real accesses go through
   /// the one-sided operations below.
-  [[nodiscard]] std::byte* local_base(int rank) {
-    return regions_[static_cast<std::size_t>(rank)].get();
+  [[nodiscard]] std::byte* local_base(int rank, std::size_t segment = 0) {
+    Segment* seg = segments_[segment].load(std::memory_order_acquire);
+    assert(seg != nullptr);
+    return seg->regions[static_cast<std::size_t>(rank)].get();
   }
 
   // --- one-sided data movement ---------------------------------------------
 
   void get(Rank& self, void* dst, std::size_t n, std::uint32_t target,
            std::uint64_t offset) {
-    assert(offset + n <= bytes_per_rank_);
+    assert(in_one_segment(offset, n));
     std::memcpy(dst, addr(target, offset), n);
     charge_data(self, n, target, /*is_put=*/false);
   }
 
   void put(Rank& self, const void* src, std::size_t n, std::uint32_t target,
            std::uint64_t offset) {
-    assert(offset + n <= bytes_per_rank_);
+    assert(in_one_segment(offset, n));
     std::memcpy(addr(target, offset), src, n);
     charge_data(self, n, target, /*is_put=*/true);
   }
@@ -88,14 +144,14 @@ class Window {
 
   NbRequest get_nb(Rank& self, void* dst, std::size_t n, std::uint32_t target,
                    std::uint64_t offset) {
-    assert(offset + n <= bytes_per_rank_);
+    assert(in_one_segment(offset, n));
     std::memcpy(dst, addr(target, offset), n);
     return enqueue_data(self, n, target, /*is_put=*/false);
   }
 
   NbRequest put_nb(Rank& self, const void* src, std::size_t n, std::uint32_t target,
                    std::uint64_t offset) {
-    assert(offset + n <= bytes_per_rank_);
+    assert(in_one_segment(offset, n));
     std::memcpy(addr(target, offset), src, n);
     return enqueue_data(self, n, target, /*is_put=*/true);
   }
@@ -124,6 +180,26 @@ class Window {
   }
   NbRequest atomic_get_u64_nb(Rank& self, DPtr p, std::uint64_t* out) {
     return atomic_get_u64_nb(self, p.rank(), p.offset(), out);
+  }
+
+  /// Nonblocking 64-bit atomic write: the store happens (linearizably) at
+  /// issue time; the latency joins the current batch. Used by batched DHT
+  /// inserts to write entry fields of many independent entries with one
+  /// overlapped round instead of one latency per word.
+  NbRequest atomic_put_u64_nb(Rank& self, std::uint32_t target, std::uint64_t offset,
+                              std::uint64_t v) {
+    word(target, offset).store(v, std::memory_order_release);
+    const auto& p = self.net();
+    const bool remote = target != static_cast<std::uint32_t>(self.id());
+    auto& c = self.counters();
+    c.atomics += 1;
+    c.nb_atomics += 1;
+    if (remote) c.remote_ops += 1;
+    return self.enqueue_nb(remote ? p.alpha_atomic_remote_ns : p.alpha_atomic_local_ns,
+                           0.0);
+  }
+  NbRequest atomic_put_u64_nb(Rank& self, DPtr p, std::uint64_t v) {
+    return atomic_put_u64_nb(self, p.rank(), p.offset(), v);
   }
 
   /// Nonblocking compare-and-swap: executes (linearizably) at issue time,
@@ -212,11 +288,40 @@ class Window {
   void flush_all(Rank& self) { flush(self, static_cast<std::uint32_t>(self.id())); }
 
  private:
+  /// One committed slab: every rank's `seg_bytes_` region for one segment.
+  struct Segment {
+    std::vector<std::unique_ptr<std::byte[]>> regions;
+  };
+
   [[nodiscard]] static std::size_t align_up(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
 
+  /// Accesses must not straddle a segment boundary (segments are distinct
+  /// registered regions; fixed windows have one segment, so any in-bounds
+  /// access qualifies).
+  [[nodiscard]] bool in_one_segment(std::uint64_t offset, std::size_t n) const {
+    if (n == 0) return offset <= bytes_per_rank();
+    return offset + n <= bytes_per_rank() &&
+           offset / seg_bytes_ == (offset + n - 1) / seg_bytes_;
+  }
+
+  // Requires grow_mu_ (or single-threaded construction).
+  void commit_segment_locked(std::size_t s) {
+    auto* seg = new Segment;
+    seg->regions.reserve(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+      seg->regions.push_back(std::make_unique<std::byte[]>(seg_bytes_));
+      std::memset(seg->regions.back().get(), 0, seg_bytes_);
+    }
+    segments_[s].store(seg, std::memory_order_release);
+  }
+
   [[nodiscard]] std::byte* addr(std::uint32_t rank, std::uint64_t offset) {
-    assert(rank < regions_.size());
-    return regions_[rank].get() + offset;
+    assert(rank < static_cast<std::uint32_t>(nranks_));
+    const std::size_t s = offset / seg_bytes_;
+    assert(s < max_segments_);
+    Segment* seg = segments_[s].load(std::memory_order_acquire);
+    assert(seg != nullptr && "access to an uncommitted window segment");
+    return seg->regions[rank].get() + offset % seg_bytes_;
   }
 
   [[nodiscard]] std::atomic_ref<std::uint64_t> word(std::uint32_t rank,
@@ -268,8 +373,12 @@ class Window {
     if (remote) self.counters().remote_ops += 1;
   }
 
-  std::size_t bytes_per_rank_;
-  std::vector<std::unique_ptr<std::byte[]>> regions_;
+  int nranks_;
+  std::size_t seg_bytes_;
+  std::size_t max_segments_;
+  std::unique_ptr<std::atomic<Segment*>[]> segments_;  ///< [max_segments_] slots
+  std::atomic<std::size_t> committed_{0};
+  std::mutex grow_mu_;  ///< serializes registration only; accesses never block
 };
 
 }  // namespace gdi::rma

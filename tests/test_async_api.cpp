@@ -419,5 +419,99 @@ TEST(AsyncApi, SpecNbBindingsRoundTrip) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// Batched creates (write-side insert stream)
+// ---------------------------------------------------------------------------
+
+TEST(AsyncApi, BatchedCreateStreamCommitsAndPublishes) {
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    auto db = Database::create(self, make_cfg());
+    build_graph(db, self);
+    // A batch of creates: the existence checks share one DHT multi-lookup;
+    // kAlreadyExists (existing id 3, and a duplicate within the batch) fails
+    // only its future; commit publishes the survivors via one insert_many.
+    if (self.id() == 0) {
+      Transaction w(db, self, TxnMode::kWrite);
+      BatchScope scope = w.batch();
+      auto a = scope.create(1000);
+      auto dup_existing = scope.create(3);
+      auto b = scope.create(1001);
+      auto dup_in_batch = scope.create(1000);
+      auto c = scope.create(1002);
+      EXPECT_EQ(scope.execute(), Status::kOk);
+      EXPECT_TRUE(a.ok());
+      EXPECT_TRUE(b.ok());
+      EXPECT_TRUE(c.ok());
+      EXPECT_EQ(dup_existing.status(), Status::kAlreadyExists);
+      EXPECT_EQ(dup_in_batch.status(), Status::kAlreadyExists);
+      // Created handles are usable before commit, like create_vertex's.
+      EXPECT_EQ(w.add_label(*a, 1), Status::kOk);
+      EXPECT_EQ(w.commit(), Status::kOk);
+    }
+    self.barrier();
+    // Visible on every rank afterwards, with the blocking path.
+    {
+      Transaction r(db, self, TxnMode::kRead);
+      for (std::uint64_t id : {1000ull, 1001ull, 1002ull}) {
+        auto vh = r.find_vertex(id);
+        EXPECT_TRUE(vh.ok()) << id;
+      }
+      EXPECT_EQ(r.commit(), Status::kOk);
+    }
+    self.barrier();
+    // Spec binding round trip.
+    if (self.id() == 1) {
+      spec::GDI_Transaction txn;
+      EXPECT_EQ(spec::GDI_StartTransaction(&txn, db, self), Status::kOk);
+      spec::GDI_Batch batch;
+      EXPECT_EQ(spec::GDI_StartBatch(&batch, txn), Status::kOk);
+      spec::GDI_Future<VertexHandle> f_new;
+      EXPECT_EQ(spec::GDI_CreateVertexNb(&f_new, 2000, batch), Status::kOk);
+      EXPECT_EQ(spec::GDI_Execute(batch), Status::kOk);
+      EXPECT_TRUE(f_new.ok());
+      EXPECT_EQ(spec::GDI_CloseTransaction(&txn), Status::kOk);
+      auto check = Transaction(db, self, TxnMode::kRead).find_vertex(2000);
+      EXPECT_TRUE(check.ok());
+    }
+    self.barrier();
+  });
+}
+
+TEST(AsyncApi, BatchedCreateMatchesSerialCreateState) {
+  // The same create stream through BatchScope::create and through blocking
+  // create_vertex must leave identical translations behind.
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto serial_db = Database::create(self, make_cfg());
+    auto batched_db = Database::create(self, make_cfg());
+    {
+      Transaction w(serial_db, self, TxnMode::kWrite);
+      for (std::uint64_t id = 0; id < 24; ++id) EXPECT_TRUE(w.create_vertex(id).ok());
+      EXPECT_EQ(w.commit(), Status::kOk);
+    }
+    {
+      Transaction w(batched_db, self, TxnMode::kWrite);
+      BatchScope scope = w.batch();
+      std::vector<Future<VertexHandle>> futs;
+      for (std::uint64_t id = 0; id < 24; ++id) futs.push_back(scope.create(id));
+      EXPECT_EQ(scope.execute(), Status::kOk);
+      for (auto& f : futs) EXPECT_TRUE(f.ok());
+      EXPECT_EQ(w.commit(), Status::kOk);
+    }
+    Transaction rs(serial_db, self, TxnMode::kRead);
+    Transaction rb(batched_db, self, TxnMode::kRead);
+    for (std::uint64_t id = 0; id < 24; ++id) {
+      auto a = rs.translate_vertex_id(id);
+      auto b = rb.translate_vertex_id(id);
+      EXPECT_EQ(a.ok(), b.ok()) << id;
+      if (a.ok() && b.ok()) {
+        // Same allocation order => same internal IDs.
+        EXPECT_EQ(a->raw(), b->raw()) << id;
+      }
+    }
+  });
+}
+
 }  // namespace
 }  // namespace gdi

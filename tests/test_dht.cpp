@@ -84,10 +84,11 @@ TEST(Dht, SingleBucketChainsCorrectly) {
   });
 }
 
-TEST(Dht, HeapExhaustionReportsFailure) {
+TEST(Dht, HeapExhaustionReportsFailureAtShardCap) {
   rma::Runtime rt(1);
   rt.run([&](rma::Rank& self) {
-    auto t = DistributedHashTable::create(self, DhtConfig{16, 8, 0});
+    // max_shards=1 pins the pre-growth fixed-capacity behaviour.
+    auto t = DistributedHashTable::create(self, DhtConfig{16, 8, 0, 1});
     for (std::uint64_t k = 0; k < 8; ++k) EXPECT_TRUE(t->insert(self, k, k));
     EXPECT_FALSE(t->insert(self, 100, 1)) << "heap exhausted";
     EXPECT_TRUE(t->erase(self, 3));
@@ -190,6 +191,271 @@ TEST_P(DhtConcurrency, EntryReuseAcrossRanks) {
     }
     self.barrier();
   });
+}
+
+// ---------------------------------------------------------------------------
+// Shard growth
+// ---------------------------------------------------------------------------
+
+TEST(DhtGrowth, GrowsPastSeedCapacityAndStaysConsistent) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    // 8x the per-shard heap: the seed table failed the 33rd insert here.
+    auto t = DistributedHashTable::create(self, DhtConfig{16, 32, 0, 16});
+    constexpr std::uint64_t kKeys = 8 * 32;
+    for (std::uint64_t k = 0; k < kKeys; ++k)
+      ASSERT_TRUE(t->insert(self, k, k * 3)) << k;
+    EXPECT_GE(t->shard_count(self), 8u);
+    for (std::uint64_t k = 0; k < kKeys; ++k)
+      EXPECT_EQ(t->lookup(self, k), std::optional<std::uint64_t>(k * 3)) << k;
+    EXPECT_EQ(t->live_entries(self, 0), kKeys);
+    // Erase across shards (entries live in whichever shard was newest at
+    // insert time), then re-insert: the key must land findable again.
+    for (std::uint64_t k = 0; k < kKeys; k += 7) EXPECT_TRUE(t->erase(self, k));
+    for (std::uint64_t k = 0; k < kKeys; k += 7)
+      EXPECT_EQ(t->lookup(self, k), std::nullopt) << k;
+    for (std::uint64_t k = 0; k < kKeys; k += 7)
+      EXPECT_TRUE(t->insert(self, k, k + 1));
+    for (std::uint64_t k = 0; k < kKeys; k += 7)
+      EXPECT_EQ(t->lookup(self, k), std::optional<std::uint64_t>(k + 1)) << k;
+  });
+}
+
+TEST(DhtGrowth, LiveEntriesSumsPerShardCounters) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, DhtConfig{8, 8, 0, 32});
+    for (std::uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(t->insert(self, k, k));
+    ASSERT_GT(t->shard_count(self), 1u) << "test requires a grown table";
+    EXPECT_EQ(t->live_entries(self, 0), 100u)
+        << "live count must survive shard growth";
+    for (std::uint64_t k = 0; k < 50; ++k) EXPECT_TRUE(t->erase(self, k));
+    EXPECT_EQ(t->live_entries(self, 0), 50u);
+  });
+}
+
+TEST(DhtGrowth, LookupManySpansShards) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, DhtConfig{4, 16, 5, 16});
+    for (std::uint64_t k = 0; k < 120; ++k) ASSERT_TRUE(t->insert(self, k, k ^ 42));
+    ASSERT_GT(t->shard_count(self), 1u);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 0; k < 150; ++k) keys.push_back(k);  // 120..149 miss
+    auto got = t->lookup_many(self, keys);
+    for (std::uint64_t k = 0; k < 150; ++k)
+      EXPECT_EQ(got[k], t->lookup(self, k)) << k;
+  });
+}
+
+TEST_P(DhtConcurrency, GrowUnderContention) {
+  const int P = GetParam();
+  rma::Runtime rt(P);
+  constexpr std::uint64_t kPerRank = 300;
+  rt.run([&](rma::Rank& self) {
+    // Tiny shards: every rank exhausts its heap repeatedly and races the
+    // shard-directory CAS while other ranks are mid-walk. Allocation only
+    // draws from the newest shard, so the cap must cover the worst-case
+    // interleaving of P ranks each needing kPerRank/entries shards alone.
+    auto t = DistributedHashTable::create(self, DhtConfig{8, 16, 23, 256});
+    const auto base = static_cast<std::uint64_t>(self.id()) * kPerRank;
+    for (std::uint64_t i = 0; i < kPerRank; ++i)
+      EXPECT_TRUE(t->insert(self, base + i, base + i + 1)) << base + i;
+    self.barrier();
+    EXPECT_GT(t->shard_count(self), 1u);
+    // Every rank verifies every other rank's keys (remote shard walks).
+    for (std::uint64_t k = 0; k < kPerRank * static_cast<std::uint64_t>(P); ++k)
+      EXPECT_EQ(t->lookup(self, k), std::optional<std::uint64_t>(k + 1)) << k;
+    self.barrier();
+    if (self.id() == 0) {
+      std::uint64_t live = 0;
+      for (int r = 0; r < P; ++r)
+        live += t->live_entries(self, static_cast<std::uint32_t>(r));
+      EXPECT_EQ(live, kPerRank * static_cast<std::uint64_t>(P));
+    }
+    self.barrier();
+  });
+}
+
+TEST_P(DhtConcurrency, EraseDuringGrowAbaStress) {
+  const int P = GetParam();
+  rma::Runtime rt(P);
+  rt.run([&](rma::Rank& self) {
+    // Tiny shards + erase churn: entries recycle inside the newest shard
+    // while growth keeps moving which shard that is -- stale references from
+    // pre-grow walks must fail their generation-tag checks, never resolve to
+    // another key's value.
+    auto t = DistributedHashTable::create(self, DhtConfig{4, 24, 29, 8});
+    if (self.id() == 0)
+      for (std::uint64_t k = 0; k < 20; ++k)
+        ASSERT_TRUE(t->insert(self, k * 2, k * 2 + 1));  // even = stable
+    self.barrier();
+    const auto base = 10000 + static_cast<std::uint64_t>(self.id()) * 500;
+    for (int round = 0; round < 40; ++round) {
+      std::vector<std::uint64_t> mine;
+      for (std::uint64_t i = 0; i < 12; ++i) {
+        // Capacity-capped inserts may fail once every shard is published and
+        // older shards hold the frees; the ABA property is what's under test.
+        if (t->insert(self, base + i, i)) mine.push_back(base + i);
+      }
+      for (std::uint64_t k = 0; k < 20; ++k) {
+        auto v = t->lookup(self, k * 2);
+        EXPECT_TRUE(v.has_value()) << "stable key vanished";
+        if (v) EXPECT_EQ(*v, k * 2 + 1) << "stable key corrupted";
+      }
+      for (std::uint64_t key : mine) EXPECT_TRUE(t->erase(self, key));
+      for (std::uint64_t key : mine) EXPECT_EQ(t->lookup(self, key), std::nullopt);
+    }
+    self.barrier();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Batched inserts
+// ---------------------------------------------------------------------------
+
+TEST(DhtInsertMany, MatchesSerialInsertVisibility) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto serial = DistributedHashTable::create(self, DhtConfig{32, 64, 3, 8});
+    auto batched = DistributedHashTable::create(self, DhtConfig{32, 64, 3, 8});
+    std::vector<std::uint64_t> keys, vals;
+    for (std::uint64_t k = 0; k < 150; ++k) {  // forces growth in both
+      keys.push_back(k * 11);
+      vals.push_back(k + 1000);
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      ASSERT_TRUE(serial->insert(self, keys[i], vals[i]));
+    auto ok = batched->insert_many(self, keys, vals);
+    for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(ok[i]) << i;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      EXPECT_EQ(batched->lookup(self, keys[i]), serial->lookup(self, keys[i])) << i;
+    EXPECT_EQ(batched->live_entries(self, 0), serial->live_entries(self, 0));
+    // Unknown keys still miss.
+    EXPECT_EQ(batched->lookup(self, 5), std::nullopt);
+  });
+}
+
+TEST(DhtInsertMany, SameBucketBatchMembersAllLand) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    // One bucket: every batch member CASes the same head word; losers must
+    // retry in later rounds until the whole batch is linked.
+    auto t = DistributedHashTable::create(self, DhtConfig{1, 64, 0, 4});
+    std::vector<std::uint64_t> keys, vals;
+    for (std::uint64_t k = 0; k < 40; ++k) {
+      keys.push_back(k);
+      vals.push_back(k * 2);
+    }
+    auto ok = t->insert_many(self, keys, vals);
+    for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(ok[i]) << i;
+    for (std::uint64_t k = 0; k < 40; ++k)
+      EXPECT_EQ(t->lookup(self, k), std::optional<std::uint64_t>(k * 2)) << k;
+    EXPECT_TRUE(t->erase(self, 20));
+    EXPECT_EQ(t->lookup(self, 20), std::nullopt);
+  });
+}
+
+TEST(DhtInsertMany, ReportsCapacityExhaustionPerKey) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, DhtConfig{4, 4, 0, 2});  // cap = 8
+    std::vector<std::uint64_t> keys, vals;
+    for (std::uint64_t k = 0; k < 12; ++k) {
+      keys.push_back(k);
+      vals.push_back(k);
+    }
+    auto ok = t->insert_many(self, keys, vals);
+    std::size_t landed = 0;
+    for (auto f : ok) landed += f;
+    EXPECT_EQ(landed, 8u) << "exactly the shard-cap capacity lands";
+    for (std::uint64_t k = 0; k < 12; ++k)
+      EXPECT_EQ(t->lookup(self, k).has_value(), ok[k] != 0) << k;
+  });
+}
+
+TEST(DhtInsertMany, InsertIfAbsentManySemantics) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, DhtConfig{16, 32, 7, 4});
+    ASSERT_TRUE(t->insert(self, 1, 100));
+    ASSERT_TRUE(t->insert(self, 2, 200));
+    //            present  present  new  new  dup-of-new  new
+    std::vector<std::uint64_t> keys{1, 2, 50, 51, 50, 52};
+    std::vector<std::uint64_t> vals{111, 222, 500, 510, 999, 520};
+    auto ins = t->insert_if_absent_many(self, keys, vals);
+    EXPECT_FALSE(ins[0]);
+    EXPECT_FALSE(ins[1]);
+    EXPECT_TRUE(ins[2]);
+    EXPECT_TRUE(ins[3]);
+    EXPECT_FALSE(ins[4]) << "first occurrence in the batch wins";
+    EXPECT_TRUE(ins[5]);
+    EXPECT_EQ(t->lookup(self, 1), std::optional<std::uint64_t>(100));
+    EXPECT_EQ(t->lookup(self, 50), std::optional<std::uint64_t>(500));
+    EXPECT_EQ(t->lookup(self, 52), std::optional<std::uint64_t>(520));
+    EXPECT_EQ(t->live_entries(self, 0), 5u);
+  });
+}
+
+TEST_P(DhtConcurrency, InsertManyConcurrentWithGrowth) {
+  const int P = GetParam();
+  rma::Runtime rt(P);
+  constexpr std::uint64_t kPerRank = 256;
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, DhtConfig{16, 32, 31, 128});
+    const auto base = static_cast<std::uint64_t>(self.id()) * kPerRank;
+    std::vector<std::uint64_t> keys, vals;
+    for (std::uint64_t i = 0; i < kPerRank; ++i) {
+      keys.push_back(base + i);
+      vals.push_back(base + i + 7);
+    }
+    auto ok = t->insert_many(self, keys, vals);
+    for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(ok[i]) << keys[i];
+    self.barrier();
+    auto got = t->lookup_many(self, keys);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      EXPECT_EQ(got[i], std::optional<std::uint64_t>(vals[i])) << keys[i];
+    // Cross-rank visibility.
+    for (std::uint64_t k = 0; k < kPerRank * static_cast<std::uint64_t>(P);
+         k += 17)
+      EXPECT_EQ(t->lookup(self, k), std::optional<std::uint64_t>(k + 7)) << k;
+    self.barrier();
+  });
+}
+
+// Pinned acceptance: a batch of k inserts must beat k serial inserts on the
+// batched-RMA cost model (ceil(k/Q)*max(alpha) per round vs k serial alpha
+// chains).
+TEST(DhtInsertMany, BeatsSerialInsertOnCostModel) {
+  for (const int P : {1, 4}) {
+    rma::Runtime rt(P, rma::NetParams::xc40());
+    rt.run([&](rma::Rank& self) {
+      constexpr std::uint64_t kKeys = 256;
+      const auto base = static_cast<std::uint64_t>(self.id()) * kKeys;
+      auto serial = DistributedHashTable::create(self, DhtConfig{64, 64, 3, 64});
+      auto batched = DistributedHashTable::create(self, DhtConfig{64, 64, 3, 64});
+      std::vector<std::uint64_t> keys, vals;
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        keys.push_back(base + i);
+        vals.push_back(i);
+      }
+      self.barrier();
+      const double t0 = self.sim_time_ns();
+      for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_TRUE(serial->insert(self, keys[i], vals[i]));
+      const double serial_ns = self.sim_time_ns() - t0;
+      self.barrier();
+      const double t1 = self.sim_time_ns();
+      auto ok = batched->insert_many(self, keys, vals);
+      const double batched_ns = self.sim_time_ns() - t1;
+      for (auto f : ok) EXPECT_TRUE(f);
+      EXPECT_LT(batched_ns, serial_ns)
+          << "P=" << P << ": batched inserts must win on the overlap model";
+      EXPECT_LT(batched_ns, serial_ns / 2)
+          << "P=" << P << ": the win should be substantial, not marginal";
+      self.barrier();
+    });
+  }
 }
 
 }  // namespace

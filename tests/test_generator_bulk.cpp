@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <numeric>
 #include <set>
 
 #include "gdi/gdi.hpp"
@@ -505,6 +506,50 @@ TEST(Bulk, LoadedGraphIsTransactionallyMutable) {
     auto v = r.find_vertex(cfg.num_vertices() + 5);
     EXPECT_TRUE(v.ok());
     EXPECT_EQ(*r.count_edges(*v, DirFilter::kOut), 1u);
+    self.barrier();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Bulk load through DHT shard growth (acceptance: >= 8x entries_per_rank)
+// ---------------------------------------------------------------------------
+
+TEST_P(BulkParam, LoadGrowsDhtPastEightTimesSeedCapacity) {
+  const int P = GetParam();
+  rma::Runtime rt(P);
+  rt.run([&](rma::Rank& self) {
+    const auto cfg = small_graph(9, 4);  // 512 vertices
+    KroneckerGenerator g(cfg, {}, {});
+    const std::uint64_t per_rank =
+        cfg.num_vertices() / static_cast<std::uint64_t>(self.nranks());
+    DatabaseConfig dc;
+    dc.block.block_size = 512;
+    dc.block.blocks_per_rank = (per_rank + 16) * 24;
+    // Provision the DHT at 1/8 of the resident keys: the seed (fixed-
+    // capacity) table failed this load with kOutOfMemory; the sharded table
+    // must absorb it by publishing shards on demand.
+    dc.dht.buckets_per_rank = 64;
+    dc.dht.entries_per_rank = std::max<std::uint64_t>(per_rank / 8, 8);
+    dc.dht.max_shards = 64;
+    dc.index_capacity_per_rank = per_rank + 64;
+    auto db = Database::create(self, dc);
+    const auto slice = g.generate_local(self);
+    BulkLoader loader(db, self);
+    auto stats = loader.load(slice.vertices, slice.edges);
+    EXPECT_TRUE(stats.ok());
+    EXPECT_GE(db->id_index().shard_count(self), 8u)
+        << "the load must have grown the table >= 8x";
+    self.barrier();
+    // Every vertex translates and resolves on every rank.
+    Transaction r(db, self, TxnMode::kRead);
+    std::vector<std::uint64_t> ids(cfg.num_vertices());
+    std::iota(ids.begin(), ids.end(), 0);
+    auto vids = r.translate_vertex_ids(ids);
+    EXPECT_TRUE(vids.ok());
+    if (vids.ok())
+      for (std::size_t i = 0; i < ids.size(); ++i)
+        EXPECT_FALSE((*vids)[i].is_null()) << ids[i];
+    EXPECT_EQ(r.commit(), Status::kOk);
     self.barrier();
   });
 }

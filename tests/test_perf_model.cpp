@@ -83,10 +83,20 @@ TEST(PerfModel, MultiBlockVertexFetchCostsBlockCountGets) {
 TEST(PerfModel, DhtLookupMissOnEmptyBucketIsOneAtomic) {
   rma::Runtime rt(1, rma::NetParams::xc40());
   rt.run([&](rma::Rank& self) {
-    dht::DistributedHashTable t(1, dht::DhtConfig{1024, 128, 1});
+    // Fixed table (max_shards=1): a miss is exactly one AGET of the head.
+    dht::DistributedHashTable t(1, dht::DhtConfig{1024, 128, 1, 1});
     self.reset_counters();
     EXPECT_EQ(t.lookup(self, 12345), std::nullopt);
     EXPECT_EQ(self.counters().atomics, 1u) << "one AGET of the bucket head";
+    EXPECT_EQ(self.counters().gets, 0u);
+
+    // Growable table: a miss additionally confirms the shard directory has
+    // not advanced (one more AGET), the steady-state price of elasticity.
+    dht::DistributedHashTable g(1, dht::DhtConfig{1024, 128, 1, 8});
+    self.reset_counters();
+    EXPECT_EQ(g.lookup(self, 12345), std::nullopt);
+    EXPECT_EQ(self.counters().atomics, 2u)
+        << "bucket-head AGET + shard-directory confirm";
     EXPECT_EQ(self.counters().gets, 0u);
   });
 }

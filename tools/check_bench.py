@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Runs the BENCH_SMOKE=1 benches, parses the JSON blob each bench prints after
+its table, and compares the tracked metrics against the "smoke" sections of
+the committed baseline files (BENCH_pr2.json / BENCH_pr3.json). A tracked
+metric that lands more than --threshold (default 15%) below its baseline
+fails the gate; the merged run report is written to --out for upload as a
+workflow artifact.
+
+All tracked metrics come from the simulated LogGP clock, so they are
+machine-independent; residual variance comes only from thread interleaving
+(lock/CAS retry counts). A metric that regresses on the first run gets one
+re-run, and the better value counts -- a real regression fails twice.
+
+Refresh the baselines after an intentional perf change with:
+    python3 tools/check_bench.py --build-dir build --update-baselines
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def pr2_metrics(parsed):
+    """Tracked metrics of bench_pr2_async_oltp (higher is better)."""
+    out = {}
+    for row in parsed["mixes"]:
+        out[f"{row['mix']}/serial_qps"] = row["serial_qps"]
+        out[f"{row['mix']}/batched_qps"] = row["batched_qps"]
+    return out
+
+
+def pr2_baseline_metrics(smoke):
+    return pr2_metrics(smoke)
+
+
+def pr3_metrics(parsed):
+    """Tracked metrics of bench_pr3_dht_growth (higher is better)."""
+    return {
+        "insert_many_speedup": parsed["insert_many_speedup"],
+        "bulk_load_mvps": parsed["bulk_load_mvps"],
+    }
+
+
+def pr3_baseline_metrics(smoke):
+    return {k: smoke[k] for k in ("insert_many_speedup", "bulk_load_mvps")}
+
+
+BENCHES = [
+    {
+        "bin": "bench_pr2_async_oltp",
+        "baseline": "BENCH_pr2.json",
+        "metrics": pr2_metrics,
+        "baseline_metrics": pr2_baseline_metrics,
+    },
+    {
+        "bin": "bench_pr3_dht_growth",
+        "baseline": "BENCH_pr3.json",
+        "metrics": pr3_metrics,
+        "baseline_metrics": pr3_baseline_metrics,
+    },
+]
+
+
+def run_bench(build_dir, name):
+    exe = pathlib.Path(build_dir) / name
+    if not exe.exists():
+        sys.exit(f"error: bench binary not found: {exe}")
+    env = dict(os.environ, BENCH_SMOKE="1")
+    proc = subprocess.run([str(exe)], capture_output=True, text=True, env=env,
+                          timeout=1800)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(f"error: {name} exited with {proc.returncode}")
+    marker = proc.stdout.find("JSON:")
+    if marker < 0:
+        sys.exit(f"error: {name} printed no JSON blob")
+    blob = proc.stdout[marker + len("JSON:"):]
+    start = blob.find("{")
+    depth = 0
+    for i, ch in enumerate(blob[start:], start):
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                return json.loads(blob[start:i + 1])
+    sys.exit(f"error: unterminated JSON blob from {name}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    ap.add_argument("--out", default="bench_smoke.json",
+                    help="merged run report (workflow artifact)")
+    ap.add_argument("--update-baselines", action="store_true",
+                    help="write fresh metrics into the baseline files' smoke "
+                         "sections instead of gating")
+    ap.add_argument("--baseline-runs", type=int, default=3,
+                    help="runs per bench when updating baselines; the per-"
+                         "metric minimum is recorded so interleaving noise "
+                         "eats into the threshold as little as possible")
+    args = ap.parse_args()
+
+    report = {"threshold": args.threshold, "benches": {}}
+    regressions = []
+
+    for bench in BENCHES:
+        name = bench["bin"]
+        parsed = run_bench(args.build_dir, name)
+        metrics = bench["metrics"](parsed)
+        baseline_path = REPO / bench["baseline"]
+        baseline_doc = json.loads(baseline_path.read_text())
+
+        if args.update_baselines:
+            # Per-metric minimum over several runs: with higher-is-better
+            # metrics, a conservative baseline spends none of the threshold
+            # on interleaving noise while still catching real regressions.
+            for _ in range(max(args.baseline_runs - 1, 0)):
+                extra = bench["metrics"](run_bench(args.build_dir, name))
+                for key, val in extra.items():
+                    metrics[key] = min(metrics[key], val)
+            smoke = baseline_doc.setdefault("smoke", {})
+            if name == "bench_pr2_async_oltp":
+                smoke["mixes"] = [
+                    {"mix": row["mix"],
+                     "serial_qps": metrics[f"{row['mix']}/serial_qps"],
+                     "batched_qps": metrics[f"{row['mix']}/batched_qps"]}
+                    for row in parsed["mixes"]
+                ]
+            else:
+                smoke.update(metrics)
+            baseline_path.write_text(json.dumps(baseline_doc, indent=2) + "\n")
+            print(f"{name}: baselines updated in {baseline_path.name} "
+                  f"(min over {args.baseline_runs} runs)")
+            report["benches"][name] = {"run": metrics, "updated": True}
+            continue
+
+        if "smoke" not in baseline_doc:
+            sys.exit(f"error: {baseline_path.name} has no smoke baselines; "
+                     "run with --update-baselines first")
+        base = bench["baseline_metrics"](baseline_doc["smoke"])
+
+        rows = {}
+        rerun = None
+        for key, base_val in base.items():
+            val = metrics.get(key)
+            if val is None:
+                sys.exit(f"error: {name} run is missing tracked metric {key}")
+            if val < base_val * (1.0 - args.threshold) and rerun is None:
+                # One re-run absorbs interleaving noise; keep the better value.
+                rerun = bench["metrics"](run_bench(args.build_dir, name))
+            if rerun is not None:
+                val = max(val, rerun.get(key, val))
+            ratio = val / base_val if base_val else float("inf")
+            ok = val >= base_val * (1.0 - args.threshold)
+            rows[key] = {"run": val, "baseline": base_val,
+                         "ratio": round(ratio, 4), "ok": ok}
+            status = "ok " if ok else "REGRESSION"
+            print(f"{name:26s} {key:30s} {val:>14.1f} vs {base_val:>14.1f} "
+                  f"({ratio * 100:6.1f}%)  {status}")
+            if not ok:
+                regressions.append(f"{name}: {key} {ratio * 100:.1f}% of baseline")
+        report["benches"][name] = {"metrics": rows, "json": parsed}
+
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nreport written to {args.out}")
+    if regressions:
+        print("\nbench regressions (> {:.0f}% below baseline):".format(
+            args.threshold * 100))
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    print("bench gate: all tracked metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
