@@ -38,7 +38,9 @@ int main() {
       }
 
       gen::LpgConfig g;
-      g.scale = o.scale;
+      // Same smoke clamp setup_db applied: the reference slice must describe
+      // the same vertex range as env.n or Graph500's CSR indexes past it.
+      g.scale = bench_scale(o.scale);
       g.edge_factor = o.edge_factor;
       g.seed = o.seed;
       gen::KroneckerGenerator kg(g, {}, {});

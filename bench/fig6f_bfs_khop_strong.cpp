@@ -28,7 +28,9 @@ int main() {
       add("BFS", "GDA/XC50", bfs.sim_time_ns);
 
       gen::LpgConfig g;
-      g.scale = o.scale;
+      // Same smoke clamp setup_db applied (see fig6e): slice ids must stay
+      // inside env.n.
+      g.scale = bench_scale(o.scale);
       g.edge_factor = o.edge_factor;
       g.seed = o.seed;
       gen::KroneckerGenerator kg(g, {}, {});

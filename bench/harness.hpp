@@ -51,6 +51,7 @@ struct SetupOpts {
   bool with_index = true;
   bool batched_reads = true;  ///< nonblocking batch engine on read hot paths
   bool block_cache = true;    ///< per-transaction read-through block cache
+  bool shared_cache = true;   ///< shared version-validated holder cache (PR 4)
 };
 
 /// BENCH_SMOKE=1 shrinks every bench to a seconds-long CI smoke run: tiny
@@ -87,6 +88,7 @@ inline LoadedDb setup_db(rma::Rank& self, const SetupOpts& opts) {
   DatabaseConfig c;
   c.batched_reads = o.batched_reads;
   c.block_cache = o.block_cache;
+  c.shared_cache = o.shared_cache;
   c.block.block_size = o.block_size;
   const auto per_rank = out.n / static_cast<std::uint64_t>(self.nranks()) + 64;
   // Generous pool: holders + growth + OLTP inserts.

@@ -68,13 +68,17 @@ std::uint64_t BlockStore::allocated_count(rma::Rank& self, std::uint32_t target)
   return system_.atomic_get_u64(self, target, kCountOffset);
 }
 
-bool BlockStore::try_read_lock(rma::Rank& self, DPtr blk, int attempts) {
+bool BlockStore::try_read_lock(rma::Rank& self, DPtr blk, int attempts,
+                               std::uint64_t* word_out) {
   const std::uint64_t off = lock_offset(block_index(blk));
   std::uint64_t old = system_.atomic_get_u64(self, blk.rank(), off);
   for (int i = 0; i < attempts; ++i) {
     if (old & kWriteBit) return false;  // writer present
     const std::uint64_t seen = system_.cas_u64(self, blk.rank(), off, old, old + 1);
-    if (seen == old) return true;
+    if (seen == old) {
+      if (word_out != nullptr) *word_out = old;
+      return true;
+    }
     old = seen;  // raced with another reader/writer; re-examine
   }
   return false;
@@ -85,10 +89,16 @@ void BlockStore::read_unlock(rma::Rank& self, DPtr blk) {
   (void)system_.faa_u64(self, blk.rank(), off, -1);
 }
 
-std::vector<std::uint8_t> BlockStore::try_read_lock_many(rma::Rank& self,
-                                                         std::span<const DPtr> blks,
-                                                         int attempts) {
+void BlockStore::read_unlock_nb(rma::Rank& self, DPtr blk) {
+  const std::uint64_t off = lock_offset(block_index(blk));
+  (void)system_.faa_u64_nb(self, blk.rank(), off, -1);
+}
+
+std::vector<std::uint8_t> BlockStore::try_read_lock_many(
+    rma::Rank& self, std::span<const DPtr> blks, int attempts,
+    std::vector<std::uint64_t>* words_out) {
   std::vector<std::uint8_t> got(blks.size(), 0);
+  if (words_out != nullptr) words_out->assign(blks.size(), 0);
   struct Pending {
     std::size_t i;
     std::uint64_t expected;  ///< last observed lock word (optimistically 0)
@@ -108,6 +118,7 @@ std::vector<std::uint8_t> BlockStore::try_read_lock_many(rma::Rank& self,
     for (const auto& p : pend) {
       if (p.prev == p.expected) {
         got[p.i] = 1;
+        if (words_out != nullptr) (*words_out)[p.i] = p.prev;
       } else if ((p.prev & kWriteBit) == 0) {
         next.push_back({p.i, p.prev});  // raced with a reader; retry
       }
@@ -124,6 +135,7 @@ std::vector<std::uint8_t> BlockStore::try_write_lock_many(rma::Rank& self,
   std::vector<std::uint8_t> got(blks.size(), 0);
   struct Pending {
     std::size_t i;
+    std::uint64_t expected = 0;  ///< free word we bid on (version learned from prev)
     std::uint64_t prev = 0;
   };
   std::vector<Pending> pend;
@@ -132,14 +144,16 @@ std::vector<std::uint8_t> BlockStore::try_write_lock_many(rma::Rank& self,
   for (int round = 0; round < attempts && !pend.empty(); ++round) {
     for (auto& p : pend) {
       const DPtr b = blks[p.i];
-      (void)system_.cas_u64_nb(self, b.rank(), lock_offset(block_index(b)), 0, kWriteBit,
-                               &p.prev);
+      (void)system_.cas_u64_nb(self, b.rank(), lock_offset(block_index(b)), p.expected,
+                               p.expected | kWriteBit, &p.prev);
     }
     (void)self.flush_all();
     std::vector<Pending> next;
     for (const auto& p : pend) {
-      if (p.prev == 0) got[p.i] = 1;
-      else next.push_back({p.i});  // still held; retry next round
+      if (p.prev == p.expected) got[p.i] = 1;
+      // Free at another version / momentarily held: bid on the free form of
+      // the word we just observed next round.
+      else next.push_back({p.i, version_of(p.prev)});
     }
     pend = std::move(next);
   }
@@ -148,17 +162,97 @@ std::vector<std::uint8_t> BlockStore::try_write_lock_many(rma::Rank& self,
 
 bool BlockStore::try_write_lock(rma::Rank& self, DPtr blk) {
   const std::uint64_t off = lock_offset(block_index(blk));
-  return system_.cas_u64(self, blk.rank(), off, 0, kWriteBit) == 0;
+  const std::uint64_t prev = system_.cas_u64(self, blk.rank(), off, 0, kWriteBit);
+  if (prev == 0) return true;  // fresh block: one CAS, the pre-version cost
+  if ((prev & (kWriteBit | kReadMask)) != 0) return false;  // held
+  // Free at a nonzero version: one more CAS applies the learned version.
+  return system_.cas_u64(self, blk.rank(), off, prev, prev | kWriteBit) == prev;
 }
 
 bool BlockStore::try_upgrade_lock(rma::Rank& self, DPtr blk) {
   const std::uint64_t off = lock_offset(block_index(blk));
-  return system_.cas_u64(self, blk.rank(), off, 1, kWriteBit) == 1;
+  const std::uint64_t prev = system_.cas_u64(self, blk.rank(), off, 1, kWriteBit);
+  if (prev == 1) return true;
+  if ((prev & (kWriteBit | kReadMask)) != 1) return false;  // not the sole reader
+  // Sole reader at a nonzero version: clear our read count, set the bit.
+  return system_.cas_u64(self, blk.rank(), off, prev, (prev - 1) | kWriteBit) == prev;
+}
+
+std::vector<std::uint8_t> BlockStore::try_upgrade_many(rma::Rank& self,
+                                                       std::span<const DPtr> blks,
+                                                       int attempts) {
+  std::vector<std::uint8_t> got(blks.size(), 0);
+  struct Pending {
+    std::size_t i;
+    std::uint64_t expected = 1;  ///< sole-reader word we bid on
+    std::uint64_t prev = 0;
+  };
+  std::vector<Pending> pend;
+  pend.reserve(blks.size());
+  for (std::size_t i = 0; i < blks.size(); ++i) pend.push_back({i});
+  for (int round = 0; round < attempts && !pend.empty(); ++round) {
+    for (auto& p : pend) {
+      const DPtr b = blks[p.i];
+      (void)system_.cas_u64_nb(self, b.rank(), lock_offset(block_index(b)), p.expected,
+                               (p.expected - 1) | kWriteBit, &p.prev);
+    }
+    (void)self.flush_all();
+    std::vector<Pending> next;
+    for (const auto& p : pend) {
+      if (p.prev == p.expected) {
+        got[p.i] = 1;
+      } else if ((p.prev & kWriteBit) == 0) {
+        // Other readers still present (or a version we had not seen): keep
+        // bidding on the sole-reader form; they may drain within `attempts`.
+        next.push_back({p.i, version_of(p.prev) | 1});
+      }
+      // A raced-in writer is impossible while we hold a read lock; a write
+      // bit here means protocol abuse, give up like try_upgrade_lock would.
+    }
+    pend = std::move(next);
+  }
+  return got;
 }
 
 void BlockStore::write_unlock(rma::Rank& self, DPtr blk) {
   const std::uint64_t off = lock_offset(block_index(blk));
-  system_.atomic_put_u64(self, blk.rank(), off, 0);
+  // +1 version, -write_bit in one FAA: releases the lock and publishes "the
+  // bytes behind this word changed" to every cached copy in the system.
+  const std::uint64_t prev = system_.faa_u64(self, blk.rank(), off,
+                                             static_cast<std::int64_t>(kWriteUnlockDelta));
+  // Version wrap: the increment's carry landed in the write bit, so the word
+  // now reads as write-locked by nobody -- and since it does, no agent can
+  // have touched it, making it still effectively ours to repair. One extra
+  // atomic every 2^31 releases of one block.
+  if (version_of(prev) == kVersionMask) [[unlikely]]
+    system_.atomic_put_u64(self, blk.rank(), off, 0);
+}
+
+void BlockStore::write_unlock_nb(rma::Rank& self, DPtr blk) {
+  const std::uint64_t off = lock_offset(block_index(blk));
+  std::uint64_t prev = 0;
+  (void)system_.faa_u64_nb(self, blk.rank(), off,
+                           static_cast<std::int64_t>(kWriteUnlockDelta), &prev);
+  if (version_of(prev) == kVersionMask) [[unlikely]]
+    (void)system_.atomic_put_u64_nb(self, blk.rank(), off, 0);
+}
+
+void BlockStore::peek_lock_words(rma::Rank& self, std::span<const DPtr> blks,
+                                 std::span<std::uint64_t> out, bool batched) {
+  assert(out.size() == blks.size());
+  if (batched && blks.size() > 1) {
+    for (std::size_t i = 0; i < blks.size(); ++i) {
+      const DPtr b = blks[i];
+      (void)system_.atomic_get_u64_nb(self, b.rank(), lock_offset(block_index(b)),
+                                      &out[i]);
+    }
+    (void)self.flush_all();
+    return;
+  }
+  for (std::size_t i = 0; i < blks.size(); ++i) {
+    const DPtr b = blks[i];
+    out[i] = system_.atomic_get_u64(self, b.rank(), lock_offset(block_index(b)));
+  }
 }
 
 std::uint64_t BlockStore::lock_word(rma::Rank& self, DPtr blk) {

@@ -98,9 +98,27 @@ class BlockStore {
   // --- per-vertex reader/writer locks (paper Section 5.6) -------------------
   //
   // One lock word per block; only primary blocks of holders are locked. The
-  // word is `(write_bit << 63) | read_counter`.
+  // word packs three fields:
+  //   `(write_bit << 63) | (version << 32) | read_counter`
+  // The 31-bit *version* counts completed write critical sections: every
+  // write_unlock bumps it by one. Readers CAS the low counter and leave the
+  // version untouched, so a reader that acquired the word at version v and
+  // later re-observes version v knows the block bytes cannot have changed in
+  // between -- the validation rule of the shared block cache (src/cache/).
+  // The version wraps after 2^31 writes to one block (write_unlock repairs
+  // the increment's carry with one extra atomic at the wrap point); a
+  // wrap-around ABA needs exactly 2^31 commits between two validations of
+  // one cache entry, which we accept (and the entry-count bound makes even
+  // less likely).
+  //
+  // Fresh blocks have version 0, so first-acquisition costs are unchanged; a
+  // previously-written block costs one extra CAS on the write/upgrade paths
+  // (the first CAS learns the version, the second applies it).
 
-  [[nodiscard]] bool try_read_lock(rma::Rank& self, DPtr blk, int attempts = 16);
+  /// On success, *word_out (if non-null) receives the lock word observed just
+  /// before our CAS -- its version bits date the acquired read lock.
+  [[nodiscard]] bool try_read_lock(rma::Rank& self, DPtr blk, int attempts = 16,
+                                   std::uint64_t* word_out = nullptr);
   void read_unlock(rma::Rank& self, DPtr blk);
   [[nodiscard]] bool try_write_lock(rma::Rank& self, DPtr blk);
   /// Batched lock acquisition: one nonblocking CAS per lock word per round,
@@ -109,19 +127,55 @@ class BlockStore {
   /// round-trips. result[i] == 1 iff blks[i] was acquired. Per-word semantics
   /// are identical to the blocking try_*_lock calls (a visible writer makes a
   /// read-lock attempt give up immediately; contended words retry up to
-  /// `attempts` rounds).
+  /// `attempts` rounds). words_out (if non-null) is resized to blks.size();
+  /// words_out[i] receives the word observed before the winning CAS for
+  /// acquired locks (undefined for failures).
   [[nodiscard]] std::vector<std::uint8_t> try_read_lock_many(
-      rma::Rank& self, std::span<const DPtr> blks, int attempts = 16);
+      rma::Rank& self, std::span<const DPtr> blks, int attempts = 16,
+      std::vector<std::uint64_t>* words_out = nullptr);
   [[nodiscard]] std::vector<std::uint8_t> try_write_lock_many(
       rma::Rank& self, std::span<const DPtr> blks, int attempts = 16);
   /// Upgrade a held read lock to a write lock (succeeds only if this is the
   /// sole reader and no writer raced in).
   [[nodiscard]] bool try_upgrade_lock(rma::Rank& self, DPtr blk);
+  /// Batched read->write upgrades: one nonblocking CAS per word per round
+  /// (sole-reader semantics per word, identical to try_upgrade_lock), each
+  /// round completed by one flush_all. Used by BatchScope when write ops
+  /// re-touch vertices the batch already read-locked.
+  [[nodiscard]] std::vector<std::uint8_t> try_upgrade_many(
+      rma::Rank& self, std::span<const DPtr> blks, int attempts = 16);
   void write_unlock(rma::Rank& self, DPtr blk);
+  /// Nonblocking unlocks: the atomic joins the rank's pending batch and
+  /// completes (cost-wise) at the next flush_all. Release order is irrelevant
+  /// to other agents -- a racing CAS that lands before the unlock simply
+  /// retries -- so commit/abort fire these and let the next completion point
+  /// absorb the round, instead of paying one serial latency per held lock.
+  void read_unlock_nb(rma::Rank& self, DPtr blk);
+  void write_unlock_nb(rma::Rank& self, DPtr blk);
+  /// Batched 8-byte lock-word peeks: with `batched` one nonblocking atomic
+  /// per word completed by a single flush_all, otherwise one blocking atomic
+  /// each. out[i] receives blks[i]'s word. The shared block cache rides this
+  /// to validate lock-free (kReadShared) hits and to bracket lock-free fills.
+  void peek_lock_words(rma::Rank& self, std::span<const DPtr> blks,
+                       std::span<std::uint64_t> out, bool batched);
   /// Raw lock word (tests/diagnostics).
   [[nodiscard]] std::uint64_t lock_word(rma::Rank& self, DPtr blk);
 
   static constexpr std::uint64_t kWriteBit = std::uint64_t{1} << 63;
+  static constexpr int kVersionShift = 32;
+  static constexpr std::uint64_t kReadMask = (std::uint64_t{1} << kVersionShift) - 1;
+  static constexpr std::uint64_t kVersionMask = ~(kWriteBit | kReadMask);
+  /// write_unlock = one FAA of this delta: +1 version, -write_bit. The writer
+  /// holds the word at `version | write_bit` with zero readers (readers never
+  /// join while the bit is set), so the add carries no surprises.
+  static constexpr std::uint64_t kWriteUnlockDelta =
+      (std::uint64_t{1} << kVersionShift) - kWriteBit;
+  [[nodiscard]] static constexpr std::uint64_t version_of(std::uint64_t word) {
+    return word & kVersionMask;
+  }
+  [[nodiscard]] static constexpr bool write_locked(std::uint64_t word) {
+    return (word & kWriteBit) != 0;
+  }
 
   /// Data-window object for direct holder IO by higher layers.
   [[nodiscard]] rma::Window& data_window() { return data_; }

@@ -1,0 +1,49 @@
+#include "cache/shared_cache.hpp"
+
+namespace gdi::cache {
+
+void SharedBlockCache::insert(DPtr primary, std::span<const std::byte> buf,
+                              std::uint64_t version, bool is_edge) {
+  if (cfg_.max_entries == 0) return;
+  Entry& e = map_[primary.raw()];
+  e.buf.assign(buf.begin(), buf.end());
+  e.version = version;
+  e.is_edge = is_edge;
+  e.seq = ++next_seq_;
+  fifo_.emplace_back(primary.raw(), e.seq);
+  while (map_.size() > cfg_.max_entries && !fifo_.empty()) {
+    const auto [key, seq] = fifo_.front();
+    fifo_.pop_front();
+    auto it = map_.find(key);
+    // Skip pairs whose entry was refreshed (newer seq) or already erased.
+    if (it != map_.end() && it->second.seq == seq) map_.erase(it);
+  }
+  // Stale pairs from refreshes/invalidations accumulate without crossing the
+  // eviction threshold; sweep them once they dominate the deque.
+  if (fifo_.size() > 4 * cfg_.max_entries) {
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> live;
+    for (const auto& [key, seq] : fifo_) {
+      auto it = map_.find(key);
+      if (it != map_.end() && it->second.seq == seq) live.emplace_back(key, seq);
+    }
+    fifo_ = std::move(live);
+  }
+}
+
+bool SharedBlockCache::erase(DPtr primary) { return map_.erase(primary.raw()) > 0; }
+
+void SharedBlockCache::remember_translation(std::uint64_t app_id, DPtr vid) {
+  if (cfg_.max_entries == 0 || vid.is_null()) return;
+  auto [it, fresh] = xlate_.try_emplace(app_id, vid);
+  if (!fresh) {
+    it->second = vid;  // refreshed in place; FIFO slot stays
+    return;
+  }
+  xlate_fifo_.push_back(app_id);
+  while (xlate_.size() > cfg_.max_entries && !xlate_fifo_.empty()) {
+    xlate_.erase(xlate_fifo_.front());
+    xlate_fifo_.pop_front();
+  }
+}
+
+}  // namespace gdi::cache

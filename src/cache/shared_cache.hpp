@@ -1,0 +1,115 @@
+// Shared version-validated block cache (the inter-transaction cache of the
+// ROADMAP): a process-wide, read-mostly cache of *assembled holders* that
+// survives across transactions.
+//
+// Each entry is keyed by the holder's primary-block DPtr and stores the
+// holder's flat buffer (primary + continuation blocks, exactly the bytes a
+// fetch would assemble) stamped with the *version* field of the primary's
+// lock word at fill time (see BlockStore: bits 32..62 of the lock word count
+// completed write critical sections). Validation is the whole protocol:
+//
+//   * fill under a read lock: the bytes cannot change while the lock is
+//     held, so the version observed by the lock-acquisition CAS dates the
+//     snapshot exactly;
+//   * fill without a lock (kReadShared): bracket the block reads with two
+//     lock-word peeks; cache only if both peeks agree on the version and
+//     neither shows the write bit (seqlock discipline);
+//   * hit under a read lock: free -- the acquisition CAS already observed
+//     the current word; version equal to the stamp proves no writer
+//     completed since the fill, so the cached bytes are the bytes a fetch
+//     would return *under this very lock* (kRead serializability is
+//     untouched);
+//   * hit without a lock: one 8-byte lock-word peek (batched through the
+//     nonblocking engine) replaces the holder's block fetches;
+//   * any write intent on a holder bypasses the cache and invalidates its
+//     entry; local commit writeback and deletion invalidate too. Remote
+//     writers need no notification: their write_unlock bumps the version,
+//     so the next validation misses.
+//
+// The cache is *per process* (per rank): in the target deployment each rank
+// is a process with private memory, so rank r's cache must not serve rank s
+// -- Database owns one instance per rank and hands each rank its own. One
+// rank's transactions are sequential, so the cache needs no synchronization.
+//
+// Entries are evicted FIFO beyond `max_entries` (refreshing an entry re-arms
+// its slot). An entry never expires by time: it is as fresh as its last
+// validation, which is the point of stamping versions instead of clocks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dptr.hpp"
+
+namespace gdi::cache {
+
+struct SharedCacheConfig {
+  std::size_t max_entries = 4096;  ///< holders kept per rank (FIFO beyond)
+};
+
+class SharedBlockCache {
+ public:
+  struct Entry {
+    std::vector<std::byte> buf;   ///< assembled holder bytes (all blocks)
+    std::uint64_t version = 0;    ///< lock-word version bits at fill time
+    bool is_edge = false;         ///< EdgeView holder (vs VertexView)
+    std::uint64_t seq = 0;        ///< internal: FIFO re-arm stamp
+  };
+
+  explicit SharedBlockCache(SharedCacheConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Entry for `primary`, or nullptr. The caller owns validating the stamp
+  /// against a freshly observed lock word before trusting the bytes.
+  [[nodiscard]] const Entry* find(DPtr primary) const {
+    auto it = map_.find(primary.raw());
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Insert or refresh the holder snapshot for `primary`.
+  void insert(DPtr primary, std::span<const std::byte> buf, std::uint64_t version,
+              bool is_edge);
+
+  /// Drop `primary`'s entry (write intent / writeback / observed remote
+  /// change). Returns true if an entry existed.
+  bool erase(DPtr primary);
+
+  // --- application-ID translation memo --------------------------------------
+  //
+  // app id -> holder primary DPtr, remembered from successful find()s. The
+  // memo is *not* self-validating: a consumer must fetch the named holder
+  // and compare its stored app id against the query -- which is precisely
+  // find_vertex's existing stale-DHT guard -- and fall back to the real DHT
+  // lookup on any mismatch or invalid holder. A stale memo therefore costs
+  // one wasted fetch, never a wrong answer; a fresh one saves the whole DHT
+  // chain walk, the last cold segment a warm point read still paid.
+  [[nodiscard]] DPtr find_translation(std::uint64_t app_id) const {
+    auto it = xlate_.find(app_id);
+    return it == xlate_.end() ? DPtr{} : it->second;
+  }
+  void remember_translation(std::uint64_t app_id, DPtr vid);
+  void forget_translation(std::uint64_t app_id) { xlate_.erase(app_id); }
+
+  void clear() {
+    map_.clear();
+    fifo_.clear();
+    xlate_.clear();
+    xlate_fifo_.clear();
+  }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t max_entries() const { return cfg_.max_entries; }
+
+ private:
+  SharedCacheConfig cfg_;
+  std::unordered_map<std::uint64_t, Entry> map_;
+  /// Eviction order; stale (key, seq) pairs of refreshed/erased entries are
+  /// skipped lazily at eviction time.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> fifo_;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<std::uint64_t, DPtr> xlate_;
+  std::deque<std::uint64_t> xlate_fifo_;
+};
+
+}  // namespace gdi::cache

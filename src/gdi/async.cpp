@@ -16,11 +16,14 @@ bool BatchScope::Op::resolved() const {
     case Kind::kFind:
     case Kind::kCreate:
     case Kind::kAssociate: return f_vh->ready;
+    case Kind::kAssocEdge: return f_eh->ready;
     case Kind::kPeek: return f_u64->ready;
     case Kind::kEdges: return f_edges->ready;
-    case Kind::kGetProps: return f_props->ready;
+    case Kind::kGetProps:
+    case Kind::kEdgeProps: return f_props->ready;
     case Kind::kSetProp: return f_done->ready;
-    case Kind::kPrefetch: return hint_done;
+    case Kind::kPrefetch:
+    case Kind::kPrefetchEdge: return hint_done;
   }
   return true;
 }
@@ -35,6 +38,7 @@ void BatchScope::Op::resolve_status(Status s) {
   };
   set(f_vid);
   set(f_vh);
+  set(f_eh);
   set(f_u64);
   set(f_edges);
   set(f_props);
@@ -129,6 +133,28 @@ Future<std::monostate> BatchScope::set_property(DPtr vid, std::uint32_t ptype,
   return fut;
 }
 
+Future<EdgeHandle> BatchScope::associate_edge(DPtr eid) {
+  ops_.emplace_back();
+  Op& op = ops_.back();
+  op.kind = Op::Kind::kAssocEdge;
+  op.vid = eid;  // vid doubles as the holder DPtr for edge ops
+  op.f_eh = std::make_shared<detail::FutureState<EdgeHandle>>();
+  Future<EdgeHandle> f(op.f_eh);
+  return f;
+}
+
+Future<std::vector<PropValue>> BatchScope::get_edge_properties(DPtr eid,
+                                                               std::uint32_t ptype) {
+  ops_.emplace_back();
+  Op& op = ops_.back();
+  op.kind = Op::Kind::kEdgeProps;
+  op.vid = eid;
+  op.ptype = ptype;
+  op.f_props = std::make_shared<detail::FutureState<std::vector<PropValue>>>();
+  Future<std::vector<PropValue>> fut(op.f_props);
+  return fut;
+}
+
 void BatchScope::prefetch(DPtr vid) {
   ops_.emplace_back();
   Op& op = ops_.back();
@@ -139,6 +165,16 @@ void BatchScope::prefetch(DPtr vid) {
 void BatchScope::prefetch(std::span<const DPtr> vids) {
   ops_.reserve(ops_.size() + vids.size());
   for (DPtr v : vids) prefetch(v);
+}
+
+void BatchScope::prefetch_edges(std::span<const DPtr> eids) {
+  ops_.reserve(ops_.size() + eids.size());
+  for (DPtr e : eids) {
+    ops_.emplace_back();
+    Op& op = ops_.back();
+    op.kind = Op::Kind::kPrefetchEdge;
+    op.vid = e;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -163,10 +199,23 @@ Status BatchScope::execute() {
 
   // Phase 1: ID translation -- one DHT multi-lookup for every translate/find,
   // and for every create's existence check (a create *expects* a miss).
+  // find() consults the shared cache's translation memo first: a memo hit
+  // skips the DHT walk entirely, because find's own holder validation
+  // (fetched app id must equal the queried one) already proves or refutes
+  // the translation -- refuted ones fall back to the DHT in phase 4.5.
   {
+    auto* sc = t.scache();
     std::vector<std::uint64_t> app_ids;
     std::vector<std::size_t> pos;
     for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind == Op::Kind::kFind && sc != nullptr) {
+        const DPtr memo = sc->find_translation(ops[i].app_id);
+        if (!memo.is_null()) {
+          ops[i].vid = memo;
+          ops[i].memo_translated = true;
+          continue;
+        }
+      }
       if (ops[i].kind == Op::Kind::kTranslate || ops[i].kind == Op::Kind::kFind ||
           ops[i].kind == Op::Kind::kCreate) {
         app_ids.push_back(ops[i].app_id);
@@ -240,7 +289,10 @@ Status BatchScope::execute() {
       case Op::Kind::kTranslate:
       case Op::Kind::kCreate:
       case Op::Kind::kPeek:
-        break;  // no holder needed
+      case Op::Kind::kAssocEdge:
+      case Op::Kind::kEdgeProps:
+      case Op::Kind::kPrefetchEdge:
+        break;  // no vertex holder needed (edge ops batch in phase 3.5)
     }
   }
 
@@ -264,14 +316,84 @@ Status BatchScope::execute() {
     return doom;
   }
 
+  // Phase 3.5: heavy-edge holders. Explicit edge ops know their holder up
+  // front; constraint-filtered edges_of ops contribute the heavy holders of
+  // every direction-matching record of their now-materialized vertex (the
+  // records a serial edges_of would have locked-and-fetched one by one).
+  // One fetch_edges_batch gives the whole set one overlapped lock round and
+  // one primary + one continuation block round.
+  std::vector<Transaction::EdgeFetchSpec> especs;
+  std::vector<std::size_t> op_espec(ops.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    Op& op = ops[i];
+    if (op.resolved()) continue;
+    switch (op.kind) {
+      case Op::Kind::kAssocEdge:
+      case Op::Kind::kEdgeProps:
+        if (op.vid.is_null()) {
+          op.resolve_status(Status::kInvalidArgument);
+          break;
+        }
+        op_espec[i] = especs.size();
+        especs.push_back({op.vid, /*write=*/false, /*required=*/true});
+        break;
+      case Op::Kind::kPrefetchEdge:
+        // Hints are soft and never carry a future; kWrite ignores them for
+        // the same reason it ignores vertex hints (speculative read locks
+        // would poison later upgrades).
+        if (!op.vid.is_null() && t.mode_ != TxnMode::kWrite)
+          especs.push_back({op.vid, /*write=*/false, /*required=*/false});
+        op.hint_done = true;
+        break;
+      case Op::Kind::kEdges: {
+        if (op.cnstr == nullptr || op.cnstr->empty()) break;
+        const std::size_t s = op_spec[i];
+        if (s != SIZE_MAX && !ok(per[s])) break;  // vertex itself failed
+        auto vit = t.vcache_.find(op.vid.raw());
+        if (vit == t.vcache_.end()) break;
+        vit->second->view.for_each_edge(
+            [&](std::uint32_t, const layout::EdgeRecord& rec) {
+              if (rec.heavy.is_null() || !dir_matches(op.filter, rec.dir)) return;
+              if (t.ecache_.contains(rec.heavy.raw())) return;
+              especs.push_back({rec.heavy, /*write=*/false, /*required=*/true});
+            });
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (!especs.empty()) {
+    std::vector<Status> eper(especs.size(), Status::kOk);
+    const Status edoom = t.fetch_edges_batch(
+        especs, std::span<Status>(eper.data(), eper.size()));
+    if (!ok(edoom)) {
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].resolved()) continue;
+        const std::size_t s = op_espec[i];
+        if (s != SIZE_MAX && !ok(eper[s])) ops[i].resolve_status(eper[s]);
+        else ops[i].resolve_status(Status::kTxnAborted);
+      }
+      return edoom;
+    }
+    // Soft per-holder failures (e.g. a racing delete) fail only the explicit
+    // edge ops that named the holder; edges_of ops just skip the record.
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const std::size_t s = op_espec[i];
+      if (s != SIZE_MAX && !ops[i].resolved() && !ok(eper[s]))
+        ops[i].resolve_status(eper[s]);
+    }
+  }
+
   // Phase 4: resolution, in enqueue order. Holder-based ops are now local
-  // (vcache_/block-cache hits); app-ID peeks that miss queue up for one final
-  // overlapped 8-byte batch.
+  // (vcache_/ecache_/block-cache hits); app-ID peeks that miss queue up for
+  // one final overlapped 8-byte batch.
   struct PendingPeek {
     std::size_t op;
     std::uint64_t id = 0;
   };
   std::vector<PendingPeek> peeks;
+  std::vector<std::size_t> memo_fallback;  ///< finds whose memo vid was refuted
   Status final_status = Status::kOk;
   for (std::size_t i = 0; i < ops.size(); ++i) {
     Op& op = ops[i];
@@ -285,20 +407,33 @@ Status BatchScope::execute() {
     }
     const std::size_t s = op_spec[i];
     if (s != SIZE_MAX && !ok(per[s])) {
-      op.resolve_status(per[s]);
+      // A memo-translated find whose holder failed softly (deleted or
+      // recycled block) retries through the real DHT in phase 4.5; anything
+      // else reports here.
+      if (op.kind == Op::Kind::kFind && op.memo_translated &&
+          !is_transaction_critical(per[s]))
+        memo_fallback.push_back(i);
+      else
+        op.resolve_status(per[s]);
       continue;
     }
     switch (op.kind) {
       case Op::Kind::kFind: {
         // Stale-DHT guard (the blocking find_vertex's app-id check): the
-        // holder we fetched must actually be the vertex we looked up.
+        // holder we fetched must actually be the vertex we looked up. The
+        // same check is what makes memo translations safe to trust.
         auto it = t.vcache_.find(op.vid.raw());
         assert(it != t.vcache_.end());
         if (it->second->view.app_id() != op.app_id) {
-          op.resolve_status(Status::kNotFound);
+          if (op.memo_translated) {
+            memo_fallback.push_back(i);
+          } else {
+            op.resolve_status(Status::kNotFound);
+          }
         } else {
           op.f_vh->value = VertexHandle{op.vid};
           op.resolve_status(Status::kOk);
+          if (auto* sc = t.scache()) sc->remember_translation(op.app_id, op.vid);
         }
         break;
       }
@@ -347,19 +482,92 @@ Status BatchScope::execute() {
         }
         break;
       }
+      case Op::Kind::kAssocEdge:
+        op.f_eh->value = EdgeHandle{op.vid};
+        op.resolve_status(Status::kOk);
+        break;
+      case Op::Kind::kEdgeProps: {
+        auto r = t.get_edge_properties(EdgeHandle{op.vid}, op.ptype);
+        if (r.ok()) op.f_props->value = std::move(r.value());
+        op.resolve_status(r.status());
+        if (is_transaction_critical(r.status())) final_status = r.status();
+        break;
+      }
       case Op::Kind::kTranslate:
       case Op::Kind::kPrefetch:
+      case Op::Kind::kPrefetchEdge:
         break;
+    }
+  }
+
+  if (!ok(final_status)) {
+    for (auto& p : peeks) ops[p.op].resolve_status(Status::kTxnAborted);
+    for (std::size_t i : memo_fallback) ops[i].resolve_status(Status::kTxnAborted);
+    return final_status;
+  }
+
+  // Phase 4.5: DHT fallback for refuted memo translations (the id was
+  // deleted, or relocated by a delete + re-create). Rare by construction:
+  // costs one real multi-lookup plus one fetch round for just the refuted
+  // subset, and re-teaches the memo on success.
+  if (!memo_fallback.empty()) {
+    auto* sc = t.scache();
+    std::vector<std::uint64_t> ids;
+    ids.reserve(memo_fallback.size());
+    for (std::size_t i : memo_fallback) {
+      if (sc != nullptr) sc->forget_translation(ops[i].app_id);
+      ids.push_back(ops[i].app_id);
+    }
+    auto vids = t.translate_ids_impl(ids);
+    if (!vids.ok()) {
+      for (std::size_t i : memo_fallback) ops[i].resolve_status(vids.status());
+      for (auto& p : peeks) ops[p.op].resolve_status(Status::kTxnAborted);
+      return vids.status();
+    }
+    std::vector<Transaction::FetchSpec> fspecs;
+    std::vector<std::size_t> fmap;
+    for (std::size_t j = 0; j < memo_fallback.size(); ++j) {
+      Op& op = ops[memo_fallback[j]];
+      const DPtr v = (*vids)[j];
+      // Null: the id is gone. Equal to the refuted holder: the DHT agrees
+      // with the memo, so the blocking path would report the same miss.
+      if (v.is_null() || v == op.vid) {
+        op.resolve_status(Status::kNotFound);
+        continue;
+      }
+      op.vid = v;
+      fmap.push_back(memo_fallback[j]);
+      fspecs.push_back({v, /*write=*/false, /*required=*/true});
+    }
+    if (!fspecs.empty()) {
+      std::vector<Status> fper(fspecs.size(), Status::kOk);
+      const Status fdoom =
+          t.fetch_vertices_batch(fspecs, std::span<Status>(fper.data(), fper.size()));
+      for (std::size_t k = 0; k < fmap.size(); ++k) {
+        Op& op = ops[fmap[k]];
+        if (!ok(fper[k])) {
+          op.resolve_status(fper[k]);
+          continue;
+        }
+        auto it = t.vcache_.find(op.vid.raw());
+        if (it == t.vcache_.end() || it->second->view.app_id() != op.app_id) {
+          op.resolve_status(Status::kNotFound);
+        } else {
+          op.f_vh->value = VertexHandle{op.vid};
+          op.resolve_status(Status::kOk);
+          if (sc != nullptr) sc->remember_translation(op.app_id, op.vid);
+        }
+      }
+      if (!ok(fdoom)) {
+        for (auto& p : peeks) ops[p.op].resolve_status(Status::kTxnAborted);
+        return fdoom;
+      }
     }
   }
 
   // Phase 5: overlapped 8-byte peeks (blocking reads when batching is off --
   // identical bytes, serial latency). A doomed transaction issues no further
   // RMA: queued peeks abort like any other unresolved future.
-  if (!ok(final_status)) {
-    for (auto& p : peeks) ops[p.op].resolve_status(Status::kTxnAborted);
-    return final_status;
-  }
   if (!peeks.empty()) {
     auto& blocks = t.db_->blocks();
     if (t.batching_enabled()) {

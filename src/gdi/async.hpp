@@ -116,6 +116,17 @@ class BatchScope {
   Future<std::vector<PropValue>> get_properties(VertexHandle v, std::uint32_t ptype) {
     return get_properties(v.vid, ptype);
   }
+  /// GDI_AssociateEdgeNb: fetch + lock a heavy edge's holder. All edge
+  /// holders of one execute() -- these, get_edge_properties targets, and the
+  /// heavy edges behind constraint-filtered edges_of -- ride one
+  /// fetch_edges_batch: one overlapped lock CAS round set plus one primary
+  /// and one continuation block round for the whole set, the same treatment
+  /// vertices get (and the same shared-cache eligibility).
+  Future<EdgeHandle> associate_edge(DPtr eid);
+  Future<std::vector<PropValue>> get_edge_properties(DPtr eid, std::uint32_t ptype);
+  Future<std::vector<PropValue>> get_edge_properties(EdgeHandle e, std::uint32_t ptype) {
+    return get_edge_properties(e.eid, ptype);
+  }
   /// Write intent: single-entry property update (update_property semantics).
   /// The write is buffered in the transaction and written back at commit
   /// through put_nb + one flush per target rank.
@@ -130,6 +141,10 @@ class BatchScope {
   /// ignores the hint (speculative read locks would poison later upgrades).
   void prefetch(DPtr vid);
   void prefetch(std::span<const DPtr> vids);
+  /// Heavy-edge fetch hints, dispatched by mode exactly like prefetch():
+  /// kReadShared populates lock-free, kRead locks-then-fetches (soft
+  /// failures), kWrite ignores the hint.
+  void prefetch_edges(std::span<const DPtr> eids);
 
   /// Number of operations enqueued since the last execute().
   [[nodiscard]] std::size_t pending_ops() const { return ops_.size(); }
@@ -154,9 +169,16 @@ class BatchScope {
       kGetProps,
       kSetProp,
       kPrefetch,
+      kAssocEdge,
+      kEdgeProps,
+      kPrefetchEdge,
     };
     Kind kind;
     bool hint_done = false;  ///< kPrefetch only (hints carry no future)
+    /// kFind only: vid came from the shared cache's translation memo, not
+    /// the DHT; a failed holder validation must fall back to the DHT
+    /// instead of reporting kNotFound.
+    bool memo_translated = false;
     std::uint64_t app_id = 0;
     DPtr vid{};
     DirFilter filter = DirFilter::kAll;
@@ -166,6 +188,7 @@ class BatchScope {
     // Exactly one of these is non-null, matching `kind`.
     std::shared_ptr<detail::FutureState<DPtr>> f_vid;
     std::shared_ptr<detail::FutureState<VertexHandle>> f_vh;
+    std::shared_ptr<detail::FutureState<EdgeHandle>> f_eh;
     std::shared_ptr<detail::FutureState<std::uint64_t>> f_u64;
     std::shared_ptr<detail::FutureState<std::vector<EdgeDesc>>> f_edges;
     std::shared_ptr<detail::FutureState<std::vector<PropValue>>> f_props;

@@ -12,7 +12,14 @@ Database::Database(int nranks, const DatabaseConfig& cfg)
       nranks_(nranks),
       blocks_(nranks, cfg.block),
       dht_(nranks, cfg.dht),
-      metadata_(static_cast<std::size_t>(nranks)) {}
+      metadata_(static_cast<std::size_t>(nranks)) {
+  if (cfg_.shared_cache) {
+    scaches_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+      scaches_.push_back(std::make_unique<cache::SharedBlockCache>(
+          cache::SharedCacheConfig{cfg_.shared_cache_entries}));
+  }
+}
 
 // Collective metadata mutation: every rank applies the same update to its own
 // replica between two barriers, so replicas advance in lockstep. The second

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "block/block_store.hpp"
+#include "cache/shared_cache.hpp"
 #include "common/hash.hpp"
 #include "dht/dht.hpp"
 #include "gdi/index.hpp"
@@ -43,6 +44,14 @@ struct DatabaseConfig {
   /// Per-transaction read-through block cache (invalidated on the
   /// transaction's own writes, dropped at commit/abort).
   bool block_cache = true;
+  /// Shared (inter-transaction) version-validated holder cache, one per rank
+  /// (see src/cache/shared_cache.hpp). Hits skip a holder's block fetches
+  /// entirely; correctness comes from lock-word version validation, so reads
+  /// keep their mode's semantics. Off by default: with it off, every op-count
+  /// contract of the uncached design holds exactly; benches and production
+  /// configs switch it on.
+  bool shared_cache = false;
+  std::size_t shared_cache_entries = 4096;  ///< holders kept per rank
 };
 
 class Transaction;
@@ -60,6 +69,14 @@ class Database {
   [[nodiscard]] block::BlockStore& blocks() { return blocks_; }
   [[nodiscard]] dht::DistributedHashTable& id_index() { return dht_; }
   [[nodiscard]] int nranks() const { return nranks_; }
+
+  /// This rank's shared holder cache, or nullptr when the feature is off.
+  /// Per-rank because the target deployment gives each rank private process
+  /// memory; a rank only ever touches its own instance (no locking needed).
+  [[nodiscard]] cache::SharedBlockCache* shared_cache(rma::Rank& self) {
+    if (scaches_.empty()) return nullptr;
+    return scaches_[static_cast<std::size_t>(self.id())].get();
+  }
 
   /// 1D vertex distribution (paper Section 5.4).
   [[nodiscard]] std::uint32_t owner_rank(std::uint64_t app_id) const {
@@ -99,6 +116,8 @@ class Database {
   block::BlockStore blocks_;
   dht::DistributedHashTable dht_;
   std::vector<MetadataReplica> metadata_;  ///< one replica per rank (paper 5.8)
+  /// One shared holder cache per rank (empty when cfg_.shared_cache is off).
+  std::vector<std::unique_ptr<cache::SharedBlockCache>> scaches_;
   std::vector<std::shared_ptr<Index>> indexes_;
   std::uint32_t next_index_id_ = 0;
 };

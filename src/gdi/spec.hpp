@@ -196,6 +196,22 @@ inline Status GDI_UpdatePropertyOfVertexNb(GDI_Future<std::monostate>* f_out,
   return Status::kOk;
 }
 
+/// Heavy-edge ops: all edge holders of one batch (these plus the heavy edges
+/// behind constraint-filtered GDI_GetEdgesOfVertexNb) resolve through one
+/// overlapped lock round and one block round (fetch_edges_batch).
+inline Status GDI_AssociateEdgeNb(GDI_Future<GDI_EdgeHolder>* f_out, DPtr eID,
+                                  GDI_Batch& batch) {
+  *f_out = batch.associate_edge(eID);
+  return Status::kOk;
+}
+
+inline Status GDI_GetPropertiesOfEdgeNb(GDI_Future<std::vector<PropValue>>* f_out,
+                                        GDI_PropertyType pt, GDI_EdgeHolder eH,
+                                        GDI_Batch& batch) {
+  *f_out = batch.get_edge_properties(eH, pt);
+  return Status::kOk;
+}
+
 /// Completion point: resolves every future enqueued on the batch. Returns kOk
 /// (per-operation soft failures are reported only on their futures) or the
 /// transaction-critical error that doomed the transaction.

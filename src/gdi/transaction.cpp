@@ -12,18 +12,6 @@ using layout::EdgeRecord;
 
 namespace {
 
-[[nodiscard]] bool dir_matches(DirFilter f, Dir d) {
-  switch (f) {
-    case DirFilter::kOut: return d == Dir::kOut;
-    case DirFilter::kIn: return d == Dir::kIn;
-    case DirFilter::kUndirected: return d == Dir::kUndirected;
-    case DirFilter::kOutgoing: return d == Dir::kOut || d == Dir::kUndirected;
-    case DirFilter::kIncoming: return d == Dir::kIn || d == Dir::kUndirected;
-    case DirFilter::kAll: return true;
-  }
-  return false;
-}
-
 [[nodiscard]] Dir mirror_dir(Dir d) {
   switch (d) {
     case Dir::kOut: return Dir::kIn;
@@ -66,6 +54,37 @@ std::uint32_t Transaction::max_table_cap() const {
 
 bool Transaction::cache_enabled() const { return db_->config().block_cache; }
 bool Transaction::batching_enabled() const { return db_->config().batched_reads; }
+
+void Transaction::scache_invalidate(DPtr primary) {
+  if (auto* sc = scache(); sc != nullptr && sc->erase(primary))
+    self_.counters().scache_invalidations += 1;
+}
+
+void Transaction::scache_fill(DPtr primary, std::span<const std::byte> buf,
+                              std::uint64_t word, bool is_edge) {
+  if (auto* sc = scache(); sc != nullptr)
+    sc->insert(primary, buf, block::BlockStore::version_of(word), is_edge);
+}
+
+const cache::SharedBlockCache::Entry* Transaction::scache_lookup(
+    DPtr primary, std::uint64_t observed_word, bool want_edge) {
+  auto* sc = scache();
+  if (sc == nullptr) return nullptr;
+  const auto* e = sc->find(primary);
+  if (e == nullptr) return nullptr;
+  auto& c = self_.counters();
+  c.scache_validations += 1;
+  if (e->is_edge == want_edge && !block::BlockStore::write_locked(observed_word) &&
+      e->version == block::BlockStore::version_of(observed_word)) {
+    c.scache_hits += 1;
+    return e;
+  }
+  // Version moved (a writer committed since the fill) or the block was
+  // recycled into the other holder kind: the snapshot is dead.
+  (void)sc->erase(primary);
+  c.scache_invalidations += 1;
+  return nullptr;
+}
 
 void Transaction::cache_read_block(DPtr blk, void* dst) {
   auto& blocks = db_->blocks();
@@ -196,7 +215,15 @@ void Transaction::prefetch_vertices(std::span<const DPtr> vids) {
   (void)scope.execute();
 }
 
-void Transaction::populate_block_cache(std::span<const DPtr> vids) {
+void Transaction::prefetch_edges(std::span<const DPtr> eids) {
+  // n-op wrapper over the async surface (edge twin of prefetch_vertices).
+  BatchScope scope = batch();
+  scope.prefetch_edges(eids);
+  (void)scope.execute();
+}
+
+void Transaction::populate_block_cache(std::span<const DPtr> vids,
+                                       std::unordered_set<std::uint64_t>* tainted) {
   if (!active_ || failed_) return;
   if (!cache_enabled() || !batching_enabled()) return;
 
@@ -240,13 +267,81 @@ void Transaction::populate_block_cache(std::span<const DPtr> vids) {
       continue;
     for (std::uint32_t i = 1; i < nb; ++i) {
       const DPtr blk = view.block_addr(i);
-      if (blk.is_null() || blk_cache_.contains(blk.raw())) continue;
+      if (blk.is_null()) continue;
+      if (blk_cache_.contains(blk.raw())) {
+        // A pre-existing entry for this tail: its bytes may predate the
+        // caller's read bracket (e.g. the block was recycled from a holder
+        // this transaction fetched earlier) -- report the holder as unsafe
+        // for a lock-free shared-cache fill.
+        if (tainted != nullptr) tainted->insert(need[j].raw());
+        continue;
+      }
       blk_cache_.emplace(blk.raw(), std::vector<std::byte>{});
       tail_blks.push_back(blk);
     }
   }
   if (tail_blks.empty()) return;
   tail_bufs.resize(tail_blks.size(), std::vector<std::byte>(B));
+  tail_ops.reserve(tail_blks.size());
+  for (std::size_t j = 0; j < tail_blks.size(); ++j)
+    tail_ops.push_back({tail_blks[j], tail_bufs[j].data()});
+  blocks.read_blocks(self_, tail_ops);
+  self_.counters().cache_misses += tail_blks.size();
+  for (std::size_t j = 0; j < tail_blks.size(); ++j)
+    blk_cache_[tail_blks[j].raw()] = std::move(tail_bufs[j]);
+}
+
+void Transaction::populate_edge_block_cache(std::span<const DPtr> eids,
+                                            std::unordered_set<std::uint64_t>* tainted) {
+  if (!active_ || failed_) return;
+  if (!cache_enabled() || !batching_enabled()) return;
+
+  auto& blocks = db_->blocks();
+  const std::size_t B = blocks.block_size();
+  std::vector<DPtr> need;
+  for (DPtr e : eids) {
+    if (e.is_null()) continue;
+    if (ecache_.contains(e.raw()) || blk_cache_.contains(e.raw())) continue;
+    blk_cache_.emplace(e.raw(), std::vector<std::byte>{});
+    need.push_back(e);
+  }
+  if (need.empty()) return;
+
+  // Round 1: all primary blocks, one overlapped batch.
+  std::vector<std::byte> scratch(need.size() * B);
+  std::vector<block::BlockStore::BlockReadOp> ops;
+  ops.reserve(need.size());
+  for (std::size_t j = 0; j < need.size(); ++j)
+    ops.push_back({need[j], scratch.data() + j * B});
+  blocks.read_blocks(self_, ops);
+  self_.counters().cache_misses += need.size();
+
+  // Round 2: continuation blocks of multi-block edge holders (the EdgeView
+  // block table is fixed-size and always lives in the primary block).
+  std::vector<DPtr> tail_blks;
+  for (std::size_t j = 0; j < need.size(); ++j) {
+    auto& slot = blk_cache_[need[j].raw()];
+    slot.assign(scratch.data() + j * B, scratch.data() + (j + 1) * B);
+    layout::EdgeView view(slot);
+    if (!view.valid()) continue;
+    const std::uint32_t nb = view.num_blocks();
+    if (nb > layout::EdgeView::kMaxBlocks) continue;  // stale/reused block
+    for (std::uint32_t i = 1; i < nb; ++i) {
+      const DPtr blk = view.block_addr(i);
+      if (blk.is_null()) continue;
+      if (blk_cache_.contains(blk.raw())) {
+        // See populate_block_cache: pre-bracket tail bytes taint the holder.
+        if (tainted != nullptr) tainted->insert(need[j].raw());
+        continue;
+      }
+      blk_cache_.emplace(blk.raw(), std::vector<std::byte>{});
+      tail_blks.push_back(blk);
+    }
+  }
+  if (tail_blks.empty()) return;
+  std::vector<std::vector<std::byte>> tail_bufs(tail_blks.size(),
+                                                std::vector<std::byte>(B));
+  std::vector<block::BlockStore::BlockReadOp> tail_ops;
   tail_ops.reserve(tail_blks.size());
   for (std::size_t j = 0; j < tail_blks.size(); ++j)
     tail_ops.push_back({tail_blks[j], tail_bufs[j].data()});
@@ -268,28 +363,69 @@ Status Transaction::fetch_vertices_batch(std::span<const FetchSpec> specs,
     return Status::kTxnAborted;
   }
 
-  // Deduplicate by vid, merging write/required intent; route vids that
-  // already have a state through the (upgrade-aware) vcache_ hit path.
+  Status doom = Status::kOk;
+  const int attempts = db_->config().lock_attempts;
+  auto& blocks = db_->blocks();
+
+  // Deduplicate by vid, merging write/required intent; vids that already
+  // have a state resolve through the vcache_ hit path, with read->write
+  // upgrades set aside so the whole set upgrades in overlapped CAS rounds
+  // (try_upgrade_many) instead of word-by-word.
   struct Item {
     DPtr vid;
     bool write = false;
     bool required = false;
     LockState lock = LockState::kNone;
+    std::uint64_t word = 0;      ///< lock word observed by the acquiring CAS
+    std::uint64_t pre_word = 0;  ///< kReadShared: peek bracketing the fill
+    bool have_pre = false;
+    bool cached = false;         ///< materialized from the shared cache
+    bool fill_fresh = false;     ///< kReadShared: bytes will come off the wire
     Status st = Status::kOk;
   };
   std::vector<Item> items;
   std::unordered_map<std::uint64_t, std::size_t> item_of;
   std::vector<std::size_t> spec_item(specs.size(), SIZE_MAX);
+  // Read->write upgrades of already-held states: unique vids + their specs.
+  std::vector<DPtr> upg_vids;
+  std::unordered_map<std::uint64_t, std::size_t> upg_of;
+  std::vector<std::pair<std::size_t, std::size_t>> upg_specs;  // (spec, upg idx)
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const FetchSpec& sp = specs[i];
     if (sp.vid.is_null()) {
       per[i] = Status::kInvalidArgument;
       continue;
     }
-    if (vcache_.contains(sp.vid.raw())) {
-      auto r = vertex_state(VertexHandle{sp.vid}, sp.write);  // hit branch only
+    if (auto vit = vcache_.find(sp.vid.raw()); vit != vcache_.end()) {
+      VertexState* st = vit->second.get();
+      if (st->deleted) {
+        per[i] = Status::kNotFound;
+        continue;
+      }
+      if (!sp.write) {
+        per[i] = Status::kOk;
+        continue;
+      }
+      if (Status s = check_writable(); !ok(s)) {
+        per[i] = fail(s);
+        if (sp.required && ok(doom)) doom = per[i];
+        continue;
+      }
+      if (st->lock == LockState::kWrite || st->created) {
+        per[i] = Status::kOk;
+        continue;
+      }
+      if (st->lock == LockState::kRead) {
+        auto [uit, fresh] = upg_of.try_emplace(sp.vid.raw(), upg_vids.size());
+        if (fresh) upg_vids.push_back(sp.vid);
+        upg_specs.emplace_back(i, uit->second);
+        continue;
+      }
+      // LockState::kNone with write intent cannot arise in locking modes;
+      // fall back to the serial path for robustness.
+      auto r = vertex_state(VertexHandle{sp.vid}, /*for_write=*/true);
       per[i] = r.ok() ? Status::kOk : r.status();
-      if (sp.required && is_transaction_critical(per[i])) return per[i];
+      if (sp.required && is_transaction_critical(per[i]) && ok(doom)) doom = per[i];
       continue;
     }
     auto [it, fresh] = item_of.try_emplace(sp.vid.raw(), items.size());
@@ -301,14 +437,46 @@ Status Transaction::fetch_vertices_batch(std::span<const FetchSpec> specs,
     spec_item[i] = it->second;
   }
 
-  Status doom = Status::kOk;
-  const int attempts = db_->config().lock_attempts;
-  auto& blocks = db_->blocks();
+  // Phase 0: batched write-lock upgrades for re-touched read-locked states
+  // (one overlapped CAS round set instead of one serial upgrade per vertex).
+  if (!upg_vids.empty()) {
+    std::vector<std::uint8_t> got;
+    if (batching_enabled() && upg_vids.size() > 1) {
+      got = blocks.try_upgrade_many(self_, upg_vids, attempts);
+    } else {
+      got.assign(upg_vids.size(), 0);
+      for (std::size_t j = 0; j < upg_vids.size(); ++j)
+        for (int a = 0; a < attempts && got[j] == 0; ++a)
+          if (blocks.try_upgrade_lock(self_, upg_vids[j])) got[j] = 1;
+    }
+    std::vector<Status> upg_st(upg_vids.size(), Status::kOk);
+    for (std::size_t j = 0; j < upg_vids.size(); ++j) {
+      VertexState* st = vcache_.find(upg_vids[j].raw())->second.get();
+      if (got[j] != 0) {
+        st->lock = LockState::kWrite;
+        // Same-transaction write intent: cached window blocks are about to
+        // diverge from the buffered holder, and the shared snapshot dies.
+        invalidate_cached_blocks(upg_vids[j], st->view.num_blocks(), [&](std::uint32_t b) {
+          return st->view.block_addr(b);
+        });
+        scache_invalidate(upg_vids[j]);
+      } else {
+        upg_st[j] = fail(Status::kTxnConflict);
+      }
+    }
+    for (const auto& [spec, j] : upg_specs) {
+      per[spec] = upg_st[j];
+      if (specs[spec].required && is_transaction_critical(per[spec]) && ok(doom))
+        doom = per[spec];
+    }
+  }
 
   // Phase 1: locks. kReadShared is lock-free for reads and rejects writes;
   // locking modes acquire every still-needed lock with overlapped CAS rounds
   // (one nonblocking CAS per word per round, one flush per round). Singleton
   // batches use the blocking word ops -- same semantics, no flush overhead.
+  // The word each acquiring CAS observed is kept: its version bits date the
+  // lock, which is exactly what shared-cache validation needs (no extra op).
   if (mode_ == TxnMode::kReadShared) {
     for (auto& it : items) {
       if (!it.write) continue;
@@ -329,7 +497,7 @@ Status Transaction::fetch_vertices_batch(std::span<const FetchSpec> specs,
         for (int a = 0; a < attempts && !got; ++a)
           got = blocks.try_write_lock(self_, it.vid);
       } else {
-        got = blocks.try_read_lock(self_, it.vid, attempts);
+        got = blocks.try_read_lock(self_, it.vid, attempts, &it.word);
       }
       return got;
     };
@@ -337,6 +505,7 @@ Status Transaction::fetch_vertices_batch(std::span<const FetchSpec> specs,
         batching_enabled() && read_idx.size() + write_idx.size() > 1;
     std::vector<std::uint8_t> got_r;
     std::vector<std::uint8_t> got_w;
+    std::vector<std::uint64_t> words_r;
     if (batch_locks) {
       std::vector<DPtr> rv;
       std::vector<DPtr> wv;
@@ -344,48 +513,118 @@ Status Transaction::fetch_vertices_batch(std::span<const FetchSpec> specs,
       wv.reserve(write_idx.size());
       for (std::size_t j : read_idx) rv.push_back(items[j].vid);
       for (std::size_t j : write_idx) wv.push_back(items[j].vid);
-      if (!rv.empty()) got_r = blocks.try_read_lock_many(self_, rv, attempts);
+      if (!rv.empty()) got_r = blocks.try_read_lock_many(self_, rv, attempts, &words_r);
       if (!wv.empty()) got_w = blocks.try_write_lock_many(self_, wv, attempts);
     }
     auto apply = [&](std::span<const std::size_t> idx,
-                     std::span<const std::uint8_t> got, LockState granted) {
+                     std::span<const std::uint8_t> got,
+                     std::span<const std::uint64_t> words, LockState granted) {
       for (std::size_t k = 0; k < idx.size(); ++k) {
         Item& it = items[idx[k]];
         const bool won = batch_locks ? got[k] != 0 : lock_serial(it);
         if (won) {
           it.lock = granted;
+          if (batch_locks && !words.empty()) it.word = words[k];
+          if (granted == LockState::kWrite) scache_invalidate(it.vid);
           continue;
         }
         it.st = it.required ? fail(Status::kTxnConflict) : Status::kTxnConflict;
         if (it.required && ok(doom)) doom = Status::kTxnConflict;
       }
     };
-    apply(read_idx, got_r, LockState::kRead);
-    apply(write_idx, got_w, LockState::kWrite);
+    apply(read_idx, got_r, words_r, LockState::kRead);
+    apply(write_idx, got_w, {}, LockState::kWrite);
   }
 
-  // Phase 2: block population. All locks are held (or the mode is lock-free),
-  // so one overlapped batch of primary blocks plus one of continuation blocks
-  // is observation-safe. Locked items are fetched even when another item
-  // doomed the transaction -- their locks must be tracked for release.
+  // Phase 1.5: shared-cache consultation. Read-locked items validate for
+  // free against the word their lock CAS observed; kReadShared items share
+  // one overlapped lock-word peek round, which doubles as the low bracket of
+  // the seqlock fill discipline for the entries we end up fetching.
+  auto install_from_entry = [&](Item& it, const cache::SharedBlockCache::Entry& e) {
+    auto st = std::make_unique<VertexState>();
+    st->lock = it.lock;
+    st->buf = e.buf;
+    st->view.reset_dirty();
+    st->orig_index_match.clear();
+    for (const auto& idx : db_->indexes())
+      st->orig_index_match.push_back(idx->matches(st->view) ? 1 : 0);
+    vcache_.emplace(it.vid.raw(), std::move(st));
+    it.cached = true;
+  };
+  if (scache() != nullptr) {
+    if (mode_ == TxnMode::kReadShared) {
+      std::vector<DPtr> pv;
+      std::vector<std::size_t> pidx;
+      for (std::size_t j = 0; j < items.size(); ++j)
+        if (ok(items[j].st)) {
+          pv.push_back(items[j].vid);
+          pidx.push_back(j);
+        }
+      if (!pv.empty()) {
+        std::vector<std::uint64_t> pw(pv.size(), 0);
+        blocks.peek_lock_words(self_, pv, pw, batching_enabled());
+        for (std::size_t k = 0; k < pidx.size(); ++k) {
+          Item& it = items[pidx[k]];
+          it.pre_word = pw[k];
+          it.have_pre = true;
+          // Fill-eligible only if the holder's bytes will actually cross the
+          // wire *inside* this peek bracket: bytes already sitting in the
+          // per-transaction block cache were read before the pre peek and
+          // could predate a writer the bracket would never see.
+          it.fill_fresh = !blk_cache_.contains(it.vid.raw());
+          if (const auto* e = scache_lookup(it.vid, pw[k], /*want_edge=*/false))
+            install_from_entry(it, *e);
+        }
+      }
+    } else {
+      for (auto& it : items) {
+        if (!ok(it.st) || it.lock != LockState::kRead) continue;
+        if (const auto* e = scache_lookup(it.vid, it.word, /*want_edge=*/false))
+          install_from_entry(it, *e);
+      }
+    }
+  }
+
+  // Phase 2: block population for the misses. All locks are held (or the
+  // mode is lock-free), so one overlapped batch of primary blocks plus one
+  // of continuation blocks is observation-safe. Locked items are fetched
+  // even when another item doomed the transaction -- their locks must be
+  // tracked for release. A miss is counted only for items that actually
+  // consulted the cache (read-locked or kReadShared; write intents bypass
+  // by design and must not deflate the hit rate).
   std::vector<DPtr> to_fetch;
   to_fetch.reserve(items.size());
-  for (const auto& it : items)
-    if (ok(it.st) && (mode_ == TxnMode::kReadShared || it.lock != LockState::kNone))
-      to_fetch.push_back(it.vid);
-  if (to_fetch.size() > 1) populate_block_cache(to_fetch);
+  for (const auto& it : items) {
+    if (!(ok(it.st) && !it.cached &&
+          (mode_ == TxnMode::kReadShared || it.lock != LockState::kNone)))
+      continue;
+    to_fetch.push_back(it.vid);
+    if (scache() != nullptr &&
+        (mode_ == TxnMode::kReadShared || it.lock == LockState::kRead))
+      self_.counters().scache_misses += 1;
+  }
+  std::unordered_set<std::uint64_t> tainted;
+  const bool populated = to_fetch.size() > 1;
+  if (populated) populate_block_cache(to_fetch, &tainted);
 
   // Phase 3: materialize VertexStates (block-cache hits on the batched path).
-  for (auto& it : items) {
-    if (!ok(it.st)) continue;
+  // Read-locked fetches stamp straight into the shared cache (bytes read
+  // under the lock, version from the acquiring CAS); kReadShared fetches
+  // collect for the post-fill peek round below.
+  std::vector<std::size_t> fill_candidates;
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    Item& it = items[j];
+    if (!ok(it.st) || it.cached) continue;
     if (mode_ != TxnMode::kReadShared && it.lock == LockState::kNone) continue;
     auto st = std::make_unique<VertexState>();
     st->lock = it.lock;
+    const std::uint64_t txn_hits_before = self_.counters().cache_hits;
     if (Status s = fetch_vertex(it.vid, *st); !ok(s)) {
       // Not a valid vertex: release the just-taken lock and report. Drop the
       // block from the cache too -- with the lock gone nothing pins its
       // bytes, and a later lookup of a recycled block must re-read.
       blk_cache_.erase(it.vid.raw());
+      scache_invalidate(it.vid);
       if (st->lock == LockState::kWrite) blocks.write_unlock(self_, it.vid);
       if (st->lock == LockState::kRead) blocks.read_unlock(self_, it.vid);
       it.st = s;
@@ -394,7 +633,277 @@ Status Transaction::fetch_vertices_batch(std::span<const FetchSpec> specs,
     if (st->lock == LockState::kWrite)
       invalidate_cached_blocks(it.vid, st->view.num_blocks(),
                                [&](std::uint32_t i) { return st->view.block_addr(i); });
+    if (scache() != nullptr) {
+      // Lock-free fill eligibility also requires every byte to have crossed
+      // the wire inside the bracket: a tainted holder (tail served from a
+      // pre-bracket per-transaction cache entry, reported by populate) or a
+      // singleton fetch that scored any per-transaction cache hit read
+      // pre-bracket bytes and must not be stamped.
+      const bool fresh =
+          it.fill_fresh && !tainted.contains(it.vid.raw()) &&
+          (populated || self_.counters().cache_hits == txn_hits_before);
+      if (st->lock == LockState::kRead) {
+        // Locked fills need no bracket: block-cache bytes in a locking-mode
+        // transaction were read under locks this transaction still holds,
+        // so no writer can have completed since.
+        scache_fill(it.vid, st->buf, it.word, /*is_edge=*/false);
+      } else if (mode_ == TxnMode::kReadShared && it.have_pre && fresh &&
+                 !block::BlockStore::write_locked(it.pre_word)) {
+        fill_candidates.push_back(j);
+      }
+    }
     vcache_.emplace(it.vid.raw(), std::move(st));
+  }
+
+  // Phase 3.5: lock-free fills commit only if the holder proved stable across
+  // the whole read -- the post peek must agree with the pre peek's version
+  // and show no writer (seqlock discipline).
+  if (!fill_candidates.empty()) {
+    std::vector<DPtr> pv;
+    pv.reserve(fill_candidates.size());
+    for (std::size_t j : fill_candidates) pv.push_back(items[j].vid);
+    std::vector<std::uint64_t> post(pv.size(), 0);
+    blocks.peek_lock_words(self_, pv, post, batching_enabled());
+    for (std::size_t k = 0; k < fill_candidates.size(); ++k) {
+      const Item& it = items[fill_candidates[k]];
+      if (block::BlockStore::write_locked(post[k]) ||
+          block::BlockStore::version_of(post[k]) !=
+              block::BlockStore::version_of(it.pre_word))
+        continue;
+      const VertexState* st = vcache_.find(it.vid.raw())->second.get();
+      scache_fill(it.vid, st->buf, post[k], /*is_edge=*/false);
+    }
+  }
+
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    if (spec_item[i] != SIZE_MAX) per[i] = items[spec_item[i]].st;
+  return doom;
+}
+
+Status Transaction::fetch_edges_batch(std::span<const EdgeFetchSpec> specs,
+                                      std::span<Status> per) {
+  assert(per.size() == specs.size());
+  if (!active_ || failed_) {
+    std::fill(per.begin(), per.end(), Status::kTxnAborted);
+    return Status::kTxnAborted;
+  }
+
+  Status doom = Status::kOk;
+  const int attempts = db_->config().lock_attempts;
+  auto& blocks = db_->blocks();
+
+  // Deduplicate by eid; eids with a state resolve through the ecache_ hit
+  // path (upgrades stay serial -- write re-touches of edge holders are rare
+  // enough that a dedicated CAS round would not pay for itself).
+  struct Item {
+    DPtr eid;
+    bool write = false;
+    bool required = false;
+    LockState lock = LockState::kNone;
+    std::uint64_t word = 0;
+    std::uint64_t pre_word = 0;
+    bool have_pre = false;
+    bool cached = false;
+    bool fill_fresh = false;  ///< kReadShared: bytes will come off the wire
+    Status st = Status::kOk;
+  };
+  std::vector<Item> items;
+  std::unordered_map<std::uint64_t, std::size_t> item_of;
+  std::vector<std::size_t> spec_item(specs.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const EdgeFetchSpec& sp = specs[i];
+    if (sp.eid.is_null()) {
+      per[i] = Status::kInvalidArgument;
+      continue;
+    }
+    if (ecache_.contains(sp.eid.raw())) {
+      auto r = edge_state(EdgeHandle{sp.eid}, sp.write);  // hit branch only
+      per[i] = r.ok() ? Status::kOk : r.status();
+      if (sp.required && is_transaction_critical(per[i]) && ok(doom)) doom = per[i];
+      continue;
+    }
+    auto [it, fresh] = item_of.try_emplace(sp.eid.raw(), items.size());
+    if (fresh) items.push_back(Item{sp.eid, sp.write, sp.required});
+    else {
+      items[it->second].write |= sp.write;
+      items[it->second].required |= sp.required;
+    }
+    spec_item[i] = it->second;
+  }
+  if (!items.empty() && batching_enabled() && items.size() > 1) {
+    self_.counters().edge_batches += 1;
+    self_.counters().edge_batch_items += items.size();
+  }
+
+  // Phase 1: locks (same shape as the vertex path).
+  if (mode_ == TxnMode::kReadShared) {
+    for (auto& it : items) {
+      if (!it.write) continue;
+      it.st = Status::kTxnReadOnly;
+      if (it.required) {
+        (void)fail(Status::kTxnReadOnly);
+        if (ok(doom)) doom = Status::kTxnReadOnly;
+      }
+    }
+  } else {
+    std::vector<std::size_t> read_idx;
+    std::vector<std::size_t> write_idx;
+    for (std::size_t j = 0; j < items.size(); ++j)
+      (items[j].write ? write_idx : read_idx).push_back(j);
+    auto lock_serial = [&](Item& it) {
+      bool got = false;
+      if (it.write) {
+        for (int a = 0; a < attempts && !got; ++a)
+          got = blocks.try_write_lock(self_, it.eid);
+      } else {
+        got = blocks.try_read_lock(self_, it.eid, attempts, &it.word);
+      }
+      return got;
+    };
+    const bool batch_locks =
+        batching_enabled() && read_idx.size() + write_idx.size() > 1;
+    std::vector<std::uint8_t> got_r;
+    std::vector<std::uint8_t> got_w;
+    std::vector<std::uint64_t> words_r;
+    if (batch_locks) {
+      std::vector<DPtr> rv;
+      std::vector<DPtr> wv;
+      rv.reserve(read_idx.size());
+      wv.reserve(write_idx.size());
+      for (std::size_t j : read_idx) rv.push_back(items[j].eid);
+      for (std::size_t j : write_idx) wv.push_back(items[j].eid);
+      if (!rv.empty()) got_r = blocks.try_read_lock_many(self_, rv, attempts, &words_r);
+      if (!wv.empty()) got_w = blocks.try_write_lock_many(self_, wv, attempts);
+    }
+    auto apply = [&](std::span<const std::size_t> idx,
+                     std::span<const std::uint8_t> got,
+                     std::span<const std::uint64_t> words, LockState granted) {
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        Item& it = items[idx[k]];
+        const bool won = batch_locks ? got[k] != 0 : lock_serial(it);
+        if (won) {
+          it.lock = granted;
+          if (batch_locks && !words.empty()) it.word = words[k];
+          if (granted == LockState::kWrite) scache_invalidate(it.eid);
+          continue;
+        }
+        it.st = it.required ? fail(Status::kTxnConflict) : Status::kTxnConflict;
+        if (it.required && ok(doom)) doom = Status::kTxnConflict;
+      }
+    };
+    apply(read_idx, got_r, words_r, LockState::kRead);
+    apply(write_idx, got_w, {}, LockState::kWrite);
+  }
+
+  // Phase 1.5: shared-cache consultation (same validation rules as vertices;
+  // edge entries are distinguished by their is_edge tag).
+  auto install_from_entry = [&](Item& it, const cache::SharedBlockCache::Entry& e) {
+    auto st = std::make_unique<EdgeState>();
+    st->lock = it.lock;
+    st->buf = e.buf;
+    st->view.reset_dirty();
+    ecache_.emplace(it.eid.raw(), std::move(st));
+    it.cached = true;
+  };
+  if (scache() != nullptr) {
+    if (mode_ == TxnMode::kReadShared) {
+      std::vector<DPtr> pv;
+      std::vector<std::size_t> pidx;
+      for (std::size_t j = 0; j < items.size(); ++j)
+        if (ok(items[j].st)) {
+          pv.push_back(items[j].eid);
+          pidx.push_back(j);
+        }
+      if (!pv.empty()) {
+        std::vector<std::uint64_t> pw(pv.size(), 0);
+        blocks.peek_lock_words(self_, pv, pw, batching_enabled());
+        for (std::size_t k = 0; k < pidx.size(); ++k) {
+          Item& it = items[pidx[k]];
+          it.pre_word = pw[k];
+          it.have_pre = true;
+          // See the vertex path: pre-bracket per-transaction cache bytes are
+          // not fill-eligible.
+          it.fill_fresh = !blk_cache_.contains(it.eid.raw());
+          if (const auto* e = scache_lookup(it.eid, pw[k], /*want_edge=*/true))
+            install_from_entry(it, *e);
+        }
+      }
+    } else {
+      for (auto& it : items) {
+        if (!ok(it.st) || it.lock != LockState::kRead) continue;
+        if (const auto* e = scache_lookup(it.eid, it.word, /*want_edge=*/true))
+          install_from_entry(it, *e);
+      }
+    }
+  }
+
+  // Phase 2: block population for the misses (one primary batch + one tail
+  // batch for the whole set). Miss accounting and taint tracking mirror the
+  // vertex path.
+  std::vector<DPtr> to_fetch;
+  to_fetch.reserve(items.size());
+  for (const auto& it : items) {
+    if (!(ok(it.st) && !it.cached &&
+          (mode_ == TxnMode::kReadShared || it.lock != LockState::kNone)))
+      continue;
+    to_fetch.push_back(it.eid);
+    if (scache() != nullptr &&
+        (mode_ == TxnMode::kReadShared || it.lock == LockState::kRead))
+      self_.counters().scache_misses += 1;
+  }
+  std::unordered_set<std::uint64_t> tainted;
+  const bool populated = to_fetch.size() > 1;
+  if (populated) populate_edge_block_cache(to_fetch, &tainted);
+
+  // Phase 3: materialize EdgeStates; fills mirror the vertex path.
+  std::vector<std::size_t> fill_candidates;
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    Item& it = items[j];
+    if (!ok(it.st) || it.cached) continue;
+    if (mode_ != TxnMode::kReadShared && it.lock == LockState::kNone) continue;
+    auto st = std::make_unique<EdgeState>();
+    st->lock = it.lock;
+    const std::uint64_t txn_hits_before = self_.counters().cache_hits;
+    if (Status s = fetch_edge(it.eid, *st); !ok(s)) {
+      blk_cache_.erase(it.eid.raw());  // see vertex path: nothing pins the bytes
+      scache_invalidate(it.eid);
+      if (st->lock == LockState::kWrite) blocks.write_unlock(self_, it.eid);
+      if (st->lock == LockState::kRead) blocks.read_unlock(self_, it.eid);
+      it.st = s;
+      continue;
+    }
+    if (st->lock == LockState::kWrite)
+      invalidate_cached_blocks(it.eid, st->view.num_blocks(),
+                               [&](std::uint32_t i) { return st->view.block_addr(i); });
+    if (scache() != nullptr) {
+      const bool fresh =
+          it.fill_fresh && !tainted.contains(it.eid.raw()) &&
+          (populated || self_.counters().cache_hits == txn_hits_before);
+      if (st->lock == LockState::kRead) {
+        scache_fill(it.eid, st->buf, it.word, /*is_edge=*/true);
+      } else if (mode_ == TxnMode::kReadShared && it.have_pre && fresh &&
+                 !block::BlockStore::write_locked(it.pre_word)) {
+        fill_candidates.push_back(j);
+      }
+    }
+    ecache_.emplace(it.eid.raw(), std::move(st));
+  }
+
+  if (!fill_candidates.empty()) {
+    std::vector<DPtr> pv;
+    pv.reserve(fill_candidates.size());
+    for (std::size_t j : fill_candidates) pv.push_back(items[j].eid);
+    std::vector<std::uint64_t> post(pv.size(), 0);
+    blocks.peek_lock_words(self_, pv, post, batching_enabled());
+    for (std::size_t k = 0; k < fill_candidates.size(); ++k) {
+      const Item& it = items[fill_candidates[k]];
+      if (block::BlockStore::write_locked(post[k]) ||
+          block::BlockStore::version_of(post[k]) !=
+              block::BlockStore::version_of(it.pre_word))
+        continue;
+      const EdgeState* st = ecache_.find(it.eid.raw())->second.get();
+      scache_fill(it.eid, st->buf, post[k], /*is_edge=*/true);
+    }
   }
 
   for (std::size_t i = 0; i < specs.size(); ++i)
@@ -481,9 +990,10 @@ Result<Transaction::VertexState*> Transaction::vertex_state(VertexHandle v,
     if (for_write && st->lock != LockState::kWrite && !st->created) {
       if (Status s = acquire_vertex_lock(*st, v.vid, true); !ok(s)) return s;
       // Same-transaction write intent: the cached window blocks are about to
-      // diverge from the buffered holder -- drop them.
+      // diverge from the buffered holder -- drop them (shared snapshot too).
       invalidate_cached_blocks(v.vid, st->view.num_blocks(),
                                [&](std::uint32_t i) { return st->view.block_addr(i); });
+      scache_invalidate(v.vid);
     }
     return st;
   }
@@ -535,33 +1045,18 @@ Result<Transaction::EdgeState*> Transaction::edge_state(EdgeHandle e, bool for_w
       st->lock = LockState::kWrite;
       invalidate_cached_blocks(e.eid, st->view.num_blocks(),
                                [&](std::uint32_t i) { return st->view.block_addr(i); });
+      scache_invalidate(e.eid);
     }
     return st;
   }
-  auto st = std::make_unique<EdgeState>();
-  if (mode_ != TxnMode::kReadShared) {
-    auto& blocks = db_->blocks();
-    bool got = false;
-    for (int i = 0; i < db_->config().lock_attempts && !got; ++i)
-      got = for_write ? blocks.try_write_lock(self_, e.eid)
-                      : blocks.try_read_lock(self_, e.eid, 1);
-    if (!got) return fail(Status::kTxnConflict);
-    st->lock = for_write ? LockState::kWrite : LockState::kRead;
-  } else if (for_write) {
-    return fail(Status::kTxnReadOnly);
-  }
-  if (Status s = fetch_edge(e.eid, *st); !ok(s)) {
-    blk_cache_.erase(e.eid.raw());  // see vertex_state: nothing pins the bytes
-    if (st->lock == LockState::kWrite) db_->blocks().write_unlock(self_, e.eid);
-    if (st->lock == LockState::kRead) db_->blocks().read_unlock(self_, e.eid);
-    return s;
-  }
-  if (st->lock == LockState::kWrite)
-    invalidate_cached_blocks(e.eid, st->view.num_blocks(),
-                             [&](std::uint32_t i) { return st->view.block_addr(i); });
-  EdgeState* out = st.get();
-  ecache_.emplace(e.eid.raw(), std::move(st));
-  return out;
+  // Miss: a one-element trip through the shared edge batch path (which
+  // degenerates to blocking lock + fetch for singletons).
+  const EdgeFetchSpec spec{e.eid, for_write, /*required=*/true};
+  Status st = Status::kOk;
+  (void)fetch_edges_batch(std::span<const EdgeFetchSpec>(&spec, 1),
+                          std::span<Status>(&st, 1));
+  if (!ok(st)) return st;
+  return ecache_.find(e.eid.raw())->second.get();
 }
 
 // ---------------------------------------------------------------------------
@@ -585,6 +1080,7 @@ Result<VertexHandle> Transaction::create_vertex_impl(std::uint64_t app_id,
   const DPtr primary = blocks.acquire(self_, owner);
   if (primary.is_null()) return fail(Status::kOutOfMemory);
   blk_cache_.erase(primary.raw());  // block may have been cached pre-recycling
+  scache_invalidate(primary);
   if (!blocks.try_write_lock(self_, primary)) {
     // A fresh block's lock word is always zero; failure means protocol abuse.
     blocks.release(self_, primary);
@@ -929,6 +1425,7 @@ Result<EdgeHandle> Transaction::create_heavy_edge(VertexHandle origin,
   const DPtr eid = blocks.acquire(self_, origin.vid.rank());
   if (eid.is_null()) return fail(Status::kOutOfMemory);
   blk_cache_.erase(eid.raw());
+  scache_invalidate(eid);
   if (!blocks.try_write_lock(self_, eid)) {
     blocks.release(self_, eid);
     return fail(Status::kTxnConflict);
@@ -1156,6 +1653,7 @@ Status Transaction::sync_blocks_vertex(DPtr vid, VertexState& st) {
     }
     if (blk.is_null()) return Status::kOutOfMemory;
     blk_cache_.erase(blk.raw());
+    scache_invalidate(blk);
     st.view.set_block_addr(i, blk);
   }
   for (std::uint32_t i = needed; i < cur; ++i)
@@ -1187,6 +1685,9 @@ Status Transaction::sync_blocks_edge(DPtr eid, EdgeState& st) {
 }
 
 Status Transaction::writeback_vertex(DPtr vid, VertexState& st) {
+  // The window bytes change now: no shared snapshot of this holder survives
+  // (remote copies die via the version bump at write_unlock).
+  scache_invalidate(vid);
   auto& blocks = db_->blocks();
   const std::size_t B = blocks.block_size();
   const std::size_t total = st.buf.size();
@@ -1230,6 +1731,7 @@ Status Transaction::writeback_vertex(DPtr vid, VertexState& st) {
 }
 
 Status Transaction::writeback_edge(DPtr eid, EdgeState& st) {
+  scache_invalidate(eid);
   auto& blocks = db_->blocks();
   const std::size_t B = blocks.block_size();
   const std::size_t total = st.buf.size();
@@ -1251,17 +1753,29 @@ Status Transaction::writeback_edge(DPtr eid, EdgeState& st) {
 }
 
 void Transaction::release_locks() {
+  // With batching on, unlocks ride the nonblocking engine fire-and-forget:
+  // no agent observes *our* completion (a racing CAS that lands before an
+  // unlock just retries), so the round's cost is absorbed by whichever
+  // completion point comes next instead of paying one serial latency per
+  // held lock -- the last serial leg of the read hot path. Writeback PUTs
+  // were flushed before this point, so a write unlock never overtakes its
+  // data (the RDMA ordering a real backend needs too).
+  const bool nb = batching_enabled();
   auto& blocks = db_->blocks();
   for (auto& [raw, st] : vcache_) {
     const DPtr vid{raw};
-    if (st->lock == LockState::kWrite) blocks.write_unlock(self_, vid);
-    if (st->lock == LockState::kRead) blocks.read_unlock(self_, vid);
+    if (st->lock == LockState::kWrite)
+      nb ? blocks.write_unlock_nb(self_, vid) : blocks.write_unlock(self_, vid);
+    if (st->lock == LockState::kRead)
+      nb ? blocks.read_unlock_nb(self_, vid) : blocks.read_unlock(self_, vid);
     st->lock = LockState::kNone;
   }
   for (auto& [raw, st] : ecache_) {
     const DPtr eid{raw};
-    if (st->lock == LockState::kWrite) blocks.write_unlock(self_, eid);
-    if (st->lock == LockState::kRead) blocks.read_unlock(self_, eid);
+    if (st->lock == LockState::kWrite)
+      nb ? blocks.write_unlock_nb(self_, eid) : blocks.write_unlock(self_, eid);
+    if (st->lock == LockState::kRead)
+      nb ? blocks.read_unlock_nb(self_, eid) : blocks.read_unlock(self_, eid);
     st->lock = LockState::kNone;
   }
 }
@@ -1307,6 +1821,7 @@ Status Transaction::commit_local() {
   for (auto& [raw, st] : vcache_) {
     if (!st->deleted) continue;
     const DPtr vid{raw};
+    scache_invalidate(vid);
     if (!st->created) {
       if (batching_enabled()) {
         blocks.write_nb(self_, vid, 0, st->buf.data(),
@@ -1322,6 +1837,7 @@ Status Transaction::commit_local() {
   for (auto& [raw, st] : ecache_) {
     if (!st->deleted) continue;
     const DPtr eid{raw};
+    scache_invalidate(eid);
     if (!st->created) {
       std::uint32_t zero = 0;
       if (batching_enabled()) {

@@ -30,6 +30,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/dptr.hpp"
@@ -69,6 +70,20 @@ enum class DirFilter : std::uint8_t {
   kIncoming,      ///< kIn + kUndirected
   kAll,
 };
+
+[[nodiscard]] inline bool dir_matches(DirFilter f, layout::Dir d) {
+  switch (f) {
+    case DirFilter::kOut: return d == layout::Dir::kOut;
+    case DirFilter::kIn: return d == layout::Dir::kIn;
+    case DirFilter::kUndirected: return d == layout::Dir::kUndirected;
+    case DirFilter::kOutgoing:
+      return d == layout::Dir::kOut || d == layout::Dir::kUndirected;
+    case DirFilter::kIncoming:
+      return d == layout::Dir::kIn || d == layout::Dir::kUndirected;
+    case DirFilter::kAll: return true;
+  }
+  return false;
+}
 
 /// One retrieved edge, as seen from the base vertex it was read from.
 struct EdgeDesc {
@@ -122,6 +137,14 @@ class Transaction {
   /// multi-lookup instead of one serial lookup per ID. result[i] is the
   /// internal ID for app_ids[i], or a null DPtr when unknown.
   Result<std::vector<DPtr>> translate_vertex_ids(std::span<const std::uint64_t> app_ids);
+
+  /// Edge-side frontier prefetch: batch-fetches (and, in locking modes,
+  /// read-locks) the heavy-edge holders in `eids` so subsequent
+  /// associate_edge / get_edge_properties / constraint evaluation on them are
+  /// served locally. Mode dispatch mirrors prefetch_vertices: kReadShared is
+  /// lock-free, kRead locks-then-fetches (failures soft), kWrite ignores the
+  /// hint.
+  void prefetch_edges(std::span<const DPtr> eids);
 
   /// Read-side frontier prefetch: batch-fetches the holder blocks of every
   /// not-yet-cached vertex in `vids` so subsequent associate_vertex /
@@ -236,6 +259,21 @@ class Transaction {
   /// transaction is doomed and that status is returned.
   Status fetch_vertices_batch(std::span<const FetchSpec> specs, std::span<Status> per);
 
+  // --- the edge twin of the single lock/fetch path --------------------------
+  //
+  // Every heavy-edge materialization -- blocking associate_edge/edge property
+  // access, BatchScope edge ops, the heavy holders behind constraint-filtered
+  // edges_of -- funnels through fetch_edges_batch: overlapped lock CAS rounds
+  // for the whole set, one nonblocking batch of primary blocks plus one of
+  // continuation blocks, EdgeStates installed in ecache_. A one-element call
+  // degenerates to the blocking path, so single-op wrappers keep their cost.
+  struct EdgeFetchSpec {
+    DPtr eid;
+    bool write = false;
+    bool required = false;
+  };
+  Status fetch_edges_batch(std::span<const EdgeFetchSpec> specs, std::span<Status> per);
+
   // Internal (non-wrapper) implementations used by BatchScope resolution and
   // by the blocking wrappers; bodies predate the async surface.
   Result<std::vector<DPtr>> translate_ids_impl(std::span<const std::uint64_t> app_ids);
@@ -248,8 +286,16 @@ class Transaction {
   /// Batch-populate the block cache with the holders of `vids` (primaries in
   /// one overlapped batch, continuations in a second). Callers must hold the
   /// needed locks (or run lock-free in kReadShared). No-op unless both the
-  /// cache and batching are enabled.
-  void populate_block_cache(std::span<const DPtr> vids);
+  /// cache and batching are enabled. When `tainted` is non-null it receives
+  /// the primary of every holder that had a continuation block *already* in
+  /// the per-transaction cache -- bytes that predate the caller's seqlock
+  /// bracket and therefore disqualify the holder from a lock-free
+  /// shared-cache fill.
+  void populate_block_cache(std::span<const DPtr> vids,
+                            std::unordered_set<std::uint64_t>* tainted = nullptr);
+  /// Same two-round population for heavy-edge holders (EdgeView headers).
+  void populate_edge_block_cache(std::span<const DPtr> eids,
+                                 std::unordered_set<std::uint64_t>* tainted = nullptr);
   /// Serve an app-ID peek from vcache_/blk_cache_; false = caller must read.
   [[nodiscard]] bool peek_cached(DPtr vid, std::uint64_t* out);
 
@@ -270,6 +316,27 @@ class Transaction {
   /// Drop a holder's blocks from the cache (same-transaction write intent).
   void invalidate_cached_blocks(DPtr primary, std::uint32_t num_blocks,
                                 const std::function<DPtr(std::uint32_t)>& addr_of);
+
+  // --- shared (inter-transaction) holder cache ------------------------------
+  //
+  // Process-wide cache of assembled holders, validated by the primary block's
+  // lock-word version (src/cache/shared_cache.hpp documents the protocol).
+  // All three helpers are no-ops / nullptr when DatabaseConfig::shared_cache
+  // is off, which keeps the uncached op counts bit-exact.
+  [[nodiscard]] cache::SharedBlockCache* scache() {
+    return db_->shared_cache(self_);
+  }
+  /// Drop `primary`'s entry (local write intent / writeback / deletion /
+  /// block recycling); counts an invalidation when an entry existed.
+  void scache_invalidate(DPtr primary);
+  /// Stamp `buf` into the shared cache under `word`'s version bits.
+  void scache_fill(DPtr primary, std::span<const std::byte> buf, std::uint64_t word,
+                   bool is_edge);
+  /// Consult + validate an entry against a freshly observed lock word.
+  /// Returns the entry if it proves current, nullptr otherwise (a stale or
+  /// type-confused entry is erased). Counts validations/hits/invalidations.
+  [[nodiscard]] const cache::SharedBlockCache::Entry* scache_lookup(
+      DPtr primary, std::uint64_t observed_word, bool want_edge);
 
   // Capacity management.
   Status ensure_edge_capacity(VertexState& st, std::uint32_t extra_slots);

@@ -85,6 +85,20 @@ struct OpCounters {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
 
+  // Shared (inter-transaction) holder-cache counters: hits skipped a whole
+  // holder fetch, misses went to the wire, validations are lock-word checks
+  // performed (every hit implies one), invalidations count dropped entries
+  // (local write intent/writeback or an observed remote version change).
+  std::uint64_t scache_hits = 0;
+  std::uint64_t scache_misses = 0;
+  std::uint64_t scache_validations = 0;
+  std::uint64_t scache_invalidations = 0;
+
+  // Batched heavy-edge fetch: completed multi-holder fetch_edges_batch calls
+  // and the holders they covered (items/batches = mean edge batch size).
+  std::uint64_t edge_batches = 0;
+  std::uint64_t edge_batch_items = 0;
+
   OpCounters& operator+=(const OpCounters& o) {
     puts += o.puts;
     gets += o.gets;
@@ -101,6 +115,12 @@ struct OpCounters {
     max_batch_ops = max_batch_ops > o.max_batch_ops ? max_batch_ops : o.max_batch_ops;
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
+    scache_hits += o.scache_hits;
+    scache_misses += o.scache_misses;
+    scache_validations += o.scache_validations;
+    scache_invalidations += o.scache_invalidations;
+    edge_batches += o.edge_batches;
+    edge_batch_items += o.edge_batch_items;
     return *this;
   }
 

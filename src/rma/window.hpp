@@ -202,6 +202,30 @@ class Window {
     return atomic_put_u64_nb(self, p.rank(), p.offset(), v);
   }
 
+  /// Nonblocking fetch-and-add: executes (linearizably) at issue time,
+  /// writing the previous value to *prev_out (if non-null); the latency
+  /// joins the current batch. Lock releases ride this -- a commit drops all
+  /// its read locks in one overlapped round instead of one serial atomic per
+  /// held lock.
+  NbRequest faa_u64_nb(Rank& self, std::uint32_t target, std::uint64_t offset,
+                       std::int64_t add, std::uint64_t* prev_out = nullptr) {
+    const std::uint64_t prev = word(target, offset)
+                                   .fetch_add(static_cast<std::uint64_t>(add),
+                                              std::memory_order_acq_rel);
+    if (prev_out != nullptr) *prev_out = prev;
+    const auto& p = self.net();
+    const bool remote = target != static_cast<std::uint32_t>(self.id());
+    auto& c = self.counters();
+    c.atomics += 1;
+    c.nb_atomics += 1;
+    if (remote) c.remote_ops += 1;
+    return self.enqueue_nb(remote ? p.alpha_atomic_remote_ns : p.alpha_atomic_local_ns,
+                           0.0);
+  }
+  NbRequest faa_u64_nb(Rank& self, DPtr p, std::int64_t add) {
+    return faa_u64_nb(self, p.rank(), p.offset(), add);
+  }
+
   /// Nonblocking compare-and-swap: executes (linearizably) at issue time,
   /// writing the previous value to *prev_out; the latency joins the current
   /// batch. Success iff *prev_out == expected after the next flush_all().

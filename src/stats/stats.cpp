@@ -115,7 +115,19 @@ std::string counters_line(const rma::OpCounters& c) {
      << " max_depth=" << c.max_batch_ops << " | cache "
      << Table::fmt(cache_hit_rate(c) * 100.0, 1) << "% hit ("
      << Table::fmt_si(static_cast<double>(c.cache_hits), 1) << "/"
-     << Table::fmt_si(static_cast<double>(c.cache_hits + c.cache_misses), 1) << ")";
+     << Table::fmt_si(static_cast<double>(c.cache_hits + c.cache_misses), 1) << ")"
+     << " | scache " << Table::fmt(scache_hit_rate(c) * 100.0, 1) << "% hit ("
+     << Table::fmt_si(static_cast<double>(c.scache_hits), 1) << "/"
+     << Table::fmt_si(static_cast<double>(c.scache_hits + c.scache_misses), 1)
+     << " v=" << Table::fmt_si(static_cast<double>(c.scache_validations), 1)
+     << " i=" << Table::fmt_si(static_cast<double>(c.scache_invalidations), 1) << ")";
+  if (c.edge_batches > 0) {
+    os << " | edge batches=" << Table::fmt_si(static_cast<double>(c.edge_batches), 1)
+       << " avg_size="
+       << Table::fmt(static_cast<double>(c.edge_batch_items) /
+                         static_cast<double>(c.edge_batches),
+                     1);
+  }
   return os.str();
 }
 

@@ -64,6 +64,13 @@ class Histogram {
   return total == 0 ? 0.0 : static_cast<double>(c.cache_hits) / static_cast<double>(total);
 }
 
+/// Shared (inter-transaction) holder-cache hit rate in [0,1].
+[[nodiscard]] inline double scache_hit_rate(const rma::OpCounters& c) {
+  const std::uint64_t total = c.scache_hits + c.scache_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(c.scache_hits) / static_cast<double>(total);
+}
+
 /// Minimal aligned-column table printer for the benchmark harnesses.
 class Table {
  public:

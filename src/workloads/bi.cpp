@@ -28,6 +28,9 @@ ShardResult<std::uint64_t> bi2_count(const std::shared_ptr<Database>& db,
 
       auto things = txn.neighbors_of(*vh, DirFilter::kOutgoing, &own_edge);
       if (!things.ok()) continue;
+      // One overlapped batch for the whole neighbor set: the per-object
+      // associate/labels/props below become local state hits.
+      txn.prefetch_vertices(*things);
       for (DPtr obj : *things) {
         auto nh = txn.associate_vertex(obj);
         if (!nh.ok()) continue;

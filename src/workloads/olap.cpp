@@ -196,7 +196,8 @@ ShardResult<std::uint64_t> bfs(const std::shared_ptr<Database>& db, rma::Rank& s
 }
 
 ShardResult<std::uint64_t> k_hop(const std::shared_ptr<Database>& db, rma::Rank& self,
-                                 std::uint64_t n, std::uint64_t root, int k) {
+                                 std::uint64_t n, std::uint64_t root, int k,
+                                 const Constraint* c) {
   // Bounded BFS; the value array doubles as the visited set.
   const int P = self.nranks();
   self.reset_clock();
@@ -224,7 +225,9 @@ ShardResult<std::uint64_t> k_hop(const std::shared_ptr<Database>& db, rma::Rank&
     BatchScope scope = txn.batch();
     std::vector<Future<std::vector<EdgeDesc>>> edge_futs;
     edge_futs.reserve(frontier.size());
-    for (DPtr v : frontier) edge_futs.push_back(scope.edges_of(v, DirFilter::kAll));
+    // The constraint rides into the batch: every heavy-edge holder the
+    // filter needs resolves through one fetch_edges_batch inside execute().
+    for (DPtr v : frontier) edge_futs.push_back(scope.edges_of(v, DirFilter::kAll, c));
     (void)scope.execute();
     for (const auto& edges : edge_futs) {
       if (!edges.ok()) continue;

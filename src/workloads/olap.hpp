@@ -35,9 +35,12 @@ inline constexpr std::uint64_t kUnreached = ~std::uint64_t{0};
 ShardResult<std::uint64_t> bfs(const std::shared_ptr<Database>& db, rma::Rank& self,
                                std::uint64_t n, std::uint64_t root);
 
-/// Vertices within k hops of root (count), collective.
+/// Vertices within k hops of root (count), collective. An optional edge
+/// constraint restricts the traversal (lightweight labels match inline;
+/// heavy-edge holders resolve through the batched fetch_edges_batch path).
 ShardResult<std::uint64_t> k_hop(const std::shared_ptr<Database>& db, rma::Rank& self,
-                                 std::uint64_t n, std::uint64_t root, int k);
+                                 std::uint64_t n, std::uint64_t root, int k,
+                                 const Constraint* c = nullptr);
 
 /// PageRank, `iters` synchronous iterations, damping `df` (paper: i=10, 0.85).
 ShardResult<double> pagerank(const std::shared_ptr<Database>& db, rma::Rank& self,

@@ -75,6 +75,9 @@ OltpResult run_oltp(const std::shared_ptr<Database>& db, rma::Rank& self,
   std::uint64_t local_not_found = 0;
 
   auto random_id = [&] { return rng.next_below(cfg.existing_ids); };
+  const std::uint64_t hot = std::min(
+      cfg.hot_ids == 0 ? cfg.existing_ids : cfg.hot_ids, cfg.existing_ids);
+  auto random_read_id = [&] { return rng.next_below(hot); };
 
   // Pre-sample the whole stream: ops in mix order, ids per op, exactly as the
   // serial loop would have drawn them.
@@ -85,6 +88,8 @@ OltpResult run_oltp(const std::shared_ptr<Database>& db, rma::Rank& self,
       case OltpOp::kGetVertexProps:
       case OltpOp::kCountEdges:
       case OltpOp::kGetEdges:
+        q.a = random_read_id();
+        break;
       case OltpOp::kDeleteVertex:
       case OltpOp::kUpdateVertexProp:
         q.a = random_id();

@@ -57,6 +57,13 @@ struct OltpConfig {
   /// transaction-per-query shape pays per read. 1 = the legacy one
   /// round-trip-per-query behaviour.
   std::uint32_t read_batch = 32;
+  /// Warm-working-set knob: when nonzero, point-read targets are drawn from
+  /// app ids [0, hot_ids) instead of the full [0, existing_ids) range --
+  /// production OLTP traffic concentrates on a hot subset, which is what the
+  /// shared inter-transaction block cache monetizes. Write-op targets keep
+  /// the full range (so invalidation traffic still exercises the cache). 0 =
+  /// uniform reads over every id (the PR 3 behaviour).
+  std::uint64_t hot_ids = 0;
 };
 
 struct OltpResult {

@@ -410,16 +410,21 @@ TEST(BatchedRma, PrefetchLocksThenFetchesInKReadMode) {
       EXPECT_EQ(self.counters().gets, 4u) << "one batched GET per holder";
       EXPECT_GE(self.counters().nb_atomics, 4u) << "lock CAS rounds are batched";
       for (DPtr vid : *vids) {
+        // Mask the version bits: the create-commit bumped each word's
+        // version, and readers leave those bits untouched.
         const auto word = db->blocks().lock_word(self, vid);
-        EXPECT_EQ(word, 1u) << "read lock held after prefetch";
+        EXPECT_EQ(word & ~block::BlockStore::kVersionMask, 1u)
+            << "read lock held after prefetch";
       }
       // Associates are now pure hits: no further window GETs.
       const auto gets_before = self.counters().gets;
       for (DPtr vid : *vids) EXPECT_TRUE(r.associate_vertex(vid).ok());
       EXPECT_EQ(self.counters().gets, gets_before);
       EXPECT_EQ(r.commit(), Status::kOk);
-      // Commit released the prefetch-taken locks.
-      for (DPtr vid : *vids) EXPECT_EQ(db->blocks().lock_word(self, vid), 0u);
+      // Commit released the prefetch-taken locks (version bits persist).
+      for (DPtr vid : *vids)
+        EXPECT_EQ(db->blocks().lock_word(self, vid) & ~block::BlockStore::kVersionMask,
+                  0u);
     }
     // A prefetch hint must never doom the transaction: a concurrently held
     // write lock makes the hint skip that vertex; only a *required* access
@@ -447,7 +452,9 @@ TEST(BatchedRma, PrefetchLocksThenFetchesInKReadMode) {
       self.reset_counters();
       w.prefetch_vertices(*vids);
       EXPECT_EQ(self.counters().gets, 0u);
-      for (DPtr vid : *vids) EXPECT_EQ(db->blocks().lock_word(self, vid), 0u);
+      for (DPtr vid : *vids)
+        EXPECT_EQ(db->blocks().lock_word(self, vid) & ~block::BlockStore::kVersionMask,
+                  0u);
       EXPECT_EQ(w.commit(), Status::kOk);
     }
   });

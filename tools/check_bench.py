@@ -52,6 +52,25 @@ def pr3_baseline_metrics(smoke):
     return {k: smoke[k] for k in ("insert_many_speedup", "bulk_load_mvps")}
 
 
+def pr4_oltp_metrics(parsed):
+    """Tracked metrics of bench_pr4_cached_oltp (higher is better)."""
+    out = {}
+    for row in parsed["mixes"]:
+        out[f"{row['mix']}/cold_qps"] = row["cold_qps"]
+        out[f"{row['mix']}/warm_qps"] = row["warm_qps"]
+    return out
+
+
+def pr4_edge_metrics(parsed):
+    """Tracked metrics of bench_pr4_edge_batch (higher is better)."""
+    return {
+        "edge_batch_speedup": parsed["edge_batch_speedup"],
+        "batched_avg_edge_batch": parsed["batched_avg_edge_batch"],
+    }
+
+
+# Benches with a "smoke_key" share one baseline file: their smoke metrics
+# live under baseline["smoke"][smoke_key] as a flat metric->value dict.
 BENCHES = [
     {
         "bin": "bench_pr2_async_oltp",
@@ -64,6 +83,18 @@ BENCHES = [
         "baseline": "BENCH_pr3.json",
         "metrics": pr3_metrics,
         "baseline_metrics": pr3_baseline_metrics,
+    },
+    {
+        "bin": "bench_pr4_cached_oltp",
+        "baseline": "BENCH_pr4.json",
+        "smoke_key": "cached_oltp",
+        "metrics": pr4_oltp_metrics,
+    },
+    {
+        "bin": "bench_pr4_edge_batch",
+        "baseline": "BENCH_pr4.json",
+        "smoke_key": "edge_batch",
+        "metrics": pr4_edge_metrics,
     },
 ]
 
@@ -129,7 +160,9 @@ def main():
                 for key, val in extra.items():
                     metrics[key] = min(metrics[key], val)
             smoke = baseline_doc.setdefault("smoke", {})
-            if name == "bench_pr2_async_oltp":
+            if "smoke_key" in bench:
+                smoke[bench["smoke_key"]] = metrics
+            elif name == "bench_pr2_async_oltp":
                 smoke["mixes"] = [
                     {"mix": row["mix"],
                      "serial_qps": metrics[f"{row['mix']}/serial_qps"],
@@ -147,7 +180,13 @@ def main():
         if "smoke" not in baseline_doc:
             sys.exit(f"error: {baseline_path.name} has no smoke baselines; "
                      "run with --update-baselines first")
-        base = bench["baseline_metrics"](baseline_doc["smoke"])
+        if "smoke_key" in bench:
+            base = dict(baseline_doc["smoke"].get(bench["smoke_key"]) or {})
+            if not base:
+                sys.exit(f"error: {baseline_path.name} has no smoke baselines "
+                         f"for {bench['smoke_key']}; run --update-baselines")
+        else:
+            base = bench["baseline_metrics"](baseline_doc["smoke"])
 
         rows = {}
         rerun = None
