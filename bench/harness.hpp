@@ -52,6 +52,10 @@ struct SetupOpts {
   bool batched_reads = true;  ///< nonblocking batch engine on read hot paths
   bool block_cache = true;    ///< per-transaction read-through block cache
   bool shared_cache = true;   ///< shared version-validated holder cache (PR 4)
+  /// PR 5 write-path knobs, default-off so the PR 4 benches keep their exact
+  /// op-count and baseline semantics; bench_pr5_group_commit switches them on.
+  bool write_through = false;   ///< shared-cache write-through at commit
+  bool commit_pipeline = false; ///< cross-transaction group commit
 };
 
 /// BENCH_SMOKE=1 shrinks every bench to a seconds-long CI smoke run: tiny
@@ -89,6 +93,8 @@ inline LoadedDb setup_db(rma::Rank& self, const SetupOpts& opts) {
   c.batched_reads = o.batched_reads;
   c.block_cache = o.block_cache;
   c.shared_cache = o.shared_cache;
+  c.scache_write_through = o.write_through;
+  c.commit_pipeline = o.commit_pipeline;
   c.block.block_size = o.block_size;
   const auto per_rank = out.n / static_cast<std::uint64_t>(self.nranks()) + 64;
   // Generous pool: holders + growth + OLTP inserts.

@@ -69,9 +69,11 @@ std::uint64_t BlockStore::allocated_count(rma::Rank& self, std::uint32_t target)
 }
 
 bool BlockStore::try_read_lock(rma::Rank& self, DPtr blk, int attempts,
-                               std::uint64_t* word_out) {
+                               std::uint64_t* word_out, std::uint64_t version_hint) {
   const std::uint64_t off = lock_offset(block_index(blk));
-  std::uint64_t old = system_.atomic_get_u64(self, blk.rank(), off);
+  std::uint64_t old = version_hint != 0
+                          ? (version_hint & kVersionMask)
+                          : system_.atomic_get_u64(self, blk.rank(), off);
   for (int i = 0; i < attempts; ++i) {
     if (old & kWriteBit) return false;  // writer present
     const std::uint64_t seen = system_.cas_u64(self, blk.rank(), off, old, old + 1);
@@ -160,12 +162,15 @@ std::vector<std::uint8_t> BlockStore::try_write_lock_many(rma::Rank& self,
   return got;
 }
 
-bool BlockStore::try_write_lock(rma::Rank& self, DPtr blk) {
+bool BlockStore::try_write_lock(rma::Rank& self, DPtr blk,
+                                std::uint64_t version_hint) {
   const std::uint64_t off = lock_offset(block_index(blk));
-  const std::uint64_t prev = system_.cas_u64(self, blk.rank(), off, 0, kWriteBit);
-  if (prev == 0) return true;  // fresh block: one CAS, the pre-version cost
+  const std::uint64_t bid = version_hint & kVersionMask;
+  const std::uint64_t prev = system_.cas_u64(self, blk.rank(), off, bid,
+                                             bid | kWriteBit);
+  if (prev == bid) return true;  // fresh block / correct hint: one CAS
   if ((prev & (kWriteBit | kReadMask)) != 0) return false;  // held
-  // Free at a nonzero version: one more CAS applies the learned version.
+  // Free at another version: one more CAS applies the learned version.
   return system_.cas_u64(self, blk.rank(), off, prev, prev | kWriteBit) == prev;
 }
 
@@ -214,27 +219,41 @@ std::vector<std::uint8_t> BlockStore::try_upgrade_many(rma::Rank& self,
   return got;
 }
 
+// Both plain unlock flavors are the fetch flavor with the result dropped:
+// one copy of the release + wrap-repair protocol to keep in lockstep.
 void BlockStore::write_unlock(rma::Rank& self, DPtr blk) {
-  const std::uint64_t off = lock_offset(block_index(blk));
-  // +1 version, -write_bit in one FAA: releases the lock and publishes "the
-  // bytes behind this word changed" to every cached copy in the system.
-  const std::uint64_t prev = system_.faa_u64(self, blk.rank(), off,
-                                             static_cast<std::int64_t>(kWriteUnlockDelta));
-  // Version wrap: the increment's carry landed in the write bit, so the word
-  // now reads as write-locked by nobody -- and since it does, no agent can
-  // have touched it, making it still effectively ours to repair. One extra
-  // atomic every 2^31 releases of one block.
-  if (version_of(prev) == kVersionMask) [[unlikely]]
-    system_.atomic_put_u64(self, blk.rank(), off, 0);
+  (void)write_unlock_fetch(self, blk, /*nonblocking=*/false);
 }
 
 void BlockStore::write_unlock_nb(rma::Rank& self, DPtr blk) {
+  (void)write_unlock_fetch(self, blk, /*nonblocking=*/true);
+}
+
+std::uint64_t BlockStore::write_unlock_fetch(rma::Rank& self, DPtr blk,
+                                             bool nonblocking) {
   const std::uint64_t off = lock_offset(block_index(blk));
-  std::uint64_t prev = 0;
-  (void)system_.faa_u64_nb(self, blk.rank(), off,
-                           static_cast<std::int64_t>(kWriteUnlockDelta), &prev);
-  if (version_of(prev) == kVersionMask) [[unlikely]]
-    (void)system_.atomic_put_u64_nb(self, blk.rank(), off, 0);
+  // +1 version, -write_bit in one FAA: releases the lock and publishes "the
+  // bytes behind this word changed" to every cached copy in the system.
+  std::uint64_t prev;
+  if (nonblocking) {
+    (void)system_.faa_fetch_u64_nb(self, blk.rank(), off,
+                                   static_cast<std::int64_t>(kWriteUnlockDelta),
+                                   &prev);
+  } else {
+    prev = system_.faa_u64(self, blk.rank(), off,
+                           static_cast<std::int64_t>(kWriteUnlockDelta));
+  }
+  if (version_of(prev) == kVersionMask) [[unlikely]] {
+    // Version wrap: the increment's carry landed in the write bit, so the
+    // word now reads as write-locked by nobody -- and since it does, no
+    // agent can have touched it, making it still effectively ours to repair
+    // (one extra atomic every 2^31 releases of one block). The repaired word
+    // is 0, so the published version is 0.
+    if (nonblocking) (void)system_.atomic_put_u64_nb(self, blk.rank(), off, 0);
+    else system_.atomic_put_u64(self, blk.rank(), off, 0);
+    return 0;
+  }
+  return version_of(prev) + (std::uint64_t{1} << kVersionShift);
 }
 
 void BlockStore::peek_lock_words(rma::Rank& self, std::span<const DPtr> blks,
@@ -257,6 +276,10 @@ void BlockStore::peek_lock_words(rma::Rank& self, std::span<const DPtr> blks,
 
 std::uint64_t BlockStore::lock_word(rma::Rank& self, DPtr blk) {
   return system_.atomic_get_u64(self, blk.rank(), lock_offset(block_index(blk)));
+}
+
+void BlockStore::poke_lock_word(rma::Rank& self, DPtr blk, std::uint64_t word) {
+  system_.atomic_put_u64(self, blk.rank(), lock_offset(block_index(blk)), word);
 }
 
 }  // namespace gdi::block

@@ -117,10 +117,20 @@ class BlockStore {
 
   /// On success, *word_out (if non-null) receives the lock word observed just
   /// before our CAS -- its version bits date the acquired read lock.
+  /// `version_hint` (masked version bits, e.g. a shared-cache entry's stamp)
+  /// seeds the first CAS expectation: a correct hint saves the initial word
+  /// read, a stale one costs nothing beyond it -- the failing CAS returns the
+  /// fresh word the retry loop needed anyway. 0 = no hint (read the word).
   [[nodiscard]] bool try_read_lock(rma::Rank& self, DPtr blk, int attempts = 16,
-                                   std::uint64_t* word_out = nullptr);
+                                   std::uint64_t* word_out = nullptr,
+                                   std::uint64_t version_hint = 0);
   void read_unlock(rma::Rank& self, DPtr blk);
-  [[nodiscard]] bool try_write_lock(rma::Rank& self, DPtr blk);
+  /// `version_hint` as in try_read_lock: bid directly on the hinted free word
+  /// instead of the fresh-block form, saving the learn-the-version CAS on
+  /// previously-written blocks whose version the caller already knows (the
+  /// write-through cache keeps a writer's own rows' versions current).
+  [[nodiscard]] bool try_write_lock(rma::Rank& self, DPtr blk,
+                                    std::uint64_t version_hint = 0);
   /// Batched lock acquisition: one nonblocking CAS per lock word per round,
   /// each round completed by a single flush_all, so acquiring k independent
   /// locks costs ceil(rounds) overlapped latencies instead of k serial CAS
@@ -152,6 +162,19 @@ class BlockStore {
   /// absorb the round, instead of paying one serial latency per held lock.
   void read_unlock_nb(rma::Rank& self, DPtr blk);
   void write_unlock_nb(rma::Rank& self, DPtr blk);
+  /// Fetch-flavored write unlock: same single-FAA release (and the same wrap
+  /// repair), but the word the FAA displaced is fetched, so the releasing
+  /// writer learns the version its own unlock published -- the version the
+  /// next validator of this block will observe. Returns those post-unlock
+  /// version bits (already in lock-word position, i.e. comparable to
+  /// version_of()); 0 at the 2^31 wrap, where the repair publishes a zero
+  /// word. With `nonblocking` the FAA (and any wrap repair) joins the rank's
+  /// pending batch -- the fetched value is acted on locally only (shared-
+  /// cache re-stamp), which a real backend would defer to the enclosing
+  /// epoch's flush. The write-through protocol is built on this call: holding
+  /// the write bit excludes every other agent, so the fetched word is exactly
+  /// `held_version | write_bit` and the re-stamped version is tamper-proof.
+  std::uint64_t write_unlock_fetch(rma::Rank& self, DPtr blk, bool nonblocking);
   /// Batched 8-byte lock-word peeks: with `batched` one nonblocking atomic
   /// per word completed by a single flush_all, otherwise one blocking atomic
   /// each. out[i] receives blks[i]'s word. The shared block cache rides this
@@ -160,6 +183,9 @@ class BlockStore {
                        std::span<std::uint64_t> out, bool batched);
   /// Raw lock word (tests/diagnostics).
   [[nodiscard]] std::uint64_t lock_word(rma::Rank& self, DPtr blk);
+  /// Test-only: overwrite a block's raw lock word. Exists to drive the 2^31
+  /// version-wrap path without 2^31 commits; never called by production code.
+  void poke_lock_word(rma::Rank& self, DPtr blk, std::uint64_t word);
 
   static constexpr std::uint64_t kWriteBit = std::uint64_t{1} << 63;
   static constexpr int kVersionShift = 32;

@@ -2,48 +2,84 @@
 
 namespace gdi::cache {
 
+namespace {
+
+// One copy of the lazy (key, seq) FIFO discipline shared by holder entries
+// and the translation memo: pop-evict the oldest *live* slot while `over`
+// holds (slots whose entry was refreshed under a newer seq, or erased, are
+// skipped -- evicting by a stale slot would drop a live hot entry), then
+// sweep stale slots once they dominate the deque (refresh/forget cycles
+// accumulate them without ever crossing the eviction threshold).
+template <class Map, class OverFn, class OnEvict>
+void bound_fifo(Map& map, std::deque<std::pair<std::uint64_t, std::uint64_t>>& fifo,
+                OverFn over, OnEvict on_evict) {
+  while (over() && !fifo.empty()) {
+    const auto [key, seq] = fifo.front();
+    fifo.pop_front();
+    auto it = map.find(key);
+    if (it != map.end() && it->second.seq == seq) {
+      on_evict(it);
+      map.erase(it);
+    }
+  }
+  if (fifo.size() > 4 * (map.size() + 64)) {
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> live;
+    for (const auto& [key, seq] : fifo) {
+      auto it = map.find(key);
+      if (it != map.end() && it->second.seq == seq) live.emplace_back(key, seq);
+    }
+    fifo = std::move(live);
+  }
+}
+
+}  // namespace
+
 void SharedBlockCache::insert(DPtr primary, std::span<const std::byte> buf,
                               std::uint64_t version, bool is_edge) {
-  if (cfg_.max_entries == 0) return;
+  if (cfg_.max_bytes == 0) return;
+  if (buf.size() > cfg_.max_bytes) {
+    // A holder larger than the whole budget can never be retained; admitting
+    // it would FIFO-wipe every warm entry just to evict it again. Drop any
+    // stale prior snapshot of it and keep the rest of the cache intact.
+    (void)erase(primary);
+    return;
+  }
   Entry& e = map_[primary.raw()];
+  bytes_ -= e.buf.size();  // 0 for a fresh entry
   e.buf.assign(buf.begin(), buf.end());
   e.version = version;
   e.is_edge = is_edge;
   e.seq = ++next_seq_;
+  bytes_ += e.buf.size();
   fifo_.emplace_back(primary.raw(), e.seq);
-  while (map_.size() > cfg_.max_entries && !fifo_.empty()) {
-    const auto [key, seq] = fifo_.front();
-    fifo_.pop_front();
-    auto it = map_.find(key);
-    // Skip pairs whose entry was refreshed (newer seq) or already erased.
-    if (it != map_.end() && it->second.seq == seq) map_.erase(it);
-  }
-  // Stale pairs from refreshes/invalidations accumulate without crossing the
-  // eviction threshold; sweep them once they dominate the deque.
-  if (fifo_.size() > 4 * cfg_.max_entries) {
-    std::deque<std::pair<std::uint64_t, std::uint64_t>> live;
-    for (const auto& [key, seq] : fifo_) {
-      auto it = map_.find(key);
-      if (it != map_.end() && it->second.seq == seq) live.emplace_back(key, seq);
-    }
-    fifo_ = std::move(live);
-  }
+  bound_fifo(
+      map_, fifo_, [&] { return bytes_ > cfg_.max_bytes; },
+      [&](auto it) { bytes_ -= it->second.buf.size(); });
 }
 
-bool SharedBlockCache::erase(DPtr primary) { return map_.erase(primary.raw()) > 0; }
+bool SharedBlockCache::erase(DPtr primary) {
+  auto it = map_.find(primary.raw());
+  if (it == map_.end()) return false;
+  bytes_ -= it->second.buf.size();
+  map_.erase(it);
+  return true;
+}
 
-void SharedBlockCache::remember_translation(std::uint64_t app_id, DPtr vid) {
-  if (cfg_.max_entries == 0 || vid.is_null()) return;
-  auto [it, fresh] = xlate_.try_emplace(app_id, vid);
+void SharedBlockCache::remember_translation(std::uint64_t app_id, DPtr vid,
+                                            std::uint64_t epoch) {
+  if (cfg_.max_translations == 0 || vid.is_null()) return;
+  auto [it, fresh] = xlate_.try_emplace(app_id, Translation{vid, epoch, 0});
   if (!fresh) {
-    it->second = vid;  // refreshed in place; FIFO slot stays
+    // Refreshed in place; the FIFO slot (and its seq) stays armed.
+    it->second.vid = vid;
+    it->second.epoch = epoch;
     return;
   }
-  xlate_fifo_.push_back(app_id);
-  while (xlate_.size() > cfg_.max_entries && !xlate_fifo_.empty()) {
-    xlate_.erase(xlate_fifo_.front());
-    xlate_fifo_.pop_front();
-  }
+  it->second.seq = ++xlate_seq_;
+  xlate_fifo_.emplace_back(app_id, it->second.seq);
+  bound_fifo(
+      xlate_, xlate_fifo_,
+      [&] { return xlate_.size() > cfg_.max_translations; }, [](auto) {});
 }
 
 }  // namespace gdi::cache

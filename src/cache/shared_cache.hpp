@@ -22,18 +22,26 @@
 //   * hit without a lock: one 8-byte lock-word peek (batched through the
 //     nonblocking engine) replaces the holder's block fetches;
 //   * any write intent on a holder bypasses the cache and invalidates its
-//     entry; local commit writeback and deletion invalidate too. Remote
-//     writers need no notification: their write_unlock bumps the version,
-//     so the next validation misses.
+//     entry; deletion invalidates too. Remote writers need no notification:
+//     their write_unlock bumps the version, so the next validation misses;
+//   * *write-through* (local commit writeback): instead of dying by
+//     invalidation, the writer's own entry is re-stamped with the committed
+//     holder bytes under the version its write_unlock_fetch published --
+//     valid because the write bit excluded every other agent between the
+//     writeback and the unlock, so those bytes at that version are exactly
+//     what a fetch-under-lock would return. A rank's own write set thus
+//     stays warm across transactions (Transaction::release_locks).
 //
 // The cache is *per process* (per rank): in the target deployment each rank
 // is a process with private memory, so rank r's cache must not serve rank s
 // -- Database owns one instance per rank and hands each rank its own. One
 // rank's transactions are sequential, so the cache needs no synchronization.
 //
-// Entries are evicted FIFO beyond `max_entries` (refreshing an entry re-arms
-// its slot). An entry never expires by time: it is as fresh as its last
-// validation, which is the point of stamping versions instead of clocks.
+// Capacity is accounted in *bytes* (each entry charged its assembled-holder
+// size -- a 4-block holder costs 4x what a singleton does), evicted FIFO
+// beyond `max_bytes`; refreshing an entry re-arms its slot. An entry never
+// expires by time: it is as fresh as its last validation, which is the point
+// of stamping versions instead of clocks.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +55,14 @@
 namespace gdi::cache {
 
 struct SharedCacheConfig {
-  std::size_t max_entries = 4096;  ///< holders kept per rank (FIFO beyond)
+  /// Holder bytes kept per rank (entries charged assembled-holder size,
+  /// FIFO-evicted beyond). 0 disables the cache entirely.
+  std::size_t max_bytes = 4096 * 512;
+  /// Translation-memo entries kept per rank (app id -> {DPtr, epoch} pairs;
+  /// bounded by count, their size is uniform). Database derives this from
+  /// the byte budget (max_bytes / 64, roughly the per-entry map + FIFO
+  /// footprint), so one knob bounds the whole cache's memory.
+  std::size_t max_translations = (4096 * 512) / 64;
 };
 
 class SharedBlockCache {
@@ -72,44 +87,61 @@ class SharedBlockCache {
   void insert(DPtr primary, std::span<const std::byte> buf, std::uint64_t version,
               bool is_edge);
 
-  /// Drop `primary`'s entry (write intent / writeback / observed remote
+  /// Drop `primary`'s entry (write intent / deletion / observed remote
   /// change). Returns true if an entry existed.
   bool erase(DPtr primary);
 
   // --- application-ID translation memo --------------------------------------
   //
-  // app id -> holder primary DPtr, remembered from successful find()s. The
-  // memo is *not* self-validating: a consumer must fetch the named holder
-  // and compare its stored app id against the query -- which is precisely
-  // find_vertex's existing stale-DHT guard -- and fall back to the real DHT
-  // lookup on any mismatch or invalid holder. A stale memo therefore costs
-  // one wasted fetch, never a wrong answer; a fresh one saves the whole DHT
-  // chain walk, the last cold segment a warm point read still paid.
-  [[nodiscard]] DPtr find_translation(std::uint64_t app_id) const {
+  // app id -> holder primary DPtr, remembered from successful find()s and
+  // validated bare translates. Each memo carries the DHT *erase epoch*
+  // observed no later than the moment the translation was proven true.
+  // Two validation routes:
+  //   * find(): fetch the named holder and compare its stored app id against
+  //     the query (the existing stale-DHT guard) -- epoch not needed;
+  //   * bare translate: one read of the DHT's erase-epoch counter covers a
+  //     whole batch; epoch equal to the memo's proves no erase happened
+  //     since the translation was verified, and GDI never creates live
+  //     duplicate keys, so the mapping must still hold. Mismatch falls back
+  //     to the real DHT walk (and re-teaches on success).
+  // A stale memo therefore costs one wasted fetch or one epoch read, never a
+  // wrong answer; a fresh one saves the whole DHT chain walk.
+  struct Translation {
+    DPtr vid;
+    std::uint64_t epoch = 0;  ///< DHT erase epoch at (or before) verification
+    std::uint64_t seq = 0;    ///< internal: FIFO re-arm stamp
+  };
+  [[nodiscard]] const Translation* find_translation(std::uint64_t app_id) const {
     auto it = xlate_.find(app_id);
-    return it == xlate_.end() ? DPtr{} : it->second;
+    return it == xlate_.end() ? nullptr : &it->second;
   }
-  void remember_translation(std::uint64_t app_id, DPtr vid);
+  void remember_translation(std::uint64_t app_id, DPtr vid, std::uint64_t epoch);
   void forget_translation(std::uint64_t app_id) { xlate_.erase(app_id); }
 
   void clear() {
     map_.clear();
     fifo_.clear();
+    bytes_ = 0;
     xlate_.clear();
     xlate_fifo_.clear();
   }
   [[nodiscard]] std::size_t size() const { return map_.size(); }
-  [[nodiscard]] std::size_t max_entries() const { return cfg_.max_entries; }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t max_bytes() const { return cfg_.max_bytes; }
 
  private:
   SharedCacheConfig cfg_;
   std::unordered_map<std::uint64_t, Entry> map_;
+  std::size_t bytes_ = 0;  ///< sum of map_ entries' buf sizes
   /// Eviction order; stale (key, seq) pairs of refreshed/erased entries are
   /// skipped lazily at eviction time.
   std::deque<std::pair<std::uint64_t, std::uint64_t>> fifo_;
   std::uint64_t next_seq_ = 0;
-  std::unordered_map<std::uint64_t, DPtr> xlate_;
-  std::deque<std::uint64_t> xlate_fifo_;
+  std::unordered_map<std::uint64_t, Translation> xlate_;
+  /// Same lazy (key, seq) discipline as fifo_: forget + re-teach cycles
+  /// leave stale slots that eviction skips and the sweep reclaims.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> xlate_fifo_;
+  std::uint64_t xlate_seq_ = 0;
 };
 
 }  // namespace gdi::cache

@@ -18,7 +18,7 @@ DistributedHashTable::DistributedHashTable(int nranks, const DhtConfig& cfg)
       heap_seg_((cfg.entries_per_rank + 1) * kEntrySize),
       table_(nranks, table_seg_, cfg.max_shards == 0 ? 1 : cfg.max_shards),
       heap_(nranks, heap_seg_, cfg.max_shards == 0 ? 1 : cfg.max_shards),
-      dir_(nranks, 8),
+      dir_(nranks, 16),
       local_(static_cast<std::size_t>(nranks)) {
   if (cfg_.max_shards == 0) cfg_.max_shards = 1;
   assert(cfg_.buckets_per_rank > 0);
@@ -484,8 +484,25 @@ bool DistributedHashTable::erase(rma::Rank& self, std::uint64_t key) {
   // Newest-first like lookup(): erase removes the entry a lookup would have
   // returned.
   const BucketLoc b = locate(key);
-  return walk_shards(
+  const bool removed = walk_shards(
       self, [&](std::uint32_t s) { return erase_in_shard(self, key, b, s); });
+  if (removed && cfg_.track_erase_epoch) {
+    // Publish the removal to epoch-validated memo consumers: bumped after the
+    // unlink but before erase() returns. An epoch check that still reads the
+    // old value is necessarily *concurrent* with this erase (the bump is not
+    // yet visible, so the erase has not returned), and serving the old
+    // mapping to a concurrent reader is a linearizable outcome; any check
+    // issued after erase() returns observes the bump and falls back.
+    const std::uint64_t prev = dir_.faa_u64(self, 0, kDirEpochOff, 1);
+    local_[static_cast<std::size_t>(self.id())].erase_epoch = prev + 1;
+  }
+  return removed;
+}
+
+std::uint64_t DistributedHashTable::erase_epoch(rma::Rank& self) {
+  const std::uint64_t e = dir_.atomic_get_u64(self, 0, kDirEpochOff);
+  local_[static_cast<std::size_t>(self.id())].erase_epoch = e;
+  return e;
 }
 
 // ---------------------------------------------------------------------------

@@ -67,6 +67,13 @@ struct DhtConfig {
   /// rank. 1 = fixed capacity (the pre-growth behaviour: insert returns
   /// false on heap exhaustion).
   std::size_t max_shards = 64;
+  /// Maintain the erase-epoch counter (one extra remote FAA to rank 0 per
+  /// successful erase). Off by default so tables without epoch-validated
+  /// memo consumers keep the exact pre-epoch op counts and no shared hot
+  /// word; Database switches it on together with the shared cache (the only
+  /// consumer). MUST be on whenever translations are memoized -- with it
+  /// off the epoch never moves and a stale memo would validate forever.
+  bool track_erase_epoch = false;
 };
 
 class DistributedHashTable {
@@ -114,8 +121,34 @@ class DistributedHashTable {
   [[nodiscard]] std::vector<std::optional<std::uint64_t>> lookup_many(
       rma::Rank& self, std::span<const std::uint64_t> keys);
 
-  /// Remove one entry with `key`; returns false if no such entry.
+  /// Remove one entry with `key`; returns false if no such entry. A
+  /// successful erase bumps the table's *erase epoch* (below).
   [[nodiscard]] bool erase(rma::Rank& self, std::uint64_t key);
+
+  // --- erase epoch ----------------------------------------------------------
+  //
+  // A single monotone counter (one word next to the shard directory on rank
+  // 0) bumped by every successful erase. It exists so consumers that memoize
+  // lookups (the shared cache's translation memo) can validate a remembered
+  // key -> value *without* walking the table: a mapping proven true while
+  // the epoch read E stays true as long as the epoch still reads E, because
+  // only an erase can invalidate it -- GDI inserts each application key at
+  // most once while it is live (create/insert_if_absent check existence
+  // first), so without an erase no newer duplicate can shadow it. One
+  // 8-byte atomic read thus replaces the whole newest-first shard walk.
+  //
+  // Stamping with an epoch observed *before* the mapping was verified is
+  // always safe (the covered no-erase interval only grows); it merely makes
+  // a future mismatch -- and the resulting fallback walk -- more likely.
+
+  /// Read the current erase epoch (one remote atomic; refreshes this rank's
+  /// cached copy).
+  [[nodiscard]] std::uint64_t erase_epoch(rma::Rank& self);
+  /// This rank's last *observed* epoch -- no wire traffic. Conservative to
+  /// stamp memos with: it was read at some point no later than now.
+  [[nodiscard]] std::uint64_t cached_erase_epoch(rma::Rank& self) const {
+    return local_[static_cast<std::size_t>(self.id())].erase_epoch;
+  }
 
   /// Number of live entries on `rank`: the sum of the per-shard live
   /// counters, so the count stays exact across shard growth (diagnostic;
@@ -245,10 +278,16 @@ class DistributedHashTable {
   rma::Window heap_;   ///< control slot + entry slots, one segment per shard
   rma::Window dir_;    ///< shard directory: published shard count (rank 0)
 
-  /// Per-rank cached shard count; each slot is only touched by its own rank
-  /// (the distributed implementation's per-process cache of the directory).
+  // Directory-window layout (rank 0): shard count, then the erase epoch.
+  static constexpr std::uint64_t kDirShardsOff = 0;
+  static constexpr std::uint64_t kDirEpochOff = 8;
+
+  /// Per-rank cached shard count + last observed erase epoch; each slot is
+  /// only touched by its own rank (the distributed implementation's
+  /// per-process cache of the directory).
   struct alignas(64) RankLocal {
     std::uint32_t shards = 1;
+    std::uint64_t erase_epoch = 0;
   };
   mutable std::vector<RankLocal> local_;
 };

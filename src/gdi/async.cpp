@@ -209,9 +209,10 @@ Status BatchScope::execute() {
     std::vector<std::size_t> pos;
     for (std::size_t i = 0; i < ops.size(); ++i) {
       if (ops[i].kind == Op::Kind::kFind && sc != nullptr) {
-        const DPtr memo = sc->find_translation(ops[i].app_id);
-        if (!memo.is_null()) {
-          ops[i].vid = memo;
+        // No epoch check here: find()'s own holder validation (fetched app id
+        // must equal the queried one) proves or refutes the memo for free.
+        if (const auto* tr = sc->find_translation(ops[i].app_id)) {
+          ops[i].vid = tr->vid;
           ops[i].memo_translated = true;
           continue;
         }
@@ -433,7 +434,12 @@ Status BatchScope::execute() {
         } else {
           op.f_vh->value = VertexHandle{op.vid};
           op.resolve_status(Status::kOk);
-          if (auto* sc = t.scache()) sc->remember_translation(op.app_id, op.vid);
+          // Stamped with the rank's last *observed* erase epoch -- read at
+          // some point no later than this verification, the conservative
+          // direction for bare-translate epoch validation.
+          if (auto* sc = t.scache())
+            sc->remember_translation(op.app_id, op.vid,
+                                     t.db_->id_index().cached_erase_epoch(t.self_));
         }
         break;
       }
@@ -555,7 +561,9 @@ Status BatchScope::execute() {
         } else {
           op.f_vh->value = VertexHandle{op.vid};
           op.resolve_status(Status::kOk);
-          if (sc != nullptr) sc->remember_translation(op.app_id, op.vid);
+          if (sc != nullptr)
+            sc->remember_translation(op.app_id, op.vid,
+                                     t.db_->id_index().cached_erase_epoch(t.self_));
         }
       }
       if (!ok(fdoom)) {

@@ -19,6 +19,12 @@
 // or n-op wrappers over this path, so there is exactly one fetch/lock code
 // path in the system and spec-era call sites compile unchanged.
 //
+// Write side: a batch-built transaction commits through the same
+// Transaction::commit() as everything else, so its writeback + unlock round
+// rides the rank's group-commit pipeline (src/gdi/commit_pipeline.hpp) when
+// that is enabled -- a stream of BatchScope transactions shares flush epochs
+// exactly like a stream of blocking ones.
+//
 // Error model (mirrors GDI's transaction-critical split, Section 3.3):
 //   * a *soft* per-operation failure (e.g. find() of an unknown ID ->
 //     kNotFound) fails only that operation's Future; the transaction and the

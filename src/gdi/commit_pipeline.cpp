@@ -1,0 +1,38 @@
+#include "gdi/commit_pipeline.hpp"
+
+namespace gdi {
+
+bool CommitPipeline::enroll(rma::Rank& self, std::size_t wb_bytes) {
+  if (!open_) {
+    open_ = true;
+    opened_ns_ = self.sim_time_ns();
+    txns_ = 0;
+    bytes_ = 0;
+  }
+  txns_ += 1;
+  bytes_ += wb_bytes;
+  self.counters().gc_enrolled += 1;
+  if (txns_ >= cfg_.epoch_txns || bytes_ >= cfg_.epoch_bytes ||
+      self.sim_time_ns() - opened_ns_ >= cfg_.max_delay_ns) {
+    close(self);
+    return true;
+  }
+  return false;
+}
+
+void CommitPipeline::sync(rma::Rank& self) {
+  if (open_) close(self);
+}
+
+void CommitPipeline::close(rma::Rank& self) {
+  // The flush may find nothing pending (an unrelated completion point --
+  // a read batch, a DHT round -- already absorbed the epoch); flush_all is a
+  // no-op then, charging nothing. The epoch still counts as closed.
+  (void)self.flush_all();
+  self.counters().gc_epochs += 1;
+  open_ = false;
+  txns_ = 0;
+  bytes_ = 0;
+}
+
+}  // namespace gdi

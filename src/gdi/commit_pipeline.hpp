@@ -1,0 +1,87 @@
+// Cross-transaction group commit (the "Group-commit across transactions"
+// ROADMAP item): a rank-local engine that collects the commit-time
+// nonblocking work of a *stream* of committing transactions -- writeback
+// PUTs, unlock FAAs -- into a shared **flush epoch**, paying one overlapped
+// flush_all for the whole epoch instead of one completion fence per commit.
+//
+// Why this is sound on the model this repository targets:
+//   * every enrolled operation is issued through the nonblocking engine, so
+//     data movement is ordered at issue time; the deferred flush only moves
+//     the *completion fence* (and its cost) later;
+//   * a commit's unlock FAA targets the lock word on the holder's primary
+//     rank -- the same destination its writeback PUT targets -- and a real
+//     RDMA NIC completes same-destination operations in issue order, so a
+//     racing reader that wins the freshly released lock reads bytes the
+//     writeback already placed. Commits whose dirty blocks *span* ranks
+//     (spilled continuation blocks) break that single-destination argument
+//     and are therefore never enrolled: they flush eagerly before unlocking,
+//     exactly like the pre-pipeline path (Transaction::commit_local);
+//   * commits that publish to the DHT or release deleted blocks also flush
+//     eagerly -- publication makes data reachable by ranks that never touch
+//     our locks, and a recycled block may be rewritten by its next owner, so
+//     both must complete the writeback first;
+//   * within the issuing rank, later transactions read their own prior
+//     writes through the window directly (one-sided semantics), so an open
+//     epoch never makes a rank's own reads stale.
+//
+// Epoch lifecycle: the first enrolled commit opens an epoch; it closes --
+// one flush_all covering every enrolled commit's PUTs and unlock FAAs -- when
+// any of three bounds trips: the per-epoch transaction cap, the per-epoch
+// writeback byte budget, or the max-delay knob (simulated ns since the epoch
+// opened, checked at each enrollment; a rank-local stream has no background
+// thread to close an idle epoch, so the knob bounds staleness of the
+// *visibility fence*, not of the data, which moved at issue time). Any
+// unrelated flush_all issued in between (a read batch, a DHT round) absorbs
+// the epoch's pending work for free; the eventual epoch-close flush then
+// fences nothing and costs nothing, which is the intended degenerate case.
+// `epoch_txns = 1` degenerates to the pre-pipeline flush-per-commit shape,
+// the escape hatch for latency-sensitive callers.
+//
+// Like the shared cache, the pipeline is per rank (Database owns one per
+// rank) and is only ever touched by its own rank's thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rma/runtime.hpp"
+
+namespace gdi {
+
+struct CommitPipelineConfig {
+  std::size_t epoch_txns = 32;        ///< commits per epoch (1 = flush per commit)
+  std::size_t epoch_bytes = 1 << 16;  ///< writeback bytes per epoch
+  double max_delay_ns = 50000.0;      ///< close an epoch older than this (sim ns)
+};
+
+class CommitPipeline {
+ public:
+  explicit CommitPipeline(CommitPipelineConfig cfg) : cfg_(cfg) {}
+  CommitPipeline(const CommitPipeline&) = delete;
+  CommitPipeline& operator=(const CommitPipeline&) = delete;
+
+  /// Enroll one committed transaction's deferred work (already issued
+  /// nonblocking: writeback PUTs and unlock FAAs). `wb_bytes` is the
+  /// commit's writeback volume, charged against the epoch byte budget.
+  /// Returns true iff this enrollment closed the epoch (issued the flush).
+  bool enroll(rma::Rank& self, std::size_t wb_bytes);
+
+  /// Completion fence: close the open epoch (no-op when none is open).
+  /// Callers that need remote visibility *now* -- a bench draining its
+  /// measured stream, a test asserting durability -- use this.
+  void sync(rma::Rank& self);
+
+  [[nodiscard]] bool epoch_open() const { return open_; }
+  [[nodiscard]] const CommitPipelineConfig& config() const { return cfg_; }
+
+ private:
+  void close(rma::Rank& self);
+
+  CommitPipelineConfig cfg_;
+  bool open_ = false;
+  std::size_t txns_ = 0;
+  std::size_t bytes_ = 0;
+  double opened_ns_ = 0.0;
+};
+
+}  // namespace gdi

@@ -7,17 +7,40 @@ std::shared_ptr<Database> Database::create(rma::Rank& self, const DatabaseConfig
       [&] { return std::make_shared<Database>(self.nranks(), cfg); });
 }
 
+namespace {
+// The erase epoch exists for the shared cache's translation memo; keep the
+// extra per-erase FAA (and its rank-0 hot word) off when nothing consumes it.
+[[nodiscard]] dht::DhtConfig dht_cfg_for(const DatabaseConfig& cfg) {
+  dht::DhtConfig d = cfg.dht;
+  d.track_erase_epoch = cfg.shared_cache;
+  return d;
+}
+}  // namespace
+
 Database::Database(int nranks, const DatabaseConfig& cfg)
     : cfg_(cfg),
       nranks_(nranks),
       blocks_(nranks, cfg.block),
-      dht_(nranks, cfg.dht),
+      dht_(nranks, dht_cfg_for(cfg)),
       metadata_(static_cast<std::size_t>(nranks)) {
   if (cfg_.shared_cache) {
+    // One knob bounds the whole cache: the translation memo scales with the
+    // byte budget (~64B of map + FIFO footprint per entry, i.e. a few
+    // percent of the holder budget).
+    const cache::SharedCacheConfig sc{
+        .max_bytes = cfg_.shared_cache_bytes,
+        .max_translations = cfg_.shared_cache_bytes / 64};
     scaches_.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r)
-      scaches_.push_back(std::make_unique<cache::SharedBlockCache>(
-          cache::SharedCacheConfig{cfg_.shared_cache_entries}));
+      scaches_.push_back(std::make_unique<cache::SharedBlockCache>(sc));
+  }
+  if (cfg_.commit_pipeline) {
+    const CommitPipelineConfig pc{.epoch_txns = cfg_.commit_epoch_txns,
+                                  .epoch_bytes = cfg_.commit_epoch_bytes,
+                                  .max_delay_ns = cfg_.commit_max_delay_ns};
+    pipelines_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+      pipelines_.push_back(std::make_unique<CommitPipeline>(pc));
   }
 }
 

@@ -17,6 +17,7 @@
 #include "cache/shared_cache.hpp"
 #include "common/hash.hpp"
 #include "dht/dht.hpp"
+#include "gdi/commit_pipeline.hpp"
 #include "gdi/index.hpp"
 #include "gdi/metadata.hpp"
 #include "rma/runtime.hpp"
@@ -51,7 +52,25 @@ struct DatabaseConfig {
   /// contract of the uncached design holds exactly; benches and production
   /// configs switch it on.
   bool shared_cache = false;
-  std::size_t shared_cache_entries = 4096;  ///< holders kept per rank
+  /// Shared-cache capacity in holder *bytes* per rank (entries charged their
+  /// assembled-holder size, FIFO-evicted beyond -- a 4-block holder displaces
+  /// 4x what a singleton does).
+  std::size_t shared_cache_bytes = 4096 * 512;
+  /// Write-through: a committing writer re-stamps its shared-cache entries
+  /// with the committed bytes under the version its fetch-flavored unlock
+  /// published (BlockStore::write_unlock_fetch), instead of leaving them
+  /// invalidated -- the rank's own write set stays warm across transactions.
+  /// Requires shared_cache; off by default for the same op-count reasons.
+  bool scache_write_through = false;
+  /// Cross-transaction group commit (src/gdi/commit_pipeline.hpp): eligible
+  /// commits defer their writeback flush + unlock round into a rank-local
+  /// shared epoch, paying one overlapped flush per epoch instead of one per
+  /// commit. Off by default: with it off, commit keeps the PR 2 contract of
+  /// exactly one flush per writeback.
+  bool commit_pipeline = false;
+  std::size_t commit_epoch_txns = 32;        ///< commits per flush epoch
+  std::size_t commit_epoch_bytes = 1 << 16;  ///< writeback bytes per epoch
+  double commit_max_delay_ns = 50000.0;      ///< epoch age bound (simulated ns)
 };
 
 class Transaction;
@@ -76,6 +95,13 @@ class Database {
   [[nodiscard]] cache::SharedBlockCache* shared_cache(rma::Rank& self) {
     if (scaches_.empty()) return nullptr;
     return scaches_[static_cast<std::size_t>(self.id())].get();
+  }
+
+  /// This rank's group-commit pipeline, or nullptr when the feature is off
+  /// (same per-rank ownership discipline as the shared cache).
+  [[nodiscard]] CommitPipeline* commit_pipeline(rma::Rank& self) {
+    if (pipelines_.empty()) return nullptr;
+    return pipelines_[static_cast<std::size_t>(self.id())].get();
   }
 
   /// 1D vertex distribution (paper Section 5.4).
@@ -118,6 +144,8 @@ class Database {
   std::vector<MetadataReplica> metadata_;  ///< one replica per rank (paper 5.8)
   /// One shared holder cache per rank (empty when cfg_.shared_cache is off).
   std::vector<std::unique_ptr<cache::SharedBlockCache>> scaches_;
+  /// One group-commit pipeline per rank (empty when cfg_.commit_pipeline off).
+  std::vector<std::unique_ptr<CommitPipeline>> pipelines_;
   std::vector<std::shared_ptr<Index>> indexes_;
   std::uint32_t next_index_id_ = 0;
 };

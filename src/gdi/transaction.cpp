@@ -66,6 +66,14 @@ void Transaction::scache_fill(DPtr primary, std::span<const std::byte> buf,
     sc->insert(primary, buf, block::BlockStore::version_of(word), is_edge);
 }
 
+void Transaction::scache_restamp(DPtr primary, std::span<const std::byte> buf,
+                                 std::uint64_t version_bits, bool is_edge) {
+  if (auto* sc = scache(); sc != nullptr) {
+    sc->insert(primary, buf, version_bits, is_edge);
+    self_.counters().scache_restamps += 1;
+  }
+}
+
 const cache::SharedBlockCache::Entry* Transaction::scache_lookup(
     DPtr primary, std::uint64_t observed_word, bool want_edge) {
   auto* sc = scache();
@@ -133,8 +141,11 @@ void Transaction::read_tail_blocks(std::vector<std::byte>& buf, std::size_t tota
   if (misses.empty()) return;
   // Full-block scratch reads: the cache stores whole blocks, and reading the
   // block-sized region is always in-bounds even for a partial tail.
+  // A single miss degenerates to the blocking read -- one latency beats one
+  // overlapped latency plus a completion fence (the same singleton rule the
+  // lock and fetch batches follow).
   std::vector<std::byte> scratch(misses.size() * B);
-  if (batching_enabled()) {
+  if (batching_enabled() && misses.size() > 1) {
     std::vector<block::BlockStore::BlockReadOp> ops;
     ops.reserve(misses.size());
     for (std::size_t j = 0; j < misses.size(); ++j)
@@ -167,6 +178,8 @@ void Transaction::invalidate_cached_blocks(
 Result<std::vector<DPtr>> Transaction::translate_ids_impl(
     std::span<const std::uint64_t> app_ids) {
   if (!active_ || failed_) return Status::kTxnAborted;
+  auto& dht = db_->id_index();
+  auto* sc = scache();
   std::vector<DPtr> out(app_ids.size());
   std::vector<std::uint64_t> need;
   std::vector<std::size_t> need_pos;
@@ -179,15 +192,61 @@ Result<std::vector<DPtr>> Transaction::translate_ids_impl(
       need_pos.push_back(i);
     }
   }
+
+  // Warm-memo validation for bare translates: one erase-epoch read (a single
+  // 8-byte remote atomic) covers every memoized key in the batch. A memo
+  // taught under the still-current epoch is proven -- no erase can have
+  // broken the mapping, and GDI never shadows a live key with a duplicate
+  // insert -- so those keys skip the DHT walk entirely. Epoch-mismatched
+  // memos fall back to the walk below (and are re-taught on success).
+  std::uint64_t ep = dht.cached_erase_epoch(self_);
+  if (sc != nullptr && !need.empty()) {
+    bool any_memo = false;
+    for (std::uint64_t key : need)
+      if (sc->find_translation(key) != nullptr) {
+        any_memo = true;
+        break;
+      }
+    if (any_memo) {
+      ep = dht.erase_epoch(self_);
+      std::vector<std::uint64_t> still;
+      std::vector<std::size_t> still_pos;
+      for (std::size_t j = 0; j < need.size(); ++j) {
+        const auto* tr = sc->find_translation(need[j]);
+        if (tr != nullptr && tr->epoch == ep) {
+          out[need_pos[j]] = tr->vid;
+          self_.counters().xlate_hits += 1;
+          continue;
+        }
+        if (tr != nullptr) {
+          self_.counters().xlate_fallbacks += 1;
+          sc->forget_translation(need[j]);
+        }
+        still.push_back(need[j]);
+        still_pos.push_back(need_pos[j]);
+      }
+      need = std::move(still);
+      need_pos = std::move(still_pos);
+    }
+  }
+
   // Multi-lookup earns its round flushes only past one key; a singleton walks
-  // the chain blocking, exactly like translate_vertex_id.
+  // the chain blocking, exactly like translate_vertex_id. Resolved keys
+  // re-teach the memo under `ep`, which was observed no later than the walk
+  // that verified them (the conservative direction -- see shared_cache.hpp).
   if (batching_enabled() && need.size() > 1) {
-    auto vals = db_->id_index().lookup_many(self_, need);
+    auto vals = dht.lookup_many(self_, need);
     for (std::size_t j = 0; j < need.size(); ++j)
-      if (vals[j]) out[need_pos[j]] = DPtr{*vals[j]};
+      if (vals[j]) {
+        out[need_pos[j]] = DPtr{*vals[j]};
+        if (sc != nullptr) sc->remember_translation(need[j], DPtr{*vals[j]}, ep);
+      }
   } else {
     for (std::size_t j = 0; j < need.size(); ++j)
-      if (auto v = db_->id_index().lookup(self_, need[j])) out[need_pos[j]] = DPtr{*v};
+      if (auto v = dht.lookup(self_, need[j])) {
+        out[need_pos[j]] = DPtr{*v};
+        if (sc != nullptr) sc->remember_translation(need[j], DPtr{*v}, ep);
+      }
   }
   return out;
 }
@@ -493,11 +552,18 @@ Status Transaction::fetch_vertices_batch(std::span<const FetchSpec> specs,
       (items[j].write ? write_idx : read_idx).push_back(j);
     auto lock_serial = [&](Item& it) {
       bool got = false;
+      // A shared-cache entry's version stamp (kept current for a rank's own
+      // rows by write-through) seeds the CAS expectation: a warm hint saves
+      // the learn-the-version round trip; a stale one costs nothing -- the
+      // failing CAS returns the fresh word the retry needed anyway.
+      std::uint64_t hint = 0;
+      if (auto* sc = scache())
+        if (const auto* e = sc->find(it.vid)) hint = e->version;
       if (it.write) {
         for (int a = 0; a < attempts && !got; ++a)
-          got = blocks.try_write_lock(self_, it.vid);
+          got = blocks.try_write_lock(self_, it.vid, hint);
       } else {
-        got = blocks.try_read_lock(self_, it.vid, attempts, &it.word);
+        got = blocks.try_read_lock(self_, it.vid, attempts, &it.word, hint);
       }
       return got;
     };
@@ -752,11 +818,15 @@ Status Transaction::fetch_edges_batch(std::span<const EdgeFetchSpec> specs,
       (items[j].write ? write_idx : read_idx).push_back(j);
     auto lock_serial = [&](Item& it) {
       bool got = false;
+      // Version-stamp hint, exactly as on the vertex path.
+      std::uint64_t hint = 0;
+      if (auto* sc = scache())
+        if (const auto* e = sc->find(it.eid)) hint = e->version;
       if (it.write) {
         for (int a = 0; a < attempts && !got; ++a)
-          got = blocks.try_write_lock(self_, it.eid);
+          got = blocks.try_write_lock(self_, it.eid, hint);
       } else {
-        got = blocks.try_read_lock(self_, it.eid, attempts, &it.word);
+        got = blocks.try_read_lock(self_, it.eid, attempts, &it.word, hint);
       }
       return got;
     };
@@ -1102,12 +1172,13 @@ Result<VertexHandle> Transaction::create_vertex_impl(std::uint64_t app_id,
 }
 
 Result<DPtr> Transaction::translate_vertex_id(std::uint64_t app_id) {
-  if (!active_ || failed_) return Status::kTxnAborted;
-  auto it = created_ids_.find(app_id);
-  if (it != created_ids_.end()) return it->second;
-  auto v = db_->id_index().lookup(self_, app_id);
-  if (!v) return Status::kNotFound;
-  return DPtr{*v};
+  // One-op wrapper over the batched path (the PR 2 rule: one translation
+  // code path). The singleton degenerates to the blocking DHT lookup, and
+  // the memo + erase-epoch validation live only in translate_ids_impl.
+  auto r = translate_ids_impl(std::span<const std::uint64_t>(&app_id, 1));
+  if (!r.ok()) return r.status();
+  if ((*r)[0].is_null()) return Status::kNotFound;
+  return (*r)[0];
 }
 
 Result<VertexHandle> Transaction::associate_vertex(DPtr vid) {
@@ -1657,7 +1728,7 @@ Status Transaction::sync_blocks_vertex(DPtr vid, VertexState& st) {
     st.view.set_block_addr(i, blk);
   }
   for (std::uint32_t i = needed; i < cur; ++i)
-    blocks.release(self_, st.view.block_addr(i));
+    shrink_release_.push_back(st.view.block_addr(i));  // recycled in phase 5
   if (needed != cur) st.view.set_num_blocks(needed);
   return Status::kOk;
 }
@@ -1679,7 +1750,7 @@ Status Transaction::sync_blocks_edge(DPtr eid, EdgeState& st) {
     st.view.set_block_addr(i, blk);
   }
   for (std::uint32_t i = needed; i < cur; ++i)
-    blocks.release(self_, st.view.block_addr(i));
+    shrink_release_.push_back(st.view.block_addr(i));  // recycled in phase 5
   if (needed != cur) st.view.set_num_blocks(needed);
   return Status::kOk;
 }
@@ -1718,6 +1789,7 @@ Status Transaction::writeback_vertex(DPtr vid, VertexState& st) {
   for (const auto& [b0, b1] : spans) {
     for (std::size_t b = b0; b < b1 && b < st.view.num_blocks(); ++b) {
       const DPtr blk = b == 0 ? vid : st.view.block_addr(b);
+      if (blk.rank() != vid.rank()) wb_cross_rank_ = true;  // spilled block
       const std::size_t off = b * B;
       const std::size_t n = std::min(B, total - off);
       if (batching_enabled()) blocks.write_nb(self_, blk, 0, st.buf.data() + off, n);
@@ -1742,6 +1814,7 @@ Status Transaction::writeback_edge(DPtr eid, EdgeState& st) {
   const std::size_t b1 = div_up(hi, B);
   for (std::size_t b = b0; b < b1 && b < st.view.num_blocks(); ++b) {
     const DPtr blk = b == 0 ? eid : st.view.block_addr(b);
+    if (blk.rank() != eid.rank()) wb_cross_rank_ = true;  // spilled block
     const std::size_t off = b * B;
     const std::size_t n = std::min(B, total - off);
     if (batching_enabled()) blocks.write_nb(self_, blk, 0, st.buf.data() + off, n);
@@ -1752,28 +1825,50 @@ Status Transaction::writeback_edge(DPtr eid, EdgeState& st) {
   return Status::kOk;
 }
 
-void Transaction::release_locks() {
+void Transaction::release_locks(bool write_through) {
   // With batching on, unlocks ride the nonblocking engine fire-and-forget:
   // no agent observes *our* completion (a racing CAS that lands before an
   // unlock just retries), so the round's cost is absorbed by whichever
   // completion point comes next instead of paying one serial latency per
   // held lock -- the last serial leg of the read hot path. Writeback PUTs
-  // were flushed before this point, so a write unlock never overtakes its
-  // data (the RDMA ordering a real backend needs too).
+  // either were flushed before this point or target the same rank as the
+  // lock word they precede (commit_local's pipeline eligibility rule), so a
+  // write unlock never overtakes its data (the RDMA same-destination
+  // ordering a real backend needs too).
+  //
+  // Write-through (commit only): a write unlock fetches the word it
+  // released, and the committed holder bytes -- which the write bit proves
+  // no other agent could touch since the writeback -- are re-stamped into
+  // the shared cache under the fetched post-unlock version. The rank's own
+  // write set thus survives its own commits instead of going cold.
   const bool nb = batching_enabled();
+  const bool wt = write_through && db_->config().scache_write_through &&
+                  scache() != nullptr;
   auto& blocks = db_->blocks();
   for (auto& [raw, st] : vcache_) {
     const DPtr vid{raw};
-    if (st->lock == LockState::kWrite)
-      nb ? blocks.write_unlock_nb(self_, vid) : blocks.write_unlock(self_, vid);
+    if (st->lock == LockState::kWrite) {
+      if (wt && !st->deleted) {
+        const std::uint64_t v = blocks.write_unlock_fetch(self_, vid, nb);
+        scache_restamp(vid, st->buf, v, /*is_edge=*/false);
+      } else {
+        nb ? blocks.write_unlock_nb(self_, vid) : blocks.write_unlock(self_, vid);
+      }
+    }
     if (st->lock == LockState::kRead)
       nb ? blocks.read_unlock_nb(self_, vid) : blocks.read_unlock(self_, vid);
     st->lock = LockState::kNone;
   }
   for (auto& [raw, st] : ecache_) {
     const DPtr eid{raw};
-    if (st->lock == LockState::kWrite)
-      nb ? blocks.write_unlock_nb(self_, eid) : blocks.write_unlock(self_, eid);
+    if (st->lock == LockState::kWrite) {
+      if (wt && !st->deleted) {
+        const std::uint64_t v = blocks.write_unlock_fetch(self_, eid, nb);
+        scache_restamp(eid, st->buf, v, /*is_edge=*/true);
+      } else {
+        nb ? blocks.write_unlock_nb(self_, eid) : blocks.write_unlock(self_, eid);
+      }
+    }
     if (st->lock == LockState::kRead)
       nb ? blocks.read_unlock_nb(self_, eid) : blocks.read_unlock(self_, eid);
     st->lock = LockState::kNone;
@@ -1781,6 +1876,9 @@ void Transaction::release_locks() {
 }
 
 Status Transaction::commit_local() {
+  wb_cross_rank_ = false;
+  const std::uint64_t wb_bytes_before = self_.counters().bytes_put;
+
   // Phase 1: make physical block allocation match every buffered holder.
   for (auto& [raw, st] : vcache_) {
     if (st->deleted) continue;
@@ -1850,12 +1948,48 @@ Status Transaction::commit_local() {
     for (std::uint32_t i = 0; i < st->view.num_blocks(); ++i)
       to_release.push_back(i == 0 ? eid : st->view.block_addr(i));
   }
-
-  // Writeback completion: every dirty-block and deletion PUT issued above
-  // (phases 2-3) completes here with a single overlapped flush -- at most one
-  // flush per target rank per commit, the ROADMAP "write batching" item --
-  // before the DHT/indexes publish anything and before locks release.
-  if (batching_enabled() && self_.pending_nb_ops() > 0) (void)self_.flush_all();
+  // Writeback completion. The pre-pipeline contract: every dirty-block and
+  // deletion PUT issued above (phases 2-3) completes here with a single
+  // overlapped flush before anything publishes and before locks release.
+  // *Eligible* commits instead defer that fence into the rank's group-commit
+  // pipeline: the epoch-close flush (or any earlier completion point)
+  // absorbs a whole stream of commits' PUTs and unlock FAAs at one
+  // overlapped cost. Eligibility (see commit_pipeline.hpp for the ordering
+  // argument): local scope, no DHT publications (creates make holders
+  // reachable by ranks that never touch our locks), no deletions (released
+  // blocks may be rewritten by their next owner), and no dirty block on a
+  // rank other than its holder's lock rank (same-destination NIC ordering is
+  // what lets the unlock trail its writeback).
+  // Only commits that actually issued writeback have a fence to defer:
+  // read-only (and clean write-locked) commits keep their pre-pipeline
+  // shape -- no flush, unlock FAAs fire-and-forget -- and must not consume
+  // epoch slots or drag epoch-close fences into read streams.
+  const std::uint64_t wb_bytes = self_.counters().bytes_put - wb_bytes_before;
+  CommitPipeline* pipeline = db_->commit_pipeline(self_);
+  bool defer = pipeline != nullptr && batching_enabled() && wb_bytes > 0 &&
+               scope_ == TxnScope::kLocal && to_release.empty() &&
+               shrink_release_.empty() && !wb_cross_rank_;
+  if (defer) {
+    for (auto& [raw, st] : vcache_) {
+      if (st->created && !st->deleted) {
+        defer = false;  // publishes to the DHT below
+        break;
+      }
+    }
+  }
+  // The eager flush fences *this commit's* work (its writeback, any
+  // recycling -- deletion's or a shrink's: a freed block's next owner may
+  // rewrite it, so no PUT to it, ours or an open epoch's, may remain in
+  // flight -- and, kept conservatively, any collective commit's
+  // barrier-visible state). A commit with nothing of its own to fence must
+  // not flush: the rank's pending queue may hold another commit's open
+  // flush epoch, and a read-only commit force-closing it would undo the
+  // amortization on every mixed read/write stream.
+  const bool must_fence = wb_bytes > 0 || !to_release.empty() ||
+                          !shrink_release_.empty() ||
+                          scope_ == TxnScope::kCollective;
+  if (batching_enabled() && self_.pending_nb_ops() > 0 && !defer && must_fence)
+    (void)self_.flush_all();
 
   // Phase 4: internal DHT index (app id -> DPtr) and explicit indexes. All
   // created vertices publish through one insert_many (overlapped field
@@ -1887,6 +2021,12 @@ Status Transaction::commit_local() {
       // Partial publication must not leak translations to released blocks.
       for (std::size_t i = 0; i < pub_keys.size(); ++i)
         if (pub_ok[i]) (void)dht.erase(self_, pub_keys[i]);
+      // Shrink-shed blocks must still recycle on this exit: their shrunk
+      // headers were written back and fenced above, so nothing references
+      // them -- and abort() below must not do it (it also serves
+      // pre-writeback failures, where the window holders still do).
+      for (DPtr blk : shrink_release_) blocks.release(self_, blk);
+      shrink_release_.clear();
       failed_ = true;
       abort();
       return Status::kOutOfMemory;
@@ -1904,9 +2044,20 @@ Status Transaction::commit_local() {
     }
   }
 
-  // Phase 5: unlock, then recycle deleted holders' blocks.
-  release_locks();
+  // Phase 5: unlock (write-through re-stamps ride the fetch-flavored
+  // unlocks), then recycle deleted holders' and shrink-shed blocks (both
+  // unreferenced since the fenced phase-2/3 writeback; shed tails carry no
+  // held lock words -- only primaries are locked -- so release order with
+  // the unlocks is free).
+  release_locks(/*write_through=*/true);
   for (DPtr blk : to_release) blocks.release(self_, blk);
+  for (DPtr blk : shrink_release_) blocks.release(self_, blk);
+  shrink_release_.clear();
+
+  // Deferred commits enroll in the shared flush epoch *after* their unlocks
+  // are issued, so the epoch-close flush fences the whole commit -- PUTs and
+  // unlock round together.
+  if (defer) (void)pipeline->enroll(self_, wb_bytes);
 
   blk_cache_.clear();  // cache lifetime ends with the transaction
   active_ = false;
@@ -1936,7 +2087,9 @@ Status Transaction::commit() {
 
 void Transaction::abort() {
   if (!active_) return;
-  release_locks();
+  // No write-through on abort: the buffered holder bytes diverged from the
+  // window the moment the first write op ran; only the version bump is real.
+  release_locks(/*write_through=*/false);
   auto& blocks = db_->blocks();
   // Created holders never became visible; return their blocks.
   for (auto& [raw, st] : vcache_) {
@@ -1951,6 +2104,10 @@ void Transaction::abort() {
     for (std::uint32_t i = 0; i < st->view.num_blocks(); ++i)
       blocks.release(self_, i == 0 ? eid : st->view.block_addr(i));
   }
+  // Shrink-shed blocks are NOT released: their writeback never ran, so the
+  // window holders still reference them (releasing would hand live blocks
+  // to the allocator -- the pre-pipeline code had exactly that bug).
+  shrink_release_.clear();
   vcache_.clear();
   ecache_.clear();
   created_ids_.clear();

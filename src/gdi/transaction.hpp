@@ -332,6 +332,10 @@ class Transaction {
   /// Stamp `buf` into the shared cache under `word`'s version bits.
   void scache_fill(DPtr primary, std::span<const std::byte> buf, std::uint64_t word,
                    bool is_edge);
+  /// Write-through: re-stamp `buf` under the already-masked version bits the
+  /// committing writer's write_unlock_fetch published (counts a restamp).
+  void scache_restamp(DPtr primary, std::span<const std::byte> buf,
+                      std::uint64_t version_bits, bool is_edge);
   /// Consult + validate an entry against a freshly observed lock word.
   /// Returns the entry if it proves current, nullptr otherwise (a stale or
   /// type-confused entry is erased). Counts validations/hits/invalidations.
@@ -347,7 +351,13 @@ class Transaction {
   Status commit_local();
   Status writeback_vertex(DPtr vid, VertexState& st);
   Status writeback_edge(DPtr eid, EdgeState& st);
-  void release_locks();
+  /// Release every held lock. With `write_through`, write unlocks go through
+  /// BlockStore::write_unlock_fetch and the committed holder bytes are
+  /// re-stamped into the shared cache under the fetched post-unlock version
+  /// (the rank's own write set stays warm); commit passes the config knob,
+  /// abort always passes false -- an aborted buffer diverged from the window
+  /// bytes and must not be stamped.
+  void release_locks(bool write_through);
   void release_holder_blocks(const std::vector<DPtr>& blocks);
   [[nodiscard]] std::uint32_t max_table_cap() const;
   Status sync_blocks_vertex(DPtr vid, VertexState& st);   // alloc/free to match size
@@ -365,6 +375,21 @@ class Transaction {
   TxnScope scope_;
   bool active_ = true;
   bool failed_ = false;
+  /// Set by writeback when a dirty block lives on a different rank than its
+  /// holder's lock word: such a commit must flush before unlocking (the
+  /// group-commit pipeline's same-destination ordering argument fails).
+  bool wb_cross_rank_ = false;
+  /// Blocks shed by holder shrinks (sync_blocks_*): recycled in commit phase
+  /// 5 with the deletion releases -- after the writeback fence (a freed
+  /// block's next owner may rewrite it, so no PUT to it may remain in
+  /// flight, ours or an open epoch's) and after the shrunk header is
+  /// published. On abort the list is discarded: the writeback never ran, so
+  /// the window holder still references these blocks. Accepted tradeoff: a
+  /// commit that shrinks one holder and grows another can no longer reuse
+  /// the shed blocks intra-commit, so it may report kOutOfMemory in a pool
+  /// with zero headroom where the old (ordering- and abort-unsafe) eager
+  /// release would have squeaked by.
+  std::vector<DPtr> shrink_release_;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<VertexState>> vcache_;
   std::unordered_map<std::uint64_t, std::unique_ptr<EdgeState>> ecache_;

@@ -99,6 +99,22 @@ struct OpCounters {
   std::uint64_t edge_batches = 0;
   std::uint64_t edge_batch_items = 0;
 
+  // Group-commit pipeline: epochs closed (each paid at most one overlapped
+  // flush for every enrolled commit's writeback + unlocks) and commits
+  // enrolled (epochs/enrolled = mean commits amortized per flush).
+  std::uint64_t gc_epochs = 0;
+  std::uint64_t gc_enrolled = 0;
+
+  // Write-through: shared-cache entries re-stamped at write_unlock_fetch time
+  // (a rank's own write set staying warm instead of dying by invalidation).
+  std::uint64_t scache_restamps = 0;
+
+  // Translation-memo epoch validation: bare translates served by the memo
+  // under a matching DHT erase epoch (hits skip the whole DHT walk) vs
+  // memo entries refuted by an epoch mismatch (fell back to the walk).
+  std::uint64_t xlate_hits = 0;
+  std::uint64_t xlate_fallbacks = 0;
+
   OpCounters& operator+=(const OpCounters& o) {
     puts += o.puts;
     gets += o.gets;
@@ -121,6 +137,11 @@ struct OpCounters {
     scache_invalidations += o.scache_invalidations;
     edge_batches += o.edge_batches;
     edge_batch_items += o.edge_batch_items;
+    gc_epochs += o.gc_epochs;
+    gc_enrolled += o.gc_enrolled;
+    scache_restamps += o.scache_restamps;
+    xlate_hits += o.xlate_hits;
+    xlate_fallbacks += o.xlate_fallbacks;
     return *this;
   }
 

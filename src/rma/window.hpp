@@ -226,6 +226,25 @@ class Window {
     return faa_u64_nb(self, p.rank(), p.offset(), add);
   }
 
+  /// Fetch-flavored nonblocking FAA (MPI_Fetch_and_op shape): like faa_u64_nb,
+  /// but the caller depends on the fetched previous value, so *prev_out is
+  /// mandatory and -- on a real backend -- only valid after the enclosing
+  /// flush completes. In-process the atomic executes at issue time, so the
+  /// value is stable immediately; call sites still treat the next completion
+  /// point as the earliest moment they may act on it remotely. The write-side
+  /// cache protocol rides this: a committing writer's unlock fetches the lock
+  /// word it released, learning the post-unlock version it re-stamps its
+  /// shared-cache entry with (BlockStore::write_unlock_fetch).
+  NbRequest faa_fetch_u64_nb(Rank& self, std::uint32_t target, std::uint64_t offset,
+                             std::int64_t add, std::uint64_t* prev_out) {
+    assert(prev_out != nullptr);
+    return faa_u64_nb(self, target, offset, add, prev_out);
+  }
+  NbRequest faa_fetch_u64_nb(Rank& self, DPtr p, std::int64_t add,
+                             std::uint64_t* prev_out) {
+    return faa_fetch_u64_nb(self, p.rank(), p.offset(), add, prev_out);
+  }
+
   /// Nonblocking compare-and-swap: executes (linearizably) at issue time,
   /// writing the previous value to *prev_out; the latency joins the current
   /// batch. Success iff *prev_out == expected after the next flush_all().

@@ -120,13 +120,27 @@ std::string counters_line(const rma::OpCounters& c) {
      << Table::fmt_si(static_cast<double>(c.scache_hits), 1) << "/"
      << Table::fmt_si(static_cast<double>(c.scache_hits + c.scache_misses), 1)
      << " v=" << Table::fmt_si(static_cast<double>(c.scache_validations), 1)
-     << " i=" << Table::fmt_si(static_cast<double>(c.scache_invalidations), 1) << ")";
+     << " i=" << Table::fmt_si(static_cast<double>(c.scache_invalidations), 1);
+  if (c.scache_restamps > 0)
+    os << " r=" << Table::fmt_si(static_cast<double>(c.scache_restamps), 1);
+  os << ")";
   if (c.edge_batches > 0) {
     os << " | edge batches=" << Table::fmt_si(static_cast<double>(c.edge_batches), 1)
        << " avg_size="
        << Table::fmt(static_cast<double>(c.edge_batch_items) /
                          static_cast<double>(c.edge_batches),
                      1);
+  }
+  if (c.gc_epochs > 0) {
+    os << " | gc epochs=" << Table::fmt_si(static_cast<double>(c.gc_epochs), 1)
+       << " commits/epoch="
+       << Table::fmt(static_cast<double>(c.gc_enrolled) /
+                         static_cast<double>(c.gc_epochs),
+                     1);
+  }
+  if (c.xlate_hits + c.xlate_fallbacks > 0) {
+    os << " | xlate hits=" << Table::fmt_si(static_cast<double>(c.xlate_hits), 1)
+       << " fallbacks=" << Table::fmt_si(static_cast<double>(c.xlate_fallbacks), 1);
   }
   return os.str();
 }

@@ -33,6 +33,9 @@ OpMix OpMix::write_intensive() {
 OpMix OpMix::linkbench() {
   return OpMix{"LinkBench", {0.129, 0.049, 0.512, 0.026, 0.01, 0.074, 0.20}};
 }
+OpMix OpMix::update_stream() {
+  return OpMix{"update stream", {0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0}};
+}
 
 namespace {
 
@@ -78,6 +81,10 @@ OltpResult run_oltp(const std::shared_ptr<Database>& db, rma::Rank& self,
   const std::uint64_t hot = std::min(
       cfg.hot_ids == 0 ? cfg.existing_ids : cfg.hot_ids, cfg.existing_ids);
   auto random_read_id = [&] { return rng.next_below(hot); };
+  const std::uint64_t hot_w = std::min(
+      cfg.hot_write_ids == 0 ? cfg.existing_ids : cfg.hot_write_ids,
+      cfg.existing_ids);
+  auto random_write_id = [&] { return rng.next_below(hot_w); };
 
   // Pre-sample the whole stream: ops in mix order, ids per op, exactly as the
   // serial loop would have drawn them.
@@ -91,12 +98,14 @@ OltpResult run_oltp(const std::shared_ptr<Database>& db, rma::Rank& self,
         q.a = random_read_id();
         break;
       case OltpOp::kDeleteVertex:
-      case OltpOp::kUpdateVertexProp:
         q.a = random_id();
         break;
+      case OltpOp::kUpdateVertexProp:
+        q.a = random_write_id();
+        break;
       case OltpOp::kAddEdge:
-        q.a = random_id();
-        q.b = random_id();
+        q.a = random_write_id();
+        q.b = random_write_id();
         break;
       case OltpOp::kAddVertex:
       case OltpOp::kNumOps:
@@ -308,11 +317,91 @@ OltpResult run_oltp(const std::shared_ptr<Database>& db, rma::Rank& self,
     }
   }
 
+  // Drain the last open flush epoch inside the measured window: deferred
+  // commit work is real work, and throughput must not be flattered by an
+  // unfenced tail.
+  if (auto* cp = db->commit_pipeline(self)) cp->sync(self);
+
   const double my_time = self.sim_time_ns();
   res.rank_time_ns = self.allreduce_max(my_time);
   res.attempted = self.allreduce_sum(cfg.queries_per_rank);
   res.failed = self.allreduce_sum(local_failed);
   res.not_found = self.allreduce_sum(local_not_found);
+  res.throughput_qps =
+      res.rank_time_ns > 0
+          ? static_cast<double>(res.attempted) / (res.rank_time_ns * 1e-9)
+          : 0;
+  return res;
+}
+
+WriteStreamResult run_write_stream(const std::shared_ptr<Database>& db,
+                                   rma::Rank& self, const WriteStreamConfig& cfg) {
+  WriteStreamResult res;
+  CounterRng rng(hash_combine(cfg.seed, static_cast<std::uint64_t>(self.id()) + 0x5a7e));
+
+  // This rank's slice of the hot set, translated once up front (a production
+  // front end holds its partition's handles; the measured loop is the write
+  // hot path itself, not the DHT).
+  std::vector<DPtr> mine;
+  {
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t k = 0; k < cfg.hot_ids; ++k) {
+      const std::uint64_t id =
+          cfg.existing_ids != 0
+              ? splitmix64(hash_combine(cfg.seed, k)) % cfg.existing_ids
+              : k;
+      if (db->owner_rank(id) == static_cast<std::uint32_t>(self.id()))
+        ids.push_back(id);
+    }
+    Transaction txn(db, self, TxnMode::kRead);
+    auto vids = txn.translate_vertex_ids(ids);
+    txn.abort();
+    if (vids.ok())
+      for (DPtr v : *vids)
+        if (!v.is_null()) mine.push_back(v);
+  }
+
+  self.barrier();
+  self.reset_clock();
+  const std::uint64_t flushes_before = self.counters().flushes;
+  std::uint64_t local_failed = 0;
+  std::uint64_t local_txns = 0;
+
+  for (std::uint64_t q = 0; q < cfg.updates_per_rank && !mine.empty(); ++q) {
+    const DPtr vid = mine[rng.next_below(mine.size())];
+    self.charge_compute(cfg.cpu_ns_per_query);
+    {
+      Transaction txn(db, self, TxnMode::kWrite);
+      const Status s = txn.update_property(
+          VertexHandle{vid}, cfg.ptype, PropValue{static_cast<std::int64_t>(q)});
+      const Status outcome = ok(s) ? txn.commit() : s;
+      if (!ok(s)) txn.abort();
+      if (is_transaction_critical(outcome)) ++local_failed;
+      ++local_txns;
+    }
+    if (cfg.read_back) {
+      // Independent read transaction of the vertex just committed: with
+      // write-through this hits the re-stamped shared-cache entry; with
+      // invalidate-on-writeback it always misses.
+      self.charge_compute(cfg.cpu_ns_per_query);
+      Transaction txn(db, self, TxnMode::kRead);
+      auto vh = txn.associate_vertex(vid);
+      if (vh.ok()) (void)txn.get_properties(*vh, cfg.ptype);
+      const Status outcome = vh.ok() ? txn.commit() : vh.status();
+      if (!vh.ok()) txn.abort();
+      if (is_transaction_critical(outcome)) ++local_failed;
+      ++local_txns;
+    }
+  }
+
+  // Fence the tail epoch inside the measured window (see run_oltp).
+  if (auto* cp = db->commit_pipeline(self)) cp->sync(self);
+
+  res.flushes = self.counters().flushes - flushes_before;
+  const double my_time = self.sim_time_ns();
+  res.rank_time_ns = self.allreduce_max(my_time);
+  res.attempted = self.allreduce_sum(local_txns);
+  res.failed = self.allreduce_sum(local_failed);
   res.throughput_qps =
       res.rank_time_ns > 0
           ? static_cast<double>(res.attempted) / (res.rank_time_ns * 1e-9)

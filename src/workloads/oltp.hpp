@@ -41,6 +41,9 @@ struct OpMix {
   [[nodiscard]] static OpMix read_intensive();  // RI  [Weaver]: 75% reads
   [[nodiscard]] static OpMix write_intensive(); // WI  [G-Tran]: 20% reads
   [[nodiscard]] static OpMix linkbench();       // LB  [LinkBench]: 69% reads
+  /// Pure update stream: the commit-dominated write shape the group-commit
+  /// pipeline targets (every query is one update-property transaction).
+  [[nodiscard]] static OpMix update_stream();
 };
 
 struct OltpConfig {
@@ -64,6 +67,12 @@ struct OltpConfig {
   /// the full range (so invalidation traffic still exercises the cache). 0 =
   /// uniform reads over every id (the PR 3 behaviour).
   std::uint64_t hot_ids = 0;
+  /// Write-stream twin of hot_ids: when nonzero, update and add-edge targets
+  /// are drawn from [0, hot_write_ids) -- the repeatedly-rewritten rows of a
+  /// production OLTP write stream, which is what write-through caching and
+  /// cross-transaction group commit monetize. Deletes keep the full range
+  /// (a hot set that deletes itself is not a hot set). 0 = uniform.
+  std::uint64_t hot_write_ids = 0;
 };
 
 struct OltpResult {
@@ -81,7 +90,45 @@ struct OltpResult {
 
 /// Run `cfg.queries_per_rank` single-process transactions on every rank;
 /// returns globally aggregated counters with this rank's latency histograms.
+/// When the database's group-commit pipeline is on, the last open flush
+/// epoch is drained inside the measured window (its cost is real work).
 OltpResult run_oltp(const std::shared_ptr<Database>& db, rma::Rank& self,
                     const OpMix& mix, const OltpConfig& cfg);
+
+// --- the OLTP write-stream shape -------------------------------------------
+//
+// A partition-affine stream of single-update transactions: each rank
+// repeatedly rewrites the vertices *it owns* out of a small hot set, the
+// shape a partition-routed OLTP front end produces (and the shape where the
+// per-commit completion fence is the dominant cost the group-commit pipeline
+// amortizes away). Handles are pre-translated once, so the measured loop is
+// pure lock -> fetch -> buffer -> commit; with `read_back` every update is
+// followed by an independent read transaction of the same vertex, the
+// read-after-own-write pattern write-through keeps warm.
+struct WriteStreamConfig {
+  std::uint64_t updates_per_rank = 2000;
+  std::uint64_t hot_ids = 256;  ///< global hot set; each rank writes its own members
+  /// Loaded app-id space. When nonzero, the hot set is a *hashed* subset of
+  /// [0, existing_ids) -- production hot rows are arbitrary rows, not the
+  /// lowest ids, which in a Kronecker graph are exactly the supernodes whose
+  /// multi-block holders would turn a commit-protocol measurement into an
+  /// adjacency-volume one. 0 = the literal range [0, hot_ids).
+  std::uint64_t existing_ids = 0;
+  std::uint32_t ptype = 0;      ///< property rewritten by every update
+  double cpu_ns_per_query = 180.0;
+  std::uint64_t seed = 1;
+  bool read_back = false;  ///< follow each update with a kRead of the same vertex
+};
+
+struct WriteStreamResult {
+  std::uint64_t attempted = 0;  ///< global transactions (updates + read-backs)
+  std::uint64_t failed = 0;     ///< transaction-critical failures
+  double rank_time_ns = 0;      ///< max simulated time across ranks
+  double throughput_qps = 0;    ///< global transactions per simulated second
+  std::uint64_t flushes = 0;    ///< this rank's flushes inside the measured loop
+};
+
+WriteStreamResult run_write_stream(const std::shared_ptr<Database>& db,
+                                   rma::Rank& self, const WriteStreamConfig& cfg);
 
 }  // namespace gdi::work

@@ -26,14 +26,14 @@
 namespace gdi {
 namespace {
 
-DatabaseConfig make_cfg(bool shared, std::size_t entries = 4096) {
+DatabaseConfig make_cfg(bool shared, std::size_t bytes = 4096 * 512) {
   DatabaseConfig c;
   c.block.block_size = 512;
   c.block.blocks_per_rank = 8192;
   c.dht.entries_per_rank = 4096;
   c.dht.buckets_per_rank = 512;
   c.shared_cache = shared;
-  c.shared_cache_entries = entries;
+  c.shared_cache_bytes = bytes;
   return c;
 }
 

@@ -69,6 +69,19 @@ def pr4_edge_metrics(parsed):
     }
 
 
+def pr5_metrics(parsed):
+    """Tracked metrics of bench_pr5_group_commit (higher is better): the
+    group-commit write-stream win and the write-through read-after-own-write
+    hit rate, plus the absolute pr5-mode throughputs so a regression in the
+    new path fails even if the baseline path regresses in lockstep."""
+    return {
+        "write_stream_speedup": parsed["write_stream"]["speedup"],
+        "write_stream_pr5_qps": parsed["write_stream"]["pr5_qps"],
+        "read_after_write_hit_rate": parsed["read_after_write"]["pr5_hit_rate"],
+        "read_after_write_pr5_qps": parsed["read_after_write"]["pr5_qps"],
+    }
+
+
 # Benches with a "smoke_key" share one baseline file: their smoke metrics
 # live under baseline["smoke"][smoke_key] as a flat metric->value dict.
 BENCHES = [
@@ -95,6 +108,12 @@ BENCHES = [
         "baseline": "BENCH_pr4.json",
         "smoke_key": "edge_batch",
         "metrics": pr4_edge_metrics,
+    },
+    {
+        "bin": "bench_pr5_group_commit",
+        "baseline": "BENCH_pr5.json",
+        "smoke_key": "group_commit",
+        "metrics": pr5_metrics,
     },
 ]
 
