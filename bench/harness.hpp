@@ -56,6 +56,10 @@ struct SetupOpts {
   /// op-count and baseline semantics; bench_pr5_group_commit switches them on.
   bool write_through = false;   ///< shared-cache write-through at commit
   bool commit_pipeline = false; ///< cross-transaction group commit
+  /// PR 6 durability knobs, default-off (no WAL object, byte-identical
+  /// traffic); bench_pr6_wal switches them on to price the epoch log.
+  bool wal = false;
+  std::string wal_dir;
 };
 
 /// BENCH_SMOKE=1 shrinks every bench to a seconds-long CI smoke run: tiny
@@ -95,6 +99,8 @@ inline LoadedDb setup_db(rma::Rank& self, const SetupOpts& opts) {
   c.shared_cache = o.shared_cache;
   c.scache_write_through = o.write_through;
   c.commit_pipeline = o.commit_pipeline;
+  c.wal = o.wal;
+  c.wal_dir = o.wal_dir;
   c.block.block_size = o.block_size;
   const auto per_rank = out.n / static_cast<std::uint64_t>(self.nranks()) + 64;
   // Generous pool: holders + growth + OLTP inserts.

@@ -98,17 +98,20 @@ void BlockStore::read_unlock_nb(rma::Rank& self, DPtr blk) {
 
 std::vector<std::uint8_t> BlockStore::try_read_lock_many(
     rma::Rank& self, std::span<const DPtr> blks, int attempts,
-    std::vector<std::uint64_t>* words_out) {
+    std::vector<std::uint64_t>* words_out, std::span<const std::uint64_t> hints) {
+  assert(hints.empty() || hints.size() == blks.size());
   std::vector<std::uint8_t> got(blks.size(), 0);
   if (words_out != nullptr) words_out->assign(blks.size(), 0);
   struct Pending {
     std::size_t i;
-    std::uint64_t expected;  ///< last observed lock word (optimistically 0)
+    std::uint64_t expected;  ///< last observed lock word (optimistically the
+                             ///< hinted version, else the fresh-block 0)
     std::uint64_t prev = 0;  ///< CAS result landing here at the next flush
   };
   std::vector<Pending> pend;
   pend.reserve(blks.size());
-  for (std::size_t i = 0; i < blks.size(); ++i) pend.push_back({i, 0});
+  for (std::size_t i = 0; i < blks.size(); ++i)
+    pend.push_back({i, hints.empty() ? 0 : hints[i] & kVersionMask});
   for (int round = 0; round < attempts && !pend.empty(); ++round) {
     for (auto& p : pend) {
       const DPtr b = blks[p.i];
@@ -131,18 +134,21 @@ std::vector<std::uint8_t> BlockStore::try_read_lock_many(
   return got;
 }
 
-std::vector<std::uint8_t> BlockStore::try_write_lock_many(rma::Rank& self,
-                                                          std::span<const DPtr> blks,
-                                                          int attempts) {
+std::vector<std::uint8_t> BlockStore::try_write_lock_many(
+    rma::Rank& self, std::span<const DPtr> blks, int attempts,
+    std::span<const std::uint64_t> hints) {
+  assert(hints.empty() || hints.size() == blks.size());
   std::vector<std::uint8_t> got(blks.size(), 0);
   struct Pending {
     std::size_t i;
-    std::uint64_t expected = 0;  ///< free word we bid on (version learned from prev)
+    std::uint64_t expected;  ///< free word we bid on (hinted version up front,
+                             ///< else learned from the first round's prev)
     std::uint64_t prev = 0;
   };
   std::vector<Pending> pend;
   pend.reserve(blks.size());
-  for (std::size_t i = 0; i < blks.size(); ++i) pend.push_back({i});
+  for (std::size_t i = 0; i < blks.size(); ++i)
+    pend.push_back({i, hints.empty() ? 0 : hints[i] & kVersionMask});
   for (int round = 0; round < attempts && !pend.empty(); ++round) {
     for (auto& p : pend) {
       const DPtr b = blks[p.i];
@@ -280,6 +286,39 @@ std::uint64_t BlockStore::lock_word(rma::Rank& self, DPtr blk) {
 
 void BlockStore::poke_lock_word(rma::Rank& self, DPtr blk, std::uint64_t word) {
   system_.atomic_put_u64(self, blk.rank(), lock_offset(block_index(blk)), word);
+}
+
+namespace {
+void dump_region(std::byte* base, std::size_t n, std::vector<std::byte>& out) {
+  std::uint64_t len = n;
+  const auto* lp = reinterpret_cast<const std::byte*>(&len);
+  out.insert(out.end(), lp, lp + 8);
+  out.insert(out.end(), base, base + n);
+}
+bool load_region(std::byte* base, std::size_t n, std::span<const std::byte>& in) {
+  if (in.size() < 8) return false;
+  std::uint64_t len;
+  std::memcpy(&len, in.data(), 8);
+  in = in.subspan(8);
+  if (len != n || in.size() < n) return false;
+  std::memcpy(base, in.data(), n);
+  in = in.subspan(n);
+  return true;
+}
+}  // namespace
+
+void BlockStore::serialize_rank(int r, std::vector<std::byte>& out) {
+  dump_region(data_.local_base(r), cfg_.block_size * cfg_.blocks_per_rank, out);
+  dump_region(usage_.local_base(r), cfg_.blocks_per_rank * 8, out);
+  dump_region(system_.local_base(r), kLocksOffset + cfg_.blocks_per_rank * 8, out);
+}
+
+bool BlockStore::restore_rank(int r, std::span<const std::byte> in) {
+  return load_region(data_.local_base(r), cfg_.block_size * cfg_.blocks_per_rank, in) &&
+         load_region(usage_.local_base(r), cfg_.blocks_per_rank * 8, in) &&
+         load_region(system_.local_base(r), kLocksOffset + cfg_.blocks_per_rank * 8,
+                     in) &&
+         in.empty();
 }
 
 }  // namespace gdi::block

@@ -139,12 +139,19 @@ class BlockStore {
   /// read-lock attempt give up immediately; contended words retry up to
   /// `attempts` rounds). words_out (if non-null) is resized to blks.size();
   /// words_out[i] receives the word observed before the winning CAS for
-  /// acquired locks (undefined for failures).
+  /// acquired locks (undefined for failures). `hints` (empty, or one entry
+  /// per block) carries per-word version hints exactly like the singleton
+  /// paths' `version_hint`: hints[i]'s version bits seed blks[i]'s first CAS
+  /// expectation, so a warm row locks in one CAS round instead of burning the
+  /// first round learning its version; a stale hint costs nothing extra (the
+  /// failed CAS fetches the fresh word the retry round needed anyway).
   [[nodiscard]] std::vector<std::uint8_t> try_read_lock_many(
       rma::Rank& self, std::span<const DPtr> blks, int attempts = 16,
-      std::vector<std::uint64_t>* words_out = nullptr);
+      std::vector<std::uint64_t>* words_out = nullptr,
+      std::span<const std::uint64_t> hints = {});
   [[nodiscard]] std::vector<std::uint8_t> try_write_lock_many(
-      rma::Rank& self, std::span<const DPtr> blks, int attempts = 16);
+      rma::Rank& self, std::span<const DPtr> blks, int attempts = 16,
+      std::span<const std::uint64_t> hints = {});
   /// Upgrade a held read lock to a write lock (succeeds only if this is the
   /// sole reader and no writer raced in).
   [[nodiscard]] bool try_upgrade_lock(rma::Rank& self, DPtr blk);
@@ -205,6 +212,28 @@ class BlockStore {
 
   /// Data-window object for direct holder IO by higher layers.
   [[nodiscard]] rma::Window& data_window() { return data_; }
+
+  // --- checkpoint / recovery support (src/wal/) -----------------------------
+
+  /// Append a raw dump of rank `r`'s data/usage/system regions (including
+  /// free-list words, the tagged head, and every lock word) to `out`.
+  /// Quiescent state only: the WAL checkpoint calls this inside a barrier.
+  void serialize_rank(int r, std::vector<std::byte>& out);
+  /// Restore rank `r`'s regions from a serialize_rank dump; false on a
+  /// layout mismatch (different block_size/blocks_per_rank than the dump).
+  [[nodiscard]] bool restore_rank(int r, std::span<const std::byte> in);
+
+  /// Recovery-only: re-apply one committed write-unlock's +1 version
+  /// increment to a lock word (no write bit is held during replay -- redo
+  /// mutates bytes directly, so only the version history must be reproduced
+  /// for byte-for-byte convergence of the system window).
+  void bump_version(rma::Rank& self, DPtr blk) {
+    const std::uint64_t prev =
+        system_.faa_u64(self, blk.rank(), lock_offset(block_index(blk)),
+                        static_cast<std::int64_t>(std::uint64_t{1} << kVersionShift));
+    if (version_of(prev) == kVersionMask) [[unlikely]]
+      system_.atomic_put_u64(self, blk.rank(), lock_offset(block_index(blk)), 0);
+  }
 
  private:
   // System-window layout per rank.

@@ -1,6 +1,8 @@
 #include "dht/dht.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <unordered_set>
 
 namespace gdi::dht {
@@ -517,6 +519,54 @@ std::uint64_t DistributedHashTable::live_entries(rma::Rank& self, std::uint32_t 
   for (std::uint32_t s = 0; s < shards; ++s)
     sum += heap_.atomic_get_u64(self, rank, ctrl_off(s) + kLiveCountOff);
   return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / recovery support
+// ---------------------------------------------------------------------------
+
+void DistributedHashTable::serialize_rank(int r, std::vector<std::byte>& out) {
+  // Committed-segment counts can differ between the windows only transiently
+  // inside grow(); at a checkpoint barrier the larger count is the truth.
+  const auto shards = static_cast<std::uint32_t>(
+      std::max(table_.committed_segments(), heap_.committed_segments()));
+  const auto* sp = reinterpret_cast<const std::byte*>(&shards);
+  out.insert(out.end(), sp, sp + 4);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    std::byte* tb = table_.local_base(r, s);
+    out.insert(out.end(), tb, tb + table_seg_);
+    std::byte* hb = heap_.local_base(r, s);
+    out.insert(out.end(), hb, hb + heap_seg_);
+  }
+  if (r == 0) {
+    std::byte* db = dir_.local_base(0);
+    out.insert(out.end(), db, db + 16);  // shard count + erase epoch
+  }
+}
+
+bool DistributedHashTable::restore_rank(rma::Rank& self, int r,
+                                        std::span<const std::byte> in) {
+  if (in.size() < 4) return false;
+  std::uint32_t shards;
+  std::memcpy(&shards, in.data(), 4);
+  in = in.subspan(4);
+  if (shards == 0 || shards > cfg_.max_shards) return false;
+  if (table_.ensure_segments(self, shards) < shards ||
+      heap_.ensure_segments(self, shards) < shards)
+    return false;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    if (in.size() < table_seg_ + heap_seg_) return false;
+    std::memcpy(table_.local_base(r, s), in.data(), table_seg_);
+    in = in.subspan(table_seg_);
+    std::memcpy(heap_.local_base(r, s), in.data(), heap_seg_);
+    in = in.subspan(heap_seg_);
+  }
+  if (r == 0) {
+    if (in.size() < 16) return false;
+    std::memcpy(dir_.local_base(0), in.data(), 16);
+    in = in.subspan(16);
+  }
+  return in.empty();
 }
 
 }  // namespace gdi::dht

@@ -160,6 +160,23 @@ class DistributedHashTable {
 
   [[nodiscard]] const DhtConfig& config() const { return cfg_; }
 
+  // --- checkpoint / recovery support (src/wal/) -----------------------------
+
+  /// Append a raw dump of rank `r`'s committed table + heap segments (and,
+  /// for rank 0, the shard directory + erase epoch) to `out`. Quiescent
+  /// state only: the WAL checkpoint calls this inside a barrier.
+  void serialize_rank(int r, std::vector<std::byte>& out);
+  /// Restore rank `r` from a serialize_rank dump, committing window segments
+  /// as needed; false on a layout/cap mismatch. Call refresh_local afterwards
+  /// (after a barrier covering every rank's restore).
+  [[nodiscard]] bool restore_rank(rma::Rank& self, int r, std::span<const std::byte> in);
+  /// Re-prime this rank's cached shard count + erase epoch from the restored
+  /// directory, so replay allocates from the same shard the original run did.
+  void refresh_local(rma::Rank& self) {
+    (void)shard_count(self);
+    (void)erase_epoch(self);
+  }
+
  private:
   // Entry layout in the heap window (64-byte slots).
   static constexpr std::uint64_t kEntrySize = 64;

@@ -33,6 +33,7 @@ void CommitPipeline::close(rma::Rank& self) {
   open_ = false;
   txns_ = 0;
   bytes_ = 0;
+  if (close_hook_) close_hook_(self);
 }
 
 }  // namespace gdi

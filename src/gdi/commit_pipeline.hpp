@@ -43,6 +43,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "rma/runtime.hpp"
 
@@ -74,6 +75,14 @@ class CommitPipeline {
   [[nodiscard]] bool epoch_open() const { return open_; }
   [[nodiscard]] const CommitPipelineConfig& config() const { return cfg_; }
 
+  /// Hook invoked right after every epoch close (after the epoch's flush, on
+  /// the closing rank). The WAL rides it: the pipeline's flush epoch is the
+  /// durability unit, so the hook seals the rank's open log epoch -- one
+  /// group fsync amortized over exactly the commits the one flush amortized.
+  void set_close_hook(std::function<void(rma::Rank&)> hook) {
+    close_hook_ = std::move(hook);
+  }
+
  private:
   void close(rma::Rank& self);
 
@@ -82,6 +91,7 @@ class CommitPipeline {
   std::size_t txns_ = 0;
   std::size_t bytes_ = 0;
   double opened_ns_ = 0.0;
+  std::function<void(rma::Rank&)> close_hook_;
 };
 
 }  // namespace gdi

@@ -1,10 +1,52 @@
 #include "gdi/database.hpp"
 
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "rma/fault.hpp"
+
 namespace gdi {
 
+namespace {
+/// Per-rank teardown lease (the control block behind the shared_ptr create()
+/// returns). Each rank's callers hold an *aliasing* shared_ptr to the one
+/// Database through their own lease; when a rank drops its last reference --
+/// which happens on that rank's thread, while its stack-allocated rma::Rank
+/// is still alive -- the lease drains that rank's open pipeline epoch and
+/// seals its WAL tail. The inner shared_ptr keeps the Database itself alive
+/// until the last rank's lease dies, so ~Database never has to touch a Rank
+/// (other ranks' Rank objects may already be gone by then).
+struct TeardownLease {
+  std::shared_ptr<Database> db;
+  rma::Rank* self = nullptr;
+
+  ~TeardownLease() {
+    if (!db) return;
+    try {
+      db->drain(*self);
+    } catch (const rma::FaultKill&) {
+      // An injected failure fired inside the drain's flush: the simulated
+      // process died during shutdown, so the tail is lost -- exactly what a
+      // recovery test wants. Swallow it; destructors must not throw.
+    }
+  }
+};
+}  // namespace
+
+std::shared_ptr<Database> Database::attach_lease(rma::Rank& self,
+                                                 std::shared_ptr<Database> db) {
+  Database* raw = db.get();
+  auto lease = std::make_shared<TeardownLease>();
+  lease->db = std::move(db);
+  lease->self = &self;
+  return std::shared_ptr<Database>(std::move(lease), raw);
+}
+
 std::shared_ptr<Database> Database::create(rma::Rank& self, const DatabaseConfig& cfg) {
-  return self.collective_make<Database>(
+  auto db = self.collective_make<Database>(
       [&] { return std::make_shared<Database>(self.nranks(), cfg); });
+  return attach_lease(self, std::move(db));
 }
 
 namespace {
@@ -42,6 +84,217 @@ Database::Database(int nranks, const DatabaseConfig& cfg)
     for (int r = 0; r < nranks; ++r)
       pipelines_.push_back(std::make_unique<CommitPipeline>(pc));
   }
+  draining_.assign(static_cast<std::size_t>(nranks), 0);
+  recovered_commits_.assign(static_cast<std::size_t>(nranks), 0);
+  if (cfg_.wal) {
+    assert(!cfg_.wal_dir.empty() && "DatabaseConfig::wal requires wal_dir");
+    const wal::WalConfig wc{.dir = cfg_.wal_dir,
+                            .segment_bytes = cfg_.wal_segment_bytes,
+                            .fsync_ns = cfg_.wal_fsync_ns,
+                            .append_ns_per_byte = cfg_.wal_append_ns_per_byte};
+    wals_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+      wals_.push_back(std::make_unique<wal::WalWriter>(r, wc));
+    // The pipeline's flush epoch is the durability unit: its close seals the
+    // rank's log epoch, so the one group fsync covers exactly the commits
+    // the one group flush covered.
+    for (auto& p : pipelines_)
+      p->set_close_hook([this](rma::Rank& s) { wal_epoch_close(s); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WAL: sealing, checkpoints, teardown drain
+// ---------------------------------------------------------------------------
+
+void Database::wal_epoch_close(rma::Rank& self) {
+  wal::WalWriter* w = wal(self);
+  if (w == nullptr) return;
+  const bool draining = draining_[static_cast<std::size_t>(self.id())] != 0;
+  w->seal(self, /*allow_kill=*/!draining);
+  if (!draining && cfg_.wal_checkpoint_epochs > 0 &&
+      w->sealed_since_checkpoint() >= cfg_.wal_checkpoint_epochs)
+    checkpoint_local(self);
+}
+
+void Database::drain(rma::Rank& self) {
+  const auto r = static_cast<std::size_t>(self.id());
+  if (draining_.empty() || draining_[r] != 0) return;
+  // A fault-killed rank persists nothing: the simulated crash already
+  // happened, and sealing its tail now would durably save the very bytes the
+  // crash was supposed to lose.
+  if (const rma::FaultInjector* f = self.faults(); f != nullptr && f->killed())
+    return;
+  draining_[r] = 1;
+  if (CommitPipeline* cp = commit_pipeline(self)) cp->sync(self);
+  if (wal::WalWriter* w = wal(self)) w->seal(self, /*allow_kill=*/false);
+  draining_[r] = 0;
+}
+
+std::vector<std::byte> Database::serialize_rank(int r) {
+  std::vector<std::byte> out;
+  const auto chunk = [&out](auto&& fill) {
+    const std::size_t at = out.size();
+    out.resize(at + 8);  // length prefix, patched after fill
+    fill(out);
+    const std::uint64_t len = out.size() - at - 8;
+    std::memcpy(out.data() + at, &len, 8);
+  };
+  chunk([&](std::vector<std::byte>& o) { blocks_.serialize_rank(r, o); });
+  chunk([&](std::vector<std::byte>& o) { dht_.serialize_rank(r, o); });
+  chunk([&](std::vector<std::byte>& o) {
+    metadata_[static_cast<std::size_t>(r)].serialize(o);
+  });
+  return out;
+}
+
+bool Database::restore_rank_sections(rma::Rank& self, int r,
+                                     std::span<const std::byte> in) {
+  const auto take = [](std::span<const std::byte>& s,
+                       std::span<const std::byte>& chunk) {
+    if (s.size() < 8) return false;
+    std::uint64_t len;
+    std::memcpy(&len, s.data(), 8);
+    s = s.subspan(8);
+    if (s.size() < len) return false;
+    chunk = s.first(static_cast<std::size_t>(len));
+    s = s.subspan(static_cast<std::size_t>(len));
+    return true;
+  };
+  std::span<const std::byte> c;
+  if (!take(in, c) || !blocks_.restore_rank(r, c)) return false;
+  if (!take(in, c) || !dht_.restore_rank(self, r, c)) return false;
+  if (!take(in, c) || !metadata_[static_cast<std::size_t>(r)].restore(c)) return false;
+  return in.empty();
+}
+
+void Database::checkpoint_local(rma::Rank& self) {
+  // Cadence path: snapshots *every* rank's regions from this thread, which is
+  // only coherent when this rank is the sole writer (DatabaseConfig doc).
+  wal::Checkpoint ck;
+  for (int r = 0; r < nranks_; ++r) {
+    ck.sections.push_back(serialize_rank(r));
+    ck.epoch_hw.push_back(wals_[static_cast<std::size_t>(r)]->epoch_hw());
+    ck.commit_hw.push_back(wals_[static_cast<std::size_t>(r)]->commit_hw());
+  }
+  wal::WalWriter* w = wal(self);
+  if (!wal::write_checkpoint(self, w->config(), ck)) return;  // keep the log
+  w->truncate_through(w->epoch_hw());
+}
+
+Status Database::checkpoint(rma::Rank& self) {
+  wal::WalWriter* w = wal(self);
+  if (w == nullptr) return Status::kInvalidArgument;
+  if (CommitPipeline* cp = commit_pipeline(self)) cp->sync(self);
+  w->seal(self);
+  // Every rank's tail is durable and its writer quiescent before rank 0
+  // snapshots all sections (the barrier also publishes the writers' hw
+  // counters to rank 0's thread).
+  self.barrier();
+  bool ok = true;
+  if (self.id() == 0) {
+    wal::Checkpoint ck;
+    for (int r = 0; r < nranks_; ++r) {
+      ck.sections.push_back(serialize_rank(r));
+      ck.epoch_hw.push_back(wals_[static_cast<std::size_t>(r)]->epoch_hw());
+      ck.commit_hw.push_back(wals_[static_cast<std::size_t>(r)]->commit_hw());
+    }
+    ok = wal::write_checkpoint(self, w->config(), ck);
+  }
+  ok = self.broadcast<std::uint8_t>(ok ? 1 : 0, 0) != 0;
+  if (!ok) return Status::kStale;
+  w->truncate_through(w->epoch_hw());
+  self.barrier();
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Database> Database::recover(rma::Rank& self, const DatabaseConfig& cfg) {
+  auto db = self.collective_make<Database>(
+      [&] { return std::make_shared<Database>(self.nranks(), cfg); });
+  // A fresh Database is deterministic initial state; recovery = checkpoint
+  // restore + tail replay on top of it.
+  bool ok = cfg.wal && !cfg.wal_dir.empty();
+  if (ok) ok = db->recover_rank(self);
+  if (self.allreduce_or(!ok)) return nullptr;  // all-or-nothing, every rank
+  return attach_lease(self, std::move(db));
+}
+
+bool Database::recover_rank(rma::Rank& self) {
+  const int r = self.id();
+  wal::WalWriter* w = wals_[static_cast<std::size_t>(r)].get();
+  bool ok = true;
+  std::uint64_t ck_epoch = 0, ck_commit = 0;
+  if (auto ck = wal::read_checkpoint(cfg_.wal_dir)) {
+    if (ck->sections.size() == static_cast<std::size_t>(nranks_)) {
+      ok = restore_rank_sections(self, r, ck->sections[static_cast<std::size_t>(r)]);
+      ck_epoch = ck->epoch_hw[static_cast<std::size_t>(r)];
+      ck_commit = ck->commit_hw[static_cast<std::size_t>(r)];
+    } else {
+      ok = false;  // checkpoint from a different rank count: refuse
+    }
+  }
+  // Every rank's checkpoint section must be in place before anyone replays:
+  // replayed images and DHT inserts touch other ranks' regions.
+  self.barrier();
+  dht_.refresh_local(self);
+  wal::RecoveredLog log = wal::read_log(cfg_.wal_dir, r, ck_epoch);
+  if (ok) {
+    for (const wal::EpochView& e : log.epochs) {
+      for (const wal::CommitView& c : e.commits) {
+        if (!replay_commit(self, c)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+      self.counters().wal_replayed_epochs += 1;
+    }
+  }
+  const std::uint64_t epoch_hw = std::max(ck_epoch, log.epoch_hw);
+  const std::uint64_t commit_hw = std::max(ck_commit, log.commit_hw);
+  w->reset_hw(epoch_hw, commit_hw);
+  recovered_commits_[static_cast<std::size_t>(r)] = commit_hw;
+  // Replay complete everywhere before any caller touches the database.
+  self.barrier();
+  return ok;
+}
+
+bool Database::replay_commit(rma::Rank& self, const wal::CommitView& c) {
+  for (const wal::Op& op : c.ops) {
+    switch (op.type) {
+      case wal::OpType::kAcquire: {
+        // Re-executing the acquire (instead of force-marking the block used)
+        // reproduces the free-list pop order, so allocator tags and usage
+        // words converge byte-for-byte. A mismatch means the log and the
+        // restored allocator state disagree -- fail loudly, don't guess.
+        const DPtr got = blocks_.acquire(self, op.blk.rank());
+        if (got.raw() != op.blk.raw()) return false;
+        break;
+      }
+      case wal::OpType::kRelease:
+        blocks_.release(self, op.blk);
+        break;
+      case wal::OpType::kImage:
+        blocks_.write(self, op.blk, op.off, op.data.data(), op.data.size());
+        break;
+      case wal::OpType::kDhtInsert:
+        if (!dht_.insert(self, op.key, op.value)) return false;
+        break;
+      case wal::OpType::kDhtErase:
+        // The entry may predate the checkpoint that already absorbed the
+        // erase; idempotent re-application tolerates the miss.
+        (void)dht_.erase(self, op.key);
+        break;
+      case wal::OpType::kLockBump:
+        blocks_.bump_version(self, op.blk);
+        break;
+    }
+  }
+  return true;
 }
 
 // Collective metadata mutation: every rank applies the same update to its own

@@ -21,6 +21,7 @@
 #include "gdi/index.hpp"
 #include "gdi/metadata.hpp"
 #include "rma/runtime.hpp"
+#include "wal/wal.hpp"
 
 namespace gdi {
 
@@ -71,6 +72,25 @@ struct DatabaseConfig {
   std::size_t commit_epoch_txns = 32;        ///< commits per flush epoch
   std::size_t commit_epoch_bytes = 1 << 16;  ///< writeback bytes per epoch
   double commit_max_delay_ns = 50000.0;      ///< epoch age bound (simulated ns)
+  /// Epoch write-ahead log (src/wal/): every commit's redo record is appended
+  /// to a per-rank segmented log before its unlock FAAs; the log epoch is
+  /// sealed (one group fsync) when the commit pipeline's flush epoch closes,
+  /// or immediately for pipeline-ineligible commits. Off by default: with it
+  /// off, no WAL object exists and every byte of RMA traffic is identical to
+  /// the non-durable build (the WAL itself adds no window operations either
+  /// way -- only file IO plus modeled fsync/append time -- so the parity is
+  /// exact by construction; tests pin it). See README "Durability protocol".
+  bool wal = false;
+  std::string wal_dir;                    ///< log directory; required when wal is on
+  std::size_t wal_segment_bytes = 4u << 20;  ///< log segment rotation bound
+  /// Auto-checkpoint cadence: write a checkpoint (and truncate logs behind
+  /// it) every N sealed epochs. 0 = manual checkpoints only. The cadence
+  /// trigger snapshots every rank's regions from the sealing rank's thread,
+  /// so it is only safe for single-driver streams; concurrent multi-rank
+  /// writers should call the collective checkpoint() instead.
+  std::uint64_t wal_checkpoint_epochs = 0;
+  double wal_fsync_ns = 20000.0;       ///< modeled cost of one group fsync
+  double wal_append_ns_per_byte = 0.25;  ///< modeled append/CRC streaming cost
 };
 
 class Transaction;
@@ -78,9 +98,21 @@ enum class TxnMode : std::uint8_t;
 
 class Database {
  public:
-  /// Collective: every rank calls; all receive the same database.
+  /// Collective: every rank calls; all receive the same database. The
+  /// returned pointer carries a per-rank teardown lease: when a rank releases
+  /// its last copy (on its own thread), that rank's open commit-pipeline
+  /// epoch is drained and its WAL tail sealed -- destroying a database never
+  /// loses deferred work, whether or not the workload drained it.
   [[nodiscard]] static std::shared_ptr<Database> create(rma::Rank& self,
                                                         const DatabaseConfig& cfg);
+
+  /// Collective: rebuild a WAL-enabled database from cfg.wal_dir -- fresh
+  /// construction, checkpoint restore (if one exists), then per-rank log
+  /// replay up to the first torn frame. Returns nullptr on every rank if any
+  /// rank's recovery failed (corrupt checkpoint section or a replay
+  /// divergence). Resume point: wal_recovered_commits().
+  [[nodiscard]] static std::shared_ptr<Database> recover(rma::Rank& self,
+                                                         const DatabaseConfig& cfg);
 
   Database(int nranks, const DatabaseConfig& cfg);
 
@@ -103,6 +135,44 @@ class Database {
     if (pipelines_.empty()) return nullptr;
     return pipelines_[static_cast<std::size_t>(self.id())].get();
   }
+
+  /// This rank's WAL writer, or nullptr when cfg_.wal is off (same per-rank
+  /// ownership discipline as the shared cache and the pipeline).
+  [[nodiscard]] wal::WalWriter* wal(rma::Rank& self) {
+    if (wals_.empty()) return nullptr;
+    return wals_[static_cast<std::size_t>(self.id())].get();
+  }
+
+  /// Seal this rank's open WAL epoch (one group fsync), honouring any armed
+  /// kill point. Pipeline-off and pipeline-ineligible commits call this after
+  /// their eager flush; pipeline epochs reach it through the close hook.
+  /// Also drives the auto-checkpoint cadence (cfg_.wal_checkpoint_epochs).
+  void wal_epoch_close(rma::Rank& self);
+
+  /// Collective checkpoint: every rank seals its open pipeline epoch + WAL
+  /// tail, rank 0 writes one atomic global snapshot of all ranks' state, then
+  /// every rank truncates its log segments behind the snapshot. Returns
+  /// kStale (on every rank) if the checkpoint file could not be written.
+  Status checkpoint(rma::Rank& self);
+
+  /// Drain one rank's deferred commit state: close its open pipeline epoch
+  /// and seal its WAL tail, with kill points disarmed (this runs from the
+  /// teardown lease's destructor). Idempotent; no-op on a killed rank -- a
+  /// simulated crash must not persist the tail it was supposed to lose.
+  void drain(rma::Rank& self);
+
+  /// Number of commits rank `self` had durably logged at recovery time (0 on
+  /// a freshly created database). Workloads resume their stream from here.
+  [[nodiscard]] std::uint64_t wal_recovered_commits(rma::Rank& self) const {
+    if (recovered_commits_.empty()) return 0;
+    return recovered_commits_[static_cast<std::size_t>(self.id())];
+  }
+
+  /// Deterministic byte fingerprint of one rank's durable state (block-store
+  /// regions, DHT shards, metadata replica) -- the checkpoint section format.
+  /// Tests compare a recovered database against a fault-free oracle with it.
+  /// Quiescent state only (call inside a barrier or after teardown drain).
+  [[nodiscard]] std::vector<std::byte> serialize_rank(int r);
 
   /// 1D vertex distribution (paper Section 5.4).
   [[nodiscard]] std::uint32_t owner_rank(std::uint64_t app_id) const {
@@ -137,6 +207,21 @@ class Database {
   friend class Transaction;
   friend class BulkLoader;
 
+  /// Wrap the collectively created database in this rank's teardown lease
+  /// (an aliasing shared_ptr whose deleter drains this rank on this thread).
+  static std::shared_ptr<Database> attach_lease(rma::Rank& self,
+                                                std::shared_ptr<Database> db);
+  /// Restore this rank's checkpoint section + replay its log tail. Returns
+  /// false on corruption or replay divergence (collectively fatal).
+  bool recover_rank(rma::Rank& self);
+  /// Re-execute one logged commit. Returns false on divergence (an acquire
+  /// that lands on a different block than the log recorded).
+  bool replay_commit(rma::Rank& self, const wal::CommitView& c);
+  /// Cadence-triggered checkpoint from the sealing rank's thread (snapshots
+  /// every rank's regions; single-driver streams only -- see DatabaseConfig).
+  void checkpoint_local(rma::Rank& self);
+  bool restore_rank_sections(rma::Rank& self, int r, std::span<const std::byte> in);
+
   DatabaseConfig cfg_;
   int nranks_;
   block::BlockStore blocks_;
@@ -146,6 +231,14 @@ class Database {
   std::vector<std::unique_ptr<cache::SharedBlockCache>> scaches_;
   /// One group-commit pipeline per rank (empty when cfg_.commit_pipeline off).
   std::vector<std::unique_ptr<CommitPipeline>> pipelines_;
+  /// One WAL writer per rank (empty when cfg_.wal is off).
+  std::vector<std::unique_ptr<wal::WalWriter>> wals_;
+  /// Per-rank commit high-water mark observed at recovery (0 when fresh).
+  std::vector<std::uint64_t> recovered_commits_;
+  /// Per-rank "inside teardown drain" flags: the pipeline close hook must
+  /// not fire kill points while the lease destructor drains (a throw from a
+  /// destructor would terminate).
+  std::vector<std::uint8_t> draining_;
   std::vector<std::shared_ptr<Index>> indexes_;
   std::uint32_t next_index_id_ = 0;
 };

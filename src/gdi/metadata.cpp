@@ -1,5 +1,8 @@
 #include "gdi/metadata.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "layout/holder.hpp"
 
 namespace gdi {
@@ -78,6 +81,98 @@ std::vector<PropertyType> MetadataReplica::all_ptypes() const {
   for (const auto& [id, p] : ptypes_)
     if (!p.deleted) out.push_back(p);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / recovery support
+// ---------------------------------------------------------------------------
+
+namespace {
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + 4);
+}
+void put_str(std::vector<std::byte>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+}
+bool take_u32(std::span<const std::byte>& in, std::uint32_t& v) {
+  if (in.size() < 4) return false;
+  std::memcpy(&v, in.data(), 4);
+  in = in.subspan(4);
+  return true;
+}
+bool take_str(std::span<const std::byte>& in, std::string& s) {
+  std::uint32_t n;
+  if (!take_u32(in, n) || in.size() < n) return false;
+  s.assign(reinterpret_cast<const char*>(in.data()), n);
+  in = in.subspan(n);
+  return true;
+}
+}  // namespace
+
+void MetadataReplica::serialize(std::vector<std::byte>& out) const {
+  put_u32(out, next_label_id_);
+  put_u32(out, static_cast<std::uint32_t>(labels_.size()));
+  for (const auto& l : labels_) {
+    put_str(out, l.name);
+    put_u32(out, l.id);
+    put_u32(out, l.deleted ? 1 : 0);
+  }
+  put_u32(out, next_ptype_id_);
+  // Sorted by id so every replica serializes identically regardless of map
+  // iteration order.
+  std::vector<PropertyType> all;
+  for (const auto& [id, p] : ptypes_) all.push_back(p);
+  std::sort(all.begin(), all.end(),
+            [](const PropertyType& a, const PropertyType& b) { return a.id < b.id; });
+  put_u32(out, static_cast<std::uint32_t>(all.size()));
+  for (const auto& p : all) {
+    put_str(out, p.name);
+    put_u32(out, p.id);
+    put_u32(out, static_cast<std::uint32_t>(p.dtype));
+    put_u32(out, static_cast<std::uint32_t>(p.etype));
+    put_u32(out, static_cast<std::uint32_t>(p.mult));
+    put_u32(out, static_cast<std::uint32_t>(p.stype));
+    put_u32(out, p.max_size);
+    put_u32(out, p.deleted ? 1 : 0);
+  }
+}
+
+bool MetadataReplica::restore(std::span<const std::byte> in) {
+  MetadataReplica fresh;
+  std::uint32_t nlabels;
+  if (!take_u32(in, fresh.next_label_id_) || !take_u32(in, nlabels)) return false;
+  for (std::uint32_t i = 0; i < nlabels; ++i) {
+    Label l;
+    std::uint32_t deleted;
+    if (!take_str(in, l.name) || !take_u32(in, l.id) || !take_u32(in, deleted))
+      return false;
+    l.deleted = deleted != 0;
+    if (!l.deleted) fresh.label_by_name_.emplace(l.name, l.id);
+    fresh.labels_.push_back(std::move(l));
+  }
+  std::uint32_t nptypes;
+  if (!take_u32(in, fresh.next_ptype_id_) || !take_u32(in, nptypes)) return false;
+  for (std::uint32_t i = 0; i < nptypes; ++i) {
+    PropertyType p;
+    std::uint32_t dtype, etype, mult, stype, deleted;
+    if (!take_str(in, p.name) || !take_u32(in, p.id) || !take_u32(in, dtype) ||
+        !take_u32(in, etype) || !take_u32(in, mult) || !take_u32(in, stype) ||
+        !take_u32(in, p.max_size) || !take_u32(in, deleted))
+      return false;
+    p.dtype = static_cast<Datatype>(dtype);
+    p.etype = static_cast<EntityType>(etype);
+    p.mult = static_cast<Multiplicity>(mult);
+    p.stype = static_cast<SizeType>(stype);
+    p.deleted = deleted != 0;
+    if (!p.deleted) fresh.ptype_by_name_.emplace(p.name, p.id);
+    fresh.ptypes_.emplace(p.id, p);
+  }
+  if (!in.empty()) return false;
+  *this = std::move(fresh);
+  return true;
 }
 
 }  // namespace gdi

@@ -9,8 +9,10 @@
 // collective-synchronized variant, which the specification explicitly allows.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +56,14 @@ class MetadataReplica {
   [[nodiscard]] std::optional<std::uint32_t> ptype_from_name(const std::string& name) const;
   [[nodiscard]] const PropertyType* ptype(std::uint32_t id) const;
   [[nodiscard]] std::vector<PropertyType> all_ptypes() const;
+
+  // --- checkpoint / recovery support (src/wal/) -----------------------------
+  //
+  // Metadata mutation is collective, so every replica serializes to the same
+  // bytes; the WAL checkpoint includes one copy per rank anyway to keep rank
+  // sections self-contained.
+  void serialize(std::vector<std::byte>& out) const;
+  [[nodiscard]] bool restore(std::span<const std::byte> in);
 
  private:
   // Labels get small dense ids starting at 1 (0 = "no label" in edge records).

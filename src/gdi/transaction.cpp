@@ -579,8 +579,24 @@ Status Transaction::fetch_vertices_batch(std::span<const FetchSpec> specs,
       wv.reserve(write_idx.size());
       for (std::size_t j : read_idx) rv.push_back(items[j].vid);
       for (std::size_t j : write_idx) wv.push_back(items[j].vid);
-      if (!rv.empty()) got_r = blocks.try_read_lock_many(self_, rv, attempts, &words_r);
-      if (!wv.empty()) got_w = blocks.try_write_lock_many(self_, wv, attempts);
+      // Seed each word's first CAS with the same shared-cache version stamp
+      // the serial path uses -- a warm row locks without burning the
+      // learn-the-version round (empty hints = unhinted, identical ops).
+      std::vector<std::uint64_t> hints_r;
+      std::vector<std::uint64_t> hints_w;
+      if (auto* sc = scache()) {
+        const auto hint_of = [&](DPtr vid) -> std::uint64_t {
+          const auto* e = sc->find(vid);
+          return e != nullptr ? e->version : 0;
+        };
+        hints_r.reserve(rv.size());
+        hints_w.reserve(wv.size());
+        for (DPtr v : rv) hints_r.push_back(hint_of(v));
+        for (DPtr v : wv) hints_w.push_back(hint_of(v));
+      }
+      if (!rv.empty())
+        got_r = blocks.try_read_lock_many(self_, rv, attempts, &words_r, hints_r);
+      if (!wv.empty()) got_w = blocks.try_write_lock_many(self_, wv, attempts, hints_w);
     }
     auto apply = [&](std::span<const std::size_t> idx,
                      std::span<const std::uint8_t> got,
@@ -842,8 +858,22 @@ Status Transaction::fetch_edges_batch(std::span<const EdgeFetchSpec> specs,
       wv.reserve(write_idx.size());
       for (std::size_t j : read_idx) rv.push_back(items[j].eid);
       for (std::size_t j : write_idx) wv.push_back(items[j].eid);
-      if (!rv.empty()) got_r = blocks.try_read_lock_many(self_, rv, attempts, &words_r);
-      if (!wv.empty()) got_w = blocks.try_write_lock_many(self_, wv, attempts);
+      // Version-stamp hints, exactly as on the vertex batch path.
+      std::vector<std::uint64_t> hints_r;
+      std::vector<std::uint64_t> hints_w;
+      if (auto* sc = scache()) {
+        const auto hint_of = [&](DPtr eid) -> std::uint64_t {
+          const auto* e = sc->find(eid);
+          return e != nullptr ? e->version : 0;
+        };
+        hints_r.reserve(rv.size());
+        hints_w.reserve(wv.size());
+        for (DPtr e : rv) hints_r.push_back(hint_of(e));
+        for (DPtr e : wv) hints_w.push_back(hint_of(e));
+      }
+      if (!rv.empty())
+        got_r = blocks.try_read_lock_many(self_, rv, attempts, &words_r, hints_r);
+      if (!wv.empty()) got_w = blocks.try_write_lock_many(self_, wv, attempts, hints_w);
     }
     auto apply = [&](std::span<const std::size_t> idx,
                      std::span<const std::uint8_t> got,
@@ -1156,6 +1186,7 @@ Result<VertexHandle> Transaction::create_vertex_impl(std::uint64_t app_id,
     blocks.release(self_, primary);
     return fail(Status::kTxnConflict);
   }
+  if (db_->config().wal) wal_rec_.acquire(primary);
 
   auto st = std::make_unique<VertexState>();
   st->created = true;
@@ -1501,6 +1532,7 @@ Result<EdgeHandle> Transaction::create_heavy_edge(VertexHandle origin,
     blocks.release(self_, eid);
     return fail(Status::kTxnConflict);
   }
+  if (db_->config().wal) wal_rec_.acquire(eid);
   auto st = std::make_unique<EdgeState>();
   st->created = true;
   st->lock = LockState::kWrite;
@@ -1723,6 +1755,7 @@ Status Transaction::sync_blocks_vertex(DPtr vid, VertexState& st) {
                      static_cast<std::uint32_t>(db_->nranks()));
     }
     if (blk.is_null()) return Status::kOutOfMemory;
+    if (db_->config().wal) wal_rec_.acquire(blk);
     blk_cache_.erase(blk.raw());
     scache_invalidate(blk);
     st.view.set_block_addr(i, blk);
@@ -1747,6 +1780,7 @@ Status Transaction::sync_blocks_edge(DPtr eid, EdgeState& st) {
                      static_cast<std::uint32_t>(db_->nranks()));
     }
     if (blk.is_null()) return Status::kOutOfMemory;
+    if (db_->config().wal) wal_rec_.acquire(blk);
     st.view.set_block_addr(i, blk);
   }
   for (std::uint32_t i = needed; i < cur; ++i)
@@ -1792,6 +1826,8 @@ Status Transaction::writeback_vertex(DPtr vid, VertexState& st) {
       if (blk.rank() != vid.rank()) wb_cross_rank_ = true;  // spilled block
       const std::size_t off = b * B;
       const std::size_t n = std::min(B, total - off);
+      if (db_->config().wal)
+        wal_rec_.image(blk, 0, std::span<const std::byte>(st.buf.data() + off, n));
       if (batching_enabled()) blocks.write_nb(self_, blk, 0, st.buf.data() + off, n);
       else blocks.write(self_, blk, 0, st.buf.data() + off, n);
       wrote = true;
@@ -1817,6 +1853,8 @@ Status Transaction::writeback_edge(DPtr eid, EdgeState& st) {
     if (blk.rank() != eid.rank()) wb_cross_rank_ = true;  // spilled block
     const std::size_t off = b * B;
     const std::size_t n = std::min(B, total - off);
+    if (db_->config().wal)
+      wal_rec_.image(blk, 0, std::span<const std::byte>(st.buf.data() + off, n));
     if (batching_enabled()) blocks.write_nb(self_, blk, 0, st.buf.data() + off, n);
     else blocks.write(self_, blk, 0, st.buf.data() + off, n);
   }
@@ -1921,6 +1959,9 @@ Status Transaction::commit_local() {
     const DPtr vid{raw};
     scache_invalidate(vid);
     if (!st->created) {
+      if (db_->config().wal)
+        wal_rec_.image(vid, 0, std::span<const std::byte>(st->buf.data(),
+                                                          std::min(B, st->buf.size())));
       if (batching_enabled()) {
         blocks.write_nb(self_, vid, 0, st->buf.data(),
                         std::min(B, st->buf.size()));  // header now invalid
@@ -1938,6 +1979,10 @@ Status Transaction::commit_local() {
     scache_invalidate(eid);
     if (!st->created) {
       std::uint32_t zero = 0;
+      if (db_->config().wal)
+        wal_rec_.image(eid, 16,
+                       std::span<const std::byte>(
+                           reinterpret_cast<const std::byte*>(&zero), 4));
       if (batching_enabled()) {
         blocks.write_nb(self_, eid, 16, &zero, 4);  // clear the valid flag
       } else {
@@ -2001,6 +2046,7 @@ Status Transaction::commit_local() {
       pub_keys.push_back(st->view.app_id());
       pub_vals.push_back(raw);
     } else if (st->deleted && !st->created) {
+      if (db_->config().wal) wal_rec_.dht_erase(st->view.app_id());
       (void)dht.erase(self_, st->view.app_id());
     }
   }
@@ -2031,6 +2077,9 @@ Status Transaction::commit_local() {
       abort();
       return Status::kOutOfMemory;
     }
+    if (db_->config().wal)
+      for (std::size_t i = 0; i < pub_keys.size(); ++i)
+        wal_rec_.dht_insert(pub_keys[i], pub_vals[i]);
   }
   const auto& indexes = db_->indexes();
   for (auto& [raw, st] : vcache_) {
@@ -2044,6 +2093,25 @@ Status Transaction::commit_local() {
     }
   }
 
+  // Write-ahead point: the redo record -- acquires logged as they happened,
+  // the images/DHT intents above, plus the version bumps and block releases
+  // the lines below are about to perform -- hits the rank's log *before* the
+  // unlock FAAs make any of it observable. Recovery re-executes the record
+  // in this order, which reproduces allocator and lock-word state exactly
+  // (see README "Durability protocol").
+  wal::WalWriter* walw = db_->wal(self_);
+  bool wal_appended = false;
+  if (walw != nullptr && !wal_rec_.empty()) {
+    for (auto& [raw, st] : vcache_)
+      if (st->lock == LockState::kWrite) wal_rec_.lock_bump(DPtr{raw});
+    for (auto& [raw, st] : ecache_)
+      if (st->lock == LockState::kWrite) wal_rec_.lock_bump(DPtr{raw});
+    for (DPtr blk : to_release) wal_rec_.release(blk);
+    for (DPtr blk : shrink_release_) wal_rec_.release(blk);
+    wal_appended = walw->append(self_, wal_rec_) != 0;
+    wal_rec_.clear();
+  }
+
   // Phase 5: unlock (write-through re-stamps ride the fetch-flavored
   // unlocks), then recycle deleted holders' and shrink-shed blocks (both
   // unreferenced since the fenced phase-2/3 writeback; shed tails carry no
@@ -2054,13 +2122,23 @@ Status Transaction::commit_local() {
   for (DPtr blk : shrink_release_) blocks.release(self_, blk);
   shrink_release_.clear();
 
+  // The commit is logically complete once its unlocks are issued; mark the
+  // transaction finished *before* the seal points below, whose armed kill
+  // switches may throw FaultKill -- the destructor must not re-abort (and
+  // double-release) a committed transaction during that unwind.
+  blk_cache_.clear();  // cache lifetime ends with the transaction
+  active_ = false;
+
   // Deferred commits enroll in the shared flush epoch *after* their unlocks
   // are issued, so the epoch-close flush fences the whole commit -- PUTs and
   // unlock round together.
   if (defer) (void)pipeline->enroll(self_, wb_bytes);
 
-  blk_cache_.clear();  // cache lifetime ends with the transaction
-  active_ = false;
+  // Durability unit = flush epoch. Deferred commits ride the pipeline's
+  // close hook (sealed when their epoch closes); everything else seals its
+  // log epoch now -- the commit's visibility fence already ran above.
+  if (wal_appended && !defer) db_->wal_epoch_close(self_);
+
   return Status::kOk;
 }
 
@@ -2108,6 +2186,10 @@ void Transaction::abort() {
   // window holders still reference them (releasing would hand live blocks
   // to the allocator -- the pre-pipeline code had exactly that bug).
   shrink_release_.clear();
+  // Nothing this transaction did becomes durable (the byte-equality contract
+  // covers no-abort streams: an abort's lock-version bumps and block
+  // pop/push cycles are real but unlogged).
+  wal_rec_.clear();
   vcache_.clear();
   ecache_.clear();
   created_ids_.clear();

@@ -391,6 +391,13 @@ class Transaction {
   /// release would have squeaked by.
   std::vector<DPtr> shrink_release_;
 
+  /// Redo record for the WAL (empty unless DatabaseConfig::wal): block-pool
+  /// acquires are logged as they happen; images, DHT intents, lock-version
+  /// bumps, and releases are added by commit_local in execution order. The
+  /// record is appended to the rank's WalWriter after the writeback PUTs are
+  /// issued and *before* the unlock FAAs (write-ahead rule); abort clears it.
+  wal::CommitRecord wal_rec_;
+
   std::unordered_map<std::uint64_t, std::unique_ptr<VertexState>> vcache_;
   std::unordered_map<std::uint64_t, std::unique_ptr<EdgeState>> ecache_;
   std::unordered_map<std::uint64_t, DPtr> created_ids_;  ///< app_id -> DPtr

@@ -1,0 +1,113 @@
+// Deterministic fault injection for the simulated RMA fabric and the WAL.
+//
+// A FaultInjector is attached to a Rank (Rank::set_fault_injector) and is
+// consulted from two kinds of sites:
+//
+//  * data-plane hooks in Window (put / put_nb / FAA / flush): each op draws
+//    from a seeded PRNG and may be dropped (PUTs only: the data movement is
+//    skipped while the cost is still charged -- the "write lost on the wire"
+//    failure a redo log must repair), delayed (extra simulated latency), or
+//    failed (raises FaultKill, modeling the origin process dying mid-op);
+//
+//  * kill switches at WAL control points (wal::WalWriter): "die right after
+//    sealing epoch N", "die mid-append" (a torn frame reaches the disk), and
+//    "die mid-checkpoint" (a partial checkpoint temp file is left behind).
+//
+// Decisions are a pure function of (seed, consultation order), so a failing
+// schedule replays exactly from its seed. After any kill fires the injector
+// is poisoned: killed() stays true, every later consultation is a no-op, and
+// WAL writers bound to the killed rank refuse to seal their tail during
+// teardown -- the unwinding destructor must not quietly persist the very
+// bytes the "crash" was supposed to lose.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace gdi::rma {
+
+/// Raised by an armed fail/kill decision: the simulated process death. Rank
+/// code does not catch it; it unwinds out of Runtime::run to the test driver,
+/// which then restarts the rank team and runs recovery.
+struct FaultKill final : std::runtime_error {
+  explicit FaultKill(const char* site) : std::runtime_error(site) {}
+};
+
+/// Data-plane operation classes the injector distinguishes.
+enum class FaultOp : std::uint8_t { kPut = 0, kFaa = 1, kFlush = 2 };
+
+/// WAL control points at which a kill switch may be armed.
+enum class KillPoint : std::uint8_t {
+  kNone = 0,
+  kEpochSeal,      ///< die right after epoch `kill_epoch` is sealed + fsynced
+  kMidAppend,      ///< die with a torn (partially written) frame on disk
+  kMidCheckpoint,  ///< die with a partial checkpoint temp file, before rename
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+
+  // Data-plane probabilities, each drawn independently per op.
+  double drop_put_p = 0.0;  ///< PUT data movement silently lost (cost still paid)
+  double delay_p = 0.0;     ///< op delayed by delay_ns
+  double fail_p = 0.0;      ///< op raises FaultKill
+  double delay_ns = 5000.0;
+
+  // Kill switch (at most one per injector; it fires once).
+  KillPoint kill_at = KillPoint::kNone;
+  std::uint64_t kill_epoch = 0;  ///< kEpochSeal/kMidAppend: arm at this epoch seq
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig cfg)
+      : cfg_(cfg), state_(cfg.seed != 0 ? cfg.seed : 0x9e3779b97f4a7c15ULL) {}
+
+  struct Action {
+    bool drop = false;
+    double delay_ns = 0.0;
+    bool fail = false;
+    [[nodiscard]] bool any() const { return drop || delay_ns > 0.0 || fail; }
+  };
+
+  /// Decide the fate of one data-plane op. Deterministic in (seed, order).
+  [[nodiscard]] Action on_op(FaultOp op) {
+    Action a;
+    if (killed_) return a;
+    if (cfg_.drop_put_p > 0.0 && op == FaultOp::kPut) a.drop = chance(cfg_.drop_put_p);
+    if (cfg_.delay_p > 0.0 && chance(cfg_.delay_p)) a.delay_ns = cfg_.delay_ns;
+    if (cfg_.fail_p > 0.0 && chance(cfg_.fail_p)) a.fail = true;
+    return a;
+  }
+
+  /// Kill-switch consultation at a WAL control point. True means "die here";
+  /// the caller performs the point's partial work, calls mark_killed(), and
+  /// throws FaultKill.
+  [[nodiscard]] bool should_kill(KillPoint at, std::uint64_t epoch_seq) const {
+    if (killed_ || cfg_.kill_at != at) return false;
+    if ((at == KillPoint::kEpochSeal || at == KillPoint::kMidAppend) &&
+        epoch_seq < cfg_.kill_epoch)
+      return false;
+    return true;
+  }
+
+  void mark_killed() { killed_ = true; }
+  [[nodiscard]] bool killed() const { return killed_; }
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+
+ private:
+  /// splitmix64 step; uniform in [0,1) against p.
+  [[nodiscard]] bool chance(double p) {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53 < p;
+  }
+
+  FaultConfig cfg_;
+  std::uint64_t state_;
+  bool killed_ = false;
+};
+
+}  // namespace gdi::rma

@@ -115,6 +115,15 @@ struct OpCounters {
   std::uint64_t xlate_hits = 0;
   std::uint64_t xlate_fallbacks = 0;
 
+  // Epoch write-ahead log (src/wal/): commit records buffered into the open
+  // epoch, group fsyncs paid at epoch seal (appends/fsyncs = amortization),
+  // and epochs re-applied by log-replay recovery. faults_injected counts
+  // drop/delay/fail decisions taken by the rank's FaultInjector, if any.
+  std::uint64_t wal_appends = 0;
+  std::uint64_t wal_fsyncs = 0;
+  std::uint64_t wal_replayed_epochs = 0;
+  std::uint64_t faults_injected = 0;
+
   OpCounters& operator+=(const OpCounters& o) {
     puts += o.puts;
     gets += o.gets;
@@ -142,11 +151,57 @@ struct OpCounters {
     scache_restamps += o.scache_restamps;
     xlate_hits += o.xlate_hits;
     xlate_fallbacks += o.xlate_fallbacks;
+    wal_appends += o.wal_appends;
+    wal_fsyncs += o.wal_fsyncs;
+    wal_replayed_epochs += o.wal_replayed_epochs;
+    faults_injected += o.faults_injected;
     return *this;
   }
 
   [[nodiscard]] std::uint64_t total_ops() const {
     return puts + gets + atomics + flushes + collectives;
+  }
+
+  /// Copy of the current counter values, for per-phase deltas in benches.
+  [[nodiscard]] OpCounters snapshot() const { return *this; }
+
+  /// Counters accumulated since `since` (an earlier snapshot of this struct).
+  /// Monotone counters subtract; max_batch_ops is a high-water mark and keeps
+  /// its current value (a per-phase maximum cannot be recovered by
+  /// subtraction).
+  [[nodiscard]] OpCounters delta(const OpCounters& since) const {
+    OpCounters d;
+    d.puts = puts - since.puts;
+    d.gets = gets - since.gets;
+    d.atomics = atomics - since.atomics;
+    d.flushes = flushes - since.flushes;
+    d.collectives = collectives - since.collectives;
+    d.bytes_put = bytes_put - since.bytes_put;
+    d.bytes_get = bytes_get - since.bytes_get;
+    d.remote_ops = remote_ops - since.remote_ops;
+    d.nb_gets = nb_gets - since.nb_gets;
+    d.nb_puts = nb_puts - since.nb_puts;
+    d.nb_atomics = nb_atomics - since.nb_atomics;
+    d.batches = batches - since.batches;
+    d.max_batch_ops = max_batch_ops;
+    d.cache_hits = cache_hits - since.cache_hits;
+    d.cache_misses = cache_misses - since.cache_misses;
+    d.scache_hits = scache_hits - since.scache_hits;
+    d.scache_misses = scache_misses - since.scache_misses;
+    d.scache_validations = scache_validations - since.scache_validations;
+    d.scache_invalidations = scache_invalidations - since.scache_invalidations;
+    d.edge_batches = edge_batches - since.edge_batches;
+    d.edge_batch_items = edge_batch_items - since.edge_batch_items;
+    d.gc_epochs = gc_epochs - since.gc_epochs;
+    d.gc_enrolled = gc_enrolled - since.gc_enrolled;
+    d.scache_restamps = scache_restamps - since.scache_restamps;
+    d.xlate_hits = xlate_hits - since.xlate_hits;
+    d.xlate_fallbacks = xlate_fallbacks - since.xlate_fallbacks;
+    d.wal_appends = wal_appends - since.wal_appends;
+    d.wal_fsyncs = wal_fsyncs - since.wal_fsyncs;
+    d.wal_replayed_epochs = wal_replayed_epochs - since.wal_replayed_epochs;
+    d.faults_injected = faults_injected - since.faults_injected;
+    return d;
   }
 };
 

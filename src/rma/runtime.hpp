@@ -30,6 +30,7 @@
 namespace gdi::rma {
 
 class Runtime;
+class FaultInjector;  // rma/fault.hpp
 
 /// Lightweight handle for a nonblocking one-sided operation (Window::get_nb /
 /// put_nb / atomic_get_u64_nb). In-process operations complete their data
@@ -63,6 +64,13 @@ class Rank {
   [[nodiscard]] OpCounters& counters() { return counters_; }
   [[nodiscard]] const OpCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = OpCounters{}; }
+
+  // --- fault injection (rma/fault.hpp) -------------------------------------
+  //
+  // Optional, per rank, not owned. Window data-plane ops and WAL control
+  // points consult it when set; null (the default) costs one branch per op.
+  void set_fault_injector(FaultInjector* f) { faults_ = f; }
+  [[nodiscard]] FaultInjector* faults() { return faults_; }
 
   // --- nonblocking operation engine ---------------------------------------
   //
@@ -239,6 +247,7 @@ class Rank {
   int id_;
   double sim_ns_ = 0.0;
   OpCounters counters_;
+  FaultInjector* faults_ = nullptr;
 
   // Outstanding nonblocking batch (see enqueue_nb / flush_all).
   double nb_max_alpha_ = 0.0;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/dptr.hpp"
+#include "rma/fault.hpp"
 #include "rma/runtime.hpp"
 
 namespace gdi::rma {
@@ -122,7 +123,7 @@ class Window {
   void put(Rank& self, const void* src, std::size_t n, std::uint32_t target,
            std::uint64_t offset) {
     assert(in_one_segment(offset, n));
-    std::memcpy(addr(target, offset), src, n);
+    if (!inject(self, FaultOp::kPut)) std::memcpy(addr(target, offset), src, n);
     charge_data(self, n, target, /*is_put=*/true);
   }
 
@@ -152,7 +153,7 @@ class Window {
   NbRequest put_nb(Rank& self, const void* src, std::size_t n, std::uint32_t target,
                    std::uint64_t offset) {
     assert(in_one_segment(offset, n));
-    std::memcpy(addr(target, offset), src, n);
+    if (!inject(self, FaultOp::kPut)) std::memcpy(addr(target, offset), src, n);
     return enqueue_data(self, n, target, /*is_put=*/true);
   }
 
@@ -209,6 +210,7 @@ class Window {
   /// held lock.
   NbRequest faa_u64_nb(Rank& self, std::uint32_t target, std::uint64_t offset,
                        std::int64_t add, std::uint64_t* prev_out = nullptr) {
+    (void)inject(self, FaultOp::kFaa);
     const std::uint64_t prev = word(target, offset)
                                    .fetch_add(static_cast<std::uint64_t>(add),
                                               std::memory_order_acq_rel);
@@ -300,6 +302,7 @@ class Window {
   /// Fetch-and-add; returns the previous value.
   [[nodiscard]] std::uint64_t faa_u64(Rank& self, std::uint32_t target,
                                       std::uint64_t offset, std::int64_t add) {
+    (void)inject(self, FaultOp::kFaa);
     charge_atomic(self, target);
     return word(target, offset).fetch_add(static_cast<std::uint64_t>(add),
                                           std::memory_order_acq_rel);
@@ -325,12 +328,31 @@ class Window {
   /// real RDMA implementation requires.
   void flush(Rank& self, std::uint32_t target) {
     (void)target;
+    (void)inject(self, FaultOp::kFlush);
     self.charge(self.net().alpha_flush_ns);
     self.counters().flushes += 1;
   }
   void flush_all(Rank& self) { flush(self, static_cast<std::uint32_t>(self.id())); }
 
  private:
+  /// Fault-injection hook (rma/fault.hpp). Consults the rank's injector, if
+  /// any, for this op; charges delays, raises FaultKill on a fail decision,
+  /// and returns true when a PUT's data movement must be dropped (the cost is
+  /// still charged by the caller -- the write was "sent" and lost).
+  static bool inject(Rank& self, FaultOp op) {
+    FaultInjector* f = self.faults();
+    if (f == nullptr) [[likely]]
+      return false;
+    const FaultInjector::Action a = f->on_op(op);
+    if (a.any()) self.counters().faults_injected += 1;
+    if (a.delay_ns > 0.0) self.charge(a.delay_ns);
+    if (a.fail) {
+      f->mark_killed();
+      throw FaultKill("injected data-plane failure");
+    }
+    return a.drop;
+  }
+
   /// One committed slab: every rank's `seg_bytes_` region for one segment.
   struct Segment {
     std::vector<std::unique_ptr<std::byte[]>> regions;

@@ -142,6 +142,20 @@ std::string counters_line(const rma::OpCounters& c) {
     os << " | xlate hits=" << Table::fmt_si(static_cast<double>(c.xlate_hits), 1)
        << " fallbacks=" << Table::fmt_si(static_cast<double>(c.xlate_fallbacks), 1);
   }
+  if (c.wal_appends > 0 || c.wal_fsyncs > 0) {
+    os << " | wal appends=" << Table::fmt_si(static_cast<double>(c.wal_appends), 1)
+       << " fsyncs=" << Table::fmt_si(static_cast<double>(c.wal_fsyncs), 1);
+    if (c.wal_fsyncs > 0)
+      os << " appends/fsync="
+         << Table::fmt(static_cast<double>(c.wal_appends) /
+                           static_cast<double>(c.wal_fsyncs),
+                       1);
+    if (c.wal_replayed_epochs > 0)
+      os << " replayed="
+         << Table::fmt_si(static_cast<double>(c.wal_replayed_epochs), 1);
+  }
+  if (c.faults_injected > 0)
+    os << " | faults=" << Table::fmt_si(static_cast<double>(c.faults_injected), 1);
   return os.str();
 }
 

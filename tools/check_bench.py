@@ -82,6 +82,19 @@ def pr5_metrics(parsed):
     }
 
 
+def pr6_metrics(parsed):
+    """Tracked metrics of bench_pr6_wal (higher is better): absolute WAL-on
+    write-stream throughput, the on/off ratio (catches the WAL's modeled
+    overhead creeping up even if the whole write path speeds up), and the
+    group-fsync amortization factor (appends per fsync ~ commits per flush
+    epoch -- a drop means the epoch log stopped riding the pipeline)."""
+    return {
+        "wal_on_qps": parsed["write_stream"]["wal_on_qps"],
+        "wal_ratio": parsed["write_stream"]["wal_ratio"],
+        "appends_per_fsync": parsed["write_stream"]["appends_per_fsync"],
+    }
+
+
 # Benches with a "smoke_key" share one baseline file: their smoke metrics
 # live under baseline["smoke"][smoke_key] as a flat metric->value dict.
 BENCHES = [
@@ -114,6 +127,12 @@ BENCHES = [
         "baseline": "BENCH_pr5.json",
         "smoke_key": "group_commit",
         "metrics": pr5_metrics,
+    },
+    {
+        "bin": "bench_pr6_wal",
+        "baseline": "BENCH_pr6.json",
+        "smoke_key": "wal",
+        "metrics": pr6_metrics,
     },
 ]
 
