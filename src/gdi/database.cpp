@@ -242,6 +242,10 @@ bool Database::recover_rank(rma::Rank& self) {
   self.barrier();
   dht_.refresh_local(self);
   wal::RecoveredLog log = wal::read_log(cfg_.wal_dir, r, ck_epoch);
+  // Cut the torn remnant off the disk before this rank can seal again: left
+  // in place at a segment tail, it would stop the NEXT recovery's scan early
+  // and silently shadow every intact segment sealed after this one.
+  if (!wal::truncate_torn_tail(log)) ok = false;
   if (ok) {
     for (const wal::EpochView& e : log.epochs) {
       for (const wal::CommitView& c : e.commits) {
@@ -256,7 +260,9 @@ bool Database::recover_rank(rma::Rank& self) {
   }
   const std::uint64_t epoch_hw = std::max(ck_epoch, log.epoch_hw);
   const std::uint64_t commit_hw = std::max(ck_commit, log.commit_hw);
-  w->reset_hw(epoch_hw, commit_hw);
+  // Hand the scanned segments to the writer so post-restart checkpoints can
+  // truncate them; otherwise the directory grows across crash/recover cycles.
+  w->reset_hw(epoch_hw, commit_hw, std::move(log.segments));
   recovered_commits_[static_cast<std::size_t>(r)] = commit_hw;
   // Replay complete everywhere before any caller touches the database.
   self.barrier();

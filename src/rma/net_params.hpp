@@ -117,11 +117,14 @@ struct OpCounters {
 
   // Epoch write-ahead log (src/wal/): commit records buffered into the open
   // epoch, group fsyncs paid at epoch seal (appends/fsyncs = amortization),
-  // and epochs re-applied by log-replay recovery. faults_injected counts
+  // and epochs re-applied by log-replay recovery. wal_io_errors counts
+  // sealed epochs DROPPED because the segment file could not be opened --
+  // nonzero means the run was not fully durable. faults_injected counts
   // drop/delay/fail decisions taken by the rank's FaultInjector, if any.
   std::uint64_t wal_appends = 0;
   std::uint64_t wal_fsyncs = 0;
   std::uint64_t wal_replayed_epochs = 0;
+  std::uint64_t wal_io_errors = 0;
   std::uint64_t faults_injected = 0;
 
   OpCounters& operator+=(const OpCounters& o) {
@@ -154,6 +157,7 @@ struct OpCounters {
     wal_appends += o.wal_appends;
     wal_fsyncs += o.wal_fsyncs;
     wal_replayed_epochs += o.wal_replayed_epochs;
+    wal_io_errors += o.wal_io_errors;
     faults_injected += o.faults_injected;
     return *this;
   }
@@ -200,6 +204,7 @@ struct OpCounters {
     d.wal_appends = wal_appends - since.wal_appends;
     d.wal_fsyncs = wal_fsyncs - since.wal_fsyncs;
     d.wal_replayed_epochs = wal_replayed_epochs - since.wal_replayed_epochs;
+    d.wal_io_errors = wal_io_errors - since.wal_io_errors;
     d.faults_injected = faults_injected - since.faults_injected;
     return d;
   }

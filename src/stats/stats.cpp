@@ -154,6 +154,9 @@ std::string counters_line(const rma::OpCounters& c) {
       os << " replayed="
          << Table::fmt_si(static_cast<double>(c.wal_replayed_epochs), 1);
   }
+  if (c.wal_io_errors > 0)
+    os << " | wal DROPPED epochs="
+       << Table::fmt_si(static_cast<double>(c.wal_io_errors), 1);
   if (c.faults_injected > 0)
     os << " | faults=" << Table::fmt_si(static_cast<double>(c.faults_injected), 1);
   return os.str();

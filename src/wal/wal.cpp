@@ -176,7 +176,10 @@ void CommitRecord::lock_bump(DPtr blk) {
 // --- WalWriter -------------------------------------------------------------
 
 WalWriter::WalWriter(int rank, WalConfig cfg) : cfg_(std::move(cfg)), rank_(rank) {
-  fs::create_directories(cfg_.dir);
+  // Non-throwing: an uncreatable directory surfaces as a seal-time open
+  // failure (wal_io_errors), not a constructor exception mid-collective.
+  std::error_code ec;
+  fs::create_directories(cfg_.dir, ec);
 }
 
 WalWriter::~WalWriter() {
@@ -234,7 +237,22 @@ void WalWriter::seal(rma::Rank& self, bool allow_kill) {
   else if (file_bytes_ > 0 &&
            file_bytes_ + kFrameHeader + open_.size() > cfg_.segment_bytes)
     rotate(seq);
-  if (file_ == nullptr) return;  // filesystem failure: drop durability, not the run
+  if (file_ == nullptr) {
+    // Filesystem failure: drop durability, not the run -- but *boundedly* and
+    // *visibly*. The buffered epoch is discarded (its commits are already
+    // applied in memory, only their redo is lost) so open_ cannot grow
+    // without limit, and wal_io_errors records the loss so tests and benches
+    // fail loudly instead of reporting a silently non-durable run. The next
+    // seal retries open_segment.
+    if (self.counters().wal_io_errors == 0)
+      std::fprintf(stderr,
+                   "[wal] rank %d: cannot open segment %s; epoch dropped, "
+                   "durability lost\n",
+                   rank_, cur_path_.c_str());
+    self.counters().wal_io_errors += 1;
+    open_.clear();
+    return;
+  }
 
   std::vector<std::byte> header;
   header.reserve(kFrameHeader);
@@ -275,10 +293,16 @@ void WalWriter::seal(rma::Rank& self, bool allow_kill) {
   }
 }
 
-void WalWriter::reset_hw(std::uint64_t epoch, std::uint64_t commit) {
+void WalWriter::reset_hw(std::uint64_t epoch, std::uint64_t commit,
+                         std::vector<SegmentInfo> existing) {
   assert(open_.empty() && file_ == nullptr);
   next_epoch_ = epoch + 1;
   next_commit_ = commit + 1;
+  // Adopt the segments recovery scanned: they predate this writer, so they
+  // are exactly the files truncate_through would otherwise never see.
+  closed_.clear();
+  for (SegmentInfo& s : existing)
+    closed_.push_back({s.first_epoch, s.last_epoch, std::move(s.path)});
 }
 
 void WalWriter::truncate_through(std::uint64_t epoch) {
@@ -324,10 +348,18 @@ RecoveredLog read_log(const std::string& dir, int rank,
       buf.clear();
     std::fclose(f);
 
+    SegmentInfo seg{0, 0, path};
     Cursor c{buf.data(), buf.size()};
     while (c.left > 0) {
-      if (c.left < kFrameHeader) {
+      // Any torn detection below cuts at this frame's first byte.
+      const std::uint64_t frame_off = buf.size() - c.left;
+      const auto mark_torn = [&] {
         out.torn_tail = true;
+        out.torn_path = path;
+        out.torn_offset = frame_off;
+      };
+      if (c.left < kFrameHeader) {
+        mark_torn();
         break;
       }
       const auto magic = c.take<std::uint32_t>();
@@ -337,12 +369,12 @@ RecoveredLog read_log(const std::string& dir, int rank,
       const auto crc = c.take<std::uint32_t>();
       if (magic != kFrameMagic || frank != static_cast<std::uint32_t>(rank) ||
           seq <= last_seq || c.left < len) {
-        out.torn_tail = true;
+        mark_torn();
         break;
       }
       const std::byte* payload = c.take_bytes(len);
       if (crc32(payload, len) != crc) {
-        out.torn_tail = true;
+        mark_torn();
         break;
       }
       EpochView ep;
@@ -350,19 +382,37 @@ RecoveredLog read_log(const std::string& dir, int rank,
       out.payloads.emplace_back(payload, payload + len);
       if (!parse_payload(out.payloads.back(), ep)) {
         out.payloads.pop_back();
-        out.torn_tail = true;
+        mark_torn();
         break;
       }
       last_seq = seq;
       out.epoch_hw = seq;
+      if (seg.first_epoch == 0) seg.first_epoch = seq;
+      seg.last_epoch = seq;
       if (!ep.commits.empty()) out.commit_hw = ep.commits.back().commit_id;
       if (seq > skip_through_epoch)
         out.epochs.push_back(std::move(ep));
       else
         out.payloads.pop_back();  // covered by the checkpoint; drop the copy
     }
+    // Segments with an intact frame (including a torn segment's intact
+    // prefix) are reported so the writer can adopt them for truncation; a
+    // wholly-torn file is left out -- truncate_torn_tail deletes it.
+    if (seg.last_epoch > 0) out.segments.push_back(std::move(seg));
   }
   return out;
+}
+
+bool truncate_torn_tail(const RecoveredLog& log) {
+  if (!log.torn_tail || log.torn_path.empty()) return true;
+  std::error_code ec;
+  if (log.torn_offset == 0) {
+    // No intact frame precedes the cut: the whole file is dead weight.
+    fs::remove(log.torn_path, ec);
+    return !ec;
+  }
+  return ::truncate(log.torn_path.c_str(),
+                    static_cast<off_t>(log.torn_offset)) == 0;
 }
 
 // --- checkpoint IO ---------------------------------------------------------

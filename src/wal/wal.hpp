@@ -114,14 +114,24 @@ struct EpochView {
   std::vector<CommitView> commits;
 };
 
+/// One on-disk log segment holding at least one intact frame.
+struct SegmentInfo {
+  std::uint64_t first_epoch = 0;  ///< first intact epoch seq in the file
+  std::uint64_t last_epoch = 0;   ///< last intact epoch seq in the file
+  std::string path;
+};
+
 /// One rank's readable log suffix. `epochs` hold only seqs strictly above the
 /// requested skip point; the high-water marks cover every intact frame seen.
 struct RecoveredLog {
   std::vector<EpochView> epochs;
   std::vector<std::vector<std::byte>> payloads;  ///< backing store for `epochs`
+  std::vector<SegmentInfo> segments;  ///< scanned segments with intact frames
   std::uint64_t epoch_hw = 0;   ///< last intact epoch seq (0 = none)
   std::uint64_t commit_hw = 0;  ///< last commit id in an intact epoch
   bool torn_tail = false;       ///< a torn/corrupt frame cut the tail
+  std::string torn_path;        ///< segment file holding the torn frame
+  std::uint64_t torn_offset = 0;  ///< byte offset of the cut inside torn_path
 };
 
 /// Global consistent-cut snapshot: every rank's serialized state plus each
@@ -166,8 +176,12 @@ class WalWriter {
   /// Recovery hand-off: position the writer after a restored checkpoint/log
   /// (next epoch = epoch+1, next commit id = commit+1). Must precede the
   /// first append; starts a fresh segment so torn remnants are never
-  /// appended to.
-  void reset_hw(std::uint64_t epoch, std::uint64_t commit);
+  /// appended to. `existing` (RecoveredLog::segments) seeds the closed-
+  /// segment list so later checkpoints truncate pre-restart segments too --
+  /// without it the log directory would grow without bound across
+  /// crash/recover cycles.
+  void reset_hw(std::uint64_t epoch, std::uint64_t commit,
+                std::vector<SegmentInfo> existing = {});
 
   /// Drop closed segments that lie entirely at or behind `epoch` (called
   /// behind a durable checkpoint covering that epoch); rotates the current
@@ -207,9 +221,18 @@ class WalWriter {
 };
 
 /// Read one rank's log segments in epoch order, skipping (but accounting)
-/// epochs <= skip_through_epoch and cutting at the first torn frame.
+/// epochs <= skip_through_epoch and cutting at the first torn frame. The cut
+/// position (file + byte offset) is reported in torn_path/torn_offset.
 [[nodiscard]] RecoveredLog read_log(const std::string& dir, int rank,
                                     std::uint64_t skip_through_epoch);
+
+/// Erase a torn remnant from disk: truncate torn_path at torn_offset
+/// (deleting the file when no intact frame precedes the cut). Must run
+/// during recovery, before the rank resumes sealing -- a stale torn frame
+/// left at a segment tail would cut the NEXT recovery's scan short and
+/// silently shadow every intact segment sealed after this one. No-op (true)
+/// when the log has no torn tail; false on filesystem errors.
+[[nodiscard]] bool truncate_torn_tail(const RecoveredLog& log);
 
 /// Write the global checkpoint (temp file + atomic rename). Consults `self`'s
 /// FaultInjector at the kMidCheckpoint kill point. Charges the modeled

@@ -16,7 +16,11 @@
 //  * the commit_max_delay_ns close condition seals one WAL epoch per
 //    delay-closed flush epoch, and those epochs recover;
 //  * checkpoints truncate segments behind them and bound replay to the tail;
-//    the auto-cadence writes checkpoints without a manual call;
+//    the auto-cadence writes checkpoints without a manual call; segments
+//    that predate a restart are truncated too (recovery seeds the writer's
+//    closed-segment list from its scan);
+//  * a segment-open failure drops the buffered epoch *boundedly* and counts
+//    it in wal_io_errors instead of silently accumulating;
 //  * FaultInjector decisions are a pure function of (seed, order), kill
 //    switches gate on their epoch, and a dropped PUT loses the data while
 //    still paying the modeled cost;
@@ -509,6 +513,69 @@ TEST(WalCheckpoint, CheckpointTruncatesLogAndBoundsReplayToTail) {
   });
 }
 
+TEST(WalCheckpoint, CheckpointAfterRecoveryTruncatesPreRestartSegments) {
+  const std::string dir = fresh_dir("wal_ckpt_restart");
+  const DatabaseConfig cfg = wal_cfg(dir);
+  {
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      auto db = Database::create(self, cfg);
+      const std::uint32_t pt = ensure_ptype(db, self);
+      for (std::uint64_t i = 1; i <= 4; ++i) {
+        Transaction txn(db, self, TxnMode::kWrite);
+        auto v = txn.create_vertex(i);
+        EXPECT_TRUE(v.ok());
+        EXPECT_EQ(txn.update_property(*v, pt,
+                                      PropValue{static_cast<std::int64_t>(i)}),
+                  Status::kOk);
+        EXPECT_EQ(txn.commit(), Status::kOk);
+      }
+    });
+  }
+  // Restart, recover, checkpoint: the segment that predates the restart was
+  // only ever known to the dead writer, so truncation must work off the
+  // recovery scan (reset_hw's adopted-segment list), not in-memory state.
+  {
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      auto db = Database::recover(self, cfg);
+      EXPECT_TRUE(db != nullptr);
+      if (db == nullptr) return;
+      EXPECT_EQ(db->wal_recovered_commits(self), 4u);
+      EXPECT_EQ(db->checkpoint(self), Status::kOk);
+    });
+  }
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "checkpoint.bin"));
+  for (const auto& e : fs::directory_iterator(dir))
+    EXPECT_NE(e.path().extension(), ".seg")
+        << "pre-restart segment survived the post-recovery checkpoint: "
+        << e.path();
+  // Third incarnation: the checkpoint alone carries the full state.
+  rma::Runtime rt3(1);
+  rt3.run([&](rma::Rank& self) {
+    const std::uint64_t replayed0 = self.counters().wal_replayed_epochs;
+    auto db = Database::recover(self, cfg);
+    EXPECT_TRUE(db != nullptr);
+    if (db == nullptr) return;
+    EXPECT_EQ(self.counters().wal_replayed_epochs - replayed0, 0u);
+    EXPECT_EQ(db->wal_recovered_commits(self), 4u);
+    const std::uint32_t pt = ensure_ptype(db, self);
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+      Transaction r(db, self, TxnMode::kRead);
+      auto vh = r.find_vertex(i);
+      EXPECT_TRUE(vh.ok()) << "vertex " << i;
+      if (vh.ok()) {
+        auto p = r.get_properties(*vh, pt);
+        EXPECT_TRUE(p.ok());
+        if (p.ok() && !p->empty())
+          EXPECT_EQ(std::get<std::int64_t>((*p)[0]),
+                    static_cast<std::int64_t>(i));
+      }
+      (void)r.commit();
+    }
+  });
+}
+
 TEST(WalCheckpoint, CadenceWritesCheckpointsAutomatically) {
   const std::string dir = fresh_dir("wal_cadence");
   DatabaseConfig cfg = wal_cfg(dir);
@@ -548,6 +615,43 @@ TEST(WalCheckpoint, CadenceWritesCheckpointsAutomatically) {
       (void)r.commit();
     }
   });
+}
+
+// ---------------------------------------------------------------------------
+// Segment-open failure: bounded, visible durability loss
+// ---------------------------------------------------------------------------
+
+TEST(WalSeal, SegmentOpenFailureDropsTheEpochBoundedlyAndCountsIt) {
+  // A log directory that cannot exist: its parent is a regular file.
+  const fs::path parent = fs::temp_directory_path() / "gdi_wal_badparent";
+  fs::remove_all(parent);
+  {
+    std::ofstream out(parent);
+    out << "x";
+  }
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    wal::WalConfig wc;
+    wc.dir = (parent / "wal").string();
+    wal::WalWriter w(0, wc);
+    wal::CommitRecord rec;
+    rec.dht_insert(1, 2);
+    EXPECT_EQ(w.append(self, rec), 1u);
+    w.seal(self);
+    // The epoch is dropped -- not silently retained: open_ must not grow
+    // across failed seals, and the loss is counted.
+    EXPECT_FALSE(w.has_open_epoch());
+    EXPECT_EQ(w.epoch_hw(), 0u);
+    EXPECT_EQ(self.counters().wal_io_errors, 1u);
+    EXPECT_EQ(self.counters().wal_fsyncs, 0u);
+    // The run continues: later appends still get commit ids, later seals
+    // retry the open and keep accounting the loss.
+    EXPECT_EQ(w.append(self, rec), 2u);
+    w.seal(self);
+    EXPECT_FALSE(w.has_open_epoch());
+    EXPECT_EQ(self.counters().wal_io_errors, 2u);
+  });
+  fs::remove_all(parent);
 }
 
 // ---------------------------------------------------------------------------

@@ -236,6 +236,73 @@ TEST(WalKillRestart, DroppedPutsAreRepairedByLogReplay) {
       << "replayed state diverged from the fault-free oracle";
 }
 
+TEST(WalKillRestart, SecondRecoveryKeepsEpochsSealedAfterTheFirst) {
+  // Crash-recover-crash-recover: a mid-append death leaves a torn frame for
+  // epoch 4 at the tail of the first segment, holding intact epochs 1..3.
+  // The first recovery must cut that remnant OFF THE DISK -- if it survives,
+  // the resumed run seals epochs 4..6 into a NEWER segment, and the second
+  // recovery's scan stops at the stale torn frame and silently drops every
+  // fsynced epoch behind it.
+  constexpr std::uint64_t kTotal = 6;
+  const std::string dir = fresh_dir("wal_second_recovery");
+  rma::FaultConfig fc;
+  fc.seed = fault_seed();
+  fc.kill_at = rma::KillPoint::kMidAppend;
+  fc.kill_epoch = 4;
+  rma::FaultInjector inj(fc);
+  bool killed = false;
+  try {
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      auto db = Database::create(self, wal_cfg(dir));
+      const std::uint32_t pt = ensure_ptype(db, self);
+      self.set_fault_injector(&inj);
+      for (std::uint64_t i = 1; i <= kTotal; ++i) step(db, self, pt, i);
+    });
+  } catch (const rma::FaultKill&) {
+    killed = true;
+  }
+  ASSERT_TRUE(killed);
+
+  // First restart: commits 1..3 recover, 4..6 are resumed and fsynced (no
+  // checkpoint runs, so the second recovery depends on the log alone).
+  {
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      auto db = Database::recover(self, wal_cfg(dir));
+      EXPECT_TRUE(db != nullptr);
+      if (db == nullptr) return;
+      EXPECT_EQ(db->wal_recovered_commits(self), 3u);
+      const std::uint32_t pt = ensure_ptype(db, self);
+      for (std::uint64_t i = 4; i <= kTotal; ++i) step(db, self, pt, i);
+    });
+  }
+
+  // Second restart: everything the resumed run sealed must still be there.
+  rma::Runtime rt2(1);
+  rt2.run([&](rma::Rank& self) {
+    auto db = Database::recover(self, wal_cfg(dir));
+    EXPECT_TRUE(db != nullptr);
+    if (db == nullptr) return;
+    EXPECT_EQ(db->wal_recovered_commits(self), kTotal)
+        << "a stale torn frame shadowed the segments sealed after recovery";
+    const std::uint32_t pt = ensure_ptype(db, self);
+    for (std::uint64_t i = 1; i <= kTotal; ++i) {
+      Transaction r(db, self, TxnMode::kRead);
+      auto vh = r.find_vertex(i);
+      EXPECT_TRUE(vh.ok()) << "vertex " << i << " lost";
+      if (vh.ok()) {
+        auto p = r.get_properties(*vh, pt);
+        EXPECT_TRUE(p.ok());
+        if (p.ok() && !p->empty())
+          EXPECT_EQ(std::get<std::int64_t>((*p)[0]),
+                    static_cast<std::int64_t>(i));
+      }
+      (void)r.commit();
+    }
+  });
+}
+
 // A second rank that participates in the collectives but exits before the
 // kill window: the surviving structure of a multi-rank deployment (rank 1
 // returns from its lambda right after creation, so rank 0's FaultKill never
