@@ -15,15 +15,18 @@ int main() {
 
   stats::Table table({"system", "ranks", "operation", "p50 us", "p95 us", "p99 us",
                       "count"});
+  // res.latency entries are stats::LatencyHist -- the same mergeable recorder
+  // the multi-tenant scheduler keeps per tenant, so this table and the server
+  // bench share one binning policy.
   auto add_rows = [&](const char* system, int P, const work::OltpResult& res) {
     for (int op = 0; op < work::kNumOltpOps; ++op) {
-      const auto& h = res.latency[static_cast<std::size_t>(op)];
+      const stats::LatencyHist& h = res.latency[static_cast<std::size_t>(op)];
       if (h.total() == 0) continue;
       table.add_row({system, std::to_string(P),
                      work::oltp_op_name(static_cast<work::OltpOp>(op)),
-                     stats::Table::fmt(h.percentile_ns(50) / 1e3, 1),
+                     stats::Table::fmt(h.p50_ns() / 1e3, 1),
                      stats::Table::fmt(h.percentile_ns(95) / 1e3, 1),
-                     stats::Table::fmt(h.percentile_ns(99) / 1e3, 1),
+                     stats::Table::fmt(h.p99_ns() / 1e3, 1),
                      std::to_string(h.total())});
     }
   };

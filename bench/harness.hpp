@@ -24,6 +24,7 @@
 #include "workloads/graph500.hpp"
 #include "workloads/olap.hpp"
 #include "workloads/oltp.hpp"
+#include "workloads/server_oltp.hpp"
 
 namespace gdi::bench {
 
@@ -60,6 +61,17 @@ struct SetupOpts {
   /// traffic); bench_pr6_wal switches them on to price the epoch log.
   bool wal = false;
   std::string wal_dir;
+  /// PR 7 multi-tenant front-end knobs, default-off (no scheduler object);
+  /// bench_pr7_server switches them on. When `server` is set, the admission
+  /// caps are sized generously so open-loop benches measure scheduling, not
+  /// transport backpressure (the admission bench lives in tests/).
+  bool server = false;
+  std::size_t server_read_coalesce = 32;  ///< 1 = eager (per-request txns)
+  /// PR 7 shared-cache admission policy (kFifo = historical behaviour) and
+  /// an optional byte-budget override (0 = DatabaseConfig default) for the
+  /// HTAP scan-resistance comparison.
+  cache::ScachePolicy scache_policy = cache::ScachePolicy::kFifo;
+  std::size_t shared_cache_bytes = 0;
 };
 
 /// BENCH_SMOKE=1 shrinks every bench to a seconds-long CI smoke run: tiny
@@ -101,6 +113,12 @@ inline LoadedDb setup_db(rma::Rank& self, const SetupOpts& opts) {
   c.commit_pipeline = o.commit_pipeline;
   c.wal = o.wal;
   c.wal_dir = o.wal_dir;
+  c.server = o.server;
+  c.server_read_coalesce = o.server_read_coalesce;
+  c.server_inflight_per_tenant = 1u << 20;  // hold whole open-loop streams
+  c.server_admission_bytes = 1u << 30;
+  c.scache_policy = o.scache_policy;
+  if (o.shared_cache_bytes != 0) c.shared_cache_bytes = o.shared_cache_bytes;
   c.block.block_size = o.block_size;
   const auto per_rank = out.n / static_cast<std::uint64_t>(self.nranks()) + 64;
   // Generous pool: holders + growth + OLTP inserts.

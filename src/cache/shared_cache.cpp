@@ -34,6 +34,51 @@ void bound_fifo(Map& map, std::deque<std::pair<std::uint64_t, std::uint64_t>>& f
 
 }  // namespace
 
+bool SharedBlockCache::pop_live(
+    std::deque<std::pair<std::uint64_t, std::uint64_t>>& fifo) {
+  while (!fifo.empty()) {
+    const auto [key, seq] = fifo.front();
+    fifo.pop_front();
+    auto it = map_.find(key);
+    if (it != map_.end() && it->second.seq == seq) {
+      bytes_ -= it->second.buf.size();
+      if (it->second.probation) prob_bytes_ -= it->second.buf.size();
+      map_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void SharedBlockCache::bound() {
+  while (bytes_ > cfg_.max_bytes) {
+    if (cfg_.policy == ScachePolicy::k2Q) {
+      // Probation pays first once it exceeds its share -- that is the scan
+      // resistance: a one-touch flood evicts other one-touch entries, not
+      // the twice-touched residents. Either queue covers for the other when
+      // it has no live slot left.
+      const auto prob_budget = static_cast<std::size_t>(
+          cfg_.probation_fraction * static_cast<double>(cfg_.max_bytes));
+      if (prob_bytes_ > prob_budget && pop_live(prob_fifo_)) continue;
+      if (pop_live(fifo_)) continue;
+      if (pop_live(prob_fifo_)) continue;
+      break;  // nothing live anywhere (bytes_ must be 0; defensive)
+    }
+    if (!pop_live(fifo_)) break;
+  }
+  const auto sweep = [&](std::deque<std::pair<std::uint64_t, std::uint64_t>>& fifo) {
+    if (fifo.size() <= 4 * (map_.size() + 64)) return;
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> live;
+    for (const auto& [key, seq] : fifo) {
+      auto it = map_.find(key);
+      if (it != map_.end() && it->second.seq == seq) live.emplace_back(key, seq);
+    }
+    fifo = std::move(live);
+  };
+  sweep(fifo_);
+  sweep(prob_fifo_);
+}
+
 void SharedBlockCache::insert(DPtr primary, std::span<const std::byte> buf,
                               std::uint64_t version, bool is_edge) {
   if (cfg_.max_bytes == 0) return;
@@ -44,23 +89,45 @@ void SharedBlockCache::insert(DPtr primary, std::span<const std::byte> buf,
     (void)erase(primary);
     return;
   }
-  Entry& e = map_[primary.raw()];
+  auto [it, fresh] = map_.try_emplace(primary.raw());
+  Entry& e = it->second;
   bytes_ -= e.buf.size();  // 0 for a fresh entry
+  if (e.probation) prob_bytes_ -= e.buf.size();
   e.buf.assign(buf.begin(), buf.end());
   e.version = version;
   e.is_edge = is_edge;
   e.seq = ++next_seq_;
   bytes_ += e.buf.size();
+  if (cfg_.policy == ScachePolicy::k2Q && fresh) {
+    // First touch: park on probation. A refresh of a live entry is a second
+    // touch and joins the residents below, as does a note_hit.
+    e.probation = true;
+    prob_bytes_ += e.buf.size();
+    prob_fifo_.emplace_back(primary.raw(), e.seq);
+  } else {
+    e.probation = false;
+    fifo_.emplace_back(primary.raw(), e.seq);
+  }
+  bound();
+}
+
+void SharedBlockCache::note_hit(DPtr primary) {
+  if (cfg_.policy != ScachePolicy::k2Q) return;
+  auto it = map_.find(primary.raw());
+  if (it == map_.end() || !it->second.probation) return;
+  Entry& e = it->second;
+  e.probation = false;
+  prob_bytes_ -= e.buf.size();
+  e.seq = ++next_seq_;  // the old probation slot goes stale by seq mismatch
   fifo_.emplace_back(primary.raw(), e.seq);
-  bound_fifo(
-      map_, fifo_, [&] { return bytes_ > cfg_.max_bytes; },
-      [&](auto it) { bytes_ -= it->second.buf.size(); });
+  // No bound(): bytes_ is unchanged and the caller may hold the Entry*.
 }
 
 bool SharedBlockCache::erase(DPtr primary) {
   auto it = map_.find(primary.raw());
   if (it == map_.end()) return false;
   bytes_ -= it->second.buf.size();
+  if (it->second.probation) prob_bytes_ -= it->second.buf.size();
   map_.erase(it);
   return true;
 }

@@ -54,6 +54,19 @@
 
 namespace gdi::cache {
 
+/// Admission policy for the holder cache (DatabaseConfig::scache_policy).
+///
+///  * kFifo -- every fill is admitted straight into one FIFO (the PR 4/5
+///    behaviour, bit-exact). One OLAP scan larger than the budget washes out
+///    the whole OLTP hot set.
+///  * k2Q -- scan-resistant 2Q-style admission: a *first* fill lands in a
+///    small probationary FIFO (probation_fraction of the byte budget); only a
+///    *second* touch -- a validated hit or a refresh of a live entry --
+///    promotes it into the resident FIFO that owns the rest of the budget.
+///    A scan references each holder exactly once, so scan traffic churns only
+///    the probationary quarter and the twice-touched hot set survives.
+enum class ScachePolicy : std::uint8_t { kFifo = 0, k2Q };
+
 struct SharedCacheConfig {
   /// Holder bytes kept per rank (entries charged assembled-holder size,
   /// FIFO-evicted beyond). 0 disables the cache entirely.
@@ -63,6 +76,11 @@ struct SharedCacheConfig {
   /// the byte budget (max_bytes / 64, roughly the per-entry map + FIFO
   /// footprint), so one knob bounds the whole cache's memory.
   std::size_t max_translations = (4096 * 512) / 64;
+  /// Admission policy; kFifo keeps the historical single-queue behaviour.
+  ScachePolicy policy = ScachePolicy::kFifo;
+  /// k2Q only: byte share of the probationary queue. Eviction drains
+  /// probation beyond this share before it touches the resident queue.
+  double probation_fraction = 0.25;
 };
 
 class SharedBlockCache {
@@ -71,6 +89,7 @@ class SharedBlockCache {
     std::vector<std::byte> buf;   ///< assembled holder bytes (all blocks)
     std::uint64_t version = 0;    ///< lock-word version bits at fill time
     bool is_edge = false;         ///< EdgeView holder (vs VertexView)
+    bool probation = false;       ///< k2Q: still in the probationary queue
     std::uint64_t seq = 0;        ///< internal: FIFO re-arm stamp
   };
 
@@ -83,9 +102,17 @@ class SharedBlockCache {
     return it == map_.end() ? nullptr : &it->second;
   }
 
-  /// Insert or refresh the holder snapshot for `primary`.
+  /// Insert or refresh the holder snapshot for `primary`. Under k2Q a fresh
+  /// key starts on probation; refreshing a live entry counts as its second
+  /// touch and promotes it to the resident queue.
   void insert(DPtr primary, std::span<const std::byte> buf, std::uint64_t version,
               bool is_edge);
+
+  /// Reference feedback for the admission policy: the caller validated a hit
+  /// on `primary`. Under k2Q this is the second touch that promotes a
+  /// probationary entry to the resident queue; kFifo ignores it. Never
+  /// invalidates Entry pointers (no insertion or eviction happens here).
+  void note_hit(DPtr primary);
 
   /// Drop `primary`'s entry (write intent / deletion / observed remote
   /// change). Returns true if an entry existed.
@@ -121,21 +148,33 @@ class SharedBlockCache {
   void clear() {
     map_.clear();
     fifo_.clear();
+    prob_fifo_.clear();
     bytes_ = 0;
+    prob_bytes_ = 0;
     xlate_.clear();
     xlate_fifo_.clear();
   }
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t probation_bytes() const { return prob_bytes_; }
   [[nodiscard]] std::size_t max_bytes() const { return cfg_.max_bytes; }
+  [[nodiscard]] const SharedCacheConfig& config() const { return cfg_; }
 
  private:
+  /// Evict the oldest *live* entry of one queue; false if no live slot left.
+  bool pop_live(std::deque<std::pair<std::uint64_t, std::uint64_t>>& fifo);
+  /// Enforce the byte budget (and, under k2Q, the probation share).
+  void bound();
+
   SharedCacheConfig cfg_;
   std::unordered_map<std::uint64_t, Entry> map_;
-  std::size_t bytes_ = 0;  ///< sum of map_ entries' buf sizes
-  /// Eviction order; stale (key, seq) pairs of refreshed/erased entries are
-  /// skipped lazily at eviction time.
+  std::size_t bytes_ = 0;       ///< sum of map_ entries' buf sizes
+  std::size_t prob_bytes_ = 0;  ///< subset of bytes_ still on probation (k2Q)
+  /// Eviction order of the resident queue; stale (key, seq) pairs of
+  /// refreshed/erased entries are skipped lazily at eviction time.
   std::deque<std::pair<std::uint64_t, std::uint64_t>> fifo_;
+  /// k2Q probationary queue (same lazy (key, seq) discipline).
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> prob_fifo_;
   std::uint64_t next_seq_ = 0;
   std::unordered_map<std::uint64_t, Translation> xlate_;
   /// Same lazy (key, seq) discipline as fifo_: forget + re-teach cycles

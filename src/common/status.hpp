@@ -19,6 +19,8 @@ enum class Status : std::uint8_t {
   kNoSpace,             ///< index/property region full, non-fatal to the txn
   kConstraintViolated,  ///< property-type restriction (single entry, size cap)
   kStale,               ///< metadata/index observed in a not-yet-converged state
+  kOverloaded,          ///< admission control shed the request (bounded queues)
+  kShutdown,            ///< server is draining; no new work is accepted
   // Transaction critical errors: the transaction is guaranteed to fail.
   kTxnConflict,         ///< lock acquisition failed (would deadlock / contend)
   kTxnAborted,          ///< transaction already aborted; no further ops allowed
@@ -43,6 +45,8 @@ enum class Status : std::uint8_t {
     case Status::kNoSpace: return "NO_SPACE";
     case Status::kConstraintViolated: return "CONSTRAINT_VIOLATED";
     case Status::kStale: return "STALE";
+    case Status::kOverloaded: return "OVERLOADED";
+    case Status::kShutdown: return "SHUTDOWN";
     case Status::kTxnConflict: return "TXN_CONFLICT";
     case Status::kTxnAborted: return "TXN_ABORTED";
     case Status::kTxnReadOnly: return "TXN_READ_ONLY";

@@ -34,6 +34,7 @@ void CommitPipeline::close(rma::Rank& self) {
   txns_ = 0;
   bytes_ = 0;
   if (close_hook_) close_hook_(self);
+  if (epoch_observer_) epoch_observer_(self);
 }
 
 }  // namespace gdi

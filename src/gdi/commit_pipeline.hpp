@@ -83,6 +83,15 @@ class CommitPipeline {
     close_hook_ = std::move(hook);
   }
 
+  /// Observer invoked after every epoch close, *after* the close hook -- i.e.
+  /// after the epoch's flush completed and (when the WAL is on) after the log
+  /// epoch sealed, so everything the epoch covered is visible AND durable.
+  /// The multi-tenant scheduler rides it to complete the replies of commits
+  /// it enrolled into the epoch (src/server/scheduler.hpp).
+  void set_epoch_observer(std::function<void(rma::Rank&)> obs) {
+    epoch_observer_ = std::move(obs);
+  }
+
  private:
   void close(rma::Rank& self);
 
@@ -92,6 +101,7 @@ class CommitPipeline {
   std::size_t bytes_ = 0;
   double opened_ns_ = 0.0;
   std::function<void(rma::Rank&)> close_hook_;
+  std::function<void(rma::Rank&)> epoch_observer_;
 };
 
 }  // namespace gdi

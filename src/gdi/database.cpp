@@ -5,8 +5,16 @@
 #include <cstring>
 
 #include "rma/fault.hpp"
+#include "server/scheduler.hpp"
 
 namespace gdi {
+
+Database::~Database() = default;
+
+server::TenantScheduler* Database::scheduler(rma::Rank& self) {
+  if (schedulers_.empty()) return nullptr;
+  return schedulers_[static_cast<std::size_t>(self.id())].get();
+}
 
 namespace {
 /// Per-rank teardown lease (the control block behind the shared_ptr create()
@@ -71,7 +79,8 @@ Database::Database(int nranks, const DatabaseConfig& cfg)
     // percent of the holder budget).
     const cache::SharedCacheConfig sc{
         .max_bytes = cfg_.shared_cache_bytes,
-        .max_translations = cfg_.shared_cache_bytes / 64};
+        .max_translations = cfg_.shared_cache_bytes / 64,
+        .policy = cfg_.scache_policy};
     scaches_.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r)
       scaches_.push_back(std::make_unique<cache::SharedBlockCache>(sc));
@@ -100,6 +109,26 @@ Database::Database(int nranks, const DatabaseConfig& cfg)
     // the one group flush covered.
     for (auto& p : pipelines_)
       p->set_close_hook([this](rma::Rank& s) { wal_epoch_close(s); });
+  }
+  if (cfg_.server) {
+    const server::SchedulerConfig scfg{
+        .inflight_per_tenant = cfg_.server_inflight_per_tenant,
+        .admission_bytes = cfg_.server_admission_bytes,
+        .read_coalesce = cfg_.server_read_coalesce,
+        .drr_quantum_bytes = cfg_.server_drr_quantum_bytes,
+        .write_retries = cfg_.server_write_retries};
+    schedulers_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+      schedulers_.push_back(std::make_unique<server::TenantScheduler>(scfg));
+    // Epoch-deferred commits complete their client replies when the epoch
+    // they rode closes (post-flush, post-WAL-seal -- visible and durable).
+    for (int r = 0; r < nranks; ++r) {
+      if (!pipelines_.empty()) {
+        server::TenantScheduler* ts = schedulers_[static_cast<std::size_t>(r)].get();
+        pipelines_[static_cast<std::size_t>(r)]->set_epoch_observer(
+            [ts](rma::Rank& s) { ts->on_epoch_close(s); });
+      }
+    }
   }
 }
 

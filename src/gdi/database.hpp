@@ -25,6 +25,10 @@
 
 namespace gdi {
 
+namespace server {
+class TenantScheduler;
+}
+
 /// Vertex distribution scheme (paper Section 5.4: GDI is orthogonal to the
 /// partitioning; GDA defaults to round-robin since "other distribution
 /// schemes only negligibly impact our performance").
@@ -57,6 +61,10 @@ struct DatabaseConfig {
   /// assembled-holder size, FIFO-evicted beyond -- a 4-block holder displaces
   /// 4x what a singleton does).
   std::size_t shared_cache_bytes = 4096 * 512;
+  /// Shared-cache admission policy (cache::ScachePolicy). kFifo is the
+  /// historical single-queue behaviour, bit-exact with prior releases; k2Q
+  /// adds scan-resistant two-queue admission for mixed HTAP traffic.
+  cache::ScachePolicy scache_policy = cache::ScachePolicy::kFifo;
   /// Write-through: a committing writer re-stamps its shared-cache entries
   /// with the committed bytes under the version its fetch-flavored unlock
   /// published (BlockStore::write_unlock_fetch), instead of leaving them
@@ -91,6 +99,32 @@ struct DatabaseConfig {
   std::uint64_t wal_checkpoint_epochs = 0;
   double wal_fsync_ns = 20000.0;       ///< modeled cost of one group fsync
   double wal_append_ns_per_byte = 0.25;  ///< modeled append/CRC streaming cost
+  /// Multi-tenant front end (src/server/): one TenantScheduler per rank that
+  /// accepts transactions from concurrent client *sessions* (in-process
+  /// threads today; the session API is transport-agnostic so a socket
+  /// listener can feed the same queues later), coalesces compatible reads
+  /// into shared batch executes and funnels commits into the commit
+  /// pipeline's flush epochs. Off by default: with it off, no scheduler
+  /// object exists and every byte of traffic is identical to prior releases.
+  bool server = false;
+  /// Admission control: max requests a single session may have in flight
+  /// (queued + executing). Submissions beyond it are shed with kOverloaded.
+  std::size_t server_inflight_per_tenant = 64;
+  /// Admission control: global budget, in *request bytes*, across all of a
+  /// rank's sessions. A zero-cost denial-of-service guard: one chatty tenant
+  /// cannot queue unbounded work even below its own in-flight cap.
+  std::size_t server_admission_bytes = 256 * 1024;
+  /// Up to this many consecutive read requests (in dispatch order) share one
+  /// kRead transaction and one BatchScope::execute. 1 = no coalescing (each
+  /// request runs as its own transaction -- the per-client eager baseline).
+  std::size_t server_read_coalesce = 32;
+  /// Deficit round-robin quantum in bytes: how much request volume each
+  /// backlogged session may dispatch per scheduler round. Smaller = finer
+  /// interleaving; the fairness bound is one max-size request per round.
+  std::size_t server_drr_quantum_bytes = 256;
+  /// Bounded retries for a scheduled write that aborts with kTxnConflict
+  /// before the scheduler reports the failure to the client.
+  std::size_t server_write_retries = 3;
 };
 
 class Transaction;
@@ -115,6 +149,7 @@ class Database {
                                                          const DatabaseConfig& cfg);
 
   Database(int nranks, const DatabaseConfig& cfg);
+  ~Database();  // out of line: TenantScheduler is incomplete here
 
   [[nodiscard]] const DatabaseConfig& config() const { return cfg_; }
   [[nodiscard]] block::BlockStore& blocks() { return blocks_; }
@@ -142,6 +177,11 @@ class Database {
     if (wals_.empty()) return nullptr;
     return wals_[static_cast<std::size_t>(self.id())].get();
   }
+
+  /// This rank's multi-tenant scheduler, or nullptr when cfg_.server is off.
+  /// Session submit() is thread-safe (clients live on their own threads);
+  /// everything else -- pump/run/shutdown -- is the rank thread's alone.
+  [[nodiscard]] server::TenantScheduler* scheduler(rma::Rank& self);
 
   /// Seal this rank's open WAL epoch (one group fsync), honouring any armed
   /// kill point. Pipeline-off and pipeline-ineligible commits call this after
@@ -233,6 +273,8 @@ class Database {
   std::vector<std::unique_ptr<CommitPipeline>> pipelines_;
   /// One WAL writer per rank (empty when cfg_.wal is off).
   std::vector<std::unique_ptr<wal::WalWriter>> wals_;
+  /// One multi-tenant scheduler per rank (empty when cfg_.server is off).
+  std::vector<std::unique_ptr<server::TenantScheduler>> schedulers_;
   /// Per-rank commit high-water mark observed at recovery (0 when fresh).
   std::vector<std::uint64_t> recovered_commits_;
   /// Per-rank "inside teardown drain" flags: the pipeline close hook must

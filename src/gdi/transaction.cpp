@@ -85,6 +85,7 @@ const cache::SharedBlockCache::Entry* Transaction::scache_lookup(
   if (e->is_edge == want_edge && !block::BlockStore::write_locked(observed_word) &&
       e->version == block::BlockStore::version_of(observed_word)) {
     c.scache_hits += 1;
+    sc->note_hit(primary);  // second touch: 2Q promotes probation -> resident
     return e;
   }
   // Version moved (a writer committed since the fill) or the block was

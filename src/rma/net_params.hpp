@@ -127,6 +127,17 @@ struct OpCounters {
   std::uint64_t wal_io_errors = 0;
   std::uint64_t faults_injected = 0;
 
+  // Multi-tenant front end (src/server/): requests the per-rank scheduler
+  // completed, requests that shared a coalesced BatchScope execute with at
+  // least one other client's request (coalesced/served = cross-client batching
+  // rate), submissions shed by admission control (bounded per-tenant in-flight
+  // or the global byte budget), and commit-pipeline epochs whose close
+  // completed at least one scheduler-deferred commit reply.
+  std::uint64_t sched_served = 0;
+  std::uint64_t sched_coalesced = 0;
+  std::uint64_t sched_admission_rejects = 0;
+  std::uint64_t sched_epochs = 0;
+
   OpCounters& operator+=(const OpCounters& o) {
     puts += o.puts;
     gets += o.gets;
@@ -159,6 +170,10 @@ struct OpCounters {
     wal_replayed_epochs += o.wal_replayed_epochs;
     wal_io_errors += o.wal_io_errors;
     faults_injected += o.faults_injected;
+    sched_served += o.sched_served;
+    sched_coalesced += o.sched_coalesced;
+    sched_admission_rejects += o.sched_admission_rejects;
+    sched_epochs += o.sched_epochs;
     return *this;
   }
 
@@ -206,6 +221,10 @@ struct OpCounters {
     d.wal_replayed_epochs = wal_replayed_epochs - since.wal_replayed_epochs;
     d.wal_io_errors = wal_io_errors - since.wal_io_errors;
     d.faults_injected = faults_injected - since.faults_injected;
+    d.sched_served = sched_served - since.sched_served;
+    d.sched_coalesced = sched_coalesced - since.sched_coalesced;
+    d.sched_admission_rejects = sched_admission_rejects - since.sched_admission_rejects;
+    d.sched_epochs = sched_epochs - since.sched_epochs;
     return d;
   }
 };

@@ -1,0 +1,252 @@
+// Multi-tenant front end: a per-rank transaction scheduler that merges
+// concurrent client *sessions* into shared batch executes and shared
+// group-commit epochs (the "multi-tenant front end" ROADMAP item).
+//
+// Threading contract (the whole design follows from it): an rma::Rank is
+// only ever touched by its own thread, so client sessions -- std::thread
+// backed in this repository, socket handlers later -- never execute database
+// work themselves. A session is a mutex-protected request queue plus a reply
+// mailbox; *all* GDI work happens on the rank's own thread inside
+// TenantScheduler::pump/run, which pops admitted requests and executes them
+// against the Database. Requests and replies are flat PODs with no pointers,
+// so the same session surface can sit behind a byte-stream transport without
+// changing the scheduler (the socket listener is a planned follow-up; it
+// would deserialize Request frames into Session::submit exactly like the
+// in-process clients do).
+//
+// What the scheduler adds over N clients each driving their own Transaction:
+//   * admission control -- a bounded per-tenant in-flight cap plus one global
+//     byte budget across all of a rank's sessions; submissions beyond either
+//     bound are shed immediately with a typed Status (kOverloaded), never
+//     queued, so one chatty tenant cannot grow server memory or starve the
+//     rank thread (kShutdown after shutdown() began);
+//   * fairness -- dispatch is deficit round-robin over the sessions: each
+//     visited session with runnable work earns a byte quantum and dispatches
+//     requests while its deficit covers them, so backlogged tenants share
+//     the rank's throughput to within one quantum regardless of who floods
+//     the queues first (per-session FIFO order is preserved);
+//   * read coalescing -- maximal runs of consecutive *read* requests in the
+//     dispatch order (across sessions) share one kRead Transaction and one
+//     BatchScope::execute: one DHT multi-lookup, overlapped lock CAS rounds,
+//     one overlapped holder fetch for the whole run, exactly the frontier
+//     grouping the OLTP driver applies within a single client -- here it
+//     composes *across tenants*. A doomed group falls back to per-request
+//     retries so one conflicted vertex cannot fail its group siblings;
+//   * shared commit epochs -- writes commit through the ordinary
+//     Transaction::commit, so eligible commits from *different tenants*
+//     enroll in the rank's one CommitPipeline flush epoch. An epoch-deferred
+//     commit's reply is completed by the pipeline's epoch observer (after
+//     the epoch's flush and WAL seal -- visible AND durable), which is where
+//     group commit turns into group *acknowledgement*.
+//
+// Open-loop timing: requests carry a simulated-clock arrival stamp. The
+// scheduler dispatches a request only once the rank's clock has reached its
+// arrival; when every open session has a queued request (or is closed) and
+// none has arrived yet, the rank idles forward to the earliest arrival
+// (conservative time advance -- never past a stamp an open session might
+// still submit, which keeps a fixed per-session stream deterministic
+// regardless of client thread timing). Reply latency is measured from the
+// *arrival* stamp, so queueing delay under load is part of p99, which is the
+// point of recording it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.hpp"
+#include "rma/runtime.hpp"
+#include "stats/stats.hpp"
+
+namespace gdi {
+class Database;
+}
+
+namespace gdi::server {
+
+/// Request vocabulary. Deliberately small and value-typed: each op names a
+/// whole transaction shape the rank thread knows how to run, which is what a
+/// wire protocol would carry (op + ids + payload), not handles or futures.
+enum class OpKind : std::uint8_t {
+  kGetProps = 0,  ///< read: properties of vertex `a` (ptype)
+  kReadPair,      ///< read: v0/v1 = property of `a` and of `b` in ONE txn
+  kUpdateProp,    ///< write: set property ptype of `a` to `value`
+  kIncrement,     ///< write: read-modify-write +1 on property ptype of `a`
+  kWritePair,     ///< write: set property of `a` AND `b` to `value`, one txn
+  kAddEdge,       ///< write: lightweight edge a -> b
+};
+
+[[nodiscard]] constexpr bool is_read(OpKind op) {
+  return op == OpKind::kGetProps || op == OpKind::kReadPair;
+}
+
+/// One client request. Flat POD -- memcpy-safe for a future byte-stream
+/// transport; `client_tag` is echoed in the reply so clients can match
+/// out-of-order acknowledgements (epoch-deferred writes complete later than
+/// reads dispatched after them).
+struct Request {
+  OpKind op = OpKind::kGetProps;
+  std::uint64_t a = 0;        ///< primary vertex app id
+  std::uint64_t b = 0;        ///< secondary app id (pair ops, edge target)
+  std::uint32_t ptype = 0;    ///< property type the op touches
+  std::int64_t value = 0;     ///< payload for write ops
+  double arrival_ns = 0;      ///< open-loop arrival stamp (simulated clock)
+  std::uint64_t client_tag = 0;
+};
+
+/// One completed request. `complete_ns` for an epoch-deferred write is the
+/// epoch's close time (post-flush, post-WAL-seal), not the commit call's.
+struct Reply {
+  std::uint64_t client_tag = 0;
+  Status status = Status::kOk;
+  std::int64_t v0 = 0;  ///< read result / committed value
+  std::int64_t v1 = 0;  ///< second read result (kReadPair)
+  double complete_ns = 0;
+};
+
+struct SchedulerConfig {
+  std::size_t inflight_per_tenant = 64;    ///< queued+executing cap per session
+  std::size_t admission_bytes = 256 * 1024;  ///< global queued-request budget
+  std::size_t read_coalesce = 32;  ///< max reads sharing one txn (1 = eager)
+  std::size_t drr_quantum_bytes = 256;  ///< DRR quantum per visited session
+  std::size_t write_retries = 3;   ///< kTxnConflict retries before reporting
+};
+
+class TenantScheduler;
+
+/// One tenant's connection. submit/close/take_replies are thread-safe (the
+/// client's thread calls them); everything else belongs to the rank thread.
+class Session {
+ public:
+  /// Admission-checked enqueue. kOk = queued; kOverloaded = shed (per-tenant
+  /// in-flight cap or the global byte budget); kShutdown = server draining
+  /// or session already closed. Shed requests are never queued.
+  Status submit(const Request& r);
+
+  /// No more submits; the scheduler drains what was admitted and run()
+  /// returns once every session is closed and drained.
+  void close();
+
+  /// Drain the replies completed so far (any thread; typically the client).
+  [[nodiscard]] std::vector<Reply> take_replies();
+
+  [[nodiscard]] int id() const { return id_; }
+  /// Requests this session shed at admission (kOverloaded + kShutdown).
+  [[nodiscard]] std::uint64_t rejected() const {
+    return rejects_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class TenantScheduler;
+  Session(TenantScheduler* owner, int id) : owner_(owner), id_(id) {}
+
+  TenantScheduler* owner_;
+  int id_;
+  mutable std::mutex mu_;
+  std::deque<Request> q_;        ///< admitted, not yet dispatched (FIFO)
+  std::vector<Reply> replies_;   ///< completed, not yet taken
+  std::size_t inflight_ = 0;     ///< queued + executing (reply decrements)
+  bool closed_ = false;
+  std::size_t deficit_ = 0;      ///< DRR deficit (rank thread only)
+  std::atomic<std::uint64_t> rejects_{0};
+};
+
+/// The per-rank scheduler. Owned by Database (one per rank, like the shared
+/// cache and the commit pipeline); only the owning rank's thread may call
+/// pump/run/shutdown/on_epoch_close or read the stats.
+class TenantScheduler {
+ public:
+  explicit TenantScheduler(SchedulerConfig cfg) : cfg_(cfg) {}
+  TenantScheduler(const TenantScheduler&) = delete;
+  TenantScheduler& operator=(const TenantScheduler&) = delete;
+
+  /// Open a tenant session. Call on the rank thread *before* handing the
+  /// pointer to a client thread (the session table is not resized
+  /// concurrently with pump). The scheduler owns the Session.
+  [[nodiscard]] Session* open_session();
+
+  /// One deficit-round-robin dispatch round: pop every runnable request the
+  /// deficits allow (arrival <= now, per-session FIFO), execute them --
+  /// consecutive reads coalesced up to cfg.read_coalesce -- and complete
+  /// replies (epoch-deferred writes complete later via on_epoch_close).
+  /// Returns true if any request was dispatched. Exposed for tests: the
+  /// fairness test calls pump directly and inspects served_of().
+  bool pump(const std::shared_ptr<Database>& db, rma::Rank& self);
+
+  /// Serve until every session is closed and drained, then fence the commit
+  /// pipeline so every reply is completed. Idles the simulated clock forward
+  /// to the earliest queued arrival when nothing has arrived yet; yields the
+  /// OS thread while an open session's queue is empty (conservative time
+  /// advance -- see the header comment).
+  void run(const std::shared_ptr<Database>& db, rma::Rank& self);
+
+  /// Stop admission (subsequent submits shed with kShutdown), drain every
+  /// already-admitted request, fence the pipeline. No committed transaction
+  /// is lost: everything admitted is executed and acknowledged.
+  void shutdown(const std::shared_ptr<Database>& db, rma::Rank& self);
+
+  /// CommitPipeline epoch observer (wired by Database): completes the
+  /// replies of commits that deferred into the epoch that just closed.
+  void on_epoch_close(rma::Rank& self);
+
+  // --- stats (rank thread; stable once run/shutdown returned) --------------
+  [[nodiscard]] std::size_t sessions() const { return sessions_.size(); }
+  /// Requests dispatched for session `sid` (the DRR fairness observable).
+  [[nodiscard]] std::uint64_t served_of(int sid) const {
+    return served_of_[static_cast<std::size_t>(sid)];
+  }
+  /// Per-tenant end-to-end latency (arrival -> reply completion).
+  [[nodiscard]] const stats::LatencyHist& tenant_latency(int sid) const {
+    return hists_[static_cast<std::size_t>(sid)];
+  }
+  /// All tenants merged (bucket-wise; exact up to bucket resolution).
+  [[nodiscard]] stats::LatencyHist merged_latency() const;
+
+  [[nodiscard]] const SchedulerConfig& config() const { return cfg_; }
+
+ private:
+  friend class Session;
+
+  struct Dispatch {
+    Session* s = nullptr;
+    Request r;
+  };
+  struct PendingReply {
+    Session* s = nullptr;
+    Reply rep;
+    double arrival_ns = 0;
+  };
+
+  /// Move accumulated client-side admission rejects into the rank counters.
+  void flush_rejects(rma::Rank& self);
+  void complete(Session* s, Reply rep, double arrival_ns, double now_ns,
+                rma::Rank& self);
+  void exec_reads(const std::shared_ptr<Database>& db, rma::Rank& self,
+                  Dispatch* group, std::size_t n);
+  void exec_read_single(const std::shared_ptr<Database>& db, rma::Rank& self,
+                        Dispatch& d);
+  void exec_write(const std::shared_ptr<Database>& db, rma::Rank& self,
+                  Dispatch& d);
+  /// Shared drain loop: serve until (queues empty && pending empty) and, when
+  /// `until_closed`, every session is closed too.
+  void drain_loop(const std::shared_ptr<Database>& db, rma::Rank& self,
+                  bool until_closed);
+
+  SchedulerConfig cfg_;
+  /// Deque for pointer stability; grown only by open_session (rank thread,
+  /// pre-run). Client threads reach their Session by pointer, never by index.
+  std::deque<std::unique_ptr<Session>> sessions_;
+  std::size_t rr_next_ = 0;  ///< rotating DRR start position
+  std::vector<PendingReply> pending_;  ///< epoch-deferred acknowledgements
+  std::vector<std::uint64_t> served_of_;
+  std::vector<stats::LatencyHist> hists_;
+  std::atomic<std::size_t> admitted_bytes_{0};  ///< global queued budget used
+  std::atomic<std::uint64_t> rejects_{0};  ///< shed count, pending counter flush
+  std::atomic<bool> accepting_{true};
+};
+
+}  // namespace gdi::server

@@ -154,6 +154,14 @@ std::string counters_line(const rma::OpCounters& c) {
       os << " replayed="
          << Table::fmt_si(static_cast<double>(c.wal_replayed_epochs), 1);
   }
+  if (c.sched_served > 0 || c.sched_admission_rejects > 0) {
+    os << " | sched served=" << Table::fmt_si(static_cast<double>(c.sched_served), 1)
+       << " coalesced=" << Table::fmt_si(static_cast<double>(c.sched_coalesced), 1)
+       << " rejects="
+       << Table::fmt_si(static_cast<double>(c.sched_admission_rejects), 1);
+    if (c.sched_epochs > 0)
+      os << " epochs=" << Table::fmt_si(static_cast<double>(c.sched_epochs), 1);
+  }
   if (c.wal_io_errors > 0)
     os << " | wal DROPPED epochs="
        << Table::fmt_si(static_cast<double>(c.wal_io_errors), 1);

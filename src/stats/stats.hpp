@@ -54,6 +54,37 @@ class Histogram {
   double sum_ = 0;
 };
 
+/// Latency recorder: a log-bucketed Histogram bundled with the percentile
+/// shorthand every latency report wants (p50/p99/p999). One binning policy
+/// for every latency surface in the tree -- the per-op OLTP histograms of
+/// Figure 5, the baseline RPC models, and the per-tenant histograms of the
+/// multi-tenant scheduler all record into this type, and merge() makes the
+/// per-thread / per-tenant instances aggregatable (bucket-wise addition, so
+/// merged percentiles are exact up to bucket resolution, not averaged).
+class LatencyHist {
+ public:
+  explicit LatencyHist(double lo_ns = 1e2, double hi_ns = 1e8,
+                       int buckets_per_decade = 8)
+      : h_(lo_ns, hi_ns, buckets_per_decade) {}
+
+  void add(double ns) { h_.add(ns); }
+  void merge(const LatencyHist& other) { h_.merge(other.h_); }
+
+  [[nodiscard]] std::uint64_t total() const { return h_.total(); }
+  [[nodiscard]] double mean_ns() const { return h_.mean_ns(); }
+  [[nodiscard]] double percentile_ns(double p) const { return h_.percentile_ns(p); }
+  [[nodiscard]] double p50_ns() const { return h_.percentile_ns(50); }
+  [[nodiscard]] double p99_ns() const { return h_.percentile_ns(99); }
+  [[nodiscard]] double p999_ns() const { return h_.percentile_ns(99.9); }
+  [[nodiscard]] std::string to_string(int max_rows = 64) const {
+    return h_.to_string(max_rows);
+  }
+  [[nodiscard]] const Histogram& hist() const { return h_; }
+
+ private:
+  Histogram h_;
+};
+
 /// One-line rendering of RMA op counters for bench output: blocking vs
 /// nonblocking op mix, batch statistics, and block-cache hit rate.
 [[nodiscard]] std::string counters_line(const rma::OpCounters& c);

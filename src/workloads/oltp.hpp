@@ -81,7 +81,9 @@ struct OltpResult {
   std::uint64_t not_found = 0;  ///< benign misses (racing deletes)
   double rank_time_ns = 0;      ///< max simulated time across ranks
   double throughput_qps = 0;    ///< global queries per (simulated) second
-  std::array<stats::Histogram, kNumOltpOps> latency;
+  /// Per-op-type latency distribution (stats::LatencyHist: one shared binning
+  /// policy with the scheduler's per-tenant histograms; mergeable).
+  std::array<stats::LatencyHist, kNumOltpOps> latency;
 
   [[nodiscard]] double failed_fraction() const {
     return attempted ? static_cast<double>(failed) / static_cast<double>(attempted) : 0;

@@ -1,0 +1,67 @@
+// Multi-tenant server workload driver: N concurrent client sessions per rank
+// drive an open-loop request stream through the rank's TenantScheduler
+// (src/server/scheduler.hpp), the server-side counterpart of run_oltp's
+// single-client loop.
+//
+// Each tenant is a real std::thread submitting a pre-generated stream of
+// typed requests whose arrival stamps are paced on the *simulated* clock
+// (open loop: arrivals do not wait for completions, so queueing delay shows
+// up in the latency tails). The rank's own thread runs the scheduler until
+// every session closed and drained. Because request streams are fixed per
+// session and the scheduler advances time conservatively, the measured
+// simulated-clock results are deterministic regardless of client thread
+// timing; only admission-shed counts could differ, and with the caps this
+// driver sets nothing is shed.
+//
+// The per-client *eager* baseline is the same driver against a database
+// configured with server_read_coalesce = 1 and commit_pipeline = false:
+// every request runs as its own transaction with its own completion fence,
+// which is exactly what N independent clients each owning a Transaction
+// would pay.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gdi/gdi.hpp"
+#include "stats/stats.hpp"
+
+namespace gdi::work {
+
+struct ServerOltpConfig {
+  int tenants = 8;                      ///< client sessions (threads) per rank
+  std::uint64_t requests_per_tenant = 500;
+  double interarrival_ns = 2000.0;      ///< open-loop spacing per tenant (sim ns)
+  double read_fraction = 0.8;           ///< kGetProps fraction (rest: kUpdateProp)
+  std::uint64_t existing_ids = 0;       ///< app ids 0..existing_ids-1 loaded
+  /// Read targets drawn from [0, hot_ids) when nonzero (the warm set the
+  /// shared cache monetizes); writes keep the full range. 0 = uniform.
+  std::uint64_t hot_ids = 0;
+  std::uint32_t ptype = 0;              ///< int64 property reads/writes touch
+  std::uint64_t seed = 1;
+};
+
+struct ServerOltpResult {
+  std::uint64_t attempted = 0;   ///< global requests submitted
+  std::uint64_t committed = 0;   ///< global kOk replies
+  std::uint64_t rejected = 0;    ///< global requests shed at admission
+  std::uint64_t failed = 0;      ///< global transaction-critical replies
+  std::uint64_t not_found = 0;   ///< benign misses
+  double rank_time_ns = 0;       ///< max simulated time across ranks
+  double throughput_qps = 0;     ///< global completed requests per sim second
+  /// This rank's per-tenant end-to-end latency (arrival -> acknowledgement;
+  /// same binning as every LatencyHist in the tree, mergeable).
+  std::vector<stats::LatencyHist> tenant_latency;
+  stats::LatencyHist all_latency;  ///< this rank's tenants merged
+  double avg_coalesce = 0;   ///< this rank: reads served in shared txns / served
+  std::uint64_t epochs = 0;  ///< this rank: commit epochs that carried replies
+};
+
+/// Drive cfg.tenants concurrent sessions against db's TenantScheduler on this
+/// rank. Requires DatabaseConfig::server (asserts otherwise). Collective:
+/// every rank calls; counters are globally reduced, histograms stay local.
+ServerOltpResult run_server_oltp(const std::shared_ptr<Database>& db,
+                                 rma::Rank& self, const ServerOltpConfig& cfg);
+
+}  // namespace gdi::work

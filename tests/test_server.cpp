@@ -1,0 +1,512 @@
+// Tests for the multi-tenant front end (src/server/): the per-rank
+// TenantScheduler that merges client sessions into shared batch executes and
+// shared commit epochs.
+//
+// Invariants pinned here:
+//  * admission control sheds -- never queues -- submissions beyond the
+//    per-tenant in-flight cap (kOverloaded) and the global byte budget that
+//    spans every session on the rank; shutdown() sheds with kShutdown;
+//  * deficit round-robin keeps backlogged tenants' service within +-10% of
+//    each other (it is exact at round boundaries; the bound is one quantum);
+//  * shutdown() drains every admitted request: all replies arrive, committed
+//    values are visible afterwards, nothing is lost;
+//  * an eager scheduler (read_coalesce = 1, pipeline off) leaves the database
+//    byte-identical to directly executing the same transaction shapes, with
+//    identical op counters and identical reply values (the scheduler adds
+//    scheduling, not semantics);
+//  * coalesced reads reach the same final state and the same reply values as
+//    the eager run, in less simulated time with fewer completion fences.
+//
+// NOTE: inside Runtime::run all assertions must be EXPECT_* (non-fatal);
+// a fatal ASSERT would return from one rank's lambda and deadlock the team.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "gdi/gdi.hpp"
+#include "server/scheduler.hpp"
+#include "workloads/server_oltp.hpp"
+
+namespace gdi {
+namespace {
+
+using server::OpKind;
+using server::Reply;
+using server::Request;
+using server::Session;
+using server::TenantScheduler;
+
+DatabaseConfig server_cfg() {
+  DatabaseConfig c;
+  c.block.block_size = 512;
+  c.block.blocks_per_rank = 8192;
+  c.dht.entries_per_rank = 4096;
+  c.dht.buckets_per_rank = 512;
+  c.server = true;
+  return c;
+}
+
+/// Load app ids 0..n-1, each with int64 property `val` = `init`, every rank
+/// creating the ids it owns. Collective (ends in a barrier).
+std::uint32_t load_vertices(const std::shared_ptr<Database>& db,
+                            rma::Rank& self, std::uint64_t n,
+                            std::int64_t init) {
+  PropertyType pd{.name = "val", .dtype = Datatype::kInt64};
+  const std::uint32_t pt = *db->create_ptype(self, pd);
+  for (std::uint64_t id = 0; id < n; ++id) {
+    if (db->owner_rank(id) != static_cast<std::uint32_t>(self.id())) continue;
+    Transaction txn(db, self, TxnMode::kWrite);
+    auto vh = txn.create_vertex(id);
+    EXPECT_TRUE(vh.ok());
+    if (vh.ok()) EXPECT_EQ(txn.update_property(*vh, pt, PropValue{init}), Status::kOk);
+    EXPECT_EQ(txn.commit(), Status::kOk);
+  }
+  self.barrier();
+  return pt;
+}
+
+Request make_req(OpKind op, std::uint64_t a, std::uint32_t pt,
+                 std::int64_t value = 0, std::uint64_t b = 0,
+                 std::uint64_t tag = 0) {
+  Request r;
+  r.op = op;
+  r.a = a;
+  r.b = b;
+  r.ptype = pt;
+  r.value = value;
+  r.arrival_ns = 0;
+  r.client_tag = tag;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(ServerAdmission, InflightCapShedsWithOverloaded) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto cfg = server_cfg();
+    cfg.server_inflight_per_tenant = 4;
+    auto db = Database::create(self, cfg);
+    const std::uint32_t pt = load_vertices(db, self, 8, 0);
+
+    TenantScheduler* ts = db->scheduler(self);
+    EXPECT_NE(ts, nullptr);
+    Session* s = ts->open_session();
+    const auto c0 = self.counters();
+    int okc = 0;
+    int over = 0;
+    for (int k = 0; k < 20; ++k) {
+      const Status st = s->submit(make_req(OpKind::kGetProps, 1, pt));
+      if (st == Status::kOk)
+        ++okc;
+      else if (st == Status::kOverloaded)
+        ++over;
+    }
+    EXPECT_EQ(okc, 4);    // exactly the in-flight cap was admitted
+    EXPECT_EQ(over, 16);  // the rest shed immediately, never queued
+    EXPECT_EQ(s->rejected(), 16u);
+
+    s->close();
+    ts->run(db, self);
+    const auto replies = s->take_replies();
+    EXPECT_EQ(replies.size(), 4u);
+    for (const auto& rep : replies) EXPECT_EQ(rep.status, Status::kOk);
+    const auto d = self.counters().delta(c0);
+    EXPECT_EQ(d.sched_served, 4u);
+    EXPECT_EQ(d.sched_admission_rejects, 16u);
+  });
+}
+
+TEST(ServerAdmission, GlobalByteBudgetSpansSessions) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto cfg = server_cfg();
+    cfg.server_inflight_per_tenant = 100;
+    cfg.server_admission_bytes = 3 * sizeof(Request);  // three queued, total
+    auto db = Database::create(self, cfg);
+    const std::uint32_t pt = load_vertices(db, self, 8, 0);
+
+    TenantScheduler* ts = db->scheduler(self);
+    Session* s1 = ts->open_session();
+    Session* s2 = ts->open_session();
+    EXPECT_EQ(s1->submit(make_req(OpKind::kGetProps, 1, pt)), Status::kOk);
+    EXPECT_EQ(s1->submit(make_req(OpKind::kGetProps, 2, pt)), Status::kOk);
+    EXPECT_EQ(s2->submit(make_req(OpKind::kGetProps, 3, pt)), Status::kOk);
+    // The budget is global: session 2 is nowhere near ITS in-flight cap, but
+    // the rank-wide byte budget is spent.
+    EXPECT_EQ(s2->submit(make_req(OpKind::kGetProps, 4, pt)), Status::kOverloaded);
+    EXPECT_EQ(s1->submit(make_req(OpKind::kGetProps, 5, pt)), Status::kOverloaded);
+
+    s1->close();
+    s2->close();
+    ts->run(db, self);
+    EXPECT_EQ(s1->take_replies().size(), 2u);
+    EXPECT_EQ(s2->take_replies().size(), 1u);
+
+    // Dispatch released the budget: a fresh session can admit again.
+    Session* s3 = ts->open_session();
+    EXPECT_EQ(s3->submit(make_req(OpKind::kGetProps, 1, pt)), Status::kOk);
+    s3->close();
+    ts->run(db, self);
+    EXPECT_EQ(s3->take_replies().size(), 1u);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fairness
+// ---------------------------------------------------------------------------
+
+TEST(ServerFairness, DeficitRoundRobinWithinTenPercent) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto cfg = server_cfg();
+    cfg.server_inflight_per_tenant = 64;
+    cfg.server_admission_bytes = 1u << 20;
+    auto db = Database::create(self, cfg);
+    constexpr std::uint64_t kN = 64;
+    constexpr int kTenants = 4;
+    constexpr std::uint64_t kPerTenant = 64;
+    const std::uint32_t pt = load_vertices(db, self, kN, 0);
+
+    TenantScheduler* ts = db->scheduler(self);
+    std::vector<Session*> ss;
+    for (int t = 0; t < kTenants; ++t) ss.push_back(ts->open_session());
+    // Every tenant floods its full backlog up front (all arrivals at 0), in
+    // submission order -- without DRR, whoever queued first would be served
+    // to completion first.
+    for (std::uint64_t k = 0; k < kPerTenant; ++k)
+      for (int t = 0; t < kTenants; ++t)
+        EXPECT_EQ(ss[static_cast<std::size_t>(t)]->submit(make_req(
+                      OpKind::kUpdateProp,
+                      (static_cast<std::uint64_t>(t) * 16 + k % 16) % kN, pt,
+                      static_cast<std::int64_t>(k))),
+                  Status::kOk);
+
+    // Pump until roughly half the total backlog is served, then audit the
+    // split mid-stream (at the end everyone trivially has 64).
+    const std::uint64_t target = kTenants * kPerTenant / 2;
+    std::uint64_t total = 0;
+    int guard = 0;
+    while (total < target && guard++ < 10000) {
+      ts->pump(db, self);
+      total = 0;
+      for (int t = 0; t < kTenants; ++t) total += ts->served_of(t);
+    }
+    EXPECT_GE(total, target);
+    const double mean = static_cast<double>(total) / kTenants;
+    for (int t = 0; t < kTenants; ++t) {
+      const double got = static_cast<double>(ts->served_of(t));
+      EXPECT_GE(got, 0.9 * mean) << "tenant " << t << " starved";
+      EXPECT_LE(got, 1.1 * mean) << "tenant " << t << " over-served";
+    }
+
+    for (auto* s : ss) s->close();
+    ts->run(db, self);
+    for (auto* s : ss) {
+      const auto replies = s->take_replies();
+      EXPECT_EQ(replies.size(), kPerTenant);
+      for (const auto& rep : replies) EXPECT_EQ(rep.status, Status::kOk);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Drain on shutdown
+// ---------------------------------------------------------------------------
+
+TEST(ServerDrain, ShutdownAcksEveryAdmittedCommit) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto cfg = server_cfg();
+    cfg.commit_pipeline = true;  // exercise epoch-deferred acknowledgements
+    cfg.commit_epoch_txns = 8;
+    cfg.server_inflight_per_tenant = 64;
+    auto db = Database::create(self, cfg);
+    constexpr std::uint64_t kN = 64;
+    constexpr int kTenants = 2;
+    constexpr std::uint64_t kPerTenant = 20;
+    const std::uint32_t pt = load_vertices(db, self, kN, 0);
+
+    TenantScheduler* ts = db->scheduler(self);
+    const auto c0 = self.counters();
+    std::vector<Session*> ss;
+    for (int t = 0; t < kTenants; ++t) ss.push_back(ts->open_session());
+    for (int t = 0; t < kTenants; ++t)
+      for (std::uint64_t k = 0; k < kPerTenant; ++k)
+        EXPECT_EQ(
+            ss[static_cast<std::size_t>(t)]->submit(make_req(
+                OpKind::kUpdateProp, static_cast<std::uint64_t>(t) * kPerTenant + k,
+                pt, 1000 + static_cast<std::int64_t>(k))),
+            Status::kOk);
+
+    // Sessions deliberately NOT closed: shutdown() must drain what was
+    // admitted anyway, and later submissions must shed with kShutdown.
+    ts->shutdown(db, self);
+    for (int t = 0; t < kTenants; ++t) {
+      const auto replies = ss[static_cast<std::size_t>(t)]->take_replies();
+      EXPECT_EQ(replies.size(), kPerTenant);
+      for (const auto& rep : replies) {
+        EXPECT_EQ(rep.status, Status::kOk);
+        EXPECT_GE(rep.complete_ns, 0.0);
+      }
+    }
+    const auto d = self.counters().delta(c0);
+    EXPECT_EQ(d.sched_served, kTenants * kPerTenant);
+    EXPECT_GE(d.sched_epochs, 1u);  // at least one ack rode an epoch close
+
+    // Every acknowledged commit is visible afterwards.
+    Transaction txn(db, self, TxnMode::kRead);
+    for (int t = 0; t < kTenants; ++t)
+      for (std::uint64_t k = 0; k < kPerTenant; ++k) {
+        auto vh = txn.find_vertex(static_cast<std::uint64_t>(t) * kPerTenant + k);
+        EXPECT_TRUE(vh.ok());
+        if (!vh.ok()) continue;
+        auto props = txn.get_properties(*vh, pt);
+        EXPECT_TRUE(props.ok());
+        if (props.ok() && !props->empty())
+          EXPECT_EQ(std::get<std::int64_t>(props->front()),
+                    1000 + static_cast<std::int64_t>(k));
+      }
+    EXPECT_EQ(txn.commit(), Status::kOk);
+
+    EXPECT_EQ(ss[0]->submit(make_req(OpKind::kGetProps, 0, pt)),
+              Status::kShutdown);
+    EXPECT_EQ(ss[0]->rejected(), 1u);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Parity: the scheduler adds scheduling, not semantics
+// ---------------------------------------------------------------------------
+
+/// Deterministic mixed stream over app ids [0, n): updates, single reads,
+/// pair reads.
+std::vector<Request> parity_stream(std::uint64_t n, std::uint32_t pt,
+                                   std::size_t count) {
+  std::vector<Request> out;
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto kk = static_cast<std::uint64_t>(k);
+    Request r;
+    switch (k % 3) {
+      case 0:
+        r = make_req(OpKind::kUpdateProp, kk % n, pt,
+                     static_cast<std::int64_t>(100 + k), 0, kk);
+        break;
+      case 1:
+        r = make_req(OpKind::kGetProps, (kk * 7) % n, pt, 0, 0, kk);
+        break;
+      default:
+        r = make_req(OpKind::kReadPair, kk % n, pt, 0, (kk + 5) % n, kk);
+        break;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+/// Run `reqs` through db's scheduler on one session and return the replies
+/// in client_tag order.
+std::vector<Reply> run_via_scheduler(const std::shared_ptr<Database>& db,
+                                     rma::Rank& self,
+                                     const std::vector<Request>& reqs) {
+  TenantScheduler* ts = db->scheduler(self);
+  Session* s = ts->open_session();
+  for (const auto& r : reqs) EXPECT_EQ(s->submit(r), Status::kOk);
+  s->close();
+  ts->run(db, self);
+  auto replies = s->take_replies();
+  std::sort(replies.begin(), replies.end(),
+            [](const Reply& a, const Reply& b) { return a.client_tag < b.client_tag; });
+  return replies;
+}
+
+/// Execute `reqs` directly, mirroring the scheduler's per-request transaction
+/// shapes (batch-find single reads, find+update writes) -- the oracle the
+/// eager scheduler must be indistinguishable from.
+std::vector<Reply> run_direct(const std::shared_ptr<Database>& db,
+                              rma::Rank& self,
+                              const std::vector<Request>& reqs) {
+  std::vector<Reply> out;
+  for (const auto& r : reqs) {
+    Reply rep;
+    rep.client_tag = r.client_tag;
+    if (r.op == OpKind::kGetProps || r.op == OpKind::kReadPair) {
+      Transaction txn(db, self, TxnMode::kRead);
+      BatchScope scope = txn.batch();
+      Future<VertexHandle> fa = scope.find(r.a);
+      Future<VertexHandle> fb;
+      if (r.op == OpKind::kReadPair) fb = scope.find(r.b);
+      EXPECT_FALSE(is_transaction_critical(scope.execute()));
+      if (fa.ok()) {
+        auto pa = txn.get_properties(*fa, r.ptype);
+        if (pa.ok() && !pa->empty())
+          rep.v0 = std::get<std::int64_t>(pa->front());
+      }
+      if (r.op == OpKind::kReadPair && fb.ok()) {
+        auto pb = txn.get_properties(*fb, r.ptype);
+        if (pb.ok() && !pb->empty())
+          rep.v1 = std::get<std::int64_t>(pb->front());
+      }
+      rep.status = txn.commit();
+    } else {
+      Transaction txn(db, self, TxnMode::kWrite);
+      auto vh = txn.find_vertex(r.a);
+      EXPECT_TRUE(vh.ok());
+      if (vh.ok()) {
+        EXPECT_EQ(txn.update_property(*vh, r.ptype, PropValue{r.value}),
+                  Status::kOk);
+        rep.status = txn.commit();
+        rep.v0 = r.value;
+      }
+    }
+    out.push_back(rep);
+  }
+  return out;
+}
+
+TEST(ServerParity, EagerSchedulerMatchesDirectExecution) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto cfg = server_cfg();
+    cfg.server_read_coalesce = 1;  // eager: one txn per request
+    cfg.server_inflight_per_tenant = 256;
+    cfg.server_admission_bytes = 1u << 20;
+    constexpr std::uint64_t kN = 32;
+    auto db_s = Database::create(self, cfg);
+    auto db_o = Database::create(self, cfg);
+    const std::uint32_t pt_s = load_vertices(db_s, self, kN, 7);
+    const std::uint32_t pt_o = load_vertices(db_o, self, kN, 7);
+    EXPECT_EQ(pt_s, pt_o);
+
+    const auto reqs = parity_stream(kN, pt_s, 60);
+    const auto c0 = self.counters();
+    const auto got = run_via_scheduler(db_s, self, reqs);
+    const auto mid = self.counters();
+    const auto want = run_direct(db_o, self, reqs);
+    const auto ds = mid.delta(c0);
+    const auto dd = self.counters().delta(mid);
+
+    // Same replies, same remote traffic, byte-identical final state: the
+    // eager scheduler is pure plumbing around the same transactions.
+    EXPECT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < std::min(got.size(), want.size()); ++i) {
+      EXPECT_EQ(got[i].client_tag, want[i].client_tag);
+      EXPECT_EQ(got[i].status, want[i].status) << "tag " << i;
+      EXPECT_EQ(got[i].v0, want[i].v0) << "tag " << i;
+      EXPECT_EQ(got[i].v1, want[i].v1) << "tag " << i;
+    }
+    EXPECT_EQ(ds.gets, dd.gets);
+    EXPECT_EQ(ds.puts, dd.puts);
+    EXPECT_EQ(ds.atomics, dd.atomics);
+    EXPECT_EQ(ds.sched_coalesced, 0u);  // eager mode never shares a txn
+    EXPECT_EQ(db_s->serialize_rank(0), db_o->serialize_rank(0));
+  });
+}
+
+TEST(ServerParity, CoalescedRunMatchesEagerStateWithFewerFences) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto base = server_cfg();
+    base.server_inflight_per_tenant = 256;
+    base.server_admission_bytes = 1u << 20;
+    base.server_drr_quantum_bytes = 1u << 20;  // whole backlog per round
+    auto cfg_eager = base;
+    cfg_eager.server_read_coalesce = 1;
+    auto cfg_coal = base;
+    cfg_coal.server_read_coalesce = 32;
+    constexpr std::uint64_t kN = 32;
+    auto db_e = Database::create(self, cfg_eager);
+    auto db_c = Database::create(self, cfg_coal);
+    const std::uint32_t pt = load_vertices(db_e, self, kN, 3);
+    const std::uint32_t pt2 = load_vertices(db_c, self, kN, 3);
+    EXPECT_EQ(pt, pt2);
+
+    // 4 x (16 reads then 1 write): the read runs coalesce, the writes pin the
+    // per-session order and make the final state non-trivial.
+    std::vector<Request> reqs;
+    std::uint64_t tag = 0;
+    for (int blk = 0; blk < 4; ++blk) {
+      for (int k = 0; k < 16; ++k)
+        reqs.push_back(make_req(OpKind::kGetProps,
+                                static_cast<std::uint64_t>(k * 2) % kN, pt, 0, 0,
+                                tag++));
+      reqs.push_back(make_req(OpKind::kUpdateProp,
+                              static_cast<std::uint64_t>(blk), pt,
+                              500 + blk, 0, tag++));
+    }
+
+    const auto c0 = self.counters();
+    const auto eager = run_via_scheduler(db_e, self, reqs);
+    const auto c1 = self.counters();
+    const auto coal = run_via_scheduler(db_c, self, reqs);
+    const auto de = c1.delta(c0);
+    const auto dc = self.counters().delta(c1);
+
+    EXPECT_EQ(eager.size(), coal.size());
+    for (std::size_t i = 0; i < std::min(eager.size(), coal.size()); ++i) {
+      EXPECT_EQ(eager[i].status, coal[i].status) << "tag " << i;
+      EXPECT_EQ(eager[i].v0, coal[i].v0) << "tag " << i;
+    }
+    EXPECT_EQ(db_e->serialize_rank(0), db_c->serialize_rank(0));
+    EXPECT_EQ(de.sched_coalesced, 0u);
+    EXPECT_EQ(dc.sched_coalesced, 64u);  // every read rode a shared txn
+    // The shared transactions really batched: each 16-read group issues its
+    // find frontier through the nonblocking engine, where the eager run's
+    // single-find scopes take the blocking path. (Unit tests run the
+    // zero-cost NetParams, so the fence/latency win itself is asserted by
+    // bench_pr7_server on the xc50 model, not here.)
+    EXPECT_GT(dc.nb_gets, de.nb_gets);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Workload driver smoke (multi-rank)
+// ---------------------------------------------------------------------------
+
+TEST(ServerOltpWorkload, OpenLoopDriverCompletesEverything) {
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    auto cfg = server_cfg();
+    cfg.commit_pipeline = true;
+    cfg.commit_epoch_txns = 8;
+    cfg.shared_cache = true;
+    cfg.server_inflight_per_tenant = 512;
+    cfg.server_admission_bytes = 1u << 20;
+    auto db = Database::create(self, cfg);
+    constexpr std::uint64_t kN = 128;
+    const std::uint32_t pt = load_vertices(db, self, kN, 1);
+
+    work::ServerOltpConfig wcfg;
+    wcfg.tenants = 4;
+    wcfg.requests_per_tenant = 100;
+    wcfg.interarrival_ns = 1000.0;
+    wcfg.read_fraction = 0.8;
+    wcfg.existing_ids = kN;
+    wcfg.hot_ids = 16;
+    wcfg.ptype = pt;
+    const auto res = work::run_server_oltp(db, self, wcfg);
+
+    EXPECT_EQ(res.attempted, 2u * 4u * 100u);
+    EXPECT_EQ(res.committed + res.failed + res.not_found, res.attempted);
+    EXPECT_EQ(res.rejected, 0u);  // caps sized to hold the whole stream
+    EXPECT_EQ(res.not_found, 0u);
+    EXPECT_GT(res.throughput_qps, 0.0);
+    EXPECT_EQ(res.tenant_latency.size(), 4u);
+    EXPECT_EQ(res.all_latency.total(), 4u * 100u);  // local tenants merged
+    EXPECT_GT(res.all_latency.p99_ns(), 0.0);
+    // (No coalescing assertion: under the zero-cost test NetParams service
+    // outruns the open-loop arrivals, so no backlog forms and every dispatch
+    // is a singleton -- exactly the conservative-advance contract. The bench
+    // asserts coalescing under the xc50 model, where queues do build.)
+    EXPECT_GE(res.epochs, 1u);  // some commit acks rode shared epoch closes
+  });
+}
+
+}  // namespace
+}  // namespace gdi

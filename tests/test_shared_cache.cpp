@@ -21,6 +21,7 @@
 
 #include <atomic>
 
+#include "cache/shared_cache.hpp"
 #include "gdi/gdi.hpp"
 
 namespace gdi {
@@ -549,6 +550,156 @@ TEST(UpgradeMany, BatchScopeReadThenWriteReTouchCommits) {
     }
     self.barrier();
   });
+}
+
+// ---------------------------------------------------------------------------
+// 2Q admission (DatabaseConfig::scache_policy = k2Q): scan resistance
+// ---------------------------------------------------------------------------
+
+namespace q2 {
+
+cache::SharedCacheConfig q2_cfg(cache::ScachePolicy policy) {
+  cache::SharedCacheConfig cfg;
+  cfg.max_bytes = 64 * 100;  // 100 uniform 64-byte holders
+  cfg.policy = policy;
+  cfg.probation_fraction = 0.25;
+  return cfg;
+}
+
+constexpr std::size_t kHolder = 64;
+const std::vector<std::byte> kBuf(kHolder);
+
+DPtr hot_key(std::size_t i) { return DPtr(0, 0x1000 + kHolder * i); }
+DPtr scan_key(std::size_t k) { return DPtr(1, kHolder * (k + 1)); }
+
+}  // namespace q2
+
+TEST(ScachePolicy2Q, TwiceTouchedHotSetSurvivesScanFlood) {
+  using namespace q2;
+  cache::SharedBlockCache c(q2_cfg(cache::ScachePolicy::k2Q));
+  // Hot set: filled once (probation) then validated-hit once (promoted).
+  constexpr std::size_t kHot = 8;
+  for (std::size_t i = 0; i < kHot; ++i) c.insert(hot_key(i), kBuf, 1, false);
+  for (std::size_t i = 0; i < kHot; ++i) {
+    EXPECT_TRUE(c.find(hot_key(i))->probation);
+    c.note_hit(hot_key(i));
+    EXPECT_FALSE(c.find(hot_key(i))->probation);
+  }
+  // Scan: 5x the whole byte budget, every holder referenced exactly once.
+  for (std::size_t k = 0; k < 500; ++k) c.insert(scan_key(k), kBuf, 1, false);
+  // One-touch traffic churned only the probationary share; the resident hot
+  // set is untouched and the budget held.
+  for (std::size_t i = 0; i < kHot; ++i)
+    EXPECT_NE(c.find(hot_key(i)), nullptr) << "hot holder " << i << " evicted";
+  EXPECT_LE(c.bytes(), c.max_bytes());
+  // Equilibrium under the flood: every byte that is not the promoted hot set
+  // is probationary scan traffic -- the residents were never drafted to pay.
+  EXPECT_EQ(c.probation_bytes(), c.bytes() - kHot * kHolder);
+}
+
+TEST(ScachePolicy2Q, FifoAdmissionIsScanVulnerableByConstruction) {
+  using namespace q2;
+  // The exact same reference string under kFifo: the scan washes the hot set
+  // out -- this is the anti-baseline that motivates k2Q (and pins that the
+  // default policy still behaves exactly as before).
+  cache::SharedBlockCache c(q2_cfg(cache::ScachePolicy::kFifo));
+  constexpr std::size_t kHot = 8;
+  for (std::size_t i = 0; i < kHot; ++i) c.insert(hot_key(i), kBuf, 1, false);
+  for (std::size_t i = 0; i < kHot; ++i) {
+    EXPECT_FALSE(c.find(hot_key(i))->probation);  // kFifo: nothing probates
+    c.note_hit(hot_key(i));                       // and hits are not feedback
+  }
+  for (std::size_t k = 0; k < 500; ++k) c.insert(scan_key(k), kBuf, 1, false);
+  for (std::size_t i = 0; i < kHot; ++i)
+    EXPECT_EQ(c.find(hot_key(i)), nullptr) << "FIFO should have evicted " << i;
+  EXPECT_LE(c.bytes(), c.max_bytes());
+  EXPECT_EQ(c.probation_bytes(), 0u);
+}
+
+TEST(ScachePolicy2Q, RefreshOfLiveEntryCountsAsSecondTouch) {
+  using namespace q2;
+  cache::SharedBlockCache c(q2_cfg(cache::ScachePolicy::k2Q));
+  c.insert(hot_key(0), kBuf, 1, false);
+  EXPECT_TRUE(c.find(hot_key(0))->probation);
+  // A re-fill of a live key (e.g. revalidation after a version bump) is a
+  // second reference: it promotes, same as a validated hit.
+  c.insert(hot_key(0), kBuf, 2, false);
+  EXPECT_FALSE(c.find(hot_key(0))->probation);
+  EXPECT_EQ(c.find(hot_key(0))->version, 2u);
+  EXPECT_EQ(c.bytes(), kHolder);
+  EXPECT_EQ(c.probation_bytes(), 0u);
+}
+
+TEST(ScachePolicy2Q, NoteHitNeverMovesOrEvictsEntries) {
+  using namespace q2;
+  // note_hit is called while the transaction may still hold the Entry
+  // pointer it validated (scache_lookup returns it), so promotion must not
+  // insert, evict, or rehash -- pointer stability is part of the contract.
+  cache::SharedBlockCache c(q2_cfg(cache::ScachePolicy::k2Q));
+  for (std::size_t i = 0; i < 32; ++i) c.insert(hot_key(i), kBuf, 1, false);
+  const auto* before = c.find(hot_key(7));
+  const std::size_t bytes_before = c.bytes();
+  c.note_hit(hot_key(7));
+  EXPECT_EQ(c.find(hot_key(7)), before);
+  EXPECT_EQ(c.bytes(), bytes_before);
+  EXPECT_EQ(c.size(), 32u);
+  c.note_hit(hot_key(7));  // idempotent on a resident entry
+  EXPECT_EQ(c.find(hot_key(7)), before);
+  EXPECT_FALSE(c.find(hot_key(7))->probation);
+}
+
+TEST(ScachePolicy2Q, EndToEndHotReadsSurviveScanWith2Q) {
+  // Through the full stack: hot vertices read twice (promoted), then a scan
+  // over a large cold range, then the hot set again -- under k2Q the second
+  // hot pass still hits the shared cache; the translation memo and results
+  // are identical either way.
+  for (const auto policy : {cache::ScachePolicy::kFifo, cache::ScachePolicy::k2Q}) {
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      DatabaseConfig cfg = make_cfg(true, /*bytes=*/512 * 24);  // ~24 holders
+      cfg.scache_policy = policy;
+      auto db = Database::create(self, cfg);
+      PropertyType pd{.name = "v", .dtype = Datatype::kInt64};
+      const std::uint32_t pt = *db->create_ptype(self, pd);
+      constexpr std::uint64_t kN = 256;
+      for (std::uint64_t i = 0; i < kN; ++i) {
+        Transaction w(db, self, TxnMode::kWrite);
+        auto vh = w.create_vertex(i);
+        EXPECT_TRUE(vh.ok());
+        w.update_property(*vh, pt, PropValue{static_cast<std::int64_t>(i)});
+        EXPECT_EQ(w.commit(), Status::kOk);
+      }
+      const auto hot_pass = [&] {
+        Transaction r(db, self, TxnMode::kRead);
+        for (std::uint64_t i = 0; i < 8; ++i) {
+          auto vh = r.find_vertex(i);
+          EXPECT_TRUE(vh.ok());
+          auto p = r.get_properties(*vh, pt);
+          EXPECT_TRUE(p.ok());
+          EXPECT_EQ(std::get<std::int64_t>((*p)[0]), static_cast<std::int64_t>(i));
+        }
+        EXPECT_EQ(r.commit(), Status::kOk);
+      };
+      hot_pass();  // fill
+      hot_pass();  // second touch: k2Q promotes
+      {
+        Transaction scan(db, self, TxnMode::kRead);
+        for (std::uint64_t i = 8; i < kN; ++i) {
+          auto vh = scan.find_vertex(i);
+          EXPECT_TRUE(vh.ok());
+        }
+        EXPECT_EQ(scan.commit(), Status::kOk);
+      }
+      const auto c0 = self.counters();
+      hot_pass();  // after the scan: does the hot set still hit?
+      const auto d = self.counters().delta(c0);
+      if (policy == cache::ScachePolicy::k2Q) {
+        EXPECT_GE(d.scache_hits, 8u) << "2Q hot set should survive the scan";
+      }
+      // (kFifo makes no survival promise -- the scan legitimately evicts.)
+      EXPECT_EQ(d.scache_invalidations, 0u);
+    });
+  }
 }
 
 }  // namespace

@@ -95,6 +95,19 @@ def pr6_metrics(parsed):
     }
 
 
+def pr7_metrics(parsed):
+    """Tracked metrics of bench_pr7_server (higher is better): absolute
+    scheduler-mode throughput, the scheduler/eager ratio at 8 tenants
+    (catches the coalescing or epoch-sharing win eroding even if both modes
+    drift together), and the 2Q hot-set hit rate under HTAP scan
+    interference (the scan-resistance win of the new admission policy)."""
+    return {
+        "sched_qps": parsed["server"]["sched_qps"],
+        "sched_speedup": parsed["server"]["speedup"],
+        "q2_hot_hit_rate": parsed["htap"]["q2_hot_hit_rate"],
+    }
+
+
 # Benches with a "smoke_key" share one baseline file: their smoke metrics
 # live under baseline["smoke"][smoke_key] as a flat metric->value dict.
 BENCHES = [
@@ -133,6 +146,12 @@ BENCHES = [
         "baseline": "BENCH_pr6.json",
         "smoke_key": "wal",
         "metrics": pr6_metrics,
+    },
+    {
+        "bin": "bench_pr7_server",
+        "baseline": "BENCH_pr7.json",
+        "smoke_key": "server",
+        "metrics": pr7_metrics,
     },
 ]
 
