@@ -199,7 +199,9 @@ Result<BulkLoadStats> BulkLoader::load(const std::vector<BulkVertex>& vertices,
   // write-side analogue of the resolver's lookup_many below): all entry
   // fields ride one overlapped flush, the bucket-head CAS rounds overlap
   // across the whole set, and the DHT grows shards on demand instead of
-  // failing the load when a segment fills.
+  // failing the load when a segment fills. The batch's partition placement
+  // count rides the same flush (see DistributedHashTable::insert_many), so
+  // the resolver's lookup_many below finds each key in its home bucket.
   {
     std::vector<std::uint64_t> keys, vals;
     keys.reserve(pending.size());

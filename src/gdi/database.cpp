@@ -215,6 +215,13 @@ Status Database::checkpoint(rma::Rank& self) {
   wal::WalWriter* w = wal(self);
   if (w == nullptr) return Status::kInvalidArgument;
   if (CommitPipeline* cp = commit_pipeline(self)) cp->sync(self);
+  // Opt-in incremental id-index compaction: migrate up to `budget` entries
+  // toward their current home shards before the snapshot barrier, so the
+  // checkpoint image reflects the (partially) compacted table and steady
+  // checkpointing converges the partition without a dedicated maintenance
+  // pass. One-sided and concurrent-safe; see DistributedHashTable::compact.
+  if (cfg_.wal_checkpoint_compact_budget > 0)
+    (void)dht_.compact(self, cfg_.wal_checkpoint_compact_budget);
   w->seal(self);
   // Every rank's tail is durable and its writer quiescent before rank 0
   // snapshots all sections (the barrier also publishes the writers' hw

@@ -97,6 +97,15 @@ struct DatabaseConfig {
   /// so it is only safe for single-driver streams; concurrent multi-rank
   /// writers should call the collective checkpoint() instead.
   std::uint64_t wal_checkpoint_epochs = 0;
+  /// Incremental DHT compaction from checkpoint(): each collective checkpoint
+  /// first runs `dht.compact(self, budget)` with this budget, so a database
+  /// that checkpoints regularly also converges its id-index partition (clean
+  /// count -> shard count) a slice at a time. 0 = off (the default): a
+  /// checkpoint then snapshots exactly the physical state the workload
+  /// produced, which byte-for-byte recovery tests rely on. When on, the
+  /// migrations happen *before* the quiescent snapshot barrier, so the
+  /// checkpoint image is identical on every rank either way.
+  std::uint64_t wal_checkpoint_compact_budget = 0;
   double wal_fsync_ns = 20000.0;       ///< modeled cost of one group fsync
   double wal_append_ns_per_byte = 0.25;  ///< modeled append/CRC streaming cost
   /// Multi-tenant front end (src/server/): one TenantScheduler per rank that

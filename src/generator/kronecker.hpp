@@ -50,7 +50,9 @@ struct GeneratedSlice {
 /// shard 0 is provisioned for the generated resident key set (so the load
 /// itself normally needs no growth) and max_shards leaves ~8x headroom for
 /// OLTP insert streams on top. Loads larger than the estimate -- or fed from
-/// other sources -- simply grow shards on demand.
+/// other sources -- simply grow shards on demand; a growth-heavy load can be
+/// followed by one `compact()` pass to fold the split partition back to
+/// single-probe reads (Database::checkpoint can do this incrementally).
 [[nodiscard]] dht::DhtConfig recommended_dht_config(const LpgConfig& cfg, int nranks);
 
 class KroneckerGenerator {

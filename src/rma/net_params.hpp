@@ -138,6 +138,15 @@ struct OpCounters {
   std::uint64_t sched_admission_rejects = 0;
   std::uint64_t sched_epochs = 0;
 
+  // Hash-partitioned DHT (src/dht/): bucket-head probe rounds issued by
+  // lookup/erase walks (probe_rounds / lookups == 1 in the compacted steady
+  // state, independent of shard count), entries rehomed by the online
+  // migration pass, and freed entry slots reused by allocation (free-stack
+  // pops -- reclaimed / frees is the capacity-recovery rate under churn).
+  std::uint64_t dht_probe_rounds = 0;
+  std::uint64_t dht_migrated = 0;
+  std::uint64_t dht_reclaimed = 0;
+
   OpCounters& operator+=(const OpCounters& o) {
     puts += o.puts;
     gets += o.gets;
@@ -174,6 +183,9 @@ struct OpCounters {
     sched_coalesced += o.sched_coalesced;
     sched_admission_rejects += o.sched_admission_rejects;
     sched_epochs += o.sched_epochs;
+    dht_probe_rounds += o.dht_probe_rounds;
+    dht_migrated += o.dht_migrated;
+    dht_reclaimed += o.dht_reclaimed;
     return *this;
   }
 
@@ -225,6 +237,9 @@ struct OpCounters {
     d.sched_coalesced = sched_coalesced - since.sched_coalesced;
     d.sched_admission_rejects = sched_admission_rejects - since.sched_admission_rejects;
     d.sched_epochs = sched_epochs - since.sched_epochs;
+    d.dht_probe_rounds = dht_probe_rounds - since.dht_probe_rounds;
+    d.dht_migrated = dht_migrated - since.dht_migrated;
+    d.dht_reclaimed = dht_reclaimed - since.dht_reclaimed;
     return d;
   }
 };

@@ -162,6 +162,11 @@ std::string counters_line(const rma::OpCounters& c) {
     if (c.sched_epochs > 0)
       os << " epochs=" << Table::fmt_si(static_cast<double>(c.sched_epochs), 1);
   }
+  if (c.dht_probe_rounds > 0 || c.dht_migrated > 0 || c.dht_reclaimed > 0) {
+    os << " | dht probes=" << Table::fmt_si(static_cast<double>(c.dht_probe_rounds), 1)
+       << " migrated=" << Table::fmt_si(static_cast<double>(c.dht_migrated), 1)
+       << " reclaimed=" << Table::fmt_si(static_cast<double>(c.dht_reclaimed), 1);
+  }
   if (c.wal_io_errors > 0)
     os << " | wal DROPPED epochs="
        << Table::fmt_si(static_cast<double>(c.wal_io_errors), 1);

@@ -138,7 +138,11 @@ struct RecoveredLog {
 /// rank's WAL high-water marks at the cut. One file per database
 /// (checkpoint.bin, written via temp + atomic rename) -- per-rank files would
 /// be unsound for truncation, because any rank's log may contain redo for
-/// *other* ranks' regions (cross-rank writebacks).
+/// *other* ranks' regions (cross-rank writebacks). Rank 0's section embeds
+/// the DHT shard directory (shard/clean/pending counts, erase epoch,
+/// migration stamp), so recovery restores the partition's split state and a
+/// paused compaction pass simply re-runs against it -- migrations are
+/// physical moves, never logged, and re-applying them is idempotent.
 struct Checkpoint {
   std::vector<std::vector<std::byte>> sections;  ///< [rank] Database payload
   std::vector<std::uint64_t> epoch_hw;           ///< [rank]

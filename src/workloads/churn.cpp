@@ -1,0 +1,83 @@
+#include "workloads/churn.hpp"
+
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace gdi::work {
+
+ChurnStats run_churn(rma::Rank& self, dht::DistributedHashTable& t,
+                     const ChurnConfig& cfg) {
+  ChurnStats st;
+  CounterRng rng(cfg.seed + static_cast<std::uint64_t>(self.id()) * 0x9E37u);
+  // Disjoint per-rank key ranges: value = key + 1 so every hit is checkable.
+  const std::uint64_t base = (static_cast<std::uint64_t>(self.id()) + 1) << 40;
+  std::uint64_t next_key = 0;
+  std::vector<std::uint64_t> live;
+  live.reserve(cfg.inserts_per_round * cfg.rounds);
+
+  self.barrier();
+  const double t0 = self.sim_time_ns();
+  const std::uint64_t mig0 = self.counters().dht_migrated;
+  const std::uint64_t rec0 = self.counters().dht_reclaimed;
+  for (std::uint64_t round = 0; round < cfg.rounds; ++round) {
+    // Create: a batch of fresh keys through the overlapped write path.
+    {
+      std::vector<std::uint64_t> keys, vals;
+      keys.reserve(cfg.inserts_per_round);
+      for (std::uint64_t i = 0; i < cfg.inserts_per_round; ++i) {
+        const std::uint64_t k = base + next_key++;
+        keys.push_back(k);
+        vals.push_back(k + 1);
+      }
+      const auto ok = t.insert_many(self, keys, vals);
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (ok[i]) {
+          live.push_back(keys[i]);
+          ++st.inserts;
+        }
+      }
+    }
+    // Delete: a random erase_fraction of this rank's live keys. swap-remove
+    // keeps the sample uniform without reshuffling.
+    {
+      auto target = static_cast<std::uint64_t>(
+          cfg.erase_fraction * static_cast<double>(live.size()));
+      while (target-- > 0 && !live.empty()) {
+        const std::uint64_t j = rng.next_below(live.size());
+        const std::uint64_t k = live[j];
+        live[j] = live.back();
+        live.pop_back();
+        if (t.erase(self, k)) ++st.erases;
+      }
+    }
+    // Lookup: a sampled multi-lookup over survivors; probe rounds are
+    // charged to the probe-flatness measurement (delta around this phase
+    // only, so insert/erase/compact traversal does not pollute it).
+    if (!live.empty() && cfg.lookups_per_round > 0) {
+      std::vector<std::uint64_t> keys;
+      keys.reserve(cfg.lookups_per_round);
+      for (std::uint64_t i = 0; i < cfg.lookups_per_round; ++i)
+        keys.push_back(live[rng.next_below(live.size())]);
+      const std::uint64_t probes0 = self.counters().dht_probe_rounds;
+      const auto got = t.lookup_many(self, keys);
+      st.probe_rounds += self.counters().dht_probe_rounds - probes0;
+      st.lookups += keys.size();
+      for (std::size_t i = 0; i < keys.size(); ++i)
+        if (!got[i].has_value() || *got[i] != keys[i] + 1) ++st.wrong;
+    }
+    // Maintain: one incremental compaction slice, concurrent with the other
+    // ranks' traffic (no barrier before it -- that concurrency is the point).
+    if (cfg.compact_budget > 0) (void)t.compact(self, cfg.compact_budget);
+  }
+  st.sim_ns = self.sim_time_ns() - t0;
+  self.barrier();
+  st.migrated = self.counters().dht_migrated - mig0;
+  st.reclaimed = self.counters().dht_reclaimed - rec0;
+  st.final_shards = t.shard_count(self);
+  st.final_clean = t.clean_shard_count(self);
+  self.barrier();
+  return st;
+}
+
+}  // namespace gdi::work

@@ -1,0 +1,67 @@
+// DHT churn workload driver (the PR 8 soak shape).
+//
+// Drives a DistributedHashTable with a sustained create/delete/lookup stream:
+// every round each rank inserts a batch of fresh keys, erases a fraction of
+// its live keys, and multi-looks-up a sample of survivors, optionally running
+// an incremental compaction slice between rounds. The stream keeps the table
+// near its provisioned capacity, so allocation constantly recycles freed
+// slots (exercising the cross-shard spill allocator) while the key population
+// turning over forces directory growth and migration.
+//
+// The driver measures the two properties the partitioned DHT guarantees and
+// the churn-soak CI lane asserts:
+//   * probe flatness  -- bucket-head probe rounds per lookup stay at 1 in the
+//     compacted steady state regardless of how many shards were published;
+//   * capacity reclaim -- freed entry slots are reused by later allocations
+//     (dht_reclaimed / erases), instead of stranding in older shards.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dht/dht.hpp"
+#include "rma/runtime.hpp"
+
+namespace gdi::work {
+
+struct ChurnConfig {
+  std::uint64_t rounds = 16;
+  std::uint64_t inserts_per_round = 256;  ///< fresh keys per rank per round
+  double erase_fraction = 0.5;    ///< of this rank's live keys, per round
+  std::uint64_t lookups_per_round = 256;  ///< sampled from this rank's live keys
+  /// Migration budget for the compaction slice run after every round
+  /// (incremental mode); 0 = never compact mid-stream (callers may still run
+  /// a full pass afterwards).
+  std::uint64_t compact_budget = 0;
+  std::uint64_t seed = 1;
+};
+
+struct ChurnStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t wrong = 0;     ///< lookups that returned a missing/wrong value
+  std::uint64_t probe_rounds = 0;  ///< dht_probe_rounds delta over lookup phases
+  std::uint64_t migrated = 0;      ///< entries rehomed (this rank's passes)
+  std::uint64_t reclaimed = 0;     ///< freed slots reused by this rank's allocs
+  std::uint64_t final_shards = 0;  ///< published shard count at the end
+  std::uint64_t final_clean = 0;   ///< clean count at the end
+  double sim_ns = 0;               ///< this rank's simulated time in the stream
+
+  [[nodiscard]] double probes_per_lookup() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(probe_rounds) / static_cast<double>(lookups);
+  }
+  [[nodiscard]] double reclaim_fraction() const {
+    return erases == 0 ? 1.0
+                       : static_cast<double>(reclaimed) / static_cast<double>(erases);
+  }
+};
+
+/// Run the churn stream on `t` (collective: every rank drives its own disjoint
+/// key range; internal barriers keep rounds aligned). Returns this rank's
+/// stats; reduce across ranks for globals.
+[[nodiscard]] ChurnStats run_churn(rma::Rank& self, dht::DistributedHashTable& t,
+                                   const ChurnConfig& cfg);
+
+}  // namespace gdi::work

@@ -254,9 +254,9 @@ TEST_P(DhtConcurrency, GrowUnderContention) {
   constexpr std::uint64_t kPerRank = 300;
   rt.run([&](rma::Rank& self) {
     // Tiny shards: every rank exhausts its heap repeatedly and races the
-    // shard-directory CAS while other ranks are mid-walk. Allocation only
-    // draws from the newest shard, so the cap must cover the worst-case
-    // interleaving of P ranks each needing kPerRank/entries shards alone.
+    // shard-directory CAS while other ranks are mid-walk. Allocation spills
+    // across every published shard before growing, so the cap only needs to
+    // cover the aggregate key volume, not per-rank worst cases.
     auto t = DistributedHashTable::create(self, DhtConfig{8, 16, 23, 256});
     const auto base = static_cast<std::uint64_t>(self.id()) * kPerRank;
     for (std::uint64_t i = 0; i < kPerRank; ++i)
@@ -281,10 +281,10 @@ TEST_P(DhtConcurrency, EraseDuringGrowAbaStress) {
   const int P = GetParam();
   rma::Runtime rt(P);
   rt.run([&](rma::Rank& self) {
-    // Tiny shards + erase churn: entries recycle inside the newest shard
-    // while growth keeps moving which shard that is -- stale references from
-    // pre-grow walks must fail their generation-tag checks, never resolve to
-    // another key's value.
+    // Tiny shards + erase churn: freed entries recycle across all published
+    // shards while growth keeps splitting the partition -- stale references
+    // from pre-grow walks must fail their generation-tag checks, never
+    // resolve to another key's value.
     auto t = DistributedHashTable::create(self, DhtConfig{4, 24, 29, 8});
     if (self.id() == 0)
       for (std::uint64_t k = 0; k < 20; ++k)
@@ -294,8 +294,8 @@ TEST_P(DhtConcurrency, EraseDuringGrowAbaStress) {
     for (int round = 0; round < 40; ++round) {
       std::vector<std::uint64_t> mine;
       for (std::uint64_t i = 0; i < 12; ++i) {
-        // Capacity-capped inserts may fail once every shard is published and
-        // older shards hold the frees; the ABA property is what's under test.
+        // Capacity-capped inserts may transiently fail at the shard cap when
+        // racing frees; the ABA property is what's under test.
         if (t->insert(self, base + i, i)) mine.push_back(base + i);
       }
       for (std::uint64_t k = 0; k < 20; ++k) {

@@ -1,0 +1,406 @@
+// PR 8: the hash-partitioned DHT's migration/compaction pass.
+//
+// Covers the four contracts the partition makes:
+//  * probe cost -- one bucket-head round per lookup in the compacted steady
+//    state, pinned at 1, 4, and 26 shards (the whole point of partitioning);
+//  * duplicate safety -- a key is never observable twice (and never lost)
+//    while a migration pass races lookups, erases, and directory splits
+//    (mark-before-publish + the migration stamp);
+//  * idempotence -- a second pass over a compacted table migrates nothing;
+//  * crash safety -- a rank dying MID-PASS loses only un-checkpointed
+//    physical moves; recovery replays the logical stream and a re-run pass
+//    converges byte-for-byte with a fault-free oracle (migrations are
+//    physical, never logged, so re-applying them is idempotent).
+//
+// NOTE: inside Runtime::run all assertions must be EXPECT_* (non-fatal);
+// a fatal ASSERT would return from one rank's lambda and deadlock the team.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "dht/dht.hpp"
+#include "gdi/gdi.hpp"
+#include "rma/fault.hpp"
+
+namespace gdi::dht {
+namespace {
+
+// Grow a fresh table to exactly `shards` shards: growth happens at heap
+// exhaustion, so (shards-1) full heaps plus a partial one lands there.
+DhtConfig grow_cfg() { return DhtConfig{64, 64, 0x5151, 32}; }
+
+std::uint64_t rank_base(const rma::Rank& self) {
+  return (static_cast<std::uint64_t>(self.id()) + 1) << 40;
+}
+
+void fill_to_shards(rma::Rank& self, DistributedHashTable& t,
+                    std::uint64_t shards, std::uint64_t entries_per_shard) {
+  const std::uint64_t keys = (shards - 1) * entries_per_shard +
+                             entries_per_shard / 2;
+  const std::uint64_t base = rank_base(self);
+  for (std::uint64_t i = 0; i < keys; ++i)
+    EXPECT_TRUE(t.insert(self, base + i, base + i + 1)) << "key " << i;
+}
+
+// Run migration passes to completion (a pass pauses on a full heap and a
+// later call resumes, so iterate).
+void compact_fully(rma::Rank& self, DistributedHashTable& t) {
+  for (int i = 0; i < 64; ++i) {
+    if (t.clean_shard_count(self) >= t.shard_count(self)) return;
+    (void)t.compact(self);
+  }
+  ADD_FAILURE() << "compaction never converged: clean="
+                << t.clean_shard_count(self) << " shards="
+                << t.shard_count(self);
+}
+
+TEST(DhtCompact, ProbeCostPinnedAtOneAcrossShardCounts) {
+  // The partition's headline contract: after compaction, a lookup issues
+  // EXACTLY one bucket-head probe round no matter how many shards the table
+  // grew through. (The PR 3 layout probed up to n buckets on an n-shard
+  // table.)
+  for (const std::uint64_t target : {1ull, 4ull, 26ull}) {
+    rma::Runtime rt(2);
+    rt.run([&](rma::Rank& self) {
+      auto t = DistributedHashTable::create(self, grow_cfg());
+      const std::uint64_t epr = t->config().entries_per_rank;
+      fill_to_shards(self, *t, target, epr);
+      self.barrier();
+      // Erase the even keys: migration copies into freed slots (the pass
+      // refuses to grow the directory), and half-empty is the churn steady
+      // state compaction exists for.
+      const std::uint64_t keys = (target - 1) * epr + epr / 2;
+      const std::uint64_t base = rank_base(self);
+      for (std::uint64_t i = 0; i < keys; i += 2)
+        EXPECT_TRUE(t->erase(self, base + i));
+      self.barrier();
+      if (self.id() == 0) compact_fully(self, *t);
+      self.barrier();
+      EXPECT_EQ(t->shard_count(self), target);
+      EXPECT_EQ(t->clean_shard_count(self), target);
+      self.barrier();
+
+      std::vector<std::uint64_t> odd;
+      for (std::uint64_t i = 1; i < keys; i += 2) odd.push_back(base + i);
+      const std::uint64_t p0 = self.counters().dht_probe_rounds;
+      const auto got = t->lookup_many(self, odd);
+      const std::uint64_t probes = self.counters().dht_probe_rounds - p0;
+      for (std::size_t i = 0; i < odd.size(); ++i)
+        EXPECT_EQ(got[i], std::optional<std::uint64_t>(odd[i] + 1));
+      EXPECT_EQ(probes, odd.size())
+          << "compacted lookup cost must be one probe round per key at "
+          << target << " shards";
+      self.barrier();
+    });
+  }
+}
+
+TEST(DhtCompact, EraseRacesMigrationPass) {
+  // Rank 0 hammers full migration passes while rank 1 erases half its keys
+  // and looks up the other half. Every erase must take effect exactly once
+  // (no resurrection from a stale pre-migration copy) and every surviving
+  // key must stay readable throughout.
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, grow_cfg());
+    const std::uint64_t keys = 3 * t->config().entries_per_rank / 2;  // 3 shards
+    const std::uint64_t base = rank_base(self);
+    for (std::uint64_t i = 0; i < keys; ++i)
+      EXPECT_TRUE(t->insert(self, base + i, base + i + 1));
+    self.barrier();
+
+    if (self.id() == 0) {
+      // Keep migrating until the other rank is done churning.
+      for (int pass = 0; pass < 16; ++pass) (void)t->compact(self);
+    } else {
+      for (std::uint64_t i = 0; i < keys; i += 2) {
+        EXPECT_TRUE(t->erase(self, base + i)) << "erase lost under migration";
+        const auto v = t->lookup(self, base + i + 1);
+        EXPECT_EQ(v, std::optional<std::uint64_t>(base + i + 2))
+            << "live key unreadable while a migration pass runs";
+      }
+    }
+    self.barrier();
+    if (self.id() == 0) compact_fully(self, *t);
+    self.barrier();
+
+    // Quiescent sweep from both ranks: erased keys are gone (not resurrected
+    // by a racing copy), survivors readable, exactly one live copy each.
+    const std::uint64_t peer_base = (2ull - static_cast<std::uint64_t>(self.id())) << 40;
+    for (std::uint64_t i = 0; i < keys; ++i) {
+      const bool erased = (i % 2) == 0;  // rank 1's evens
+      EXPECT_EQ(t->lookup(self, peer_base + i).has_value(),
+                self.id() == 0 ? !erased : true)
+          << "key " << i;
+    }
+    for (std::uint64_t i = 1; i < keys; i += 2)
+      EXPECT_EQ(t->debug_copies(self, base + i), 1u);
+    self.barrier();
+  });
+}
+
+TEST(DhtCompact, LookupDuringSplitSeesExactlyOneLiveCopy) {
+  // Rank 0 drives directory splits (insert stream through heap exhaustion)
+  // interleaved with incremental migration slices; rank 1 continuously reads
+  // a stable key set. Every read must return the key's one value -- never a
+  // miss (key lost between candidate buckets mid-move) and never a stale
+  // shadowed duplicate.
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, grow_cfg());
+    constexpr std::uint64_t kStable = 48;
+    // Rank 1's stable keys, inserted while the table is still one shard.
+    if (self.id() == 1) {
+      for (std::uint64_t i = 0; i < kStable; ++i)
+        EXPECT_TRUE(t->insert(self, rank_base(self) + i, 1000 + i));
+    }
+    self.barrier();
+
+    if (self.id() == 0) {
+      // Push the table through repeated splits with migration running.
+      const std::uint64_t churn = 5 * t->config().entries_per_rank;
+      for (std::uint64_t i = 0; i < churn; ++i) {
+        EXPECT_TRUE(t->insert(self, rank_base(self) + i, i));
+        if ((i & 31u) == 31u) (void)t->compact(self, /*budget=*/16);
+      }
+    } else {
+      const std::uint64_t base = rank_base(self);
+      for (int sweep = 0; sweep < 64; ++sweep) {
+        for (std::uint64_t i = 0; i < kStable; ++i) {
+          const auto v = t->lookup(self, base + i);
+          EXPECT_EQ(v, std::optional<std::uint64_t>(1000 + i))
+              << "sweep " << sweep << " key " << i
+              << ": split/migration exposed != 1 live copy";
+        }
+      }
+    }
+    self.barrier();
+    if (self.id() == 0) compact_fully(self, *t);
+    self.barrier();
+    for (std::uint64_t i = 0; i < kStable; ++i)
+      EXPECT_EQ(t->debug_copies(self, ((2ull) << 40) + i), 1u)
+          << "key " << i << " left duplicated after compaction";
+    self.barrier();
+  });
+}
+
+TEST(DhtCompact, SecondPassMigratesNothing) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, grow_cfg());
+    const std::uint64_t epr = t->config().entries_per_rank;
+    fill_to_shards(self, *t, 4, epr);
+    const std::uint64_t keys = 3 * epr + epr / 2;
+    for (std::uint64_t i = 0; i < keys; i += 2)
+      EXPECT_TRUE(t->erase(self, rank_base(self) + i));
+
+    std::uint64_t first = 0;
+    for (int i = 0; i < 64 && t->clean_shard_count(self) < t->shard_count(self); ++i)
+      first += t->compact(self);
+    EXPECT_GT(first, 0u) << "growth across 4 shards must rehome something";
+    EXPECT_EQ(t->clean_shard_count(self), t->shard_count(self));
+    EXPECT_EQ(t->compact(self), 0u) << "second pass over a compacted table";
+    for (std::uint64_t i = 1; i < keys; i += 2) {
+      EXPECT_EQ(t->lookup(self, rank_base(self) + i),
+                std::optional<std::uint64_t>(rank_base(self) + i + 1));
+      EXPECT_EQ(t->debug_copies(self, rank_base(self) + i), 1u);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace gdi::dht
+
+// --- crash safety: mid-pass kill + WAL recovery -----------------------------
+
+namespace gdi {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / ("gdi_" + name);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+std::uint64_t fault_seed() {
+  const char* s = std::getenv("GDI_FAULT_SEED");
+  return s != nullptr ? std::strtoull(s, nullptr, 10) : 1;
+}
+
+// Small DHT heap (32 entries/shard) so the create stream drives directory
+// splits; every collective checkpoint runs a full migration pass.
+DatabaseConfig compact_wal_cfg(const std::string& dir) {
+  DatabaseConfig c;
+  c.block.block_size = 512;
+  c.block.blocks_per_rank = 4096;
+  c.dht.entries_per_rank = 32;
+  c.dht.buckets_per_rank = 64;
+  c.wal = true;
+  c.wal_dir = dir;
+  c.wal_checkpoint_compact_budget = 1u << 20;
+  return c;
+}
+
+std::uint32_t ensure_ptype(const std::shared_ptr<Database>& db, rma::Rank& self) {
+  auto existing = db->ptype_from_name(self, "p");
+  if (existing.ok()) return *existing;
+  return *db->create_ptype(self,
+                           PropertyType{.name = "p", .dtype = Datatype::kInt64});
+}
+
+void step(const std::shared_ptr<Database>& db, rma::Rank& self, std::uint32_t pt,
+          std::uint64_t i) {
+  Transaction txn(db, self, TxnMode::kWrite);
+  auto v = txn.create_vertex(i);
+  EXPECT_TRUE(v.ok()) << "step " << i;
+  if (!v.ok()) return;
+  EXPECT_EQ(txn.update_property(*v, pt, PropValue{static_cast<std::int64_t>(i)}),
+            Status::kOk);
+  EXPECT_EQ(txn.commit(), Status::kOk) << "step " << i;
+}
+
+TEST(DhtCompactKillRestart, MidPassDeathConvergesWithFaultFreeOracle) {
+  // The stream splits the id-index directory twice (80 creates through a
+  // 32-entry heap), then a checkpoint's full compaction pass is killed
+  // MID-MIGRATION by the data-plane fault injector. The moves it made were
+  // physical-only (never logged) and die with the process; recovery replays
+  // the logical stream, the workload resumes, and the final checkpoint's
+  // re-run pass must land byte-for-byte on the fault-free oracle -- i.e. a
+  // half-applied migration pass leaves NO trace the log can't reproduce.
+  constexpr std::uint64_t kPreKill = 80;
+  constexpr std::uint64_t kTotal = 96;
+
+  // Oracle: same logical stream, no kill, one compacting checkpoint at the
+  // end (the killed run's first checkpoint dies before publishing anything,
+  // so its effective history is exactly this).
+  std::vector<std::byte> oracle;
+  {
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      auto db = Database::create(
+          self, compact_wal_cfg(fresh_dir("dht_compact_oracle")));
+      const std::uint32_t pt = ensure_ptype(db, self);
+      for (std::uint64_t i = 1; i <= kTotal; ++i) step(db, self, pt, i);
+      EXPECT_EQ(db->checkpoint(self), Status::kOk);
+      oracle = db->serialize_rank(0);
+    });
+  }
+  ASSERT_FALSE(oracle.empty());
+
+  const std::string dir = fresh_dir("dht_compact_kill");
+  rma::FaultConfig fc;
+  fc.seed = fault_seed();
+  fc.fail_p = 0.02;  // dies a deterministic few dozen ops into the pass
+  rma::FaultInjector inj(fc);
+  bool killed = false;
+  try {
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      auto db = Database::create(self, compact_wal_cfg(dir));
+      const std::uint32_t pt = ensure_ptype(db, self);
+      for (std::uint64_t i = 1; i <= kPreKill; ++i) step(db, self, pt, i);
+      // Arm the injector only now: the kill lands inside the checkpoint's
+      // migration pass, not in the (already durable) stream.
+      self.set_fault_injector(&inj);
+      (void)db->checkpoint(self);
+      self.set_fault_injector(nullptr);
+    });
+  } catch (const rma::FaultKill&) {
+    killed = true;
+  }
+  ASSERT_TRUE(killed) << "fault injector never fired inside the pass";
+
+  std::vector<std::byte> recovered_fp;
+  rma::Runtime rt2(1);
+  rt2.run([&](rma::Rank& self) {
+    auto db = Database::recover(self, compact_wal_cfg(dir));
+    EXPECT_TRUE(db != nullptr);
+    if (db == nullptr) return;
+    EXPECT_EQ(db->wal_recovered_commits(self), kPreKill)
+        << "the eager stream was durable before the kill";
+    const std::uint32_t pt = ensure_ptype(db, self);
+    for (std::uint64_t i = kPreKill + 1; i <= kTotal; ++i) step(db, self, pt, i);
+    EXPECT_EQ(db->checkpoint(self), Status::kOk);
+    for (std::uint64_t i = 1; i <= kTotal; ++i) {
+      Transaction r(db, self, TxnMode::kRead);
+      auto vh = r.find_vertex(i);
+      EXPECT_TRUE(vh.ok()) << "vertex " << i << " lost across the mid-pass kill";
+      (void)r.commit();
+    }
+    recovered_fp = db->serialize_rank(0);
+  });
+  EXPECT_EQ(recovered_fp, oracle)
+      << "half-applied migration pass left a trace recovery cannot reproduce";
+}
+
+TEST(DhtCompactKillRestart, DeathAtDirectorySplitEpochConvergesWithOracle) {
+  // Kill right after sealing the epoch whose commit published a directory
+  // split (create #33 exhausts the 32-entry heap and grows the table): the
+  // split's directory word and the freshly-placed entry are live-window
+  // state, the log holds the logical insert, and recovery must rebuild the
+  // same split. Resumes and converges byte-for-byte with the oracle.
+  constexpr std::uint64_t kTotal = 48;
+  constexpr std::uint64_t kKillEpoch = 33;  // one epoch per eager commit
+
+  std::vector<std::byte> oracle;
+  {
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      auto db = Database::create(
+          self, compact_wal_cfg(fresh_dir("dht_split_oracle")));
+      const std::uint32_t pt = ensure_ptype(db, self);
+      for (std::uint64_t i = 1; i <= kTotal; ++i) step(db, self, pt, i);
+      EXPECT_EQ(db->checkpoint(self), Status::kOk);
+      oracle = db->serialize_rank(0);
+    });
+  }
+  ASSERT_FALSE(oracle.empty());
+
+  const std::string dir = fresh_dir("dht_split_kill");
+  rma::FaultConfig fc;
+  fc.seed = fault_seed();
+  fc.kill_at = rma::KillPoint::kEpochSeal;
+  fc.kill_epoch = kKillEpoch;
+  rma::FaultInjector inj(fc);
+  bool killed = false;
+  try {
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      auto db = Database::create(self, compact_wal_cfg(dir));
+      const std::uint32_t pt = ensure_ptype(db, self);
+      self.set_fault_injector(&inj);
+      for (std::uint64_t i = 1; i <= kTotal; ++i) step(db, self, pt, i);
+    });
+  } catch (const rma::FaultKill&) {
+    killed = true;
+  }
+  ASSERT_TRUE(killed) << "kill switch never fired";
+
+  std::vector<std::byte> recovered_fp;
+  rma::Runtime rt2(1);
+  rt2.run([&](rma::Rank& self) {
+    auto db = Database::recover(self, compact_wal_cfg(dir));
+    EXPECT_TRUE(db != nullptr);
+    if (db == nullptr) return;
+    EXPECT_EQ(db->wal_recovered_commits(self), kKillEpoch);
+    const std::uint32_t pt = ensure_ptype(db, self);
+    for (std::uint64_t i = kKillEpoch + 1; i <= kTotal; ++i)
+      step(db, self, pt, i);
+    EXPECT_EQ(db->checkpoint(self), Status::kOk);
+    recovered_fp = db->serialize_rank(0);
+  });
+  EXPECT_EQ(recovered_fp, oracle)
+      << "recovery rebuilt a different split than the one that died";
+}
+
+}  // namespace
+}  // namespace gdi

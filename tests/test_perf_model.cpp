@@ -91,13 +91,17 @@ TEST(PerfModel, DhtLookupMissOnEmptyBucketIsOneAtomic) {
     EXPECT_EQ(self.counters().gets, 0u);
 
     // Growable table: a miss additionally confirms the shard directory has
-    // not advanced (one more AGET), the steady-state price of elasticity.
+    // not advanced -- four directory words (shard count, clean count,
+    // pending-clean count, migration stamp) read in ONE overlapped flush
+    // round, the steady-state price of elasticity. Still one probe round.
     dht::DistributedHashTable g(1, dht::DhtConfig{1024, 128, 1, 8});
     self.reset_counters();
     EXPECT_EQ(g.lookup(self, 12345), std::nullopt);
-    EXPECT_EQ(self.counters().atomics, 2u)
-        << "bucket-head AGET + shard-directory confirm";
+    EXPECT_EQ(self.counters().atomics, 5u)
+        << "bucket-head AGET + one overlapped shard-directory confirm round";
     EXPECT_EQ(self.counters().gets, 0u);
+    EXPECT_EQ(self.counters().batches, 1u)
+        << "the directory confirm is a single completion round";
   });
 }
 

@@ -108,6 +108,20 @@ def pr7_metrics(parsed):
     }
 
 
+def pr8_metrics(parsed):
+    """Tracked metrics of bench_pr8_churn (higher is better): probe flatness
+    (compacted probe rounds per lookup at 1 shard over 26 shards -- 1.0 means
+    lookup cost is independent of shard count, the partition's core
+    guarantee), the churn stream's capacity-reclaim fraction (freed slots
+    reused by later allocations instead of stranding), and the absolute
+    churn-stream throughput."""
+    return {
+        "probe_flatness": parsed["probe_flatness"],
+        "reclaim_frac": parsed["reclaim_frac"],
+        "churn_kops": parsed["churn_kops"],
+    }
+
+
 # Benches with a "smoke_key" share one baseline file: their smoke metrics
 # live under baseline["smoke"][smoke_key] as a flat metric->value dict.
 BENCHES = [
@@ -153,6 +167,12 @@ BENCHES = [
         "smoke_key": "server",
         "metrics": pr7_metrics,
     },
+    {
+        "bin": "bench_pr8_churn",
+        "baseline": "BENCH_pr8.json",
+        "smoke_key": "churn",
+        "metrics": pr8_metrics,
+    },
 ]
 
 
@@ -180,6 +200,38 @@ def run_bench(build_dir, name):
             if depth == 0:
                 return json.loads(blob[start:i + 1])
     sys.exit(f"error: unterminated JSON blob from {name}")
+
+
+def write_step_summary(report, regressions):
+    """Render the gate's per-metric comparison as a markdown table into
+    $GITHUB_STEP_SUMMARY (the Actions job-summary pane) when it is set; a
+    no-op everywhere else."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        "## Bench smoke gate",
+        "",
+        f"Threshold: metrics must stay within {report['threshold'] * 100:.0f}% "
+        "of the committed smoke baselines (higher is better).",
+        "",
+        "| bench | metric | measured | baseline | ratio | status |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
+    ]
+    for name, entry in report["benches"].items():
+        if "metrics" not in entry:  # --update-baselines run
+            continue
+        for key, row in entry["metrics"].items():
+            status = ":white_check_mark:" if row["ok"] else ":x: regression"
+            lines.append(
+                f"| {name} | {key} | {row['run']:.1f} | {row['baseline']:.1f} "
+                f"| {row['ratio'] * 100:.1f}% | {status} |")
+    lines.append("")
+    lines.append("All tracked metrics within threshold." if not regressions
+                 else f"**{len(regressions)} metric(s) regressed.**")
+    lines.append("")
+    with open(path, "a", encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def main():
@@ -268,6 +320,7 @@ def main():
         report["benches"][name] = {"metrics": rows, "json": parsed}
 
     pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    write_step_summary(report, regressions)
     print(f"\nreport written to {args.out}")
     if regressions:
         print("\nbench regressions (> {:.0f}% below baseline):".format(
