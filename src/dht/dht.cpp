@@ -297,11 +297,13 @@ void DistributedHashTable::ensure_covered(rma::Rank& self, std::uint64_t key,
     }
     if (covered) return;
     // A pass targeting P > placed may already have scanned (and missed) our
-    // bucket: rehome our own entry to the newest count. Because insert() has
-    // not returned yet, the entry may simply be unlinked and re-linked (a
-    // transient absence is a legal pre-completion state); the generation
-    // bump in between invalidates any reference a concurrent reader took.
+    // bucket: rehome our own entry to the newest count. Prefer the copy-based
+    // migrate_entry (publish-before-unlink): a concurrent reader may already
+    // have returned this key, so it must never be transiently absent. Only
+    // when the heap cannot supply a slot does the in-place unlink/re-link
+    // fallback below run, with a stamp bump covering its visibility gap.
     const std::uint32_t fresh = rl.shards;
+    const std::uint32_t dst = home_shard(h2, fresh);
     const std::uint64_t src_off = bucket_off(cur, b);
   restart:
     bool prev_is_bucket = true;
@@ -327,10 +329,37 @@ void DistributedHashTable::ensure_covered(rma::Rank& self, std::uint64_t key,
       ref = Ref{next};
     }
     if (!found) return;  // erased or already rehomed by a concurrent pass
+    {
+      DPtr moved;
+      const MigrateResult mr =
+          migrate_entry(self, b, cur, dst, e, ref, next, key, &moved);
+      if (mr == MigrateResult::kMoved) {
+        e = moved;
+        placed = fresh;
+        continue;  // outer loop: re-verify against a fresh directory read
+      }
+      if (mr == MigrateResult::kRaced) goto restart;
+      // kNoSpace: fall through to the in-place rehome (reuses our slot).
+    }
     // CAS 1: mark our entry (freezes it; only we may unlink it now).
     if (heap_.cas_u64(self, e.rank(), e.offset() + kNextOff, next,
                       Ref{next}.marked_ref().word) != next)
       goto restart;
+    // Post-mark revalidation, same ABA guard as migrate_entry: the CAS can
+    // land on a recycled slot whose next word matches. Frozen under the
+    // mark, so one overlapped read decides.
+    {
+      std::uint64_t gen_now = 0, key_now = 0;
+      (void)heap_.atomic_get_u64_nb(self, e.rank(), e.offset() + kGenOff, &gen_now);
+      (void)heap_.atomic_get_u64_nb(self, e.rank(), e.offset() + kKeyOff, &key_now);
+      (void)self.flush_all();
+      if ((gen_now & kTagMask) != ref.tag() || key_now != key) {
+        (void)heap_.cas_u64(self, e.rank(), e.offset() + kNextOff,
+                            Ref{next}.marked_ref().word, next);
+        goto restart;
+      }
+      gen_e = gen_now;
+    }
     // CAS 2: unlink.
     for (;;) {
       std::uint64_t old;
@@ -363,10 +392,14 @@ void DistributedHashTable::ensure_covered(rma::Rank& self, std::uint64_t key,
       assert(relocated_ref && "marked entry vanished from its chain");
       if (!relocated_ref) break;  // release-mode safety valve
     }
+    // Stamp between unlink and re-link: the key is momentarily in neither
+    // bucket, and a dirty-window reader whose miss spans this gap must
+    // re-walk (and find the re-linked copy) instead of confirming the miss
+    // -- the key may already have been observed by a completed operation.
+    (void)dir_.faa_u64(self, 0, kDirStampOff, 1);
     // Re-link under the fresh placement with a bumped generation (stale
     // references from the old chain must fail their tag check).
     set_field(self, e, kGenOff, gen_e + 1);
-    const std::uint32_t dst = home_shard(h2, fresh);
     const std::uint64_t dst_off = bucket_off(dst, b);
     std::uint64_t head = table_.atomic_get_u64(self, b.rank, dst_off);
     for (;;) {
@@ -836,21 +869,41 @@ std::uint64_t DistributedHashTable::erase_epoch(rma::Rank& self) {
 DistributedHashTable::MigrateResult DistributedHashTable::migrate_entry(
     rma::Rank& self, const BucketLoc& b, std::uint32_t src_shard,
     std::uint32_t dst_shard, DPtr e, Ref ref, std::uint64_t next,
-    std::uint64_t key) {
+    std::uint64_t key, DPtr* moved) {
+  // Allocate the destination slot BEFORE freezing the source: alloc_entry
+  // probes every published shard's free stack and watermark when the heap is
+  // near-full, and readers of the source bucket restart their chain walk
+  // while an entry is marked -- the mark must only span the short
+  // publish/unlink CAS window, not a heap scan. The slot is private until
+  // published, so handing it back on a race costs one free-stack push.
+  const DPtr e2 = alloc_entry(self, dst_shard, /*allow_grow=*/false);
+  if (e2.is_null()) return MigrateResult::kNoSpace;
   // CAS 1: mark the source entry. From here only we may unlink it, readers
   // treat it as in-progress, and its fields are frozen.
   if (heap_.cas_u64(self, e.rank(), e.offset() + kNextOff, next,
-                    Ref{next}.marked_ref().word) != next)
+                    Ref{next}.marked_ref().word) != next) {
+    dealloc_entry(self, e2);
     return MigrateResult::kRaced;
-  const std::uint64_t val = field(self, e, kValOff);
-  const DPtr e2 = alloc_entry(self, dst_shard, /*allow_grow=*/false);
-  if (e2.is_null()) {
-    // Out of capacity: revert our mark (we own it) and let the pass resume
-    // once erases have freed slots.
+  }
+  // Post-mark revalidation: the mark CAS can land on a *recycled* slot whose
+  // next word happens to match `next` (erase -> free -> realloc between the
+  // caller's generation check and our CAS; e.g. both words zero for a chain
+  // tail and an empty free stack). Generation and key are frozen while we
+  // hold the mark, so one overlapped read decides; on a foreign entry revert
+  // the mark (restoring the stranger's next word) and retreat -- without
+  // this, the unlink rewalk below would never find the entry and a marked
+  // live entry (plus a stale-key copy) would leak.
+  std::uint64_t gen_now = 0, key_now = 0;
+  (void)heap_.atomic_get_u64_nb(self, e.rank(), e.offset() + kGenOff, &gen_now);
+  (void)heap_.atomic_get_u64_nb(self, e.rank(), e.offset() + kKeyOff, &key_now);
+  (void)self.flush_all();
+  if ((gen_now & kTagMask) != ref.tag() || key_now != key) {
     (void)heap_.cas_u64(self, e.rank(), e.offset() + kNextOff,
                         Ref{next}.marked_ref().word, next);
-    return MigrateResult::kNoSpace;
+    dealloc_entry(self, e2);
+    return MigrateResult::kRaced;
   }
+  const std::uint64_t val = field(self, e, kValOff);
   const std::uint64_t gen2 = field(self, e2, kGenOff);
   set_field(self, e2, kKeyOff, key);
   set_field(self, e2, kValOff, val);
@@ -895,6 +948,7 @@ DistributedHashTable::MigrateResult DistributedHashTable::migrate_entry(
           (void)heap_.faa_u64(self, e.rank(), ctrl_off(shard_of(e)) + kLiveCountOff, -1);
           dealloc_entry(self, e);
           self.counters().dht_migrated += 1;
+          if (moved != nullptr) *moved = e2;
           return MigrateResult::kMoved;
         }
         goto rewalk;
@@ -906,6 +960,9 @@ DistributedHashTable::MigrateResult DistributedHashTable::migrate_entry(
       prev = ce;
       cur = Ref{cnext};
     }
+    // Unreachable mod a 32-generation tag wrap: the post-mark revalidation
+    // proved we marked the live entry, and a validly marked entry can only
+    // leave its chain through our own unlink.
     assert(found && "marked entry vanished from its chain");
     if (!found) return MigrateResult::kMoved;  // release-mode safety valve
   }
@@ -915,6 +972,16 @@ std::uint64_t DistributedHashTable::compact(rma::Rank& self, std::uint64_t budge
   auto& rl = local_[static_cast<std::size_t>(self.id())];
   (void)refresh_dir(self);
   std::uint32_t target = rl.comp_target;
+  if (target != kNoPass && rl.shards > target) {
+    // The directory grew while this pass was parked (budget slices between
+    // checkpoints, or a kNoSpace pause): resuming under the stale target
+    // would publish copies a concurrent fresh-target pass may already have
+    // scanned past. Abandon the cursor and restart against the grown count
+    // -- the pending count is monotone, so the setup below merely raises it.
+    rl.comp_target = kNoPass;
+    rl.comp_pos = 0;
+    target = kNoPass;
+  }
   if (target == kNoPass) {
     if (rl.clean >= rl.shards) return 0;  // already compacted
     target = rl.shards;
@@ -955,8 +1022,17 @@ std::uint64_t DistributedHashTable::compact(rma::Rank& self, std::uint64_t budge
       }
       const std::uint32_t home = home_shard(shard_hash(k), target);
       if (home != s) {
-        switch (migrate_entry(self, b, s, home, e, ref, next, k)) {
+        DPtr moved;
+        switch (migrate_entry(self, b, s, home, e, ref, next, k, &moved)) {
           case MigrateResult::kMoved:
+            // Post-publish fence, the migration analogue of the insert
+            // fence: a concurrent pass with a higher target (directory grew
+            // mid-pass) publishes its pending count before scanning, so if
+            // it already swept home(h, target)'s bucket -- missing the copy
+            // we just published -- this directory re-read observes its P
+            // and rehomes the copy before it can fall outside the candidate
+            // set {home(h, m) : m in [C, S]} when that pass advances C.
+            ensure_covered(self, k, shard_hash(k), b, moved, target);
             ++migrated;
             if (budget != 0 && migrated >= budget) {
               rl.comp_pos = pos;  // resume this bucket next call

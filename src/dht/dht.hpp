@@ -48,17 +48,26 @@
 // Online compaction (compact()): any rank may run a migration pass, fully
 // one-sided and concurrent with traffic. The pass publishes P = S0 (pass
 // target), scans every bucket of shards [0, S0), and rehomes each entry whose
-// home(h, S0) differs from the shard it sits in: mark the source entry
-// (freezing it -- readers treat a marked entry as in-progress and retry),
-// publish a copy into the home bucket with a head CAS, bump the migration
-// stamp, unlink the source, free its slot. Mark-before-publish means a
-// completed chain walk never observes two live copies of a moved entry.
-// After a full scan the pass advances C to S0 with one CAS. Readers that
-// miss while C < S re-validate against the migration stamp (read only in
-// that dirty window), so a concurrent rehome between two candidate probes
-// forces a re-walk instead of a lost key. Passes are idempotent and
-// restartable: a budgeted pass keeps a local cursor and never advances C
-// early, and a pass killed mid-flight leaves only a marked source entry that
+// home(h, S0) differs from the shard it sits in: allocate a destination slot,
+// mark the source entry (freezing it -- readers treat a marked entry as
+// in-progress and retry; the slot is allocated first so the mark never spans
+// a heap scan), revalidate generation+key under the mark (the mark CAS alone
+// can land on a recycled slot whose next word matches), publish the copy into
+// the home bucket with a head CAS, bump the migration stamp, unlink the
+// source, free its slot. Mark-before-publish means a completed chain walk
+// never observes two live copies of a moved entry. Each published copy then
+// pays the same post-publish directory fence as inserts (ensure_covered):
+// concurrent passes may target *different* counts (the directory can grow
+// mid-pass or while a budgeted pass is parked), and a fresh-target pass that
+// already swept the copy's bucket would otherwise strand it outside the
+// candidate set once that pass advances C. A parked pass whose target the
+// directory outgrew abandons its cursor and retargets on resume. After a
+// full scan the pass advances C to S0 with one CAS. Readers that miss while
+// C < S re-validate against the migration stamp (read only in that dirty
+// window), so a concurrent rehome between two candidate probes forces a
+// re-walk instead of a lost key. Passes are idempotent and restartable: a
+// budgeted pass keeps a local cursor and never advances C early, and a pass
+// killed mid-flight leaves only a marked source entry that
 // checkpoint/recovery (or teardown) discards.
 //
 // Collision resolution is distributed chaining. ABA protection uses the
@@ -361,14 +370,19 @@ class DistributedHashTable {
                                      const BucketLoc& b, std::uint32_t shard);
 
   // Migration primitive shared by compact() and insert's self-relocation:
-  // move the (marked-by-us about-to-be) entry `e` -- currently linked in
-  // bucket (`b`, src_shard) with reference word `ref` and unmarked next word
-  // `next` -- into bucket (`b`, dst_shard).
+  // move the entry `e` -- currently linked in bucket (`b`, src_shard) with
+  // reference word `ref` and unmarked next word `next` -- into bucket
+  // (`b`, dst_shard). Allocates the destination slot before taking the mark
+  // (so readers of the source bucket never spin across a heap scan),
+  // revalidates generation+key after winning the mark CAS (the CAS alone
+  // can succeed on a recycled slot whose next word matches), and on kMoved
+  // stores the published copy through `moved` so callers can run the
+  // post-publish coverage fence on it.
   enum class MigrateResult { kMoved, kRaced, kNoSpace };
   MigrateResult migrate_entry(rma::Rank& self, const BucketLoc& b,
                               std::uint32_t src_shard, std::uint32_t dst_shard,
                               DPtr e, Ref ref, std::uint64_t next,
-                              std::uint64_t key);
+                              std::uint64_t key, DPtr* moved = nullptr);
 
   /// Post-link insert fence: make sure the entry `e` for `key`, linked into
   /// bucket (`b`, home(h2, placed)) under placement count `placed`, is

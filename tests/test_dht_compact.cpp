@@ -190,6 +190,110 @@ TEST(DhtCompact, LookupDuringSplitSeesExactlyOneLiveCopy) {
   });
 }
 
+TEST(DhtCompact, ParkedPassRetargetsAfterDirectoryGrowth) {
+  // A budget-parked pass holds its target across calls (the checkpoint-slice
+  // pattern) while the directory can keep growing. Resuming under the stale
+  // target would publish copies under home(h, stale) -- buckets a concurrent
+  // fresh-target pass may already have swept -- so the pass must abandon its
+  // cursor and retarget. Observable contract: after growth, ONE unbudgeted
+  // compact() call converges clean == shards (a stale-target resume would
+  // advance clean only to the old target and need a second pass).
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, grow_cfg());
+    const std::uint64_t epr = t->config().entries_per_rank;
+    fill_to_shards(self, *t, 3, epr);
+    const std::uint64_t keys = 2 * epr + epr / 2;
+    const std::uint64_t base = rank_base(self);
+    for (std::uint64_t i = 0; i < keys; i += 2)
+      EXPECT_TRUE(t->erase(self, base + i));
+
+    // Park a pass mid-scan: one migration, then the cursor waits.
+    EXPECT_EQ(t->compact(self, /*budget=*/1), 1u);
+    EXPECT_LT(t->clean_shard_count(self), t->shard_count(self));
+
+    // Grow the directory under the parked pass (inserts consume every freed
+    // slot and the tail watermark before publishing a fresh shard).
+    const std::uint32_t before = t->shard_count(self);
+    std::uint64_t extra = keys;
+    while (t->shard_count(self) == before) {
+      EXPECT_TRUE(t->insert(self, base + extra, base + extra + 1));
+      ++extra;
+    }
+
+    EXPECT_GT(t->compact(self), 0u);
+    EXPECT_EQ(t->clean_shard_count(self), t->shard_count(self))
+        << "resumed pass kept its stale target instead of retargeting";
+    for (std::uint64_t i = 1; i < keys; i += 2) {
+      EXPECT_EQ(t->lookup(self, base + i),
+                std::optional<std::uint64_t>(base + i + 1))
+          << "key " << i << " lost across the parked-pass growth";
+      EXPECT_EQ(t->debug_copies(self, base + i), 1u);
+    }
+    for (std::uint64_t i = keys; i < extra; ++i)
+      EXPECT_EQ(t->lookup(self, base + i),
+                std::optional<std::uint64_t>(base + i + 1));
+  });
+}
+
+TEST(DhtCompact, ConcurrentPassesWithDifferentTargetsLoseNoKeys) {
+  // Rank 0's insert churn drives repeated splits while it runs tiny budget
+  // slices (a pass parked across growth, holding an older target); rank 1
+  // concurrently hammers full passes that keep adopting the freshest target.
+  // A copy published under the older target into a bucket the fresh-target
+  // pass already swept must be rehomed by the publisher's post-publish
+  // directory fence -- never stranded outside {home(h, m) : m in [C, S]}
+  // once the fresh pass advances C.
+  rma::Runtime rt(2);
+  rt.run([&](rma::Rank& self) {
+    auto t = DistributedHashTable::create(self, grow_cfg());
+    const std::uint64_t epr = t->config().entries_per_rank;
+    constexpr std::uint64_t kStable = 64;
+    const std::uint64_t base = rank_base(self);
+    for (std::uint64_t i = 0; i < kStable; ++i)
+      EXPECT_TRUE(t->insert(self, base + i, base + i + 1));
+    self.barrier();
+
+    const std::uint64_t churn = 6 * epr;
+    if (self.id() == 0) {
+      for (std::uint64_t i = 0; i < churn; ++i) {
+        EXPECT_TRUE(t->insert(self, base + kStable + i, i));
+        if ((i & 15u) == 15u) (void)t->compact(self, /*budget=*/2);
+        if ((i & 63u) == 63u) EXPECT_TRUE(t->erase(self, base + kStable + i));
+      }
+      // Free headroom for the final passes: growth-at-exhaustion leaves the
+      // table near-full, and a pass pauses (kNoSpace) whenever its own
+      // rank's heap cannot supply a destination slot.
+      for (std::uint64_t i = 0; i < churn; i += 4)
+        EXPECT_TRUE(t->erase(self, base + kStable + i));
+    } else {
+      for (int pass = 0; pass < 48; ++pass) (void)t->compact(self);
+    }
+    self.barrier();
+    // Both ranks drive convergence: freed slots live in *some* rank's heap
+    // and allocation is per-rank, so whichever rank can allocate progresses
+    // and either one completing a scan advances the clean count.
+    for (int i = 0; i < 256 && t->clean_shard_count(self) < t->shard_count(self); ++i)
+      (void)t->compact(self);
+    EXPECT_EQ(t->clean_shard_count(self), t->shard_count(self))
+        << "compaction never converged";
+    self.barrier();
+
+    // Both ranks sweep both stable sets: every key resolvable from one
+    // candidate bucket, exactly one live copy.
+    for (std::uint64_t r = 1; r <= 2; ++r) {
+      const std::uint64_t rb = r << 40;
+      for (std::uint64_t i = 0; i < kStable; ++i) {
+        EXPECT_EQ(t->lookup(self, rb + i), std::optional<std::uint64_t>(rb + i + 1))
+            << "rank " << (r - 1) << " key " << i
+            << " stranded by racing differing-target passes";
+        EXPECT_EQ(t->debug_copies(self, rb + i), 1u);
+      }
+    }
+    self.barrier();
+  });
+}
+
 TEST(DhtCompact, SecondPassMigratesNothing) {
   rma::Runtime rt(1);
   rt.run([&](rma::Rank& self) {
