@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "rma/fault.hpp"
+#include "net/listener.hpp"
 #include "server/scheduler.hpp"
 
 namespace gdi {
@@ -14,6 +15,11 @@ Database::~Database() = default;
 server::TenantScheduler* Database::scheduler(rma::Rank& self) {
   if (schedulers_.empty()) return nullptr;
   return schedulers_[static_cast<std::size_t>(self.id())].get();
+}
+
+net::Listener* Database::listener(rma::Rank& self) {
+  if (listeners_.empty()) return nullptr;
+  return listeners_[static_cast<std::size_t>(self.id())].get();
 }
 
 namespace {
@@ -127,6 +133,30 @@ Database::Database(int nranks, const DatabaseConfig& cfg)
         server::TenantScheduler* ts = schedulers_[static_cast<std::size_t>(r)].get();
         pipelines_[static_cast<std::size_t>(r)]->set_epoch_observer(
             [ts](rma::Rank& s) { ts->on_epoch_close(s); });
+      }
+    }
+    if (cfg_.net_listen) {
+      // Socket front end: one listener per rank feeding that rank's
+      // scheduler. cfg.net_port is a base -- rank r binds port+r (0 stays 0:
+      // every rank gets its own ephemeral port, read via listener->port()).
+      const net::NetConfig base{
+          .port = cfg_.net_port,
+          .auth_token = cfg_.net_auth_token,
+          .max_connections = cfg_.net_max_connections,
+          .max_tenants = cfg_.net_max_tenants,
+          .credits = cfg_.net_credits,
+          .max_frame_bytes = cfg_.net_max_frame_bytes,
+          .handshake_timeout_ms = cfg_.net_handshake_timeout_ms,
+          .idle_timeout_ms = cfg_.net_idle_timeout_ms,
+          .drain_timeout_ms = cfg_.net_drain_timeout_ms,
+          .retry_after_ns = cfg_.net_retry_after_ns};
+      listeners_.reserve(static_cast<std::size_t>(nranks));
+      for (int r = 0; r < nranks; ++r) {
+        net::NetConfig ncfg = base;
+        if (ncfg.port != 0)
+          ncfg.port = static_cast<std::uint16_t>(ncfg.port + r);
+        listeners_.push_back(std::make_unique<net::Listener>(
+            schedulers_[static_cast<std::size_t>(r)].get(), ncfg));
       }
     }
   }

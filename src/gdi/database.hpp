@@ -29,6 +29,10 @@ namespace server {
 class TenantScheduler;
 }
 
+namespace net {
+class Listener;
+}
+
 /// Vertex distribution scheme (paper Section 5.4: GDI is orthogonal to the
 /// partitioning; GDA defaults to round-robin since "other distribution
 /// schemes only negligibly impact our performance").
@@ -134,6 +138,24 @@ struct DatabaseConfig {
   /// Bounded retries for a scheduled write that aborts with kTxnConflict
   /// before the scheduler reports the failure to the client.
   std::size_t server_write_retries = 3;
+  /// Socket front end (src/net/): one poll-based Listener per rank speaking
+  /// the CRC-framed wire protocol into this rank's TenantScheduler. Requires
+  /// cfg.server. Off by default: with it off, no listener object exists, no
+  /// socket is opened, and every byte of traffic is identical to a
+  /// server-only build.
+  bool net_listen = false;
+  std::uint16_t net_port = 0;       ///< 0 = ephemeral (Listener::port() tells)
+  std::uint64_t net_auth_token = 0; ///< Hello must present exactly this token
+  std::size_t net_max_connections = 64;
+  std::size_t net_max_tenants = 256;
+  /// Per-connection request window (credit-based flow control): max
+  /// unanswered requests on one connection. A slow reader stalls only itself.
+  std::uint32_t net_credits = 32;
+  std::uint32_t net_max_frame_bytes = 512;  ///< frame payload bound
+  double net_handshake_timeout_ms = 2000.0; ///< accept -> valid Hello deadline
+  double net_idle_timeout_ms = 0.0;         ///< 0 = never drop an idle conn
+  double net_drain_timeout_ms = 2000.0;     ///< graceful-shutdown bound
+  double net_retry_after_ns = 200000.0;     ///< hint on kOverloaded sheds
 };
 
 class Transaction;
@@ -191,6 +213,11 @@ class Database {
   /// Session submit() is thread-safe (clients live on their own threads);
   /// everything else -- pump/run/shutdown -- is the rank thread's alone.
   [[nodiscard]] server::TenantScheduler* scheduler(rma::Rank& self);
+
+  /// This rank's socket listener, or nullptr when cfg_.net_listen is off.
+  /// request_stop() is thread-safe; everything else (start/serve/poll_once)
+  /// belongs to the rank thread, like the scheduler it feeds.
+  [[nodiscard]] net::Listener* listener(rma::Rank& self);
 
   /// Seal this rank's open WAL epoch (one group fsync), honouring any armed
   /// kill point. Pipeline-off and pipeline-ineligible commits call this after
@@ -284,6 +311,8 @@ class Database {
   std::vector<std::unique_ptr<wal::WalWriter>> wals_;
   /// One multi-tenant scheduler per rank (empty when cfg_.server is off).
   std::vector<std::unique_ptr<server::TenantScheduler>> schedulers_;
+  /// One socket listener per rank (empty when cfg_.net_listen is off).
+  std::vector<std::unique_ptr<net::Listener>> listeners_;
   /// Per-rank commit high-water mark observed at recovery (0 when fresh).
   std::vector<std::uint64_t> recovered_commits_;
   /// Per-rank "inside teardown drain" flags: the pipeline close hook must

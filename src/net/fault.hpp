@@ -1,0 +1,93 @@
+// Deterministic fault injection for the socket transport -- the PR 6
+// rma::FaultInjector pattern (pure function of seed + consultation order)
+// extended to connection-level failures.
+//
+// The injector sits on the *sending* side of a net::Client: each outgoing
+// request frame draws once and may be corrupted (one byte flipped somewhere
+// in the encoded frame), truncated (a prefix is written and the connection
+// dies mid-frame -- the torn-frame case a length-prefixed decoder must treat
+// as kNeedMore until the close), stalled (the sender sleeps, modeling a
+// network pause and exercising the server's slow-peer handling), reordered
+// (the frame swaps places with the next one -- legal for requests whose tags
+// are deduplicated server-side), or followed by a disconnect (the socket is
+// closed right after the frame, mid-window). Corrupt/truncate/disconnect all
+// funnel the client into its reconnect-and-replay path, which is exactly the
+// machinery the churn soak wants to hammer.
+//
+// Decisions are a pure function of (seed, frame order): a failing soak
+// schedule replays from its seed, like GDI_FAULT_SEED does for the RMA layer.
+#pragma once
+
+#include <cstdint>
+
+namespace gdi::net {
+
+struct NetFaultConfig {
+  std::uint64_t seed = 0;  ///< 0 = injector disabled (all draws say "clean")
+
+  double corrupt_p = 0.0;     ///< flip one byte of the encoded frame
+  double truncate_p = 0.0;    ///< send a strict prefix, then disconnect
+  double stall_p = 0.0;       ///< sleep stall_ms before sending
+  double disconnect_p = 0.0;  ///< send intact, then disconnect
+  double reorder_p = 0.0;     ///< swap this frame with the next request
+  double stall_ms = 2.0;
+};
+
+class NetFaultInjector {
+ public:
+  explicit NetFaultInjector(NetFaultConfig cfg)
+      : cfg_(cfg), state_(cfg.seed != 0 ? cfg.seed : 0x9e3779b97f4a7c15ULL) {}
+
+  struct Action {
+    bool corrupt = false;
+    bool truncate = false;
+    bool stall = false;
+    bool disconnect = false;
+    bool reorder = false;
+    [[nodiscard]] bool any() const {
+      return corrupt || truncate || stall || disconnect || reorder;
+    }
+  };
+
+  /// Fate of the next outgoing request frame. At most one destructive fault
+  /// fires per frame (first match wins) so a schedule stays interpretable.
+  [[nodiscard]] Action on_frame() {
+    Action a;
+    if (cfg_.seed == 0) return a;
+    if (chance(cfg_.corrupt_p))
+      a.corrupt = true;
+    else if (chance(cfg_.truncate_p))
+      a.truncate = true;
+    else if (chance(cfg_.disconnect_p))
+      a.disconnect = true;
+    else if (chance(cfg_.reorder_p))
+      a.reorder = true;
+    if (chance(cfg_.stall_p)) a.stall = true;
+    return a;
+  }
+
+  /// Uniform draw in [0, n) -- picks the corrupted byte / truncation point.
+  [[nodiscard]] std::uint64_t draw_below(std::uint64_t n) {
+    return n == 0 ? 0 : next() % n;
+  }
+
+  [[nodiscard]] const NetFaultConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z;
+  }
+  [[nodiscard]] bool chance(double p) {
+    if (p <= 0.0) return false;
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  NetFaultConfig cfg_;
+  std::uint64_t state_;
+};
+
+}  // namespace gdi::net

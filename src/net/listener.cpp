@@ -1,0 +1,575 @@
+#include "net/listener.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "gdi/commit_pipeline.hpp"
+#include "gdi/database.hpp"
+
+namespace gdi::net {
+
+namespace {
+
+// Extra Conn bookkeeping lives in the header; these are shared local helpers.
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+double Listener::now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Listener::Listener(server::TenantScheduler* ts, NetConfig cfg)
+    : ts_(ts), cfg_(cfg) {
+  if (cfg_.credits == 0) cfg_.credits = 1;
+  if (cfg_.max_frame_bytes < sizeof(server::Request))
+    cfg_.max_frame_bytes = sizeof(server::Request);
+  if (cfg_.max_frame_bytes > kMaxFrameLen) cfg_.max_frame_bytes = kMaxFrameLen;
+}
+
+Listener::~Listener() {
+  for (auto& c : conns_)
+    if (c->fd >= 0) ::close(c->fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status Listener::start() {
+  if (listen_fd_ >= 0) return Status::kOk;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::kNoSpace;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0 || !set_nonblocking(fd)) {
+    ::close(fd);
+    return Status::kNoSpace;
+  }
+  socklen_t alen = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &alen) == 0)
+    port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  return Status::kOk;
+}
+
+std::size_t Listener::buffered_bytes() const {
+  std::size_t n = 0;
+  for (const auto& c : conns_) n += c->rx.size() + c->tx.size();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Outbound path
+// ---------------------------------------------------------------------------
+
+void Listener::send_reply(Conn& c, const Reply_t& rep) {
+  encode_frame(c.tx, FrameType::kReply, rep);
+  c.tx_encoded += sizeof(FrameHeader) + sizeof(Reply_t);
+  c.reply_ends.push_back(c.tx_encoded);
+}
+
+void Listener::queue_bye(Conn& c, ByeReason reason, std::uint32_t retry_after_us) {
+  ByeBody b{static_cast<std::uint32_t>(reason), retry_after_us};
+  encode_frame(c.tx, FrameType::kBye, b);
+  c.tx_encoded += sizeof(FrameHeader) + sizeof(ByeBody);
+  c.state = ConnState::kClosing;
+}
+
+bool Listener::flush_conn(Conn& c, rma::Rank& self) {
+  while (!c.tx.empty()) {
+    const ssize_t n = ::send(c.fd, c.tx.data(), c.tx.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c.tx.erase(c.tx.begin(), c.tx.begin() + n);
+      c.tx_written += static_cast<std::size_t>(n);
+      self.counters().net_frames_tx +=
+          [&] {  // count reply frames that became fully visible to the peer
+            std::uint64_t done = 0;
+            while (!c.reply_ends.empty() && c.reply_ends.front() <= c.tx_written) {
+              c.reply_ends.pop_front();
+              if (c.in_window > 0) c.in_window -= 1;  // credit returned
+              ++done;
+            }
+            return done;
+          }();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Slow reader: its window will throttle it; note the stall transition.
+      if (!c.write_blocked) {
+        c.write_blocked = true;
+        self.counters().net_backpressure_stalls += 1;
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EPIPE / ECONNRESET / ...: peer is gone
+  }
+  c.write_blocked = false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Inbound path
+// ---------------------------------------------------------------------------
+
+void Listener::accept_ready(rma::Rank& self, double now) {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure: retry on the next poll round
+    }
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    self.counters().net_accepted += 1;
+    auto c = std::make_unique<Conn>();
+    c->fd = fd;
+    c->accepted_ms = now;
+    c->last_rx_ms = now;
+    if (conns_.size() >= cfg_.max_connections || draining_) {
+      // Typed degradation: tell the peer why and when to retry, then close
+      // once the Bye flushes (lifecycle enforces the deadline).
+      queue_bye(*c, draining_ ? ByeReason::kDraining : ByeReason::kCapacity,
+                static_cast<std::uint32_t>(cfg_.retry_after_ns / 1000.0));
+    }
+    conns_.push_back(std::move(c));
+  }
+}
+
+bool Listener::on_request(Conn& c, const server::Request& r, rma::Rank& self) {
+  TenantState& t = *c.tstate;
+  const std::uint64_t tag = r.client_tag;
+  if (c.in_window >= cfg_.credits) {
+    // Window overrun: the peer ignored flow control, so its stream state is
+    // untrustworthy. This is a protocol error, not an overload shed.
+    self.counters().net_bad_frames += 1;
+    queue_bye(c, ByeReason::kProtocolError);
+    return false;
+  }
+  c.in_window += 1;
+
+  // Exactly-once resumption: a replayed tag that already completed as a
+  // write is answered from the reply cache and never re-executed. Replayed
+  // reads fall through and simply re-execute (idempotent).
+  const bool completed =
+      tag != 0 && (tag <= t.watermark ||
+                   std::find(t.done_above.begin(), t.done_above.end(), tag) !=
+                       t.done_above.end());
+  if (completed && !server::is_read(r.op)) {
+    const auto it = t.reply_cache.find(tag);
+    Reply_t rep;
+    if (it != t.reply_cache.end()) {
+      rep = it->second;
+    } else {
+      // Cache pruned: only possible for tags far behind the watermark, which
+      // an honest client cannot still be replaying. Acknowledge anyway.
+      rep = Reply_t{tag, Status::kOk, r.value, 0, 0};
+    }
+    send_reply(c, rep);
+    return true;
+  }
+  if (t.submitted.count(tag) != 0) {
+    // The tag is still executing: a duplicate in flight would double-apply,
+    // so answer it typed instead of re-submitting.
+    send_reply(c, Reply_t{tag, Status::kInvalidArgument, 0, 0, 0});
+    return true;
+  }
+
+  server::Request q = r;
+  // Arrival is stamped at receipt on the rank's simulated clock (the wire
+  // field is never trusted): latency histograms then measure queueing +
+  // service from the moment the frame was decoded.
+  q.arrival_ns = self.sim_time_ns();
+  const Status st = t.session->submit(q);
+  if (st == Status::kOk) {
+    t.submitted[tag] = !server::is_read(r.op);
+    return true;
+  }
+  // Typed shed: kOverloaded (admission) or kShutdown (draining). v1 carries
+  // the retry-after hint in ns; the request is answered, never dropped.
+  send_reply(c, Reply_t{tag, st,
+                        0, static_cast<std::int64_t>(cfg_.retry_after_ns), 0});
+  return true;
+}
+
+void Listener::try_ack_handshake(Conn& c, rma::Rank& self) {
+  TenantState& t = tenants_[c.tenant];
+  if (t.conn != nullptr && t.conn != &c) {
+    // Supersede: a reconnecting tenant means the old connection is dead or
+    // half-open. Doom it; its session drains as an orphan first.
+    Conn* old = t.conn;
+    old->state = ConnState::kClosing;
+    old->superseded = true;
+    if (t.session != nullptr) t.session->close();
+    t.conn = nullptr;
+  }
+  if (t.session != nullptr) {
+    // The previous connection's session is still draining: every admitted
+    // tag must complete (and be folded into the resumption state) before the
+    // new window opens, or a replay could run concurrently with the
+    // original. Stay held; lifecycle retries.
+    c.state = ConnState::kHandshakeHeld;
+    c.tstate = &t;
+    return;
+  }
+  t.session = ts_->open_session();
+  t.conn = &c;
+  c.tstate = &t;
+  c.state = ConnState::kOpen;
+  HelloAckBody ack{cfg_.credits, cfg_.max_frame_bytes, t.watermark};
+  encode_frame(c.tx, FrameType::kHelloAck, ack);
+  c.tx_encoded += sizeof(FrameHeader) + sizeof(HelloAckBody);
+  (void)self;
+}
+
+bool Listener::on_frame(Conn& c, const Frame& f, rma::Rank& self, double now) {
+  c.last_rx_ms = now;
+  switch (c.state) {
+    case ConnState::kHandshake: {
+      if (f.type != FrameType::kHello) break;  // anything else: protocol error
+      HelloBody hello;
+      if (!read_body(f.payload, &hello)) break;
+      if (hello.auth_token != cfg_.auth_token) {
+        queue_bye(c, ByeReason::kAuthFailed);
+        return true;
+      }
+      if (draining_) {
+        queue_bye(c, ByeReason::kDraining);
+        return true;
+      }
+      if (tenants_.find(hello.tenant_id) == tenants_.end() &&
+          tenants_.size() >= cfg_.max_tenants) {
+        queue_bye(c, ByeReason::kCapacity,
+                  static_cast<std::uint32_t>(cfg_.retry_after_ns / 1000.0));
+        return true;
+      }
+      c.tenant = hello.tenant_id;
+      try_ack_handshake(c, self);
+      return true;
+    }
+    case ConnState::kHandshakeHeld:
+      break;  // the client must wait for HelloAck; early frames desync
+    case ConnState::kOpen: {
+      if (f.type == FrameType::kRequest) {
+        server::Request r;
+        if (!read_body(f.payload, &r)) break;
+        return on_request(c, r, self);
+      }
+      if (f.type == FrameType::kBye) {
+        // Orderly close: drain what was admitted, flush the tail, answer
+        // with Bye(kDone). No disconnect is counted.
+        c.client_bye = true;
+        c.state = ConnState::kClosing;
+        if (c.tstate != nullptr && c.tstate->session != nullptr)
+          c.tstate->session->close();
+        return true;
+      }
+      break;
+    }
+    case ConnState::kClosing:
+      return true;  // ignore anything the peer still sends
+  }
+  self.counters().net_bad_frames += 1;
+  queue_bye(c, ByeReason::kProtocolError);
+  return true;
+}
+
+bool Listener::read_conn(Conn& c, rma::Rank& self, double now) {
+  // rx is bounded by one maximal frame: a frame always fits whole, and an
+  // oversize length is rejected by the decoder before any payload buffering.
+  const std::size_t cap = sizeof(FrameHeader) + cfg_.max_frame_bytes;
+  bool progress = false;
+  for (;;) {
+    std::byte buf[4096];
+    const std::size_t room = cap > c.rx.size() ? cap - c.rx.size() : 0;
+    const std::size_t want = std::min(room + sizeof(buf) / 2, sizeof(buf));
+    const ssize_t n = ::recv(c.fd, buf, want, 0);
+    if (n == 0) return false;  // EOF
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (c.state == ConnState::kClosing) continue;  // drain + discard
+    c.rx.insert(c.rx.end(), buf, buf + n);
+    // Decode every complete frame in the buffer.
+    std::size_t head = 0;
+    for (;;) {
+      Frame f;
+      std::size_t consumed = 0;
+      const DecodeResult dr =
+          decode_frame(std::span<const std::byte>(c.rx).subspan(head),
+                       cfg_.max_frame_bytes, &f, &consumed);
+      if (dr == DecodeResult::kNeedMore) break;
+      if (dr == DecodeResult::kBad) {
+        self.counters().net_bad_frames += 1;
+        queue_bye(c, ByeReason::kProtocolError);
+        c.rx.clear();
+        head = 0;
+        break;
+      }
+      self.counters().net_frames_rx += 1;
+      progress = true;
+      const bool keep = on_frame(c, f, self, now);
+      head += consumed;
+      if (!keep || c.state == ConnState::kClosing) {
+        c.rx.clear();
+        head = 0;
+        break;
+      }
+    }
+    if (head > 0) c.rx.erase(c.rx.begin(), c.rx.begin() + static_cast<std::ptrdiff_t>(head));
+    if (c.rx.size() >= cap) {
+      // A full buffer with no decodable frame cannot happen with a sane
+      // decoder bound; treat it as a desynced stream.
+      self.counters().net_bad_frames += 1;
+      queue_bye(c, ByeReason::kProtocolError);
+      c.rx.clear();
+    }
+  }
+  (void)progress;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Harvest + lifecycle
+// ---------------------------------------------------------------------------
+
+void Listener::record_completion(TenantState& t, const Reply_t& rep) {
+  const std::uint64_t tag = rep.client_tag;
+  const auto sub = t.submitted.find(tag);
+  const bool is_write = sub != t.submitted.end() && sub->second;
+  if (sub != t.submitted.end()) t.submitted.erase(sub);
+  if (tag == 0 || tag <= t.watermark) return;
+  if (std::find(t.done_above.begin(), t.done_above.end(), tag) !=
+      t.done_above.end())
+    return;
+  // Cache every completed write's reply (status included: a replay of a
+  // failed write must observe the same failure, not a re-execution).
+  if (is_write) t.reply_cache[tag] = rep;
+  t.done_above.push_back(tag);
+  // Advance the watermark over the now-contiguous prefix.
+  std::sort(t.done_above.begin(), t.done_above.end());
+  std::size_t adv = 0;
+  while (adv < t.done_above.size() && t.done_above[adv] == t.watermark + adv + 1)
+    ++adv;
+  if (adv > 0) {
+    t.watermark += adv;
+    t.done_above.erase(t.done_above.begin(),
+                       t.done_above.begin() + static_cast<std::ptrdiff_t>(adv));
+  }
+  // Prune the reply cache: a client window is at most `credits`, so an
+  // honest replay can never reach further back than this line.
+  const std::uint64_t keep_above =
+      t.watermark > 2ULL * cfg_.credits ? t.watermark - 2ULL * cfg_.credits : 0;
+  while (!t.reply_cache.empty() && t.reply_cache.begin()->first <= keep_above)
+    t.reply_cache.erase(t.reply_cache.begin());
+}
+
+void Listener::harvest_replies(rma::Rank& self) {
+  (void)self;
+  for (auto& [tenant, t] : tenants_) {
+    if (t.session == nullptr) continue;
+    for (const Reply_t& rep : t.session->take_replies()) {
+      record_completion(t, rep);
+      if (t.conn != nullptr) send_reply(*t.conn, rep);
+      // No connection (orphan): the reply is dropped; the client learns the
+      // outcome from the watermark / reply cache when it reconnects.
+    }
+  }
+}
+
+void Listener::drop_conn(std::size_t idx, rma::Rank& self, bool count_disconnect) {
+  Conn& c = *conns_[idx];
+  if (c.fd >= 0) ::close(c.fd);
+  c.fd = -1;
+  if (c.tstate != nullptr) {
+    TenantState& t = *c.tstate;
+    if (t.conn == &c) {
+      t.conn = nullptr;
+      if (t.session != nullptr) t.session->close();  // orphan: drains, then recycles
+    }
+  }
+  if (count_disconnect) self.counters().net_disconnects += 1;
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+void Listener::lifecycle(rma::Rank& self, double now) {
+  // Held handshakes: retry once the tenant's previous session has drained.
+  for (auto& up : conns_) {
+    Conn& c = *up;
+    if (c.state == ConnState::kHandshakeHeld) try_ack_handshake(c, self);
+  }
+  // Orphaned sessions: fold the drained remainder into the resumption state
+  // and recycle the slot (roster stays bounded under connection churn).
+  for (auto& [tenant, t] : tenants_) {
+    if (t.session != nullptr && t.conn == nullptr && t.session->quiesced()) {
+      ts_->recycle(t.session);
+      t.session = nullptr;
+      t.submitted.clear();
+    }
+  }
+  // Per-connection deadlines and close progression.
+  for (std::size_t i = conns_.size(); i-- > 0;) {
+    Conn& c = *conns_[i];
+    bool drop = false;
+    bool count = false;
+    switch (c.state) {
+      case ConnState::kHandshake:
+      case ConnState::kHandshakeHeld:
+        if (now - c.accepted_ms > cfg_.handshake_timeout_ms) {
+          queue_bye(c, ByeReason::kIdleTimeout);
+          c.close_deadline_ms = now;  // one flush attempt, then out
+          count = true;
+          (void)flush_conn(c, self);
+          drop = true;
+        }
+        break;
+      case ConnState::kOpen: {
+        if (cfg_.idle_timeout_ms > 0 && c.in_window == 0 &&
+            now - c.last_rx_ms > cfg_.idle_timeout_ms) {
+          queue_bye(c, ByeReason::kIdleTimeout);
+          c.close_deadline_ms = now + cfg_.drain_timeout_ms;
+          break;
+        }
+        if (draining_ && c.tstate != nullptr && c.tstate->session != nullptr &&
+            c.tstate->session->quiesced() && c.reply_ends.empty()) {
+          queue_bye(c, ByeReason::kDraining);
+          c.close_deadline_ms = now + cfg_.drain_timeout_ms;
+        }
+        break;
+      }
+      case ConnState::kClosing: {
+        if (c.close_deadline_ms == 0) c.close_deadline_ms = now + cfg_.drain_timeout_ms;
+        const bool drained =
+            c.tstate == nullptr || c.tstate->session == nullptr ||
+            c.tstate->conn != &c || c.tstate->session->quiesced();
+        if (c.client_bye && drained && c.reply_ends.empty() && !c.bye_queued) {
+          ByeBody b{static_cast<std::uint32_t>(ByeReason::kDone), 0};
+          encode_frame(c.tx, FrameType::kBye, b);
+          c.tx_encoded += sizeof(FrameHeader) + sizeof(ByeBody);
+          c.bye_queued = true;
+        }
+        const bool flushed = c.tx.empty();
+        if ((flushed && (!c.client_bye || c.bye_queued) && drained &&
+             c.reply_ends.empty()) ||
+            now > c.close_deadline_ms) {
+          drop = true;
+          count = !c.client_bye || !flushed || c.superseded;
+        }
+        break;
+      }
+    }
+    if (drop) drop_conn(i, self, count);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+bool Listener::poll_once(const std::shared_ptr<Database>& db, rma::Rank& self,
+                         int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  const bool listening = listen_fd_ >= 0;
+  if (listening) fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  for (const auto& c : conns_)
+    fds.push_back(pollfd{c->fd,
+                         static_cast<short>(POLLIN | (c->tx.empty() ? 0 : POLLOUT)),
+                         0});
+  ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+  const double now = now_ms();
+  if (listening && (fds[0].revents & POLLIN) != 0) accept_ready(self, now);
+
+  // Read in reverse so dropping a dead connection cannot shift an index we
+  // have not visited yet (accepts above only appended).
+  const std::size_t base = listening ? 1 : 0;
+  const std::size_t scanned = fds.size() - base;
+  for (std::size_t k = scanned; k-- > 0;) {
+    const short rev = fds[base + k].revents;
+    if (k >= conns_.size()) continue;
+    if ((rev & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    if (!read_conn(*conns_[k], self, now))
+      drop_conn(k, self, /*count_disconnect=*/conns_[k]->state != ConnState::kClosing ||
+                                              !conns_[k]->tx.empty());
+  }
+
+  const bool dispatched = ts_->pump(db, self);
+  if (!dispatched) {
+    // Idle with an open epoch: fence it so deferred group acks do not wait
+    // for more traffic (the drain_loop idle rule, transplanted here).
+    CommitPipeline* cp = db->commit_pipeline(self);
+    if (cp != nullptr && cp->epoch_open()) cp->sync(self);
+  }
+  harvest_replies(self);
+
+  for (std::size_t i = conns_.size(); i-- > 0;) {
+    Conn& c = *conns_[i];
+    if (!c.tx.empty() && !flush_conn(c, self)) drop_conn(i, self, true);
+  }
+  lifecycle(self, now_ms());
+  return dispatched;
+}
+
+void Listener::serve(const std::shared_ptr<Database>& db, rma::Rank& self) {
+  (void)start();
+  bool busy = true;
+  for (;;) {
+    if (stop_requested() && !draining_) {
+      draining_ = true;
+      drain_began_ms_ = now_ms();
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      ts_->begin_shutdown();
+      // Close every live session: queued work still drains (close gates new
+      // submits only), and quiesced() becomes reachable for the drain check.
+      for (auto& up : conns_) {
+        Conn& c = *up;
+        if (c.tstate != nullptr && c.tstate->session != nullptr &&
+            c.tstate->conn == &c)
+          c.tstate->session->close();
+      }
+    }
+    busy = poll_once(db, self, busy ? 0 : 1);
+    if (draining_) {
+      if (conns_.empty() && ts_->idle()) break;
+      if (now_ms() - drain_began_ms_ > cfg_.drain_timeout_ms) {
+        // Non-reading peers exhausted the drain budget: force the close.
+        for (std::size_t i = conns_.size(); i-- > 0;) drop_conn(i, self, true);
+        break;
+      }
+    }
+  }
+  // Everything socket-side is drained; the scheduler's own shutdown fences
+  // the pipeline and completes any in-process sessions' remainders.
+  ts_->shutdown(db, self);
+}
+
+}  // namespace gdi::net

@@ -1,0 +1,193 @@
+// Per-rank socket front end: a poll-based nonblocking listener that speaks
+// the src/net/wire.hpp frame protocol and feeds the PR 7 TenantScheduler.
+//
+// Threading contract (inherited from the scheduler): an rma::Rank is only
+// ever touched by its own thread, so ALL of the listener runs on the rank
+// thread -- accept, read, frame decode, Session::submit, scheduler pump,
+// reply harvest, and write-out are interleaved in one event loop
+// (serve() / poll_once()). Sockets are nonblocking throughout; the loop
+// never sleeps while anything is runnable and blocks in poll(2) for a
+// bounded interval when idle. Clients are the *other* threads (or other
+// processes): they only touch their own socket.
+//
+// Robustness posture, in order of appearance:
+//  * handshake: first frame must be Hello{auth_token, tenant_id} within
+//    handshake_timeout_ms; a bad token answers Bye(kAuthFailed), a full
+//    connection/tenant table answers Bye(kCapacity, retry_after) -- typed
+//    degradation the client can act on, never a silent drop;
+//  * framing: every malformed frame (bad magic/version/type, oversize len,
+//    CRC mismatch, wrong-shaped body) counts net_bad_frames and closes the
+//    connection after a best-effort Bye(kProtocolError) -- framing is lost,
+//    and the reconnect-replay protocol makes closing safe; buffers are
+//    bounded (rx by one max frame, tx by the credit window), so no client
+//    can grow server memory;
+//  * flow control: HelloAck grants `credits` -- the max unanswered requests
+//    on the connection. A credit returns when its reply frame has been fully
+//    written to the socket, so a slow *reader* starves only itself: its
+//    window empties, its tx buffer caps at window size, and the scheduler
+//    loop and every other tenant proceed untouched (net_backpressure_stalls
+//    counts write-blocked transitions). A client that overruns its window is
+//    desynced and gets Bye(kProtocolError);
+//  * overload: an admission-shed submit answers a Reply with kOverloaded and
+//    a retry-after hint in v1 (see server/retry.hpp) instead of dropping the
+//    connection; shutdown sheds answer kShutdown the same way;
+//  * exactly-once resumption: per tenant the listener keeps the completed
+//    request watermark, the completed set above it, and a bounded cache of
+//    recent write replies. A reconnecting client's replayed write that
+//    already committed is answered from the cache, never re-executed; reads
+//    replay by re-execution. A reconnect (or a superseding connection from
+//    the same tenant) is acknowledged only after the previous connection's
+//    session has fully drained, so no tag can ever be in flight twice;
+//  * graceful drain: request_stop() (any thread) stops accepting, sheds new
+//    submits with kShutdown, answers everything admitted, flushes every
+//    connection's tail (bounded by drain_timeout_ms against non-reading
+//    peers), then Bye(kDraining) -- mirroring the WalTeardown guarantee:
+//    zero committed transactions lost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/wire.hpp"
+#include "server/scheduler.hpp"
+
+namespace gdi {
+class Database;
+}
+
+namespace gdi::net {
+
+struct NetConfig {
+  std::uint16_t port = 0;       ///< 0 = ephemeral; read the bound one via port()
+  std::uint64_t auth_token = 0; ///< Hello must present exactly this token
+  std::size_t max_connections = 64;
+  std::size_t max_tenants = 256;  ///< bound on resumption-state table entries
+  std::uint32_t credits = 32;     ///< per-connection request window
+  std::uint32_t max_frame_bytes = 512;  ///< payload bound (clamped to kMaxFrameLen)
+  double handshake_timeout_ms = 2000.0; ///< accept -> valid Hello deadline
+  double idle_timeout_ms = 0.0;         ///< 0 = never time out an open conn
+  double drain_timeout_ms = 2000.0;     ///< graceful-shutdown bound (real time)
+  double retry_after_ns = 200000.0;     ///< hint attached to kOverloaded sheds
+};
+
+class Listener {
+ public:
+  /// The scheduler must outlive the listener; both belong to the same rank.
+  Listener(server::TenantScheduler* ts, NetConfig cfg);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen (idempotent). kOk, or kNoSpace when the socket could not
+  /// be created/bound. Rank thread.
+  Status start();
+  [[nodiscard]] bool started() const { return listen_fd_ >= 0; }
+  /// The bound port (after start(); meaningful with cfg.port == 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Ask the serve loop to drain and return. Any thread, idempotent.
+  void request_stop() { stop_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  /// One event-loop iteration: poll (blocking at most timeout_ms when idle),
+  /// accept, read + decode + submit, pump the scheduler once, harvest
+  /// replies, write out, and run connection lifecycle (timeouts, closes,
+  /// session recycling). Returns true if any frame or dispatch made
+  /// progress. Rank thread only.
+  bool poll_once(const std::shared_ptr<Database>& db, rma::Rank& self,
+                 int timeout_ms);
+
+  /// Serve until request_stop() and the graceful drain completed. Calls
+  /// start() if needed; finishes with TenantScheduler::shutdown so every
+  /// admitted request is answered and the commit pipeline is fenced.
+  void serve(const std::shared_ptr<Database>& db, rma::Rank& self);
+
+  // --- observability (rank thread; stable once serve() returned) -----------
+  [[nodiscard]] std::size_t live_connections() const { return conns_.size(); }
+  /// Bytes currently buffered across every connection (leak observable).
+  [[nodiscard]] std::size_t buffered_bytes() const;
+  /// Resumption-state entries currently held (bounded by max_tenants).
+  [[nodiscard]] std::size_t tenant_states() const { return tenants_.size(); }
+
+  [[nodiscard]] const NetConfig& config() const { return cfg_; }
+
+ private:
+  struct Conn;
+  using Reply_t = server::Reply;
+
+  /// Per-tenant exactly-once resumption state. Lives across connections;
+  /// bounded: done_above and reply_cache are pruned against the watermark.
+  struct TenantState {
+    std::uint64_t watermark = 0;  ///< every tag <= this has completed
+    std::map<std::uint64_t, Reply_t> reply_cache;  ///< completed writes > prune line
+    std::vector<std::uint64_t> done_above;         ///< completed tags > watermark
+    std::map<std::uint64_t, bool> submitted;       ///< in-flight tag -> is_write
+    server::Session* session = nullptr;  ///< live or draining session
+    Conn* conn = nullptr;                ///< current connection (null = orphaned)
+  };
+
+  enum class ConnState : std::uint8_t {
+    kHandshake,      ///< accepted, waiting for Hello
+    kHandshakeHeld,  ///< Hello ok, waiting for the tenant's old session drain
+    kOpen,           ///< serving requests
+    kClosing,        ///< Bye queued; close once tx flushes
+  };
+
+  struct Conn {
+    int fd = -1;
+    ConnState state = ConnState::kHandshake;
+    std::uint64_t tenant = 0;
+    TenantState* tstate = nullptr;
+    std::vector<std::byte> rx;
+    std::vector<std::byte> tx;      ///< unwritten outbound bytes
+    std::size_t tx_written = 0;     ///< total stream bytes ever written
+    std::size_t tx_encoded = 0;     ///< total stream bytes ever encoded
+    std::deque<std::size_t> reply_ends;  ///< stream offsets where replies end
+    std::uint32_t in_window = 0;    ///< requests received minus credits returned
+    bool write_blocked = false;     ///< EAGAIN with pending tx (stall state)
+    bool client_bye = false;        ///< peer sent Bye: orderly close in progress
+    bool bye_queued = false;        ///< our closing Bye(kDone) is already queued
+    bool superseded = false;        ///< replaced by a newer conn from its tenant
+    double accepted_ms = 0;         ///< real clock, for the handshake deadline
+    double last_rx_ms = 0;          ///< real clock, for the idle deadline
+    double close_deadline_ms = 0;   ///< kClosing flush deadline (0 = unset)
+  };
+
+  // Event-loop stages (rank thread).
+  void accept_ready(rma::Rank& self, double now_ms);
+  bool read_conn(Conn& c, rma::Rank& self, double now_ms);
+  bool on_frame(Conn& c, const Frame& f, rma::Rank& self, double now_ms);
+  bool on_request(Conn& c, const server::Request& r, rma::Rank& self);
+  void try_ack_handshake(Conn& c, rma::Rank& self);
+  void harvest_replies(rma::Rank& self);
+  void record_completion(TenantState& t, const Reply_t& rep);
+  void send_reply(Conn& c, const Reply_t& rep);
+  void queue_bye(Conn& c, ByeReason reason, std::uint32_t retry_after_us = 0);
+  bool flush_conn(Conn& c, rma::Rank& self);
+  void drop_conn(std::size_t idx, rma::Rank& self, bool count_disconnect);
+  void lifecycle(rma::Rank& self, double now_ms);
+  [[nodiscard]] static double now_ms();
+
+  server::TenantScheduler* ts_;
+  NetConfig cfg_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool draining_ = false;
+  double drain_began_ms_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::map<std::uint64_t, TenantState> tenants_;
+  /// Sessions whose connection died; drained by the scheduler, harvested and
+  /// recycled here. Keyed by tenant id inside tenants_ (session != null,
+  /// conn == null).
+};
+
+}  // namespace gdi::net

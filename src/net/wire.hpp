@@ -1,0 +1,170 @@
+// Wire protocol of the socket front end (src/net/): CRC-framed,
+// length-prefixed messages carrying the transport-agnostic server::Request /
+// server::Reply PODs of the multi-tenant scheduler.
+//
+// Frame layout (little-endian, 16-byte header):
+//
+//   +--------+---------+------+----------+---------+-----------+
+//   | magic  | version | type | reserved | len     | crc       |
+//   | u32    | u8      | u8   | u16      | u32     | u32       |
+//   +--------+---------+------+----------+---------+-----------+
+//   | payload: `len` bytes, crc32(payload) == crc              |
+//   +----------------------------------------------------------+
+//
+// `len` is bounded by the listener's max_frame_bytes (requests and replies
+// are small flat PODs; anything larger is an attack or a desynced stream, and
+// the decoder rejects it *before* buffering the payload). The CRC covers the
+// payload only -- the header fields are each individually validated, and a
+// header that fails validation means the stream is unframeable, so the
+// connection is dropped rather than resynchronized (the client replays its
+// unacknowledged window on reconnect; see the handshake notes below).
+//
+// Conversation:
+//   client: Hello{auth_token, tenant_id}        (first frame, nothing before)
+//   server: HelloAck{credits, max_frame, last_acked_write_tag}
+//           -- or Bye{reason} and close (bad token, capacity, draining)
+//   client: Request*  (at most `credits` outstanding: one credit is consumed
+//           per Request sent and returned per Reply received -- the
+//           credit-based flow control that makes a slow *reader* stall only
+//           its own connection, never the scheduler loop or other tenants)
+//   server: Reply*    (one per admitted Request; a shed request is answered
+//           with status kOverloaded and a retry-after hint in Reply::v1 --
+//           typed degradation, not a disconnect)
+//   either: Bye{reason} then close.
+//
+// Exactly-once resumption: `client_tag` must be a strictly increasing
+// per-tenant sequence number. The listener remembers, per tenant_id, the
+// completed *write* tags (watermark + recent set) and caches their replies,
+// so a client that reconnects after a mid-window disconnect can replay its
+// unacknowledged tail without double-applying committed writes: a replayed
+// completed write is answered from the reply cache, never re-executed.
+// HelloAck::last_acked_write_tag tells the client where the watermark stood.
+// Reads are idempotent and are simply re-executed on replay.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "server/scheduler.hpp"
+#include "wal/wal.hpp"  // wal::crc32
+
+namespace gdi::net {
+
+inline constexpr std::uint32_t kMagic = 0x46494447u;  // "GDIF"
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Hard ceiling on `len` regardless of configuration: no configuration can
+/// make the decoder buffer more than this for one frame.
+inline constexpr std::uint32_t kMaxFrameLen = 1u << 16;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,    ///< client -> server, first frame: HelloBody
+  kHelloAck,     ///< server -> client: HelloAckBody
+  kRequest,      ///< client -> server: server::Request
+  kReply,        ///< server -> client: server::Reply
+  kBye,          ///< either direction, last frame: ByeBody
+};
+
+/// Why a Bye was sent. Carried on the wire as u32.
+enum class ByeReason : std::uint32_t {
+  kDone = 0,        ///< orderly close, nothing wrong
+  kAuthFailed,      ///< handshake token mismatch
+  kCapacity,        ///< connection/tenant table full -- retry after the hint
+  kProtocolError,   ///< malformed frame, credit violation, or desynced stream
+  kIdleTimeout,     ///< handshake or idle deadline expired
+  kDraining,        ///< server shutting down; admitted work was answered
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint8_t version = kWireVersion;
+  std::uint8_t type = 0;
+  std::uint16_t reserved = 0;
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+struct HelloBody {
+  std::uint64_t auth_token = 0;
+  std::uint64_t tenant_id = 0;
+};
+
+struct HelloAckBody {
+  std::uint32_t credits = 0;          ///< request window granted to the client
+  std::uint32_t max_frame_bytes = 0;  ///< server's frame-size bound
+  std::uint64_t last_acked_write_tag = 0;  ///< tenant's completed-write watermark
+};
+
+struct ByeBody {
+  std::uint32_t reason = 0;         ///< ByeReason
+  std::uint32_t retry_after_us = 0; ///< nonzero with kCapacity: back off this long
+};
+
+/// Append one encoded frame to `out`.
+inline void encode_frame(std::vector<std::byte>& out, FrameType type,
+                         const void* payload, std::size_t len) {
+  FrameHeader h;
+  h.type = static_cast<std::uint8_t>(type);
+  h.len = static_cast<std::uint32_t>(len);
+  h.crc = wal::crc32(payload, len);
+  const auto* hp = reinterpret_cast<const std::byte*>(&h);
+  out.insert(out.end(), hp, hp + sizeof(h));
+  const auto* pp = static_cast<const std::byte*>(payload);
+  out.insert(out.end(), pp, pp + len);
+}
+
+template <class T>
+inline void encode_frame(std::vector<std::byte>& out, FrameType type, const T& body) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  encode_frame(out, type, &body, sizeof(T));
+}
+
+/// Decoder verdicts. kNeedMore = buffer holds a partial frame, read more.
+/// kBad poisons the stream: framing is lost, so the connection must close.
+enum class DecodeResult : std::uint8_t { kFrame = 0, kNeedMore, kBad };
+
+struct Frame {
+  FrameType type = FrameType::kBye;
+  std::span<const std::byte> payload;  ///< view into the decode buffer
+};
+
+/// Try to decode one frame from the front of `buf`. On kFrame, `*consumed` is
+/// the total encoded size (pop it from the buffer after using the payload
+/// view). `max_len` is the configured bound (clamped to kMaxFrameLen).
+/// Every malformed condition -- bad magic, unknown version or type, oversize
+/// length, CRC mismatch -- returns kBad without reading past the buffer.
+inline DecodeResult decode_frame(std::span<const std::byte> buf,
+                                 std::uint32_t max_len, Frame* out,
+                                 std::size_t* consumed) {
+  if (buf.size() < sizeof(FrameHeader)) return DecodeResult::kNeedMore;
+  FrameHeader h;
+  std::memcpy(&h, buf.data(), sizeof(h));
+  if (h.magic != kMagic || h.version != kWireVersion) return DecodeResult::kBad;
+  if (h.type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      h.type > static_cast<std::uint8_t>(FrameType::kBye))
+    return DecodeResult::kBad;
+  const std::uint32_t bound = max_len < kMaxFrameLen ? max_len : kMaxFrameLen;
+  if (h.len > bound) return DecodeResult::kBad;
+  if (buf.size() < sizeof(h) + h.len) return DecodeResult::kNeedMore;
+  const std::span<const std::byte> payload = buf.subspan(sizeof(h), h.len);
+  if (wal::crc32(payload.data(), payload.size()) != h.crc) return DecodeResult::kBad;
+  out->type = static_cast<FrameType>(h.type);
+  out->payload = payload;
+  *consumed = sizeof(h) + h.len;
+  return DecodeResult::kFrame;
+}
+
+/// Decode a POD payload; false when the size does not match the type (a
+/// well-framed but wrong-shaped payload is as malformed as a bad CRC).
+template <class T>
+[[nodiscard]] inline bool read_body(std::span<const std::byte> payload, T* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (payload.size() != sizeof(T)) return false;
+  std::memcpy(out, payload.data(), sizeof(T));
+  return true;
+}
+
+}  // namespace gdi::net

@@ -147,6 +147,19 @@ struct OpCounters {
   std::uint64_t dht_migrated = 0;
   std::uint64_t dht_reclaimed = 0;
 
+  // Socket front end (src/net/): connections accepted, frames decoded off /
+  // fully written to the wire, malformed frames (bad magic/version/CRC,
+  // oversize length, wrong-shaped body, credit overrun), write-blocked
+  // transitions under credit-based backpressure (a slow reader stalling only
+  // itself), and non-orderly connection drops (errors, timeouts, supersedes,
+  // forced drain closes).
+  std::uint64_t net_accepted = 0;
+  std::uint64_t net_frames_rx = 0;
+  std::uint64_t net_frames_tx = 0;
+  std::uint64_t net_bad_frames = 0;
+  std::uint64_t net_backpressure_stalls = 0;
+  std::uint64_t net_disconnects = 0;
+
   OpCounters& operator+=(const OpCounters& o) {
     puts += o.puts;
     gets += o.gets;
@@ -186,6 +199,12 @@ struct OpCounters {
     dht_probe_rounds += o.dht_probe_rounds;
     dht_migrated += o.dht_migrated;
     dht_reclaimed += o.dht_reclaimed;
+    net_accepted += o.net_accepted;
+    net_frames_rx += o.net_frames_rx;
+    net_frames_tx += o.net_frames_tx;
+    net_bad_frames += o.net_bad_frames;
+    net_backpressure_stalls += o.net_backpressure_stalls;
+    net_disconnects += o.net_disconnects;
     return *this;
   }
 
@@ -240,6 +259,12 @@ struct OpCounters {
     d.dht_probe_rounds = dht_probe_rounds - since.dht_probe_rounds;
     d.dht_migrated = dht_migrated - since.dht_migrated;
     d.dht_reclaimed = dht_reclaimed - since.dht_reclaimed;
+    d.net_accepted = net_accepted - since.net_accepted;
+    d.net_frames_rx = net_frames_rx - since.net_frames_rx;
+    d.net_frames_tx = net_frames_tx - since.net_frames_tx;
+    d.net_bad_frames = net_bad_frames - since.net_bad_frames;
+    d.net_backpressure_stalls = net_backpressure_stalls - since.net_backpressure_stalls;
+    d.net_disconnects = net_disconnects - since.net_disconnects;
     return d;
   }
 };

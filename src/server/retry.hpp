@@ -1,0 +1,84 @@
+// Bounded retry with exponential backoff + jitter for kOverloaded sheds.
+//
+// Admission control (Session::submit, and the socket listener's typed shed
+// replies) answers overload with Status::kOverloaded -- an invitation to
+// retry *later*, not immediately. Before this helper the in-process drivers
+// retried in a bare yield loop, which under real contention is a thundering
+// herd: every shed client re-submits at once and the admission gate sheds
+// them all again. RetryBackoff is the one retry policy shared by the
+// in-process bench clients and the socket client: exponential growth from
+// base_us, capped at max_us, with seeded multiplicative jitter so concurrent
+// clients decorrelate deterministically (same seed -> same schedule).
+//
+// The server may attach a retry-after hint to a shed (Reply::v1, in ns, on a
+// kOverloaded reply); next_delay_us honours it as a floor for that step.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace gdi::server {
+
+class RetryBackoff {
+ public:
+  struct Config {
+    std::size_t max_attempts = 0;  ///< 0 = unbounded (legacy driver behaviour)
+    double base_us = 50.0;         ///< first-retry delay
+    double max_us = 5000.0;        ///< backoff ceiling
+    double jitter = 0.5;           ///< delay is scaled by [1-jitter, 1]
+    std::uint64_t seed = 1;
+  };
+
+  explicit RetryBackoff(Config cfg)
+      : cfg_(cfg), state_(cfg.seed != 0 ? cfg.seed : 0x9e3779b97f4a7c15ULL) {}
+
+  /// True while another retry is allowed (call before each re-attempt).
+  [[nodiscard]] bool allow() const {
+    return cfg_.max_attempts == 0 || attempt_ < cfg_.max_attempts;
+  }
+
+  /// Delay (in microseconds) to wait before the next attempt, advancing the
+  /// attempt counter. `hint_us` (e.g. a server retry-after) floors the value.
+  [[nodiscard]] double next_delay_us(double hint_us = 0.0) {
+    const double exp = cfg_.base_us * static_cast<double>(1ULL << std::min<std::size_t>(attempt_, 20));
+    double d = std::min(exp, cfg_.max_us);
+    // Multiplicative jitter in [1 - jitter, 1]: decorrelates clients without
+    // ever collapsing the delay to zero.
+    const double u = static_cast<double>(next_() >> 11) * 0x1.0p-53;
+    d *= 1.0 - cfg_.jitter * u;
+    ++attempt_;
+    return std::max(d, hint_us);
+  }
+
+  /// Convenience for thread-backed clients: sleep the next delay away.
+  void backoff(double hint_us = 0.0) {
+    const double us = next_delay_us(hint_us);
+    if (us >= 1.0)
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<std::int64_t>(us)));
+    else
+      std::this_thread::yield();
+  }
+
+  /// A successful attempt resets the schedule.
+  void reset() { attempt_ = 0; }
+
+  [[nodiscard]] std::size_t attempts() const { return attempt_; }
+
+ private:
+  [[nodiscard]] std::uint64_t next_() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z;
+  }
+
+  Config cfg_;
+  std::uint64_t state_;
+  std::size_t attempt_ = 0;
+};
+
+}  // namespace gdi::server

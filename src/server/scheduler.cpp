@@ -51,16 +51,52 @@ std::vector<Reply> Session::take_replies() {
   return out;
 }
 
+bool Session::quiesced() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_ && q_.empty() && inflight_ == 0 && replies_.empty();
+}
+
 // ---------------------------------------------------------------------------
 // TenantScheduler (rank-thread surface)
 // ---------------------------------------------------------------------------
 
 Session* TenantScheduler::open_session() {
+  // Revive a recycled slot first: under connection churn the roster stays
+  // bounded by peak concurrency. Recycled sessions are quiesced by contract,
+  // so flipping their flags needs no lock ordering care beyond the mutex.
+  for (auto& up : sessions_) {
+    Session* s = up.get();
+    if (!s->recycled_) continue;
+    std::lock_guard<std::mutex> lk(s->mu_);
+    s->recycled_ = false;
+    s->closed_ = false;
+    s->deficit_ = 0;
+    return s;
+  }
   const int id = static_cast<int>(sessions_.size());
   sessions_.emplace_back(std::unique_ptr<Session>(new Session(this, id)));
   served_of_.push_back(0);
   hists_.emplace_back();
   return sessions_.back().get();
+}
+
+void TenantScheduler::recycle(Session* s) {
+  std::lock_guard<std::mutex> lk(s->mu_);
+  // Contract: closed and drained. A non-quiesced recycle would lose queued
+  // work, so refuse it (the listener only recycles after quiesced()).
+  if (!s->closed_ || !s->q_.empty() || s->inflight_ != 0 || !s->replies_.empty())
+    return;
+  s->recycled_ = true;
+}
+
+bool TenantScheduler::idle() const {
+  if (!pending_.empty()) return false;
+  for (const auto& up : sessions_) {
+    Session* s = up.get();
+    std::lock_guard<std::mutex> lk(s->mu_);
+    if (!s->q_.empty() || s->inflight_ != 0) return false;
+  }
+  return true;
 }
 
 stats::LatencyHist TenantScheduler::merged_latency() const {

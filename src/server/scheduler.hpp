@@ -134,6 +134,11 @@ class Session {
   /// Drain the replies completed so far (any thread; typically the client).
   [[nodiscard]] std::vector<Reply> take_replies();
 
+  /// True once the session is closed with nothing queued, nothing executing,
+  /// and no untaken replies -- the state in which the rank thread may hand it
+  /// to TenantScheduler::recycle. Any thread.
+  [[nodiscard]] bool quiesced() const;
+
   [[nodiscard]] int id() const { return id_; }
   /// Requests this session shed at admission (kOverloaded + kShutdown).
   [[nodiscard]] std::uint64_t rejected() const {
@@ -151,6 +156,7 @@ class Session {
   std::vector<Reply> replies_;   ///< completed, not yet taken
   std::size_t inflight_ = 0;     ///< queued + executing (reply decrements)
   bool closed_ = false;
+  bool recycled_ = false;        ///< parked in the free pool (rank thread)
   std::size_t deficit_ = 0;      ///< DRR deficit (rank thread only)
   std::atomic<std::uint64_t> rejects_{0};
 };
@@ -166,8 +172,16 @@ class TenantScheduler {
 
   /// Open a tenant session. Call on the rank thread *before* handing the
   /// pointer to a client thread (the session table is not resized
-  /// concurrently with pump). The scheduler owns the Session.
+  /// concurrently with pump). The scheduler owns the Session. A recycled
+  /// slot is reused before the table grows, so connection churn (the socket
+  /// listener opens one session per accepted connection) keeps the roster
+  /// bounded by peak concurrency instead of total connections ever.
   [[nodiscard]] Session* open_session();
+
+  /// Return a quiesced session's slot to the free pool (rank thread; the
+  /// caller guarantees no client thread still holds the pointer). The next
+  /// open_session() revives it under the same id.
+  void recycle(Session* s);
 
   /// One deficit-round-robin dispatch round: pop every runnable request the
   /// deficits allow (arrival <= now, per-session FIFO), execute them --
@@ -188,6 +202,16 @@ class TenantScheduler {
   /// already-admitted request, fence the pipeline. No committed transaction
   /// is lost: everything admitted is executed and acknowledged.
   void shutdown(const std::shared_ptr<Database>& db, rma::Rank& self);
+
+  /// Stop admission only (thread-safe): subsequent submits shed with
+  /// kShutdown, but nothing is drained. The socket listener uses this to
+  /// begin a graceful drain while it keeps pumping IO and the scheduler
+  /// interleaved on the rank thread; a final shutdown() fences the rest.
+  void begin_shutdown() { accepting_.store(false, std::memory_order_release); }
+
+  /// True when nothing is queued, executing, or awaiting an epoch ack across
+  /// every session (rank thread). The listener's drain loop exits on it.
+  [[nodiscard]] bool idle() const;
 
   /// CommitPipeline epoch observer (wired by Database): completes the
   /// replies of commits that deferred into the epoch that just closed.

@@ -167,6 +167,18 @@ std::string counters_line(const rma::OpCounters& c) {
        << " migrated=" << Table::fmt_si(static_cast<double>(c.dht_migrated), 1)
        << " reclaimed=" << Table::fmt_si(static_cast<double>(c.dht_reclaimed), 1);
   }
+  if (c.net_accepted > 0 || c.net_frames_rx > 0 || c.net_bad_frames > 0) {
+    os << " | net accepted=" << Table::fmt_si(static_cast<double>(c.net_accepted), 1)
+       << " rx=" << Table::fmt_si(static_cast<double>(c.net_frames_rx), 1)
+       << " tx=" << Table::fmt_si(static_cast<double>(c.net_frames_tx), 1);
+    if (c.net_bad_frames > 0)
+      os << " bad=" << Table::fmt_si(static_cast<double>(c.net_bad_frames), 1);
+    if (c.net_backpressure_stalls > 0)
+      os << " stalls="
+         << Table::fmt_si(static_cast<double>(c.net_backpressure_stalls), 1);
+    if (c.net_disconnects > 0)
+      os << " drops=" << Table::fmt_si(static_cast<double>(c.net_disconnects), 1);
+  }
   if (c.wal_io_errors > 0)
     os << " | wal DROPPED epochs="
        << Table::fmt_si(static_cast<double>(c.wal_io_errors), 1);

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <thread>
 
+#include "server/retry.hpp"
 #include "server/scheduler.hpp"
 
 namespace gdi::work {
@@ -54,17 +55,34 @@ ServerOltpResult run_server_oltp(const std::shared_ptr<Database>& db,
   const auto c0 = self.counters();
 
   // Client threads: submit the whole stream in order, then close. A shed
-  // submission is retried after a yield -- transport-level backpressure; the
-  // open-loop pacing lives in the arrival stamps, which are unaffected. (For
-  // bit-deterministic dispatch, size server_inflight_per_tenant to hold the
-  // whole stream; the retry path is then never taken.)
+  // submission (kOverloaded) is retried under exponential backoff with
+  // seeded jitter -- the shared RetryBackoff policy, so concurrent tenants
+  // decorrelate instead of thundering back as one herd; the open-loop pacing
+  // lives in the arrival stamps, which are unaffected. kShutdown is
+  // terminal: the server is draining and the rest of the stream would only
+  // be shed again. (For bit-deterministic dispatch, size
+  // server_inflight_per_tenant to hold the whole stream; the retry path is
+  // then never taken.)
   std::vector<std::thread> clients;
   clients.reserve(static_cast<std::size_t>(T));
   for (int t = 0; t < T; ++t) {
     clients.emplace_back([&, t] {
       server::Session* s = sessions[static_cast<std::size_t>(t)];
+      server::RetryBackoff retry({.seed = hash_combine(
+          cfg.seed, 0xb0ffu + static_cast<std::uint64_t>(t))});
       for (const auto& r : streams[static_cast<std::size_t>(t)]) {
-        while (s->submit(r) != Status::kOk) std::this_thread::yield();
+        for (;;) {
+          const Status st = s->submit(r);
+          if (st == Status::kOk) {
+            retry.reset();
+            break;
+          }
+          if (st == Status::kShutdown) {
+            s->close();
+            return;
+          }
+          retry.backoff();
+        }
       }
       s->close();
     });

@@ -122,6 +122,21 @@ def pr8_metrics(parsed):
     }
 
 
+def pr9_metrics(parsed):
+    """Tracked metrics of bench_pr9_net (higher is better). All three are
+    completion fractions with an expected value of exactly 1.0 -- wall-clock
+    socket throughput is machine-dependent, but "every admitted request is
+    answered exactly once" is not: the committed fraction over plain socket
+    streams, the fast tenants' fraction while a slow reader stalls its own
+    window (backpressure isolation), and the committed fraction under seeded
+    corrupt/truncate/disconnect/reorder churn with reconnect-replay."""
+    return {
+        "committed_frac": parsed["committed_frac"],
+        "isolation_frac": parsed["isolation_frac"],
+        "churn_committed_frac": parsed["churn_committed_frac"],
+    }
+
+
 # Benches with a "smoke_key" share one baseline file: their smoke metrics
 # live under baseline["smoke"][smoke_key] as a flat metric->value dict.
 BENCHES = [
@@ -172,6 +187,12 @@ BENCHES = [
         "baseline": "BENCH_pr8.json",
         "smoke_key": "churn",
         "metrics": pr8_metrics,
+    },
+    {
+        "bin": "bench_pr9_net",
+        "baseline": "BENCH_pr9.json",
+        "smoke_key": "net",
+        "metrics": pr9_metrics,
     },
 ]
 
