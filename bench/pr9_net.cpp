@@ -32,6 +32,7 @@
 #include "harness.hpp"
 #include "net/client.hpp"
 #include "net/listener.hpp"
+#include "rma/fault.hpp"
 
 namespace {
 
@@ -217,7 +218,9 @@ int main() {
       for (int t = 0; t < tenants; ++t)
         cls.emplace_back([&, t] {
           net::ClientConfig cc = client_cfg(env, t);
-          cc.fault.seed = 0xbeef + static_cast<std::uint64_t>(t);
+          cc.fault.seed = rma::fault_stream(rma::fault_seed_env(),
+                                            rma::FaultLayer::kNetClient,
+                                            static_cast<std::uint64_t>(t));
           cc.fault.corrupt_p = 0.01;
           cc.fault.truncate_p = 0.01;
           cc.fault.disconnect_p = 0.02;

@@ -236,9 +236,28 @@ void Database::checkpoint_local(rma::Rank& self) {
     ck.epoch_hw.push_back(wals_[static_cast<std::size_t>(r)]->epoch_hw());
     ck.commit_hw.push_back(wals_[static_cast<std::size_t>(r)]->commit_hw());
   }
+  collect_net_sections(ck);
   wal::WalWriter* w = wal(self);
   if (!wal::write_checkpoint(self, w->config(), ck)) return;  // keep the log
   w->truncate_through(w->epoch_hw());
+}
+
+void Database::net_ack_durable(rma::Rank& self, std::uint64_t tenant,
+                               std::uint64_t tag, Status st, std::int64_t v0,
+                               std::int64_t v1) {
+  if (net::Listener* l = listener(self))
+    l->restore_completion(tenant, server::Reply{tag, st, v0, v1, 0});
+}
+
+void Database::collect_net_sections(wal::Checkpoint& ck) {
+  // Listener replay state rides the checkpoint as a separate trailer (never
+  // inside serialize_rank: that image is the byte-for-byte oracle, and tenant
+  // replies carry timing-dependent fields). With net_listen off this loop
+  // does not run and the checkpoint is byte-identical to pre-PR10 output.
+  if (listeners_.empty()) return;
+  for (int r = 0; r < nranks_; ++r)
+    ck.net_sections.push_back(
+        listeners_[static_cast<std::size_t>(r)]->serialize_replay_state());
 }
 
 Status Database::checkpoint(rma::Rank& self) {
@@ -265,6 +284,7 @@ Status Database::checkpoint(rma::Rank& self) {
       ck.epoch_hw.push_back(wals_[static_cast<std::size_t>(r)]->epoch_hw());
       ck.commit_hw.push_back(wals_[static_cast<std::size_t>(r)]->commit_hw());
     }
+    collect_net_sections(ck);
     ok = wal::write_checkpoint(self, w->config(), ck);
   }
   ok = self.broadcast<std::uint8_t>(ok ? 1 : 0, 0) != 0;
@@ -299,6 +319,13 @@ bool Database::recover_rank(rma::Rank& self) {
       ok = restore_rank_sections(self, r, ck->sections[static_cast<std::size_t>(r)]);
       ck_epoch = ck->epoch_hw[static_cast<std::size_t>(r)];
       ck_commit = ck->commit_hw[static_cast<std::size_t>(r)];
+      // Rebuild the listener's exactly-once replay state from the trailer;
+      // tail replay below folds in post-checkpoint kTenantAck ops. Without a
+      // listener (recovering with net_listen off) the trailer is ignored.
+      if (ok && !listeners_.empty() &&
+          ck->net_sections.size() == static_cast<std::size_t>(nranks_))
+        ok = listeners_[static_cast<std::size_t>(r)]->restore_replay_state(
+            ck->net_sections[static_cast<std::size_t>(r)]);
     } else {
       ok = false;  // checkpoint from a different rank count: refuse
     }
@@ -363,6 +390,17 @@ bool Database::replay_commit(rma::Rank& self, const wal::CommitView& c) {
         break;
       case wal::OpType::kLockBump:
         blocks_.bump_version(self, op.blk);
+        break;
+      case wal::OpType::kTenantAck:
+        // Rebuild the listener's per-tenant watermark + reply cache so a
+        // write replayed across the restart is answered, never re-executed.
+        // Recovering with net_listen off drops the ack: it has no consumer,
+        // and the data ops above already restored the database itself.
+        if (net::Listener* l = listener(self))
+          l->restore_completion(
+              op.tenant,
+              server::Reply{op.tag, static_cast<Status>(op.ack_status),
+                            op.ack_v0, op.ack_v1, 0});
         break;
     }
   }

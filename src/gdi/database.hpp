@@ -225,6 +225,17 @@ class Database {
   /// Also drives the auto-checkpoint cadence (cfg_.wal_checkpoint_epochs).
   void wal_epoch_close(rma::Rank& self);
 
+  /// Fold a WAL-appended tenant acknowledgement into this rank's listener
+  /// replay state. Called from commit_local right after the append and
+  /// *before* the seal: any checkpoint (always cut at a seal point) then
+  /// carries every ack its image covers -- folding only at reply harvest
+  /// left a window where a checkpoint between commit and harvest dropped the
+  /// ack from both the trailer and the truncated tail, so a reconnecting
+  /// client could re-execute a committed write. No-op without a listener.
+  void net_ack_durable(rma::Rank& self, std::uint64_t tenant,
+                       std::uint64_t tag, Status st, std::int64_t v0,
+                       std::int64_t v1);
+
   /// Collective checkpoint: every rank seals its open pipeline epoch + WAL
   /// tail, rank 0 writes one atomic global snapshot of all ranks' state, then
   /// every rank truncates its log segments behind the snapshot. Returns
@@ -297,6 +308,9 @@ class Database {
   /// every rank's regions; single-driver streams only -- see DatabaseConfig).
   void checkpoint_local(rma::Rank& self);
   bool restore_rank_sections(rma::Rank& self, int r, std::span<const std::byte> in);
+  /// Attach every listener's replay state to a checkpoint's net trailer
+  /// (no-op without listeners, keeping net-off checkpoints byte-identical).
+  void collect_net_sections(wal::Checkpoint& ck);
 
   DatabaseConfig cfg_;
   int nranks_;

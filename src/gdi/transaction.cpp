@@ -2109,8 +2109,24 @@ Status Transaction::commit_local() {
       if (st->lock == LockState::kWrite) wal_rec_.lock_bump(DPtr{raw});
     for (DPtr blk : to_release) wal_rec_.release(blk);
     for (DPtr blk : shrink_release_) wal_rec_.release(blk);
+    // Networked tenants: the acknowledgement the client will receive rides
+    // the same durable record as the commit itself, so a crash between
+    // durability and reply transmission recovers the reply (exactly-once
+    // across restarts; see Listener::restore_completion).
+    if (ack_tenant_ != 0)
+      wal_rec_.tenant_ack(ack_tenant_, ack_tag_,
+                          static_cast<std::uint8_t>(ack_status_), ack_v0_,
+                          ack_v1_);
     wal_appended = walw->append(self_, wal_rec_) != 0;
     wal_rec_.clear();
+    // Fold the ack into the listener's replay state now, before the seal
+    // points below: a checkpoint is always cut at a seal, so folding here
+    // guarantees its trailer covers every ack of every commit in its image
+    // (harvest-time folding alone leaves a commit-to-harvest window a
+    // checkpoint could split, stranding the ack in a truncated epoch).
+    if (wal_appended && ack_tenant_ != 0)
+      db_->net_ack_durable(self_, ack_tenant_, ack_tag_, ack_status_, ack_v0_,
+                           ack_v1_);
   }
 
   // Phase 5: unlock (write-through re-stamps ride the fetch-flavored

@@ -210,6 +210,23 @@ class Transaction {
   /// Abort: drop all buffered changes, release locks and created blocks.
   void abort();
 
+  /// Arm a networked tenant's acknowledgement for WAL piggybacking: if this
+  /// transaction commits AND logs a redo record, a kTenantAck op carrying the
+  /// reply the client will be sent rides the same record. A crash after the
+  /// record is durable but before the reply leaves the socket then recovers
+  /// the reply into the listener's cache -- the replayed write is answered,
+  /// never re-executed. `status`/`v0`/`v1` must be the reply the caller would
+  /// send on commit success (exec_write knows them before commit()). No-op
+  /// for tenant 0.
+  void arm_commit_ack(std::uint64_t tenant, std::uint64_t tag, Status status,
+                      std::int64_t v0, std::int64_t v1) {
+    ack_tenant_ = tenant;
+    ack_tag_ = tag;
+    ack_status_ = status;
+    ack_v0_ = v0;
+    ack_v1_ = v1;
+  }
+
  private:
   friend class BatchScope;
 
@@ -397,6 +414,14 @@ class Transaction {
   /// record is appended to the rank's WalWriter after the writeback PUTs are
   /// issued and *before* the unlock FAAs (write-ahead rule); abort clears it.
   wal::CommitRecord wal_rec_;
+
+  /// Armed tenant acknowledgement (arm_commit_ack); emitted into wal_rec_ by
+  /// commit_local just before the record is appended. 0 = not armed.
+  std::uint64_t ack_tenant_ = 0;
+  std::uint64_t ack_tag_ = 0;
+  Status ack_status_ = Status::kOk;
+  std::int64_t ack_v0_ = 0;
+  std::int64_t ack_v1_ = 0;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<VertexState>> vcache_;
   std::unordered_map<std::uint64_t, std::unique_ptr<EdgeState>> ecache_;

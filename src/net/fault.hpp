@@ -16,6 +16,14 @@
 //
 // Decisions are a pure function of (seed, frame order): a failing soak
 // schedule replays from its seed, like GDI_FAULT_SEED does for the RMA layer.
+// The listener-side counterpart (ServerFaultInjector, below) models the
+// failures only the *server* can produce: dropped accepts, a half-open peer
+// whose bytes arrive nowhere (the idle-timeout reaping case), stalled or
+// partial reply writes, and the two process-death windows recovery must make
+// invisible -- die mid-reply-frame and die between commit durability and
+// reply transmission (kPreAck). Kill switches poison the injector exactly
+// like rma::FaultInjector's, and the listener also poisons the rank's RMA
+// injector so teardown refuses to seal the "lost" WAL tail.
 #pragma once
 
 #include <cstdint>
@@ -88,6 +96,92 @@ class NetFaultInjector {
 
   NetFaultConfig cfg_;
   std::uint64_t state_;
+};
+
+/// Listener-side process-death windows a ServerFaultInjector can arm.
+enum class ServerKillPoint : std::uint8_t {
+  kNone = 0,
+  kPreAck,    ///< die after the Nth completed write folds into the resumption
+              ///< state, before its reply frame is queued -- the commit is
+              ///< durable (its WAL epoch sealed before the reply was
+              ///< harvested), the client never hears about it
+  kMidReply,  ///< die after a strict prefix of the next reply frame hit the
+              ///< socket -- the peer holds a torn frame AND the ack is lost
+};
+
+struct ServerFaultConfig {
+  std::uint64_t seed = 0;  ///< 0 = probabilistic draws disabled
+
+  double accept_drop_p = 0.0;    ///< close an accepted connection immediately
+  double stall_flush_p = 0.0;    ///< skip one connection's flush round
+  double partial_write_p = 0.0;  ///< flush only a random prefix this round
+  /// Mute the Nth connection to *complete its handshake* (1-based; 0 =
+  /// never): its inbound bytes are then read and discarded without decoding,
+  /// modeling a half-open peer the idle timeout must reap. Deterministic by
+  /// index (not a probability) so a test can aim it at a specific client.
+  std::uint64_t half_open_conn = 0;
+
+  // Kill switch (at most one; fires once, deterministic, seed-independent --
+  // the same contract as rma::FaultConfig::kill_at).
+  ServerKillPoint kill_at = ServerKillPoint::kNone;
+  std::uint64_t kill_after = 1;  ///< fire on the Nth event of kill_at's type
+};
+
+/// Seeded listener-side injector; wired via Listener::set_fault_injector and
+/// consulted from the poll loop's accept/read/harvest/flush stages. Pure
+/// function of (seed, consultation order); poisoned after any kill.
+class ServerFaultInjector {
+ public:
+  explicit ServerFaultInjector(ServerFaultConfig cfg)
+      : cfg_(cfg), state_(cfg.seed != 0 ? cfg.seed : 0x9e3779b97f4a7c15ULL) {}
+
+  [[nodiscard]] bool drop_accept() {
+    return enabled() && chance(cfg_.accept_drop_p);
+  }
+  /// `opened` = 1-based count of connections that completed their handshake.
+  [[nodiscard]] bool mute_conn(std::uint64_t opened) const {
+    return cfg_.half_open_conn != 0 && opened == cfg_.half_open_conn;
+  }
+  [[nodiscard]] bool stall_flush() {
+    return enabled() && chance(cfg_.stall_flush_p);
+  }
+  [[nodiscard]] bool partial_write() {
+    return enabled() && chance(cfg_.partial_write_p);
+  }
+  [[nodiscard]] std::uint64_t draw_below(std::uint64_t n) {
+    return n == 0 ? 0 : next() % n;
+  }
+
+  /// Count one event of `at`'s type; true = the armed kill fires here. The
+  /// caller performs the window's partial work, calls mark_killed() (and
+  /// poisons the rank's rma injector), and throws rma::FaultKill.
+  [[nodiscard]] bool kill_now(ServerKillPoint at) {
+    if (killed_ || cfg_.kill_at != at) return false;
+    return ++events_ >= cfg_.kill_after;
+  }
+
+  void mark_killed() { killed_ = true; }
+  [[nodiscard]] bool killed() const { return killed_; }
+  [[nodiscard]] const ServerFaultConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] bool enabled() const { return cfg_.seed != 0 && !killed_; }
+  [[nodiscard]] std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z;
+  }
+  [[nodiscard]] bool chance(double p) {
+    if (p <= 0.0) return false;
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  ServerFaultConfig cfg_;
+  std::uint64_t state_;
+  std::uint64_t events_ = 0;
+  bool killed_ = false;
 };
 
 }  // namespace gdi::net

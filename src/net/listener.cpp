@@ -15,6 +15,7 @@
 
 #include "gdi/commit_pipeline.hpp"
 #include "gdi/database.hpp"
+#include "rma/fault.hpp"
 
 namespace gdi::net {
 
@@ -95,9 +96,31 @@ void Listener::queue_bye(Conn& c, ByeReason reason, std::uint32_t retry_after_us
 }
 
 bool Listener::flush_conn(Conn& c, rma::Rank& self) {
-  while (!c.tx.empty()) {
-    const ssize_t n = ::send(c.fd, c.tx.data(), c.tx.size(), MSG_NOSIGNAL);
+  std::size_t budget = c.tx.size();
+  if (faults_ != nullptr && !c.tx.empty()) {
+    if (faults_->stall_flush()) return true;  // skipped round, not an error
+    if (!c.reply_ends.empty() &&
+        faults_->kill_now(ServerKillPoint::kMidReply)) {
+      // Process death mid-reply-frame: a strict prefix of the next reply
+      // reaches the peer, then the rank dies. Poison the RMA injector too so
+      // the unwinding teardown refuses to seal the WAL tail this "crash"
+      // must not keep.
+      const std::size_t remain = c.reply_ends.front() - c.tx_written;
+      const std::size_t prefix =
+          remain > 1 ? std::min(c.tx.size(), remain - 1) : 0;
+      if (prefix > 0) (void)::send(c.fd, c.tx.data(), prefix, MSG_NOSIGNAL);
+      faults_->mark_killed();
+      if (rma::FaultInjector* f = self.faults()) f->mark_killed();
+      throw rma::FaultKill("listener mid-reply kill");
+    }
+    if (faults_->partial_write())
+      budget = static_cast<std::size_t>(faults_->draw_below(c.tx.size()));
+  }
+  while (!c.tx.empty() && budget > 0) {
+    const ssize_t n =
+        ::send(c.fd, c.tx.data(), std::min(c.tx.size(), budget), MSG_NOSIGNAL);
     if (n > 0) {
+      budget -= static_cast<std::size_t>(n);
       c.tx.erase(c.tx.begin(), c.tx.begin() + n);
       c.tx_written += static_cast<std::size_t>(n);
       self.counters().net_frames_tx +=
@@ -123,6 +146,7 @@ bool Listener::flush_conn(Conn& c, rma::Rank& self) {
     if (n < 0 && errno == EINTR) continue;
     return false;  // EPIPE / ECONNRESET / ...: peer is gone
   }
+  if (!c.tx.empty()) return true;  // injected partial write: retry next round
   c.write_blocked = false;
   return true;
 }
@@ -145,6 +169,12 @@ void Listener::accept_ready(rma::Rank& self, double now) {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     self.counters().net_accepted += 1;
+    if (faults_ != nullptr && faults_->drop_accept()) {
+      // Injected accept-drop: the peer sees an immediate close and retries
+      // through its ordinary reconnect path.
+      ::close(fd);
+      continue;
+    }
     auto c = std::make_unique<Conn>();
     c->fd = fd;
     c->accepted_ms = now;
@@ -180,15 +210,18 @@ bool Listener::on_request(Conn& c, const server::Request& r, rma::Rank& self) {
                        t.done_above.end());
   if (completed && !server::is_read(r.op)) {
     const auto it = t.reply_cache.find(tag);
-    Reply_t rep;
-    if (it != t.reply_cache.end()) {
-      rep = it->second;
-    } else {
-      // Cache pruned: only possible for tags far behind the watermark, which
-      // an honest client cannot still be replaying. Acknowledge anyway.
-      rep = Reply_t{tag, Status::kOk, r.value, 0, 0};
+    if (it == t.reply_cache.end()) {
+      // Cache pruned: the prune line trails the watermark by 2x the credit
+      // window, so no honest client can still be replaying this tag -- the
+      // peer is desynced (or impossibly stale after a restart). Re-executing
+      // would double-apply and inventing an ack would lie about the value,
+      // so close typed instead.
+      self.counters().net_replay_cache_misses += 1;
+      queue_bye(c, ByeReason::kStaleReplay);
+      return false;
     }
-    send_reply(c, rep);
+    self.counters().net_replay_hits += 1;
+    send_reply(c, it->second);
     return true;
   }
   if (t.submitted.count(tag) != 0) {
@@ -216,6 +249,13 @@ bool Listener::on_request(Conn& c, const server::Request& r, rma::Rank& self) {
 }
 
 void Listener::try_ack_handshake(Conn& c, rma::Rank& self) {
+  if (draining_) {
+    // A drain that began while this handshake was held (old session still
+    // draining) must not open a fresh window: the held connection would
+    // outlive the listener. Close it typed; the client retries elsewhere.
+    queue_bye(c, ByeReason::kDraining);
+    return;
+  }
   TenantState& t = tenants_[c.tenant];
   if (t.conn != nullptr && t.conn != &c) {
     // Supersede: a reconnecting tenant means the old connection is dead or
@@ -236,9 +276,14 @@ void Listener::try_ack_handshake(Conn& c, rma::Rank& self) {
     return;
   }
   t.session = ts_->open_session();
+  // Stamp the wire tenant id so this session's write commits piggyback their
+  // acknowledgement on the WAL record (exactly-once across restarts).
+  t.session->set_durable_tenant(c.tenant);
   t.conn = &c;
   c.tstate = &t;
   c.state = ConnState::kOpen;
+  opened_total_ += 1;
+  if (faults_ != nullptr && faults_->mute_conn(opened_total_)) c.muted = true;
   HelloAckBody ack{cfg_.credits, cfg_.max_frame_bytes, t.watermark};
   encode_frame(c.tx, FrameType::kHelloAck, ack);
   c.tx_encoded += sizeof(FrameHeader) + sizeof(HelloAckBody);
@@ -298,6 +343,21 @@ bool Listener::on_frame(Conn& c, const Frame& f, rma::Rank& self, double now) {
 }
 
 bool Listener::read_conn(Conn& c, rma::Rank& self, double now) {
+  if (c.muted) {
+    // Injected half-open peer: consume and discard inbound bytes without
+    // decoding, and never refresh last_rx -- in_window stays 0, so only the
+    // idle deadline can reap this connection (exactly what it must do).
+    for (;;) {
+      std::byte buf[4096];
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n == 0) return false;
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        return false;
+      }
+    }
+  }
   // rx is bounded by one maximal frame: a frame always fits whole, and an
   // oversize length is rejected by the decoder before any payload buffering.
   const std::size_t cap = sizeof(FrameHeader) + cfg_.max_frame_bytes;
@@ -358,11 +418,17 @@ bool Listener::read_conn(Conn& c, rma::Rank& self, double now) {
 // Harvest + lifecycle
 // ---------------------------------------------------------------------------
 
-void Listener::record_completion(TenantState& t, const Reply_t& rep) {
-  const std::uint64_t tag = rep.client_tag;
-  const auto sub = t.submitted.find(tag);
+bool Listener::record_completion(TenantState& t, const Reply_t& rep) {
+  const auto sub = t.submitted.find(rep.client_tag);
   const bool is_write = sub != t.submitted.end() && sub->second;
   if (sub != t.submitted.end()) t.submitted.erase(sub);
+  fold_completion(t, rep, is_write);
+  return is_write;
+}
+
+void Listener::fold_completion(TenantState& t, const Reply_t& rep,
+                               bool is_write) {
+  const std::uint64_t tag = rep.client_tag;
   if (tag == 0 || tag <= t.watermark) return;
   if (std::find(t.done_above.begin(), t.done_above.end(), tag) !=
       t.done_above.end())
@@ -389,12 +455,105 @@ void Listener::record_completion(TenantState& t, const Reply_t& rep) {
     t.reply_cache.erase(t.reply_cache.begin());
 }
 
+// ---------------------------------------------------------------------------
+// Crash-restart replay state
+// ---------------------------------------------------------------------------
+
+void Listener::restore_completion(std::uint64_t tenant, const Reply_t& rep) {
+  // Log-replayed kTenantAck: acks are only logged for writes, so the reply
+  // is always cached. Folding is idempotent (tags at or below the watermark
+  // and duplicates in done_above are skipped), which a replayed log needs.
+  fold_completion(tenants_[tenant], rep, /*is_write=*/true);
+}
+
+std::vector<std::byte> Listener::serialize_replay_state() const {
+  if (tenants_.empty()) return {};
+  std::vector<std::byte> out;
+  const auto put = [&out](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    out.insert(out.end(), b, b + n);
+  };
+  const auto put32 = [&](std::uint32_t v) { put(&v, sizeof(v)); };
+  const auto put64 = [&](std::uint64_t v) { put(&v, sizeof(v)); };
+  put32(static_cast<std::uint32_t>(tenants_.size()));
+  for (const auto& [tenant, t] : tenants_) {
+    put64(tenant);
+    put64(t.watermark);
+    put32(static_cast<std::uint32_t>(t.done_above.size()));
+    for (std::uint64_t tag : t.done_above) put64(tag);
+    put32(static_cast<std::uint32_t>(t.reply_cache.size()));
+    for (const auto& [tag, rep] : t.reply_cache) {
+      put64(tag);
+      put(&rep, sizeof(Reply_t));
+    }
+  }
+  return out;
+}
+
+bool Listener::restore_replay_state(std::span<const std::byte> in) {
+  if (in.empty()) return true;
+  const std::byte* p = in.data();
+  std::size_t left = in.size();
+  bool ok = true;
+  const auto take = [&](void* dst, std::size_t n) {
+    if (left < n) {
+      ok = false;
+      std::memset(dst, 0, n);
+      return;
+    }
+    std::memcpy(dst, p, n);
+    p += n;
+    left -= n;
+  };
+  const auto take32 = [&] {
+    std::uint32_t v;
+    take(&v, sizeof(v));
+    return v;
+  };
+  const auto take64 = [&] {
+    std::uint64_t v;
+    take(&v, sizeof(v));
+    return v;
+  };
+  std::map<std::uint64_t, TenantState> fresh;
+  const std::uint32_t n = take32();
+  for (std::uint32_t i = 0; i < n && ok; ++i) {
+    const std::uint64_t tenant = take64();
+    TenantState t;
+    t.watermark = take64();
+    const std::uint32_t nd = take32();
+    for (std::uint32_t k = 0; k < nd && ok; ++k)
+      t.done_above.push_back(take64());
+    const std::uint32_t nc = take32();
+    for (std::uint32_t k = 0; k < nc && ok; ++k) {
+      const std::uint64_t tag = take64();
+      Reply_t rep;
+      take(&rep, sizeof(Reply_t));
+      if (ok) t.reply_cache[tag] = rep;
+    }
+    if (ok) fresh.emplace(tenant, std::move(t));
+  }
+  if (!ok || left != 0) return false;
+  tenants_ = std::move(fresh);
+  return true;
+}
+
 void Listener::harvest_replies(rma::Rank& self) {
-  (void)self;
   for (auto& [tenant, t] : tenants_) {
     if (t.session == nullptr) continue;
     for (const Reply_t& rep : t.session->take_replies()) {
-      record_completion(t, rep);
+      const bool was_write = record_completion(t, rep);
+      if (was_write && faults_ != nullptr &&
+          faults_->kill_now(ServerKillPoint::kPreAck)) {
+        // The committed-but-unacked window: the write's redo record (with
+        // its piggybacked kTenantAck) is already durable -- its WAL epoch
+        // sealed before the reply could be harvested -- but the reply never
+        // reaches the socket. Recovery must answer the replay from the
+        // rebuilt cache, not re-execute.
+        faults_->mark_killed();
+        if (rma::FaultInjector* f = self.faults()) f->mark_killed();
+        throw rma::FaultKill("listener pre-ack kill");
+      }
       if (t.conn != nullptr) send_reply(*t.conn, rep);
       // No connection (orphan): the reply is dropped; the client learns the
       // outcome from the watermark / reply cache when it reconnects.

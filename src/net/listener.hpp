@@ -50,10 +50,12 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
+#include "net/fault.hpp"
 #include "net/wire.hpp"
 #include "server/scheduler.hpp"
 
@@ -110,12 +112,37 @@ class Listener {
   /// admitted request is answered and the commit pipeline is fenced.
   void serve(const std::shared_ptr<Database>& db, rma::Rank& self);
 
+  /// Attach a listener-side fault injector (tests/benches; nullptr detaches).
+  /// Must outlive the listener's serve loop. Rank thread.
+  void set_fault_injector(ServerFaultInjector* f) { faults_ = f; }
+
+  // --- crash-restart replay state (rank thread) -----------------------------
+  /// Serialize every tenant's resumption state (watermark, done-set, reply
+  /// cache) for a checkpoint's net-section trailer. In-flight `submitted`
+  /// tags are deliberately excluded: at a crash each is either durable in the
+  /// WAL (its kTenantAck op rebuilds it) or lost (the client re-sends it).
+  [[nodiscard]] std::vector<std::byte> serialize_replay_state() const;
+  /// Restore tenant states from a checkpoint net section (replaces the
+  /// table). Runs before log replay; false on a malformed section.
+  bool restore_replay_state(std::span<const std::byte> in);
+  /// Fold one log-replayed kTenantAck op into the resumption state: the same
+  /// watermark/done-set/prune discipline as a live completion, with the
+  /// reply cached (acks are only logged for writes). Idempotent per tag.
+  void restore_completion(std::uint64_t tenant, const server::Reply& rep);
+
   // --- observability (rank thread; stable once serve() returned) -----------
   [[nodiscard]] std::size_t live_connections() const { return conns_.size(); }
   /// Bytes currently buffered across every connection (leak observable).
   [[nodiscard]] std::size_t buffered_bytes() const;
   /// Resumption-state entries currently held (bounded by max_tenants).
   [[nodiscard]] std::size_t tenant_states() const { return tenants_.size(); }
+  /// Connections whose Hello is acknowledged-pending (old session draining).
+  [[nodiscard]] std::size_t held_handshakes() const {
+    std::size_t n = 0;
+    for (const auto& c : conns_)
+      if (c->state == ConnState::kHandshakeHeld) ++n;
+    return n;
+  }
 
   [[nodiscard]] const NetConfig& config() const { return cfg_; }
 
@@ -156,6 +183,8 @@ class Listener {
     bool client_bye = false;        ///< peer sent Bye: orderly close in progress
     bool bye_queued = false;        ///< our closing Bye(kDone) is already queued
     bool superseded = false;        ///< replaced by a newer conn from its tenant
+    bool muted = false;             ///< fault-injected half-open peer: inbound
+                                    ///< bytes are discarded, last_rx frozen
     double accepted_ms = 0;         ///< real clock, for the handshake deadline
     double last_rx_ms = 0;          ///< real clock, for the idle deadline
     double close_deadline_ms = 0;   ///< kClosing flush deadline (0 = unset)
@@ -168,7 +197,11 @@ class Listener {
   bool on_request(Conn& c, const server::Request& r, rma::Rank& self);
   void try_ack_handshake(Conn& c, rma::Rank& self);
   void harvest_replies(rma::Rank& self);
-  void record_completion(TenantState& t, const Reply_t& rep);
+  /// Returns true when the completed tag was a write (its reply was cached).
+  bool record_completion(TenantState& t, const Reply_t& rep);
+  /// Shared watermark/done-set/prune discipline behind record_completion and
+  /// restore_completion.
+  void fold_completion(TenantState& t, const Reply_t& rep, bool is_write);
   void send_reply(Conn& c, const Reply_t& rep);
   void queue_bye(Conn& c, ByeReason reason, std::uint32_t retry_after_us = 0);
   bool flush_conn(Conn& c, rma::Rank& self);
@@ -185,6 +218,8 @@ class Listener {
   double drain_began_ms_ = 0;
   std::vector<std::unique_ptr<Conn>> conns_;
   std::map<std::uint64_t, TenantState> tenants_;
+  ServerFaultInjector* faults_ = nullptr;  ///< optional, test/bench-attached
+  std::uint64_t opened_total_ = 0;  ///< handshakes ever completed (mute index)
   /// Sessions whose connection died; drained by the scheduler, harvested and
   /// recycled here. Keyed by tenant id inside tenants_ (session != null,
   /// conn == null).

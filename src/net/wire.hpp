@@ -75,6 +75,9 @@ enum class ByeReason : std::uint32_t {
   kProtocolError,   ///< malformed frame, credit violation, or desynced stream
   kIdleTimeout,     ///< handshake or idle deadline expired
   kDraining,        ///< server shutting down; admitted work was answered
+  kStaleReplay,     ///< replayed a completed write whose cached reply was
+                    ///< pruned -- re-execution would double-apply, so the
+                    ///< server closes typed instead of guessing an ack
 };
 
 struct FrameHeader {

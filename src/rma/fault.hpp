@@ -22,9 +22,45 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace gdi::rma {
+
+/// Fault-injection layers that draw from one base seed. Every injector in a
+/// run -- the RMA data plane, each socket client's send-side injector, the
+/// listener-side server injector -- derives its stream via fault_stream(), so
+/// ONE number (GDI_FAULT_SEED in CI) reproduces the whole cross-layer
+/// schedule while no two layers or instances ever share a PRNG stream.
+enum class FaultLayer : std::uint64_t {
+  kRma = 1,        ///< rma::FaultInjector (data plane + WAL kill switches)
+  kNetClient = 2,  ///< net::NetFaultInjector (client send side)
+  kNetServer = 3,  ///< net::ServerFaultInjector (listener side)
+};
+
+/// Split `base` into a decorrelated per-(layer, instance) seed (splitmix64
+/// finalizer, applied twice). The result is forced nonzero: seed 0 *disables*
+/// the net injectors, and a derived stream must never silently do that.
+[[nodiscard]] constexpr std::uint64_t fault_stream(std::uint64_t base,
+                                                   FaultLayer layer,
+                                                   std::uint64_t instance = 0) {
+  auto mix = [](std::uint64_t z) constexpr {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t s =
+      mix(base + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(layer));
+  s = mix(s + 0x9e3779b97f4a7c15ULL * (instance + 1));
+  return s != 0 ? s : 0x9e3779b97f4a7c15ULL;
+}
+
+/// The CI seed-matrix knob: GDI_FAULT_SEED from the environment, else
+/// `fallback`. Tests pass the result to fault_stream() per layer/instance.
+[[nodiscard]] inline std::uint64_t fault_seed_env(std::uint64_t fallback = 1) {
+  const char* e = std::getenv("GDI_FAULT_SEED");
+  return e != nullptr ? std::strtoull(e, nullptr, 10) : fallback;
+}
 
 /// Raised by an armed fail/kill decision: the simulated process death. Rank
 /// code does not catch it; it unwinds out of Runtime::run to the test driver,

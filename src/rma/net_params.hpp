@@ -159,6 +159,11 @@ struct OpCounters {
   std::uint64_t net_bad_frames = 0;
   std::uint64_t net_backpressure_stalls = 0;
   std::uint64_t net_disconnects = 0;
+  // Exactly-once replay outcomes: a replayed completed write answered from
+  // the reply cache (hit) vs. one whose cached reply was already pruned
+  // (miss -> typed Bye(kStaleReplay), never silent re-execution).
+  std::uint64_t net_replay_hits = 0;
+  std::uint64_t net_replay_cache_misses = 0;
 
   OpCounters& operator+=(const OpCounters& o) {
     puts += o.puts;
@@ -205,6 +210,8 @@ struct OpCounters {
     net_bad_frames += o.net_bad_frames;
     net_backpressure_stalls += o.net_backpressure_stalls;
     net_disconnects += o.net_disconnects;
+    net_replay_hits += o.net_replay_hits;
+    net_replay_cache_misses += o.net_replay_cache_misses;
     return *this;
   }
 
@@ -265,6 +272,9 @@ struct OpCounters {
     d.net_bad_frames = net_bad_frames - since.net_bad_frames;
     d.net_backpressure_stalls = net_backpressure_stalls - since.net_backpressure_stalls;
     d.net_disconnects = net_disconnects - since.net_disconnects;
+    d.net_replay_hits = net_replay_hits - since.net_replay_hits;
+    d.net_replay_cache_misses =
+        net_replay_cache_misses - since.net_replay_cache_misses;
     return d;
   }
 };

@@ -71,6 +71,7 @@ Session* TenantScheduler::open_session() {
     s->recycled_ = false;
     s->closed_ = false;
     s->deficit_ = 0;
+    s->durable_tenant_ = 0;
     return s;
   }
   const int id = static_cast<int>(sessions_.size());
@@ -265,6 +266,10 @@ void TenantScheduler::exec_write(const std::shared_ptr<Database>& db,
             txn.abort();
             break;
           }
+          // The reply a successful commit will carry (the non-critical `s`
+          // merge below) is known now -- arm it so it rides the WAL record.
+          txn.arm_commit_ack(d.s->durable_tenant(), r.client_tag,
+                             ok(s) ? Status::kOk : s, r.value, 0);
           outcome = txn.commit();
           if (!ok(s) && ok(outcome)) outcome = s;
           v0 = r.value;
@@ -293,6 +298,8 @@ void TenantScheduler::exec_write(const std::shared_ptr<Database>& db,
             txn.abort();
             break;
           }
+          txn.arm_commit_ack(d.s->durable_tenant(), r.client_tag, Status::kOk,
+                             cur + 1, 0);
           outcome = txn.commit();
           v0 = cur + 1;
           break;
@@ -316,6 +323,8 @@ void TenantScheduler::exec_write(const std::shared_ptr<Database>& db,
             txn.abort();
             break;
           }
+          txn.arm_commit_ack(d.s->durable_tenant(), r.client_tag, Status::kOk,
+                             r.value, 0);
           outcome = txn.commit();
           v0 = r.value;
           break;
@@ -335,6 +344,8 @@ void TenantScheduler::exec_write(const std::shared_ptr<Database>& db,
             txn.abort();
             break;
           }
+          txn.arm_commit_ack(d.s->durable_tenant(), r.client_tag, Status::kOk,
+                             0, 0);
           outcome = txn.commit();
           break;
         }

@@ -145,6 +145,14 @@ class Session {
     return rejects_.load(std::memory_order_relaxed);
   }
 
+  /// Durable tenant id for WAL ack piggybacking (0 = none, the default for
+  /// in-process sessions). The socket listener stamps its wire tenant id here
+  /// right after open_session; write commits executed for such a session log
+  /// a kTenantAck redo op, so the exactly-once reply cache survives a rank
+  /// crash-restart. Rank thread only.
+  void set_durable_tenant(std::uint64_t t) { durable_tenant_ = t; }
+  [[nodiscard]] std::uint64_t durable_tenant() const { return durable_tenant_; }
+
  private:
   friend class TenantScheduler;
   Session(TenantScheduler* owner, int id) : owner_(owner), id_(id) {}
@@ -157,6 +165,7 @@ class Session {
   std::size_t inflight_ = 0;     ///< queued + executing (reply decrements)
   bool closed_ = false;
   bool recycled_ = false;        ///< parked in the free pool (rank thread)
+  std::uint64_t durable_tenant_ = 0;  ///< WAL ack tenant (rank thread only)
   std::size_t deficit_ = 0;      ///< DRR deficit (rank thread only)
   std::atomic<std::uint64_t> rejects_{0};
 };

@@ -178,6 +178,12 @@ std::string counters_line(const rma::OpCounters& c) {
          << Table::fmt_si(static_cast<double>(c.net_backpressure_stalls), 1);
     if (c.net_disconnects > 0)
       os << " drops=" << Table::fmt_si(static_cast<double>(c.net_disconnects), 1);
+    if (c.net_replay_hits > 0)
+      os << " replay_hits="
+         << Table::fmt_si(static_cast<double>(c.net_replay_hits), 1);
+    if (c.net_replay_cache_misses > 0)
+      os << " replay_misses="
+         << Table::fmt_si(static_cast<double>(c.net_replay_cache_misses), 1);
   }
   if (c.wal_io_errors > 0)
     os << " | wal DROPPED epochs="

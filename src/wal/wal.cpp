@@ -103,6 +103,13 @@ bool parse_payload(std::span<const std::byte> payload, EpochView& ep) {
         case OpType::kDhtErase:
           op.key = rc.take<std::uint64_t>();
           break;
+        case OpType::kTenantAck:
+          op.tenant = rc.take<std::uint64_t>();
+          op.tag = rc.take<std::uint64_t>();
+          op.ack_status = rc.take<std::uint8_t>();
+          op.ack_v0 = static_cast<std::int64_t>(rc.take<std::uint64_t>());
+          op.ack_v1 = static_cast<std::int64_t>(rc.take<std::uint64_t>());
+          break;
         default:
           return false;
       }
@@ -170,6 +177,17 @@ void CommitRecord::dht_erase(std::uint64_t key) {
 void CommitRecord::lock_bump(DPtr blk) {
   u8(static_cast<std::uint8_t>(OpType::kLockBump));
   u64(blk.raw());
+  ops_ += 1;
+}
+void CommitRecord::tenant_ack(std::uint64_t tenant, std::uint64_t tag,
+                              std::uint8_t status, std::int64_t v0,
+                              std::int64_t v1) {
+  u8(static_cast<std::uint8_t>(OpType::kTenantAck));
+  u64(tenant);
+  u64(tag);
+  u8(status);
+  u64(static_cast<std::uint64_t>(v0));
+  u64(static_cast<std::uint64_t>(v1));
   ops_ += 1;
 }
 
@@ -426,6 +444,18 @@ bool write_checkpoint(rma::Rank& self, const WalConfig& cfg, const Checkpoint& c
     put_u64(body, ck.sections[r].size());
     body.insert(body.end(), ck.sections[r].begin(), ck.sections[r].end());
   }
+  // Listener replay state rides as a trailing block so checkpoints written
+  // before it existed (or with net_listen off) parse identically: the reader
+  // only looks for it when bytes remain past the per-rank loop.
+  const bool any_net = std::any_of(ck.net_sections.begin(), ck.net_sections.end(),
+                                   [](const auto& s) { return !s.empty(); });
+  if (any_net) {
+    put_u32(body, static_cast<std::uint32_t>(ck.net_sections.size()));
+    for (const auto& s : ck.net_sections) {
+      put_u64(body, s.size());
+      body.insert(body.end(), s.begin(), s.end());
+    }
+  }
   std::vector<std::byte> file;
   file.reserve(4 + body.size() + 4);
   put_u32(file, kCkptMagic);
@@ -493,6 +523,15 @@ std::optional<Checkpoint> read_checkpoint(const std::string& dir) {
     if (data != nullptr) ck.sections.emplace_back(data, data + len);
   }
   if (!c.ok || ck.sections.size() != nranks) return std::nullopt;
+  if (c.left > 0) {  // optional listener replay-state trailer
+    const auto nnet = c.take<std::uint32_t>();
+    for (std::uint32_t r = 0; r < nnet && c.ok; ++r) {
+      const auto len = c.take<std::uint64_t>();
+      const std::byte* data = c.take_bytes(len);
+      if (data != nullptr) ck.net_sections.emplace_back(data, data + len);
+    }
+    if (!c.ok || ck.net_sections.size() != nnet) return std::nullopt;
+  }
   return ck;
 }
 

@@ -66,6 +66,10 @@ enum class OpType : std::uint8_t {
   kDhtInsert = 4, ///< app-id translation publish
   kDhtErase = 5,  ///< app-id translation retract
   kLockBump = 6,  ///< one write-unlock's +1 version increment on a lock word
+  kTenantAck = 7, ///< networked tenant's completed-write acknowledgement:
+                  ///< {tenant, tag, reply status/values}. Replay rebuilds the
+                  ///< listener's per-tenant watermark + reply cache so a write
+                  ///< replayed across a restart is answered, never re-executed.
 };
 
 /// One committed transaction's redo ops, accumulated in execution order.
@@ -77,6 +81,8 @@ class CommitRecord {
   void dht_insert(std::uint64_t key, std::uint64_t value);
   void dht_erase(std::uint64_t key);
   void lock_bump(DPtr blk);
+  void tenant_ack(std::uint64_t tenant, std::uint64_t tag, std::uint8_t status,
+                  std::int64_t v0, std::int64_t v1);
 
   [[nodiscard]] bool empty() const { return ops_ == 0; }
   [[nodiscard]] std::uint32_t op_count() const { return ops_; }
@@ -102,6 +108,9 @@ struct Op {
   std::uint32_t off = 0;             ///< kImage
   std::span<const std::byte> data;   ///< kImage
   std::uint64_t key = 0, value = 0;  ///< kDhtInsert/kDhtErase
+  std::uint64_t tenant = 0, tag = 0;         ///< kTenantAck
+  std::uint8_t ack_status = 0;               ///< kTenantAck: Reply status
+  std::int64_t ack_v0 = 0, ack_v1 = 0;       ///< kTenantAck: Reply values
 };
 
 struct CommitView {
@@ -147,6 +156,12 @@ struct Checkpoint {
   std::vector<std::vector<std::byte>> sections;  ///< [rank] Database payload
   std::vector<std::uint64_t> epoch_hw;           ///< [rank]
   std::vector<std::uint64_t> commit_hw;          ///< [rank]
+  /// [rank] listener replay state (per-tenant watermark + reply cache),
+  /// serialized by net::Listener. Kept OUT of `sections`: serialize_rank is
+  /// the byte-for-byte oracle comparator and tenant replies carry
+  /// timing-dependent fields. Written as a trailing block after the per-rank
+  /// loop (and only when non-empty), so pre-PR10 checkpoints read back fine.
+  std::vector<std::vector<std::byte>> net_sections;
 };
 
 /// Per-rank segmented log writer. Owned by Database; only ever driven by its

@@ -43,6 +43,7 @@
 #include "net/client.hpp"
 #include "net/listener.hpp"
 #include "net/wire.hpp"
+#include "rma/fault.hpp"
 #include "server/scheduler.hpp"
 
 namespace gdi {
@@ -659,7 +660,9 @@ TEST(NetChurnSoak, ExactlyOnceAndByteIdenticalToOracle) {
         clients.emplace_back([&, t] {
           ClientConfig cc = client_cfg(port, 1 + static_cast<std::uint64_t>(t));
           if (faulty) {
-            cc.fault.seed = 0xc0ffee + static_cast<std::uint64_t>(t);
+            cc.fault.seed = rma::fault_stream(rma::fault_seed_env(),
+                                              rma::FaultLayer::kNetClient,
+                                              static_cast<std::uint64_t>(t));
             cc.fault.corrupt_p = 0.02;
             cc.fault.truncate_p = 0.02;
             cc.fault.disconnect_p = 0.03;

@@ -1,0 +1,826 @@
+// Crash-restart survivability of the socket front end (PR 10).
+//
+// The contract under test: to a well-behaved client, a rank crash is
+// indistinguishable from a slow network. Every write acknowledged over a
+// socket -- and every write that COMMITTED but whose acknowledgement the
+// crash swallowed -- survives a kill + Database::recover + listener restart
+// exactly once:
+//
+//  * each tenant's completed-write acknowledgement rides the commit's own
+//    WAL redo record (wal::OpType::kTenantAck), so replay rebuilds the
+//    listener's watermark + reply cache along with the graph;
+//  * checkpoints embed the same state as a net-section trailer, so recovery
+//    does not depend on replaying the whole log;
+//  * the recovered listener re-binds the same port and answers a replayed
+//    committed write from the recovered cache, never by re-execution.
+//
+// The kill windows come from net::ServerFaultInjector: kPreAck (die after
+// the commit is durable, before its reply frame is queued -- the classic
+// "committed but unacknowledged" hole) and kMidReply (die with a torn reply
+// frame on the wire). Both poison the rank's rma::FaultInjector too, so the
+// teardown drain refuses to seal the WAL tail the crash should have lost.
+//
+// Every kill case compares the post-drain serialize_rank(0) image against a
+// fault-free oracle run byte for byte, and every client's reply ledger must
+// show each request completed exactly once (kIncrement is the witness: the
+// final value IS the execution count).
+//
+// The injector seeds derive from GDI_FAULT_SEED via rma::fault_stream, so
+// the CI seed matrix replays whole cross-layer schedules from one number.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gdi/gdi.hpp"
+#include "net/client.hpp"
+#include "net/fault.hpp"
+#include "net/listener.hpp"
+#include "net/wire.hpp"
+#include "rma/fault.hpp"
+#include "server/scheduler.hpp"
+
+namespace gdi {
+namespace {
+
+namespace fs = std::filesystem;
+
+using net::ClientConfig;
+using net::NetClient;
+using server::OpKind;
+using server::Reply;
+using server::Request;
+
+constexpr std::uint64_t kToken = 0xfeedfacecafef00dULL;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / ("gdi_" + name);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+/// WAL-backed networked database. The commit pipeline stays off: every
+/// commit seals its WAL epoch eagerly, so any reply the listener harvests is
+/// already durable -- kPreAck is then exactly the committed-unacked window.
+DatabaseConfig recovery_cfg(const std::string& dir) {
+  DatabaseConfig c;
+  c.block.block_size = 512;
+  c.block.blocks_per_rank = 8192;
+  c.dht.entries_per_rank = 4096;
+  c.dht.buckets_per_rank = 512;
+  c.server = true;
+  c.net_listen = true;
+  c.net_auth_token = kToken;
+  c.wal = true;
+  c.wal_dir = dir;
+  return c;
+}
+
+/// The ptype name registry is rank-local metadata, not WAL state: after a
+/// recovery, re-creating the same definition yields the same id (the
+/// test_wal_recovery idiom).
+std::uint32_t ensure_ptype(const std::shared_ptr<Database>& db,
+                           rma::Rank& self) {
+  auto existing = db->ptype_from_name(self, "val");
+  if (existing.ok()) return *existing;
+  return *db->create_ptype(
+      self, PropertyType{.name = "val", .dtype = Datatype::kInt64});
+}
+
+std::uint32_t load_vertices(const std::shared_ptr<Database>& db,
+                            rma::Rank& self, std::uint64_t n,
+                            std::int64_t init) {
+  const std::uint32_t pt = ensure_ptype(db, self);
+  for (std::uint64_t id = 0; id < n; ++id) {
+    if (db->owner_rank(id) != static_cast<std::uint32_t>(self.id())) continue;
+    Transaction txn(db, self, TxnMode::kWrite);
+    auto vh = txn.create_vertex(id);
+    EXPECT_TRUE(vh.ok());
+    if (vh.ok())
+      EXPECT_EQ(txn.update_property(*vh, pt, PropValue{init}), Status::kOk);
+    EXPECT_EQ(txn.commit(), Status::kOk);
+  }
+  self.barrier();
+  return pt;
+}
+
+Request make_req(OpKind op, std::uint64_t a, std::uint32_t pt,
+                 std::int64_t value = 0, std::uint64_t b = 0,
+                 std::uint64_t tag = 0) {
+  Request r;
+  r.op = op;
+  r.a = a;
+  r.b = b;
+  r.ptype = pt;
+  r.value = value;
+  r.arrival_ns = 0;
+  r.client_tag = tag;
+  return r;
+}
+
+ClientConfig client_cfg(std::uint16_t port, std::uint64_t tenant) {
+  ClientConfig c;
+  c.port = port;
+  c.auth_token = kToken;
+  c.tenant_id = tenant;
+  c.io_timeout_ms = 2000;
+  return c;
+}
+
+std::int64_t direct_read(const std::shared_ptr<Database>& db, rma::Rank& self,
+                         std::uint64_t a, std::uint32_t pt) {
+  Transaction txn(db, self, TxnMode::kRead);
+  auto vh = txn.find_vertex(a);
+  if (!vh.ok()) return -1;
+  auto props = txn.get_properties(*vh, pt);
+  if (!props.ok() || props->empty()) return -1;
+  return std::get<std::int64_t>(props->front());
+}
+
+/// Drive the event loop on the rank thread until the clients signal done,
+/// then drain gracefully. Keeping serve on this thread (instead of a stopper
+/// thread poking the listener) means a FaultKill thrown mid-loop unwinds
+/// before anything else can touch the dying listener.
+void serve_until(net::Listener* L, const std::shared_ptr<Database>& db,
+                 rma::Rank& self, const std::atomic<bool>& done) {
+  while (!done.load(std::memory_order_acquire)) (void)L->poll_once(db, self, 5);
+  L->request_stop();
+  L->serve(db, self);
+}
+
+/// A tenant's increment-only stream: K increments round-robined over its own
+/// `stripe` vertices starting at `base`. Increment commutes, so client-side
+/// reorder faults cannot change the final state -- the value of each vertex
+/// is exactly the number of times its increments executed.
+std::vector<Request> increment_stream(std::uint64_t base, std::uint64_t stripe,
+                                      std::uint64_t k, std::uint32_t pt) {
+  std::vector<Request> reqs;
+  reqs.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i)
+    reqs.push_back(
+        make_req(OpKind::kIncrement, base + i % stripe, pt, 0, 0, i + 1));
+  return reqs;
+}
+
+/// Raw frame-level client for the protocol-edge tests (drain Byes, replay
+/// probes): a blocking connect plus nonblocking frame reads.
+struct RawClient {
+  int fd = -1;
+  std::vector<std::byte> rx;
+
+  ~RawClient() { reset(); }
+  void reset() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    rx.clear();
+  }
+
+  bool connect(std::uint16_t port) {
+    reset();
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in a{};
+    a.sin_family = AF_INET;
+    a.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    a.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&a), sizeof(a)) != 0) {
+      reset();
+      return false;
+    }
+    return true;
+  }
+
+  template <class T>
+  void send_frame(net::FrameType t, const T& body) {
+    std::vector<std::byte> f;
+    net::encode_frame(f, t, body);
+    (void)::send(fd, f.data(), f.size(), MSG_NOSIGNAL);
+  }
+
+  /// Drain whatever the server has written so far (nonblocking).
+  void pump_rx() {
+    std::byte buf[512];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n <= 0) break;
+      rx.insert(rx.end(), buf, buf + n);
+    }
+  }
+
+  /// Pop the next decoded frame; payload is copied out of the stream buffer.
+  bool next_frame(net::FrameType* type, std::vector<std::byte>* payload) {
+    net::Frame f;
+    std::size_t consumed = 0;
+    if (net::decode_frame(rx, net::kMaxFrameLen, &f, &consumed) !=
+        net::DecodeResult::kFrame)
+      return false;
+    *type = f.type;
+    payload->assign(f.payload.begin(), f.payload.end());
+    rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(consumed));
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Committed-but-unacknowledged kill: the tightest recovery window
+// ---------------------------------------------------------------------------
+
+// A write commits (WAL epoch sealed), the listener folds its completion --
+// and the process dies before the reply frame exists. The client saw only a
+// timeout. After recover + same-port restart, the client's replay of that
+// tag must be answered from the RECOVERED cache (or covered by the recovered
+// watermark) and must not execute a second time: the vertex value equals the
+// request count, and the durable image matches a fault-free run byte for
+// byte.
+TEST(NetRecovery, CommittedButUnackedKillRecoversExactlyOnce) {
+  constexpr std::uint64_t kWrites = 8;
+  const std::uint64_t base_seed = rma::fault_seed_env();
+
+  // Fault-free oracle: the same stream against a fresh database.
+  std::vector<std::byte> oracle_fp;
+  {
+    std::atomic<bool> done{false};
+    std::thread client;
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      auto db = Database::create(self, recovery_cfg(fresh_dir("netrec_oracle")));
+      const std::uint32_t pt = load_vertices(db, self, 4, 0);
+      net::Listener* L = db->listener(self);
+      EXPECT_EQ(L->start(), Status::kOk);
+      const std::uint16_t port = L->port();
+      client = std::thread([&, port, pt] {
+        NetClient cl(client_cfg(port, 1));
+        (void)cl.run_stream(increment_stream(0, 1, kWrites, pt));
+        done.store(true, std::memory_order_release);
+      });
+      serve_until(L, db, self, done);
+      oracle_fp = db->serialize_rank(0);
+    });
+    client.join();
+  }
+  ASSERT_FALSE(oracle_fp.empty());
+
+  const std::string dir = fresh_dir("netrec_preack");
+  std::atomic<bool> done{false};
+  std::thread client;
+  net::StreamResult res;
+  std::uint16_t port = 0;
+
+  // Pass 1: die on the 3rd completed write, after durability, before the ack.
+  net::ServerFaultConfig sfc;
+  sfc.seed = rma::fault_stream(base_seed, rma::FaultLayer::kNetServer, 0);
+  sfc.kill_at = net::ServerKillPoint::kPreAck;
+  sfc.kill_after = 3;
+  net::ServerFaultInjector sinj(sfc);
+  rma::FaultConfig rfc;
+  rfc.seed = rma::fault_stream(base_seed, rma::FaultLayer::kRma, 0);
+  rma::FaultInjector rinj(rfc);
+
+  bool killed = false;
+  try {
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      auto db = Database::create(self, recovery_cfg(dir));
+      const std::uint32_t pt = load_vertices(db, self, 4, 0);
+      self.set_fault_injector(&rinj);
+      net::Listener* L = db->listener(self);
+      EXPECT_EQ(L->start(), Status::kOk);
+      port = L->port();
+      L->set_fault_injector(&sinj);
+      client = std::thread([&, pt] {
+        ClientConfig cc = client_cfg(port, 1);
+        cc.io_timeout_ms = 300;       // notice the dead server, replay promptly
+        cc.max_reconnects = 1u << 20; // ride out the whole restart window
+        res = NetClient(cc).run_stream(increment_stream(0, 1, kWrites, pt));
+        done.store(true, std::memory_order_release);
+      });
+      serve_until(L, db, self, done);
+    });
+  } catch (const rma::FaultKill&) {
+    killed = true;
+  }
+  ASSERT_TRUE(killed) << "pre-ack kill switch never fired";
+  EXPECT_TRUE(sinj.killed());
+  EXPECT_TRUE(rinj.killed());
+
+  // Pass 2: recover, re-bind the SAME port, let the client finish.
+  std::vector<std::byte> recovered_fp;
+  std::int64_t value = -1;
+  std::uint64_t tenant_states = 0;
+  {
+    auto cfg = recovery_cfg(dir);
+    cfg.net_port = port;
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      auto db = Database::recover(self, cfg);
+      EXPECT_NE(db, nullptr);
+      if (db == nullptr) return;  // client gives up via max_reconnects
+      // The ptype registry is rank-local schema, not logged state: a real
+      // server re-declares its schema on startup before accepting traffic
+      // (the same id comes back), so do that before the socket reopens.
+      (void)ensure_ptype(db, self);
+      net::Listener* L = db->listener(self);
+      EXPECT_EQ(L->start(), Status::kOk);
+      EXPECT_EQ(L->port(), port);
+      // Log replay rebuilt the tenant's replay state before the socket even
+      // reopened: the committed writes' acks are already here.
+      tenant_states = L->tenant_states();
+      serve_until(L, db, self, done);
+      value = direct_read(db, self, 0, ensure_ptype(db, self));
+      recovered_fp = db->serialize_rank(0);
+    });
+  }
+  client.join();
+
+  EXPECT_GE(tenant_states, 1u) << "recovery did not rebuild the replay state";
+  EXPECT_TRUE(res.finished);
+  EXPECT_EQ(res.ok, kWrites);
+  EXPECT_EQ(res.failed, 0u);
+  // The witness: 8 increments executed exactly once each, including the one
+  // whose acknowledgement died with the process.
+  EXPECT_EQ(value, static_cast<std::int64_t>(kWrites));
+  EXPECT_EQ(recovered_fp, oracle_fp)
+      << "recovered image diverged from the fault-free oracle";
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak: repeated kills at varied points under flaky clients
+// ---------------------------------------------------------------------------
+
+// Several tenants hammer the server with client-side faults (corruption,
+// torn frames, disconnects, reorders) while the server itself drops accepts,
+// stalls and tears its reply writes, and dies repeatedly -- alternating the
+// pre-ack and mid-reply windows -- with a recover + same-port restart after
+// every death. When the dust settles, every ledger shows every increment
+// acknowledged exactly once and the durable image equals the fault-free
+// oracle's, byte for byte.
+TEST(NetRecovery, ChaosSoakMatchesFaultFreeOracle) {
+  constexpr int kTenants = 3;
+  // Stripe width keeps each vertex at kWrites/kStripe = 3 increments: few
+  // enough that no holder regrows a block mid-run. A regrow allocates at the
+  // global allocation cursor, so its address records the *arrival order*
+  // across tenants -- with that in play even two fault-free runs are not
+  // byte-identical, and the oracle comparison would test thread scheduling,
+  // not crash recovery (same envelope the PR 9 churn soak works in).
+  constexpr std::uint64_t kStripe = 16;   // vertices per tenant
+  constexpr std::uint64_t kWrites = 48;   // increments per tenant
+  constexpr int kKillPasses = 3;          // passes 0..2 die, pass 3+ run clean
+  const std::uint64_t base_seed = rma::fault_seed_env();
+
+  const auto tenant_stream = [](int t, std::uint32_t pt) {
+    return increment_stream(static_cast<std::uint64_t>(t) * kStripe, kStripe,
+                            kWrites, pt);
+  };
+
+  // Fault-free oracle (checkpoint cadence matches the chaos run, so both
+  // exercise the same checkpoint + net-trailer path).
+  std::vector<std::byte> oracle_fp;
+  {
+    std::atomic<bool> done{false};
+    std::atomic<int> remaining{kTenants};
+    std::vector<std::thread> clients;
+    rma::Runtime rt(1);
+    rt.run([&](rma::Rank& self) {
+      auto cfg = recovery_cfg(fresh_dir("netsoak_oracle"));
+      cfg.wal_checkpoint_epochs = 16;
+      auto db = Database::create(self, cfg);
+      const std::uint32_t pt =
+          load_vertices(db, self, kTenants * kStripe, 0);
+      net::Listener* L = db->listener(self);
+      EXPECT_EQ(L->start(), Status::kOk);
+      const std::uint16_t port = L->port();
+      for (int t = 0; t < kTenants; ++t)
+        clients.emplace_back([&, port, pt, t] {
+          NetClient cl(client_cfg(port, 1 + static_cast<std::uint64_t>(t)));
+          (void)cl.run_stream(tenant_stream(t, pt));
+          if (remaining.fetch_sub(1) == 1)
+            done.store(true, std::memory_order_release);
+        });
+      serve_until(L, db, self, done);
+      oracle_fp = db->serialize_rank(0);
+    });
+    for (auto& c : clients) c.join();
+  }
+  ASSERT_FALSE(oracle_fp.empty());
+
+  const std::string dir = fresh_dir("netsoak_chaos");
+  std::atomic<bool> done{false};
+  std::atomic<int> remaining{kTenants};
+  std::vector<std::thread> clients;
+  std::vector<net::StreamResult> res(kTenants);
+  std::uint16_t port = 0;
+  // Injectors outlive their pass's runtime (the listener holds a raw
+  // pointer); one per pass, poisoned by its kill.
+  std::vector<std::unique_ptr<net::ServerFaultInjector>> sinjs;
+  std::vector<std::unique_ptr<rma::FaultInjector>> rinjs;
+
+  std::vector<std::byte> chaos_fp;
+  std::vector<std::int64_t> values;
+  int kills = 0;
+  for (int pass = 0;; ++pass) {
+    ASSERT_LT(pass, 16) << "soak failed to converge";
+    net::ServerFaultConfig sfc;
+    sfc.seed = rma::fault_stream(base_seed, rma::FaultLayer::kNetServer,
+                                 static_cast<std::uint64_t>(pass));
+    sfc.accept_drop_p = 0.05;
+    sfc.stall_flush_p = 0.05;
+    sfc.partial_write_p = 0.10;
+    if (pass < kKillPasses) {
+      sfc.kill_at = pass % 2 == 0 ? net::ServerKillPoint::kPreAck
+                                  : net::ServerKillPoint::kMidReply;
+      sfc.kill_after = 4 + 3 * static_cast<std::uint64_t>(pass);
+    }
+    sinjs.push_back(std::make_unique<net::ServerFaultInjector>(sfc));
+    rma::FaultConfig rfc;
+    rfc.seed = rma::fault_stream(base_seed, rma::FaultLayer::kRma,
+                                 static_cast<std::uint64_t>(pass));
+    rinjs.push_back(std::make_unique<rma::FaultInjector>(rfc));
+
+    bool pass_killed = false;
+    try {
+      rma::Runtime rt(1);
+      rt.run([&](rma::Rank& self) {
+        auto cfg = recovery_cfg(dir);
+        cfg.wal_checkpoint_epochs = 16;
+        cfg.net_port = port;  // 0 on pass 0 (ephemeral), then pinned
+        auto db = pass == 0 ? Database::create(self, cfg)
+                            : Database::recover(self, cfg);
+        EXPECT_NE(db, nullptr) << "pass " << pass;
+        if (db == nullptr) return;
+        const std::uint32_t pt =
+            pass == 0 ? load_vertices(db, self, kTenants * kStripe, 0)
+                      : ensure_ptype(db, self);
+        self.set_fault_injector(rinjs.back().get());
+        net::Listener* L = db->listener(self);
+        EXPECT_EQ(L->start(), Status::kOk) << "pass " << pass;
+        L->set_fault_injector(sinjs.back().get());
+        if (pass == 0) {
+          port = L->port();
+          for (int t = 0; t < kTenants; ++t)
+            clients.emplace_back([&, pt, t] {
+              ClientConfig cc =
+                  client_cfg(port, 1 + static_cast<std::uint64_t>(t));
+              cc.fault.seed = rma::fault_stream(
+                  base_seed, rma::FaultLayer::kNetClient,
+                  static_cast<std::uint64_t>(t));
+              cc.fault.corrupt_p = 0.01;
+              cc.fault.truncate_p = 0.01;
+              cc.fault.disconnect_p = 0.02;
+              cc.fault.reorder_p = 0.03;
+              cc.io_timeout_ms = 300;
+              cc.max_reconnects = 1u << 20;  // ride out every server death
+              res[static_cast<std::size_t>(t)] =
+                  NetClient(cc).run_stream(tenant_stream(t, pt));
+              if (remaining.fetch_sub(1) == 1)
+                done.store(true, std::memory_order_release);
+            });
+        }
+        serve_until(L, db, self, done);
+        values.clear();
+        for (std::uint64_t v = 0; v < kTenants * kStripe; ++v)
+          values.push_back(direct_read(db, self, v, pt));
+        chaos_fp = db->serialize_rank(0);
+      });
+    } catch (const rma::FaultKill&) {
+      pass_killed = true;
+      ++kills;
+    }
+    if (!pass_killed) break;
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_GE(kills, 1) << "no server death ever fired; the soak tested nothing";
+  for (int t = 0; t < kTenants; ++t) {
+    const auto& r = res[static_cast<std::size_t>(t)];
+    EXPECT_TRUE(r.finished) << "tenant " << t;
+    EXPECT_EQ(r.ok, kWrites) << "tenant " << t;
+    EXPECT_EQ(r.failed, 0u) << "tenant " << t;
+  }
+  // kWrites increments round-robined over kStripe vertices: each vertex's
+  // value is its exact execution count.
+  ASSERT_EQ(values.size(), static_cast<std::size_t>(kTenants) * kStripe);
+  for (std::size_t v = 0; v < values.size(); ++v)
+    EXPECT_EQ(values[v], static_cast<std::int64_t>(kWrites / kStripe))
+        << "vertex " << v << ": lost or double-executed increments";
+  EXPECT_EQ(chaos_fp, oracle_fp)
+      << "post-soak image diverged from the fault-free oracle";
+}
+
+// ---------------------------------------------------------------------------
+// Pruned-cache replay: typed Bye, never silent re-execution
+// ---------------------------------------------------------------------------
+
+// A replayed completed write whose cached reply was pruned cannot be
+// answered honestly (re-executing would double-apply; inventing an ack would
+// lie about the value). The server must close typed -- Bye(kStaleReplay) --
+// and count the miss, and a replay still inside the cache window must be a
+// counted hit with the original value.
+TEST(NetReplay, PrunedCacheMissAnswersTypedByeNotReexecution) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    DatabaseConfig cfg;
+    cfg.block.block_size = 512;
+    cfg.block.blocks_per_rank = 8192;
+    cfg.dht.entries_per_rank = 4096;
+    cfg.dht.buckets_per_rank = 512;
+    cfg.server = true;
+    cfg.net_listen = true;
+    cfg.net_auth_token = kToken;
+    cfg.net_credits = 2;  // prune line = watermark - 4: tag 1 falls off fast
+    auto db = Database::create(self, cfg);
+    const std::uint32_t pt = load_vertices(db, self, 4, 0);
+    net::Listener* L = db->listener(self);
+    EXPECT_EQ(L->start(), Status::kOk);
+    const std::uint16_t port = L->port();
+    const auto c0 = self.counters();
+
+    constexpr std::uint64_t kWrites = 20;
+    std::atomic<bool> done{false};
+    bool probe_alive = true;
+    net::ByeReason why = net::ByeReason::kDone;
+    std::int64_t hit_value = -1;
+    std::thread client([&] {
+      // Phase 1: 20 committed increments push the watermark to 20.
+      NetClient cl(client_cfg(port, 1));
+      (void)cl.run_stream(increment_stream(0, 1, kWrites, pt));
+      // Phase 2: a "stale" reconnect replays tag 20 (still cached: counted
+      // hit, original value) and then tag 1 (pruned: typed Bye).
+      NetClient probe(client_cfg(port, 1));
+      if (probe.connect_handshake() == Status::kOk) {
+        (void)probe.send_request(make_req(OpKind::kIncrement, 0, pt, 0, 0, 20));
+        std::vector<Reply> got;
+        if (probe.poll_frames(&got, 2000, &why) && got.size() == 1)
+          hit_value = got.front().v0;
+        (void)probe.send_request(make_req(OpKind::kIncrement, 0, pt, 0, 0, 1));
+        std::vector<Reply> sink;
+        probe_alive = probe.poll_frames(&sink, 2000, &why);
+        probe_alive = probe_alive && probe.connected();
+      }
+      done.store(true, std::memory_order_release);
+    });
+    serve_until(L, db, self, done);
+    client.join();
+
+    EXPECT_EQ(hit_value, static_cast<std::int64_t>(kWrites))
+        << "cached replay did not return the original committed value";
+    EXPECT_FALSE(probe_alive);
+    EXPECT_EQ(why, net::ByeReason::kStaleReplay);
+    // The witness: neither replay executed again.
+    EXPECT_EQ(direct_read(db, self, 0, pt), static_cast<std::int64_t>(kWrites));
+    const auto d = self.counters().delta(c0);
+    EXPECT_GE(d.net_replay_hits, 1u);
+    EXPECT_GE(d.net_replay_cache_misses, 1u);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Drain: a Hello arriving mid-drain gets a typed Bye, held or not
+// ---------------------------------------------------------------------------
+
+// The connection was accepted before the drain began; its Hello arrives
+// after. The server must answer Bye(kDraining) -- not ack a window it is
+// about to tear down, not silently drop.
+TEST(NetDrain, HelloDuringDrainAnsweredWithTypedBye) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    DatabaseConfig cfg;
+    cfg.block.block_size = 512;
+    cfg.block.blocks_per_rank = 8192;
+    cfg.dht.entries_per_rank = 4096;
+    cfg.dht.buckets_per_rank = 512;
+    cfg.server = true;
+    cfg.net_listen = true;
+    cfg.net_auth_token = kToken;
+    auto db = Database::create(self, cfg);
+    (void)load_vertices(db, self, 4, 0);
+    net::Listener* L = db->listener(self);
+    EXPECT_EQ(L->start(), Status::kOk);
+
+    RawClient rc;
+    EXPECT_TRUE(rc.connect(L->port()));
+    if (rc.fd < 0) return;
+    for (int i = 0; i < 1000 && L->live_connections() == 0; ++i)
+      (void)L->poll_once(db, self, 1);
+    EXPECT_EQ(L->live_connections(), 1u);
+
+    // The Hello sits in the kernel buffer; the listener reads it only inside
+    // serve(), which marks draining_ before its first poll. No race.
+    rc.send_frame(net::FrameType::kHello, net::HelloBody{kToken, 7});
+    L->request_stop();
+    L->serve(db, self);
+
+    rc.pump_rx();
+    net::FrameType ft{};
+    std::vector<std::byte> payload;
+    const bool got = rc.next_frame(&ft, &payload);
+    EXPECT_TRUE(got) << "no frame came back for the mid-drain Hello";
+    if (got) {
+      EXPECT_EQ(ft, net::FrameType::kBye);
+      net::ByeBody bye;
+      EXPECT_TRUE(net::read_body(std::span<const std::byte>(payload), &bye));
+      EXPECT_EQ(static_cast<net::ByeReason>(bye.reason),
+                net::ByeReason::kDraining);
+    }
+    EXPECT_EQ(L->live_connections(), 0u);
+  });
+}
+
+// A handshake HELD behind a draining predecessor session must not outlive
+// the listener: when the drain begins, the held connection gets the same
+// typed Bye instead of a window that will never open.
+TEST(NetDrain, HeldHandshakeReleasedByDrainWithTypedBye) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    DatabaseConfig cfg;
+    cfg.block.block_size = 512;
+    cfg.block.blocks_per_rank = 8192;
+    cfg.dht.entries_per_rank = 4096;
+    cfg.dht.buckets_per_rank = 512;
+    cfg.server = true;
+    cfg.net_listen = true;
+    cfg.net_auth_token = kToken;
+    auto db = Database::create(self, cfg);
+    (void)load_vertices(db, self, 4, 0);
+    net::Listener* L = db->listener(self);
+    EXPECT_EQ(L->start(), Status::kOk);
+    const std::uint16_t port = L->port();
+
+    // A opens tenant 9's window.
+    RawClient a;
+    EXPECT_TRUE(a.connect(port));
+    if (a.fd < 0) return;
+    for (int i = 0; i < 1000 && L->live_connections() == 0; ++i)
+      (void)L->poll_once(db, self, 1);
+    a.send_frame(net::FrameType::kHello, net::HelloBody{kToken, 9});
+    const auto a_acked = [&] {
+      a.pump_rx();
+      return !a.rx.empty();
+    };
+    for (int i = 0; i < 1000 && !a_acked(); ++i) (void)L->poll_once(db, self, 1);
+    EXPECT_TRUE(a_acked());
+
+    // B's Hello for the same tenant supersedes A and is HELD while A's
+    // session drains (lifecycle retries strictly after the orphan recycle,
+    // so the held state is observable for at least one poll round).
+    RawClient b;
+    EXPECT_TRUE(b.connect(port));
+    if (b.fd < 0) return;
+    for (int i = 0; i < 1000 && L->live_connections() < 2; ++i)
+      (void)L->poll_once(db, self, 1);
+    b.send_frame(net::FrameType::kHello, net::HelloBody{kToken, 9});
+    for (int i = 0; i < 1000 && L->held_handshakes() == 0; ++i)
+      (void)L->poll_once(db, self, 1);
+    EXPECT_EQ(L->held_handshakes(), 1u);
+
+    // Drain begins while B is still held: B must get Bye(kDraining).
+    L->request_stop();
+    L->serve(db, self);
+
+    b.pump_rx();
+    net::FrameType ft{};
+    std::vector<std::byte> payload;
+    const bool got = b.next_frame(&ft, &payload);
+    EXPECT_TRUE(got) << "held handshake got no frame back from the drain";
+    if (got) {
+      EXPECT_EQ(ft, net::FrameType::kBye);
+      net::ByeBody bye;
+      EXPECT_TRUE(net::read_body(std::span<const std::byte>(payload), &bye));
+      EXPECT_EQ(static_cast<net::ByeReason>(bye.reason),
+                net::ByeReason::kDraining);
+    }
+    EXPECT_EQ(L->held_handshakes(), 0u);
+    EXPECT_EQ(L->live_connections(), 0u);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Server-side half-open peer: reaped by the idle deadline, nothing executed
+// ---------------------------------------------------------------------------
+
+// The injector mutes the 2nd connection to complete its handshake: its
+// inbound bytes are discarded (a half-open peer whose requests arrive
+// nowhere), its last_rx never refreshes, and the idle deadline -- not the
+// handshake deadline -- reaps it with a typed Bye. The discarded write must
+// never execute, and the client's retry on a fresh connection completes.
+TEST(NetFaults, HalfOpenPeerReapedByIdleTimeout) {
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    DatabaseConfig cfg;
+    cfg.block.block_size = 512;
+    cfg.block.blocks_per_rank = 8192;
+    cfg.dht.entries_per_rank = 4096;
+    cfg.dht.buckets_per_rank = 512;
+    cfg.server = true;
+    cfg.net_listen = true;
+    cfg.net_auth_token = kToken;
+    cfg.net_idle_timeout_ms = 100;
+    auto db = Database::create(self, cfg);
+    const std::uint32_t pt = load_vertices(db, self, 4, 0);
+    net::Listener* L = db->listener(self);
+    EXPECT_EQ(L->start(), Status::kOk);
+    const std::uint16_t port = L->port();
+
+    net::ServerFaultConfig sfc;
+    sfc.half_open_conn = 2;  // deterministic: aimed at the probe below
+    net::ServerFaultInjector sinj(sfc);
+    L->set_fault_injector(&sinj);
+
+    std::atomic<bool> done{false};
+    bool muted_alive = true;
+    std::size_t muted_replies = 0;
+    net::ByeReason why = net::ByeReason::kDone;
+    net::StreamResult retry_res;
+    std::thread client([&] {
+      // Conn 1: a normal client, untouched by the mute.
+      NetClient warm(client_cfg(port, 1));
+      (void)warm.run_stream(increment_stream(0, 1, 4, pt));
+      // Conn 2: muted at open. The HelloAck still flushes (outbound is
+      // unaffected), but the increment below is discarded unread.
+      NetClient probe(client_cfg(port, 2));
+      if (probe.connect_handshake() == Status::kOk) {
+        (void)probe.send_request(make_req(OpKind::kIncrement, 1, pt, 0, 0, 1));
+        std::vector<Reply> sink;
+        muted_alive = probe.poll_frames(&sink, 1500, &why);
+        muted_replies = sink.size();
+      }
+      // Conn 3: the tenant retries on a fresh connection and completes.
+      NetClient retry(client_cfg(port, 2));
+      retry_res = retry.run_stream(increment_stream(1, 1, 1, pt));
+      done.store(true, std::memory_order_release);
+    });
+    serve_until(L, db, self, done);
+    client.join();
+
+    EXPECT_FALSE(muted_alive);
+    EXPECT_EQ(muted_replies, 0u);
+    EXPECT_EQ(why, net::ByeReason::kIdleTimeout);
+    EXPECT_TRUE(retry_res.finished);
+    // Exactly one execution: the reap discarded the muted copy, the retry
+    // (same tag, fresh conn) is the one that ran.
+    EXPECT_EQ(direct_read(db, self, 1, pt), 1);
+    EXPECT_EQ(direct_read(db, self, 0, pt), 4);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Replay-state logging is free when the transport is off
+// ---------------------------------------------------------------------------
+
+// With net_listen off, no session carries a durable tenant id, so no
+// kTenantAck op is ever constructed and checkpoints grow no net trailer: the
+// WAL byte stream is identical to a build that predates the feature.
+TEST(NetRecovery, NoNetStateLoggedWhenTransportOff) {
+  const std::string dir = fresh_dir("netrec_off");
+  rma::Runtime rt(1);
+  rt.run([&](rma::Rank& self) {
+    auto cfg = recovery_cfg(dir);
+    cfg.net_listen = false;
+    auto db = Database::create(self, cfg);
+    const std::uint32_t pt = load_vertices(db, self, 4, 0);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      Transaction txn(db, self, TxnMode::kWrite);
+      auto vh = txn.find_vertex(i % 4);
+      EXPECT_TRUE(vh.ok());
+      if (vh.ok())
+        EXPECT_EQ(txn.update_property(*vh, pt,
+                                      PropValue{static_cast<std::int64_t>(i)}),
+                  Status::kOk);
+      EXPECT_EQ(txn.commit(), Status::kOk);
+    }
+    EXPECT_EQ(db->checkpoint(self), Status::kOk);
+  });
+  // Recover with the transport still off: the checkpoint read must not
+  // stumble over a trailer (none was written) and the replayed log contains
+  // no kTenantAck op to drop.
+  rma::Runtime rt2(1);
+  rt2.run([&](rma::Rank& self) {
+    auto cfg = recovery_cfg(dir);
+    cfg.net_listen = false;
+    auto db = Database::recover(self, cfg);
+    EXPECT_NE(db, nullptr);
+    if (db == nullptr) return;
+    EXPECT_EQ(db->listener(self), nullptr);
+    const std::uint32_t pt = ensure_ptype(db, self);
+    for (std::uint64_t v = 0; v < 4; ++v)
+      EXPECT_EQ(direct_read(db, self, v, pt),
+                static_cast<std::int64_t>(4 + v));
+  });
+}
+
+}  // namespace
+}  // namespace gdi

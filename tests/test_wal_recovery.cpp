@@ -41,10 +41,7 @@ std::string fresh_dir(const std::string& name) {
   return p.string();
 }
 
-std::uint64_t fault_seed() {
-  const char* s = std::getenv("GDI_FAULT_SEED");
-  return s != nullptr ? std::strtoull(s, nullptr, 10) : 1;
-}
+std::uint64_t fault_seed() { return rma::fault_seed_env(); }
 
 DatabaseConfig wal_cfg(const std::string& dir) {
   DatabaseConfig c;

@@ -137,6 +137,20 @@ def pr9_metrics(parsed):
     }
 
 
+def pr10_metrics(parsed):
+    """Tracked metrics of bench_pr10_recovery (higher is better). Both are
+    fractions with an expected value of exactly 1.0: the committed fraction
+    across a pre-ack server kill + recover-integrated restart (no admitted
+    increment lost or double-executed), and the replay hit rate -- every
+    completed write replayed at the recovered server answered from the
+    WAL-rebuilt reply cache, never re-executed. The bench binary additionally
+    exits nonzero unless both are exactly 1.0 and at least one kill fired."""
+    return {
+        "committed_frac": parsed["committed_frac"],
+        "replay_hit_rate": parsed["replay_hit_rate"],
+    }
+
+
 # Benches with a "smoke_key" share one baseline file: their smoke metrics
 # live under baseline["smoke"][smoke_key] as a flat metric->value dict.
 BENCHES = [
@@ -193,6 +207,12 @@ BENCHES = [
         "baseline": "BENCH_pr9.json",
         "smoke_key": "net",
         "metrics": pr9_metrics,
+    },
+    {
+        "bin": "bench_pr10_recovery",
+        "baseline": "BENCH_pr10.json",
+        "smoke_key": "recovery",
+        "metrics": pr10_metrics,
     },
 ]
 
